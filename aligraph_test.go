@@ -1,0 +1,91 @@
+package aligraph
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestPlatformEndToEnd(t *testing.T) {
+	g := dataset.Taobao(dataset.TaobaoSmallConfig(0.03))
+	cfg := DefaultConfig()
+	cfg.Partitions = 2
+	cfg.Partitioner = "streaming"
+	p, err := NewPlatform(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CacheRate() <= 0 {
+		t.Fatal("importance cache empty")
+	}
+	if p.Assign.P != 2 {
+		t.Fatal("partition count")
+	}
+
+	// Samplers are wired.
+	trav := p.Traverse()
+	batch := trav.SampleVertices(0, 8)
+	if len(batch) != 8 {
+		t.Fatal("traverse")
+	}
+	ctx, err := p.Neighborhood().Sample(0, batch, []int{3})
+	if err != nil || len(ctx.Layers[1]) != 24 {
+		t.Fatalf("neighborhood: %v", err)
+	}
+	if negs := p.Negative(0).Sample(batch, 2); len(negs) != 16 {
+		t.Fatal("negative")
+	}
+
+	// End-to-end training through the facade.
+	tc := DefaultTrainConfig()
+	tc.HopNums = []int{3, 2}
+	tc.Batch = 16
+	tr := p.NewGraphSAGE(tc)
+	losses, err := tr.Train(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 20 {
+		t.Fatal("losses")
+	}
+	emb, err := tr.Embed(batch)
+	if err != nil || emb.Rows != 8 || emb.Cols != tc.Dim {
+		t.Fatalf("embed: %v %dx%d", err, emb.Rows, emb.Cols)
+	}
+	if _, err := tr.Score(batch[0], batch[1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := dataset.Taobao(dataset.TaobaoSmallConfig(0.02))
+	if _, err := NewPlatform(g, Config{Partitioner: "bogus", Partitions: 2}); err == nil {
+		t.Fatal("expected unknown partitioner error")
+	}
+	// Zero-value config gets sane defaults.
+	p, err := NewPlatform(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Assign.P != 1 {
+		t.Fatal("default partitions")
+	}
+	if p.CacheRate() != 0 {
+		t.Fatal("cache should be disabled by default config literal")
+	}
+}
+
+func TestSchemaFacade(t *testing.T) {
+	s, err := NewSchema([]string{"user", "item"}, []string{"click"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(s, true)
+	u := b.AddVertex(0, nil)
+	i := b.AddVertex(1, nil)
+	b.AddEdge(u, i, 0, 1)
+	g := b.Finalize()
+	if g.NumEdges() != 1 {
+		t.Fatal("facade build")
+	}
+}

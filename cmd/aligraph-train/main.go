@@ -1,0 +1,107 @@
+// Command aligraph-train trains a GraphSAGE-style encoder on a TSV graph
+// (or a generated Taobao-sim with -demo) through the public API and writes
+// the learned embeddings as TSV (id \t v1,v2,...).
+//
+// Usage:
+//
+//	aligraph-train -demo -steps 300 -out embeddings.tsv
+//	aligraph-train -vertices v.tsv -edges e.tsv \
+//	    -vertex-types user,item -edge-types click,buy -dim 64 -out emb.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	aligraph "repro"
+	"repro/internal/dataset"
+	"repro/internal/graphio"
+)
+
+func main() {
+	var (
+		verticesPath = flag.String("vertices", "", "vertex TSV path")
+		edgesPath    = flag.String("edges", "", "edge TSV path")
+		vertexTypes  = flag.String("vertex-types", "vertex", "comma-separated vertex type names")
+		edgeTypes    = flag.String("edge-types", "edge", "comma-separated edge type names")
+		directed     = flag.Bool("directed", true, "treat edges as directed")
+		demo         = flag.Bool("demo", false, "generate Taobao-sim instead of reading files")
+		scale        = flag.Float64("scale", 0.1, "demo dataset scale")
+		dim          = flag.Int("dim", 32, "embedding dimension")
+		steps        = flag.Int("steps", 200, "training mini-batches")
+		lr           = flag.Float64("lr", 0.02, "learning rate")
+		edgeType     = flag.Int("edge-type", 0, "edge type to train on")
+		useAttrs     = flag.Bool("attrs", true, "feed vertex attributes to the encoder")
+		out          = flag.String("out", "embeddings.tsv", "output embeddings TSV")
+	)
+	flag.Parse()
+
+	var g *aligraph.Graph
+	switch {
+	case *demo:
+		g = dataset.Taobao(dataset.TaobaoSmallConfig(*scale))
+	case *verticesPath != "" && *edgesPath != "":
+		schema, err := aligraph.NewSchema(strings.Split(*vertexTypes, ","), strings.Split(*edgeTypes, ","))
+		if err != nil {
+			log.Fatal(err)
+		}
+		l := graphio.NewLoader(schema, *directed)
+		vf, err := os.Open(*verticesPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := l.ReadVertices(vf); err != nil {
+			log.Fatal(err)
+		}
+		vf.Close()
+		ef, err := os.Open(*edgesPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := l.ReadEdges(ef); err != nil {
+			log.Fatal(err)
+		}
+		ef.Close()
+		g, _ = l.Finalize()
+	default:
+		log.Fatal("need -vertices and -edges, or -demo")
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	platform, err := aligraph.NewPlatform(g, aligraph.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := aligraph.DefaultTrainConfig()
+	cfg.Dim = *dim
+	cfg.LR = *lr
+	cfg.EdgeType = aligraph.EdgeType(*edgeType)
+	cfg.UseAttrs = *useAttrs
+	trainer := platform.NewGraphSAGE(cfg)
+
+	start := time.Now()
+	losses, err := trainer.Train(*steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d steps in %v: loss %.4f -> %.4f\n",
+		*steps, time.Since(start).Round(time.Millisecond), losses[0], losses[len(losses)-1])
+
+	emb, err := trainer.EmbedAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := graphio.WriteEmbeddings(f, emb, emb.Rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d x %d embeddings to %s\n", emb.Rows, emb.Cols, *out)
+}

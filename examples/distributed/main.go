@@ -1,0 +1,78 @@
+// Distributed: the storage-layer machinery end to end — partition a
+// Taobao-sim graph with METIS, serve each partition from a graph server
+// over real net/rpc on loopback TCP, and compare multi-hop neighborhood
+// access with and without importance-based caching (the Figure 9
+// experiment, on a live cluster instead of the in-memory transport).
+//
+// Run with: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/partition"
+	"repro/internal/storage"
+)
+
+func main() {
+	g := dataset.Taobao(dataset.TaobaoSmallConfig(0.1))
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	// Partition with METIS and start one RPC server per partition.
+	const parts = 4
+	assign, err := partition.Metis{}.Partition(g, parts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metis: sizes %v, edge cut %.1f%%\n", assign.Sizes(), 100*assign.CutFraction(g))
+
+	servers := cluster.FromGraph(g, assign)
+	addrs := make([]string, parts)
+	for i, s := range servers {
+		rs, err := cluster.ServeRPC(s, "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rs.Close()
+		addrs[i] = rs.Addr()
+		fmt.Printf("  server %d on %s: %d vertices, %d edges\n",
+			i, rs.Addr(), s.NumLocalVertices(), s.NumLocalEdges())
+	}
+
+	tr, err := cluster.DialRPC(addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+
+	// The same multi-hop workload with three cache strategies.
+	users := g.VerticesOfType(0)
+	workload := func(c storage.NeighborCache) time.Duration {
+		client := cluster.NewClient(assign, tr, c)
+		rng := rand.New(rand.NewSource(1))
+		start := time.Now()
+		for i := 0; i < 300; i++ {
+			v := users[rng.Intn(len(users))]
+			if _, err := client.MultiHop(v, 0, 2); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	noCache := workload(storage.NoCache{})
+	important := workload(storage.NewImportanceCacheTopFraction(g, 2, 0.2))
+	lru := workload(storage.NewLRUNeighborCache(g.NumVertices() / 5))
+
+	fmt.Printf("\n300 two-hop expansions over RPC:\n")
+	fmt.Printf("  no cache:          %v\n", noCache.Round(time.Millisecond))
+	fmt.Printf("  LRU cache (20%%):   %v\n", lru.Round(time.Millisecond))
+	fmt.Printf("  importance (20%%):  %v\n", important.Round(time.Millisecond))
+	fmt.Println("\nCaching the out-neighborhoods of high-Imp^(k) vertices removes the")
+	fmt.Println("most-travelled remote hops — the paper's Figure 9 on a live cluster.")
+}

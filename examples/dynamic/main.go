@@ -1,0 +1,45 @@
+// Dynamic graphs: embedding an evolving snapshot series with the in-house
+// Evolving GNN versus a static model, on the Table 11 multi-class link
+// prediction task (classify new edges into community classes) with a burst
+// of abnormal cross-community links injected near the end of the series.
+//
+// Run with: go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/algo"
+	"repro/internal/dataset"
+)
+
+func main() {
+	cfg := dataset.DynamicDefaultConfig()
+	cfg.Vertices = 400
+	cfg.BurstAt = []int{cfg.T - 1, cfg.T}
+	series := dataset.Dynamic(cfg)
+	fmt.Printf("dynamic series: %d snapshots over %d vertices, bursts at t=%v\n\n",
+		series.D.T(), cfg.Vertices, cfg.BurstAt)
+
+	for t := 1; t <= series.D.T(); t++ {
+		g := series.D.At(t)
+		fmt.Printf("  t=%d: %d edges (%d burst)\n", t, g.NumEdges(), len(series.BurstEdges[t-1]))
+	}
+	fmt.Println()
+
+	for _, m := range []algo.DynamicModel{
+		algo.NewStaticSAGE(32), // embeds only the final snapshot
+		algo.NewTNE(32),        // temporal smoothing, burst-unaware
+		algo.NewEvolving(32),   // in-house: burst-aware temporal recurrence
+	} {
+		micro, macro, err := algo.MultiClassLinkEval(m, series, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s micro-F1 %.1f%%  macro-F1 %.1f%%\n", m.Name(), 100*micro, 100*macro)
+	}
+	fmt.Println("\nEvolving GNN filters burst links out of the structural corpus and")
+	fmt.Println("carries a burst indicator, so abnormal evolution does not corrupt the")
+	fmt.Println("embeddings — the Table 11 comparison.")
+}

@@ -1,0 +1,47 @@
+// Recommendation: the paper's motivating workload — product recommendation
+// on a Taobao-like attributed heterogeneous graph. GATNE (the in-house
+// multiplex+attribute model) is compared against DeepWalk on held-out
+// "click" link prediction, reproducing the Table 8 ordering at toy scale.
+//
+// Run with: go run ./examples/recommendation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/algo"
+	"repro/internal/dataset"
+)
+
+func main() {
+	// Taobao-sim: 2 vertex types, 4 behaviour edge types, 27/32 attributes,
+	// power-law degrees — the Table 6 dataset at laptop scale.
+	cfg := dataset.TaobaoSmallConfig(0.1)
+	cfg.ItemItemEdges = 0
+	g := dataset.Taobao(cfg)
+	st := dataset.Census(g)
+	fmt.Printf("Taobao-sim: %d users, %d items, %d edges\n",
+		st.UserVertices, st.ItemVertices, st.Edges)
+
+	// Hold out 15%% of click edges for evaluation.
+	rng := rand.New(rand.NewSource(7))
+	sp := dataset.SplitLinks(g, 0, 0.15, rng)
+	fmt.Printf("held out %d positives, sampled %d negatives\n\n", len(sp.TestPos), len(sp.TestNeg))
+
+	models := []algo.Embedder{
+		algo.NewDeepWalk(algo.DefaultWalkConfig()),
+		algo.NewGATNE(32),
+	}
+	for _, m := range models {
+		metrics, err := algo.EvalLinkPrediction(m, sp.Train, 0, sp.TestPos, sp.TestNeg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s ROC-AUC %.2f%%  PR-AUC %.2f%%  F1 %.2f%%\n",
+			m.Name(), 100*metrics.ROCAUC, 100*metrics.PRAUC, 100*metrics.F1)
+	}
+	fmt.Println("\nGATNE uses all four behaviour layers plus attributes; DeepWalk sees")
+	fmt.Println("only per-layer structure — the gap mirrors the paper's Table 8.")
+}

@@ -1,0 +1,68 @@
+// Package algo is the algorithm layer of the AliGraph platform (Section 4):
+// the six in-house models — AHEP, GATNE, Mixture GNN, Hierarchical GNN,
+// Evolving GNN and Bayesian GNN — together with the published baselines they
+// are compared against in Tables 7-12 (DeepWalk, Node2Vec, LINE, ANRL,
+// Metapath2Vec, PMNE, MVE, MNE, GCN, FastGCN, GraphSAGE, HEP, TNE, DAE and
+// a β-VAE recommender). Every model is a plugin over the system layers:
+// TRAVERSE/NEIGHBORHOOD/NEGATIVE samplers, AGGREGATE/COMBINE operators and
+// the storage layer.
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/graph"
+)
+
+// Embedder is a model that produces one embedding per vertex, possibly
+// specialized per edge type (heterogeneous models return type-aware
+// embeddings; homogeneous ones ignore the type).
+type Embedder interface {
+	Name() string
+	// Fit trains the model on g.
+	Fit(g *graph.Graph) error
+	// Embedding returns the type-aware embedding of v. Models without
+	// type-specific embeddings return the same vector for every type.
+	Embedding(v graph.ID, et graph.EdgeType) []float64
+}
+
+// Score computes the link score of (u, v) under edge type et as the dot
+// product of type-aware embeddings, the convention used across the paper's
+// link-prediction tables.
+func Score(m Embedder, u, v graph.ID, et graph.EdgeType) float64 {
+	return eval.Dot(m.Embedding(u, et), m.Embedding(v, et))
+}
+
+// EvalLinkPrediction trains m on the split's train graph and evaluates
+// ROC-AUC / PR-AUC / F1 on the held-out edges.
+func EvalLinkPrediction(m Embedder, train *graph.Graph, et graph.EdgeType, pos, neg [][2]graph.ID) (eval.LinkMetrics, error) {
+	if err := m.Fit(train); err != nil {
+		return eval.LinkMetrics{}, fmt.Errorf("algo: fit %s: %w", m.Name(), err)
+	}
+	score := func(u, v int64) float64 { return Score(m, u, v, et) }
+	p := make([][2]int64, len(pos))
+	for i, e := range pos {
+		p[i] = [2]int64{e[0], e[1]}
+	}
+	n := make([][2]int64, len(neg))
+	for i, e := range neg {
+		n[i] = [2]int64{e[0], e[1]}
+	}
+	return eval.EvalLinks(score, p, n), nil
+}
+
+// concat joins per-type embeddings into one vector (the paper's protocol
+// for homogeneous methods on heterogeneous graphs: "generate the embedding
+// for each subgraph with the same type of edges and concatenate").
+func concat(vecs ...[]float64) []float64 {
+	n := 0
+	for _, v := range vecs {
+		n += len(v)
+	}
+	out := make([]float64, 0, n)
+	for _, v := range vecs {
+		out = append(out, v...)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package algo
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/sampling"
+	"repro/internal/tensor"
+	"repro/internal/walk"
+)
+
+// ANRL (Zhang et al., IJCAI'18) is the attributed baseline of category C2:
+// a neighbor-enhancement autoencoder models attribute information (encode a
+// vertex's attributes, decode the aggregate attributes of its neighbors)
+// while a skip-gram component ties the encoder output to graph structure.
+// The final embedding is the encoder bottleneck.
+type ANRL struct {
+	Dim     int
+	Hidden  int
+	AttrDim int
+	Steps   int
+	Batch   int
+	NegK    int
+	LR      float64
+	Seed    int64
+
+	enc *nn.MLP
+	dec *nn.MLP
+	ctx *nn.Param // skip-gram context table
+	emb *tensor.Matrix
+}
+
+// NewANRL creates the baseline with laptop-scale defaults.
+func NewANRL(dim int) *ANRL {
+	return &ANRL{Dim: dim, Hidden: 2 * dim, AttrDim: 16, Steps: 150, Batch: 64, NegK: 3, LR: 0.01, Seed: 1}
+}
+
+// Name implements Embedder.
+func (a *ANRL) Name() string { return "ANRL" }
+
+// Fit implements Embedder.
+func (a *ANRL) Fit(g *graph.Graph) error {
+	rng := rand.New(rand.NewSource(a.Seed))
+	a.enc = nn.NewMLP("anrl.enc", []int{a.AttrDim, a.Hidden, a.Dim}, nn.ActTanh, rng)
+	a.dec = nn.NewMLP("anrl.dec", []int{a.Dim, a.Hidden, a.AttrDim}, nn.ActTanh, rng)
+	a.ctx = nn.NewParamGaussian("anrl.ctx", g.NumVertices(), a.Dim, 0.1, rng)
+	params := append(append(a.enc.Params(), a.dec.Params()...), a.ctx)
+	opt := nn.NewAdam(a.LR)
+
+	attr := func(vs []graph.ID) *tensor.Matrix {
+		m := tensor.New(len(vs), a.AttrDim)
+		for i, v := range vs {
+			row := m.Row(i)
+			av := g.VertexAttr(v)
+			for j := 0; j < len(av) && j < a.AttrDim; j++ {
+				row[j] = av[j]
+			}
+		}
+		return m
+	}
+	neighborMeanAttr := func(vs []graph.ID) *tensor.Matrix {
+		m := tensor.New(len(vs), a.AttrDim)
+		for i, v := range vs {
+			ns := g.Neighbors(v)
+			if len(ns) == 0 {
+				ns = []graph.ID{v}
+			}
+			row := m.Row(i)
+			for _, u := range ns {
+				av := g.VertexAttr(u)
+				for j := 0; j < len(av) && j < a.AttrDim; j++ {
+					row[j] += av[j]
+				}
+			}
+			for j := range row {
+				row[j] /= float64(len(ns))
+			}
+		}
+		return m
+	}
+
+	// Structure pairs from merged walks.
+	corpus := walk.MergedCorpus(g, 2, 6, rng)
+	var pairs [][2]graph.ID
+	for _, w := range corpus {
+		for i := 0; i+1 < len(w); i++ {
+			pairs = append(pairs, [2]graph.ID{w[i], w[i+1]})
+		}
+	}
+	if len(pairs) == 0 {
+		pairs = [][2]graph.ID{{0, 0}}
+	}
+	// Unigram table for negatives.
+	deg := make([]float64, g.NumVertices())
+	for v := range deg {
+		deg[v] = float64(g.TotalOutDegree(graph.ID(v))) + 1
+	}
+	negTable := sampling.NewAlias(deg)
+
+	for step := 0; step < a.Steps; step++ {
+		batch := make([]graph.ID, a.Batch)
+		ctxs := make([]int, a.Batch)
+		for i := range batch {
+			p := pairs[rng.Intn(len(pairs))]
+			batch[i] = p[0]
+			ctxs[i] = int(p[1])
+		}
+		t := nn.NewTape()
+		z := a.enc.Forward(t, t.Input(attr(batch)))
+		// Neighbor-enhancement reconstruction.
+		recon := a.dec.Forward(t, z)
+		lossAE := t.MSE(recon, neighborMeanAttr(batch))
+		// Skip-gram with negatives.
+		pos := t.RowDot(z, t.Gather(t.Use(a.ctx), ctxs))
+		negIdx := make([]int, a.Batch*a.NegK)
+		rep := make([]int, a.Batch*a.NegK)
+		for i := range negIdx {
+			negIdx[i] = negTable.Draw(rng)
+			rep[i] = i / a.NegK
+		}
+		neg := t.RowDot(t.Gather(z, rep), t.Gather(t.Use(a.ctx), negIdx))
+		lossSG := t.NegSamplingLoss(pos, neg)
+		loss := t.AddScalars(lossAE, lossSG)
+		t.Backward(loss)
+		nn.ClipGrad(params, 5)
+		opt.Step(params)
+	}
+
+	// Materialize all embeddings.
+	a.emb = tensor.New(g.NumVertices(), a.Dim)
+	const chunk = 512
+	for lo := 0; lo < g.NumVertices(); lo += chunk {
+		hi := lo + chunk
+		if hi > g.NumVertices() {
+			hi = g.NumVertices()
+		}
+		vs := make([]graph.ID, hi-lo)
+		for i := range vs {
+			vs[i] = graph.ID(lo + i)
+		}
+		t := nn.NewTape()
+		z := a.enc.Forward(t, t.Input(attr(vs)))
+		for i := 0; i < z.Val.Rows; i++ {
+			copy(a.emb.Row(lo+i), z.Val.Row(i))
+		}
+	}
+	return nil
+}
+
+// Embedding implements Embedder.
+func (a *ANRL) Embedding(v graph.ID, _ graph.EdgeType) []float64 { return a.emb.Row(int(v)) }

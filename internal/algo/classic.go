@@ -1,0 +1,177 @@
+package algo
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/skipgram"
+	"repro/internal/walk"
+)
+
+// This file implements the classic homogeneous graph-embedding baselines of
+// category C1 (Table 8): DeepWalk, Node2Vec and LINE, plus Metapath2Vec
+// from C3. Homogeneous methods follow the paper's evaluation protocol:
+// embed each edge-type subgraph separately and concatenate.
+
+// WalkConfig bundles the walk+SGNS hyper-parameters shared by the
+// random-walk baselines.
+type WalkConfig struct {
+	WalksPerVertex int
+	WalkLength     int
+	SG             skipgram.Config
+	Seed           int64
+}
+
+// DefaultWalkConfig returns laptop-scale defaults.
+func DefaultWalkConfig() WalkConfig {
+	return WalkConfig{WalksPerVertex: 4, WalkLength: 8, SG: skipgram.DefaultConfig(), Seed: 1}
+}
+
+// DeepWalk embeds each edge-type layer with uniform random walks + SGNS and
+// concatenates the per-layer embeddings.
+type DeepWalk struct {
+	Cfg    WalkConfig
+	models []*skipgram.Model
+}
+
+// NewDeepWalk creates a DeepWalk baseline.
+func NewDeepWalk(cfg WalkConfig) *DeepWalk { return &DeepWalk{Cfg: cfg} }
+
+// Name implements Embedder.
+func (d *DeepWalk) Name() string { return "DeepWalk" }
+
+// Fit implements Embedder.
+func (d *DeepWalk) Fit(g *graph.Graph) error {
+	rng := rand.New(rand.NewSource(d.Cfg.Seed))
+	d.models = nil
+	for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+		corpus := walk.UniformCorpus(g, d.Cfg.WalksPerVertex, d.Cfg.WalkLength, graph.EdgeType(t), rng)
+		d.models = append(d.models, skipgram.TrainCorpus(g.NumVertices(), corpus, d.Cfg.SG, rng))
+	}
+	return nil
+}
+
+// Embedding implements Embedder: concatenation of per-layer embeddings.
+func (d *DeepWalk) Embedding(v graph.ID, _ graph.EdgeType) []float64 {
+	vecs := make([][]float64, len(d.models))
+	for i, m := range d.models {
+		vecs[i] = m.Embedding(v)
+	}
+	return concat(vecs...)
+}
+
+// Node2Vec embeds each layer with p/q-biased second-order walks + SGNS.
+type Node2Vec struct {
+	Cfg    WalkConfig
+	P, Q   float64
+	models []*skipgram.Model
+}
+
+// NewNode2Vec creates a Node2Vec baseline with the given return (p) and
+// in-out (q) parameters.
+func NewNode2Vec(cfg WalkConfig, p, q float64) *Node2Vec {
+	return &Node2Vec{Cfg: cfg, P: p, Q: q}
+}
+
+// Name implements Embedder.
+func (n *Node2Vec) Name() string { return "Node2Vec" }
+
+// Fit implements Embedder.
+func (n *Node2Vec) Fit(g *graph.Graph) error {
+	rng := rand.New(rand.NewSource(n.Cfg.Seed))
+	n.models = nil
+	for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+		corpus := walk.Node2VecCorpus(g, n.Cfg.WalksPerVertex, n.Cfg.WalkLength, graph.EdgeType(t), n.P, n.Q, rng)
+		n.models = append(n.models, skipgram.TrainCorpus(g.NumVertices(), corpus, n.Cfg.SG, rng))
+	}
+	return nil
+}
+
+// Embedding implements Embedder.
+func (n *Node2Vec) Embedding(v graph.ID, _ graph.EdgeType) []float64 {
+	vecs := make([][]float64, len(n.models))
+	for i, m := range n.models {
+		vecs[i] = m.Embedding(v)
+	}
+	return concat(vecs...)
+}
+
+// LINE preserves first- and second-order proximity by SGNS over an edge
+// corpus (each "walk" is a single edge, window 1): the second-order LINE
+// objective with negative sampling is exactly SGNS restricted to direct
+// neighbors.
+type LINE struct {
+	Cfg    WalkConfig
+	models []*skipgram.Model
+}
+
+// NewLINE creates a LINE baseline.
+func NewLINE(cfg WalkConfig) *LINE { return &LINE{Cfg: cfg} }
+
+// Name implements Embedder.
+func (l *LINE) Name() string { return "LINE" }
+
+// Fit implements Embedder.
+func (l *LINE) Fit(g *graph.Graph) error {
+	rng := rand.New(rand.NewSource(l.Cfg.Seed))
+	l.models = nil
+	cfg := l.Cfg.SG
+	cfg.Window = 1
+	for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+		var corpus walk.Corpus
+		g.EdgesOfType(graph.EdgeType(t), func(src, dst graph.ID, _ float64) bool {
+			corpus = append(corpus, []graph.ID{src, dst})
+			return true
+		})
+		l.models = append(l.models, skipgram.TrainCorpus(g.NumVertices(), corpus, cfg, rng))
+	}
+	return nil
+}
+
+// Embedding implements Embedder.
+func (l *LINE) Embedding(v graph.ID, _ graph.EdgeType) []float64 {
+	vecs := make([][]float64, len(l.models))
+	for i, m := range l.models {
+		vecs[i] = m.Embedding(v)
+	}
+	return concat(vecs...)
+}
+
+// Metapath2Vec runs meta-path constrained walks (default user-item-user on
+// bipartite graphs, or the single vertex type on homogeneous ones) and
+// trains one SGNS model.
+type Metapath2Vec struct {
+	Cfg     WalkConfig
+	Pattern []graph.VertexType
+	model   *skipgram.Model
+}
+
+// NewMetapath2Vec creates the baseline; a nil pattern defaults to
+// alternating the first two vertex types (or staying on type 0).
+func NewMetapath2Vec(cfg WalkConfig, pattern []graph.VertexType) *Metapath2Vec {
+	return &Metapath2Vec{Cfg: cfg, Pattern: pattern}
+}
+
+// Name implements Embedder.
+func (m *Metapath2Vec) Name() string { return "Metapath2Vec" }
+
+// Fit implements Embedder.
+func (m *Metapath2Vec) Fit(g *graph.Graph) error {
+	rng := rand.New(rand.NewSource(m.Cfg.Seed))
+	pattern := m.Pattern
+	if pattern == nil {
+		if g.Schema().NumVertexTypes() >= 2 {
+			pattern = []graph.VertexType{0, 1}
+		} else {
+			pattern = []graph.VertexType{0}
+		}
+	}
+	corpus := walk.MetaPathCorpus(g, m.Cfg.WalksPerVertex, m.Cfg.WalkLength, pattern, rng)
+	m.model = skipgram.TrainCorpus(g.NumVertices(), corpus, m.Cfg.SG, rng)
+	return nil
+}
+
+// Embedding implements Embedder.
+func (m *Metapath2Vec) Embedding(v graph.ID, _ graph.EdgeType) []float64 {
+	return m.model.Embedding(v)
+}

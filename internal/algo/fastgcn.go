@@ -1,0 +1,66 @@
+package algo
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sampling"
+)
+
+// newLayerwiseTrainer builds a LinkTrainer whose SAMPLE strategy is
+// FastGCN's layer-wise importance sampling: each hop draws one shared pool
+// of vertices with probability proportional to squared degree, and every
+// vertex of the previous layer fills its aligned slots from the members of
+// the pool it is actually connected to (falling back to itself when none
+// are, keeping layers aligned).
+func newLayerwiseTrainer(g *graph.Graph, enc *core.Encoder, cfg GNNConfig, rng *rand.Rand) *core.LinkTrainer {
+	tcfg := core.TrainerConfig{EdgeType: cfg.EdgeType, HopNums: cfg.HopNums, Batch: cfg.Batch, NegK: cfg.NegK, LR: cfg.LR}
+	tr := core.NewLinkTrainer(g, enc, tcfg, rng)
+
+	// q(v) ∝ deg(v)²: the FastGCN proposal distribution.
+	weights := make([]float64, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		d := float64(g.OutDegree(graph.ID(v), cfg.EdgeType) + g.InDegree(graph.ID(v), cfg.EdgeType))
+		weights[v] = d * d
+	}
+	pool := sampling.NewAlias(weights)
+
+	tr.ContextFn = func(vs []graph.ID) (*sampling.Context, error) {
+		ctx := &sampling.Context{HopNums: cfg.HopNums, Layers: make([][]graph.ID, len(cfg.HopNums)+1)}
+		ctx.Layers[0] = vs
+		cur := vs
+		for h, width := range cfg.HopNums {
+			// Layer-wise shared pool for this hop.
+			poolSize := width * 4
+			layerPool := make([]graph.ID, poolSize)
+			inPool := make(map[graph.ID]bool, poolSize)
+			for i := range layerPool {
+				layerPool[i] = graph.ID(pool.Draw(rng))
+				inPool[layerPool[i]] = true
+			}
+			next := make([]graph.ID, 0, len(cur)*width)
+			for _, v := range cur {
+				// Neighbors of v that landed in the pool.
+				var cands []graph.ID
+				for _, u := range g.OutNeighbors(v, cfg.EdgeType) {
+					if inPool[u] {
+						cands = append(cands, u)
+					}
+				}
+				for i := 0; i < width; i++ {
+					switch {
+					case len(cands) > 0:
+						next = append(next, cands[rng.Intn(len(cands))])
+					default:
+						next = append(next, v) // aligned padding
+					}
+				}
+			}
+			ctx.Layers[h+1] = next
+			cur = next
+		}
+		return ctx, nil
+	}
+	return tr
+}

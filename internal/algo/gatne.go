@@ -1,0 +1,238 @@
+package algo
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/sampling"
+	"repro/internal/tensor"
+	"repro/internal/walk"
+)
+
+// GATNE (Section 4.2) — General Attributed Multiplex HeTerogeneous Network
+// Embedding — is the flagship in-house model. The type-c embedding of
+// vertex v is (Equation 3):
+//
+//	h_{v,c} = b_v + α_c·M_cᵀ·(U_v·a_c) + β_c·Dᵀ·x_v
+//
+// where b_v is the general (base) embedding, U_v stacks the meta-specific
+// edge embeddings g_{v,t'} (one s-dimensional row per edge type), a_c are
+// self-attention coefficients over those rows, M_c maps the attended edge
+// embedding into the base space, and D projects the raw attributes x_v.
+// Training follows Equation 4: per-type random walks with skip-gram over
+// type-specific context tables, approximated by negative sampling.
+type GATNE struct {
+	Dim     int // d: base/output dimension
+	EdgeDim int // s: meta-specific edge embedding dimension
+	AttnDim int // da: attention hidden units
+	AttrDim int
+	Alpha   float64 // α_c (shared across types here)
+	Beta    float64 // β_c
+	Walks   WalkConfig
+	Steps   int
+	Batch   int
+	NegK    int
+	LR      float64
+	Seed    int64
+
+	numTypes int
+	base     *nn.Param   // n x d
+	edgeEmb  []*nn.Param // per type: n x s
+	attnW1   []*nn.Param // per type: s x da
+	attnW2   []*nn.Param // per type: da x 1
+	mc       []*nn.Param // per type: s x d
+	dproj    *nn.Param   // attrDim x d
+	ctx      []*nn.Param // per type context tables: n x d
+
+	g   *graph.Graph
+	emb []*tensor.Matrix // materialized h_{v,c} per type
+}
+
+// NewGATNE creates the model with laptop-scale defaults.
+func NewGATNE(dim int) *GATNE {
+	return &GATNE{
+		Dim: dim, EdgeDim: 8, AttnDim: 8, AttrDim: 16,
+		Alpha: 1, Beta: 1,
+		Walks: DefaultWalkConfig(),
+		Steps: 200, Batch: 64, NegK: 4, LR: 0.02, Seed: 1,
+	}
+}
+
+// Name implements Embedder.
+func (m *GATNE) Name() string { return "GATNE" }
+
+// Fit implements Embedder.
+func (m *GATNE) Fit(g *graph.Graph) error {
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.g = g
+	n := g.NumVertices()
+	m.numTypes = g.Schema().NumEdgeTypes()
+
+	m.base = nn.NewParamGaussian("gatne.base", n, m.Dim, 0.1, rng)
+	m.dproj = nn.NewParam("gatne.D", m.AttrDim, m.Dim, rng)
+	m.edgeEmb = nil
+	m.attnW1, m.attnW2, m.mc, m.ctx = nil, nil, nil, nil
+	params := []*nn.Param{m.base, m.dproj}
+	for c := 0; c < m.numTypes; c++ {
+		ee := nn.NewParamGaussian("gatne.edge", n, m.EdgeDim, 0.1, rng)
+		w1 := nn.NewParam("gatne.attnW1", m.EdgeDim, m.AttnDim, rng)
+		w2 := nn.NewParam("gatne.attnW2", m.AttnDim, 1, rng)
+		mc := nn.NewParam("gatne.Mc", m.EdgeDim, m.Dim, rng)
+		cx := nn.NewParamGaussian("gatne.ctx", n, m.Dim, 0.1, rng)
+		m.edgeEmb = append(m.edgeEmb, ee)
+		m.attnW1 = append(m.attnW1, w1)
+		m.attnW2 = append(m.attnW2, w2)
+		m.mc = append(m.mc, mc)
+		m.ctx = append(m.ctx, cx)
+		params = append(params, ee, w1, w2, mc, cx)
+	}
+
+	// Per-type random walk corpora (Equation 4's random walk contexts).
+	corpora := walk.PerTypeCorpora(g, m.Walks.WalksPerVertex, m.Walks.WalkLength, rng)
+	type pair struct{ center, ctx graph.ID }
+	pairsByType := make([][]pair, m.numTypes)
+	for c := 0; c < m.numTypes; c++ {
+		for _, w := range corpora[c] {
+			for i := range w {
+				lo, hi := i-2, i+2
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= len(w) {
+					hi = len(w) - 1
+				}
+				for j := lo; j <= hi; j++ {
+					if j != i {
+						pairsByType[c] = append(pairsByType[c], pair{w[i], w[j]})
+					}
+				}
+			}
+		}
+	}
+
+	// Per-type negative samplers over in-degree.
+	negs := make([]*sampling.Negative, m.numTypes)
+	for c := 0; c < m.numTypes; c++ {
+		if g.NumEdgesOfType(graph.EdgeType(c)) > 0 {
+			negs[c] = sampling.NewNegative(g, graph.EdgeType(c), rng)
+		}
+	}
+
+	opt := nn.NewAdam(m.LR)
+	for step := 0; step < m.Steps; step++ {
+		c := step % m.numTypes
+		if len(pairsByType[c]) == 0 || negs[c] == nil {
+			continue
+		}
+		centers := make([]graph.ID, m.Batch)
+		ctxIdx := make([]int, m.Batch)
+		for i := 0; i < m.Batch; i++ {
+			p := pairsByType[c][rng.Intn(len(pairsByType[c]))]
+			centers[i] = p.center
+			ctxIdx[i] = int(p.ctx)
+		}
+		negIDs := negs[c].Sample(centers, m.NegK)
+
+		t := nn.NewTape()
+		h := m.typeEmbedding(t, centers, c)
+		pos := t.RowDot(h, t.Gather(t.Use(m.ctx[c]), ctxIdx))
+		rep := make([]int, len(negIDs))
+		negIdx := make([]int, len(negIDs))
+		for i, u := range negIDs {
+			rep[i] = i / m.NegK
+			negIdx[i] = int(u)
+		}
+		neg := t.RowDot(t.Gather(h, rep), t.Gather(t.Use(m.ctx[c]), negIdx))
+		loss := t.NegSamplingLoss(pos, neg)
+		t.Backward(loss)
+		nn.ClipGrad(params, 5)
+		opt.Step(params)
+	}
+
+	// Materialize h_{v,c} for every vertex and type.
+	m.emb = make([]*tensor.Matrix, m.numTypes)
+	for c := 0; c < m.numTypes; c++ {
+		m.emb[c] = tensor.New(n, m.Dim)
+		const chunk = 512
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			vs := make([]graph.ID, hi-lo)
+			for i := range vs {
+				vs[i] = graph.ID(lo + i)
+			}
+			t := nn.NewTape()
+			h := m.typeEmbedding(t, vs, c)
+			for i := 0; i < h.Val.Rows; i++ {
+				copy(m.emb[c].Row(lo+i), h.Val.Row(i))
+			}
+		}
+	}
+	return nil
+}
+
+// typeEmbedding assembles Equation 3 for a batch of vertices under type c.
+func (m *GATNE) typeEmbedding(t *nn.Tape, vs []graph.ID, c int) *nn.Node {
+	idx := toInts(vs)
+	base := t.Gather(t.Use(m.base), idx)
+
+	// Edge-embedding stack U_v: per vertex, numTypes rows of dim s. Batch
+	// the attention by flattening: rows are grouped per vertex.
+	flatRows := make([]*nn.Node, m.numTypes)
+	for tt := 0; tt < m.numTypes; tt++ {
+		flatRows[tt] = t.Gather(t.Use(m.edgeEmb[tt]), idx) // B x s each
+	}
+	// Attention scores per type: score_t = w2ᵀ tanh(U W1) computed per type
+	// slab, then softmax across types per vertex.
+	scores := make([]*nn.Node, m.numTypes)
+	for tt := 0; tt < m.numTypes; tt++ {
+		scores[tt] = t.MatMul(t.Tanh(t.MatMul(flatRows[tt], t.Use(m.attnW1[c]))), t.Use(m.attnW2[c])) // B x 1
+	}
+	att := t.Softmax(t.Concat(scores...)) // B x numTypes, rows sum to 1
+	// Attended edge embedding: Σ_t att[:,t] * U_t  (B x s).
+	var attended *nn.Node
+	for tt := 0; tt < m.numTypes; tt++ {
+		w := t.SliceCols(att, tt, tt+1) // B x 1
+		// Broadcast multiply: expand w across s columns via MatMul with a
+		// ones row is wasteful; use Mul with a gathered repeat instead.
+		wRep := t.MatMul(w, t.Input(onesRow(m.EdgeDim)))
+		term := t.Mul(wRep, flatRows[tt])
+		if attended == nil {
+			attended = term
+		} else {
+			attended = t.Add(attended, term)
+		}
+	}
+	spec := t.MatMul(attended, t.Use(m.mc[c])) // B x d
+
+	// Attribute projection Dᵀ x_v.
+	attrs := tensor.New(len(vs), m.AttrDim)
+	for i, v := range vs {
+		av := m.g.VertexAttr(v)
+		row := attrs.Row(i)
+		for j := 0; j < len(av) && j < m.AttrDim; j++ {
+			row[j] = av[j]
+		}
+	}
+	attr := t.MatMul(t.Input(attrs), t.Use(m.dproj))
+
+	return t.Add(base, t.Add(t.Scale(spec, m.Alpha), t.Scale(attr, m.Beta)))
+}
+
+func onesRow(n int) *tensor.Matrix {
+	m := tensor.New(1, n)
+	m.Fill(1)
+	return m
+}
+
+// Embedding implements Embedder: the type-aware embedding h_{v,c}.
+func (m *GATNE) Embedding(v graph.ID, et graph.EdgeType) []float64 {
+	c := int(et)
+	if c >= len(m.emb) {
+		c = 0
+	}
+	return m.emb[c].Row(int(v))
+}

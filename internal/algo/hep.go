@@ -1,0 +1,225 @@
+package algo
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/sampling"
+	"repro/internal/tensor"
+)
+
+// HEP (Zheng et al.) is heterogeneous embedding propagation: in each hop,
+// for every vertex v and every vertex type c, the type-c neighbors of v
+// propagate their embeddings to reconstruct h'_{v,c}; the embedding of v is
+// updated by concatenating h'_{v,c} across types. HEP consumes the FULL
+// neighborhood, which is what makes it expensive — AHEP (the in-house
+// variant, Section 4.2) samples important neighbors instead and adds the
+// composite loss L = L_SL + α·L_EP + β·Ω(Θ) of Equation 2.
+type HEP struct {
+	Dim   int
+	Steps int
+	Batch int
+	NegK  int
+	LR    float64
+	Seed  int64
+
+	// Sample activates AHEP: per type, at most Sample neighbors are used,
+	// drawn by the importance distribution (degree-weighted, minimizing
+	// sampling variance). Zero means full neighborhoods (HEP).
+	Sample int
+	// Alpha and Beta weight the EP loss and the regularizer (Equation 2).
+	Alpha, Beta float64
+
+	table *nn.Param   // base embeddings
+	trans []*nn.Dense // per-vertex-type propagation transform
+	emb   *tensor.Matrix
+
+	// cost accounting for Figure 10
+	NeighborsVisited int64
+}
+
+// NewHEP creates the full-neighborhood HEP baseline.
+func NewHEP(dim int) *HEP {
+	return &HEP{Dim: dim, Steps: 120, Batch: 32, NegK: 3, LR: 0.02, Seed: 1, Alpha: 1, Beta: 1e-4}
+}
+
+// NewAHEP creates the adaptive-sampling AHEP variant with the given
+// per-type neighbor budget.
+func NewAHEP(dim, sample int) *HEP {
+	h := NewHEP(dim)
+	h.Sample = sample
+	return h
+}
+
+// Name implements Embedder.
+func (h *HEP) Name() string {
+	if h.Sample > 0 {
+		return "AHEP"
+	}
+	return "HEP"
+}
+
+// Fit implements Embedder.
+func (h *HEP) Fit(g *graph.Graph) error {
+	rng := rand.New(rand.NewSource(h.Seed))
+	nvt := g.Schema().NumVertexTypes()
+	h.table = nn.NewParamGaussian("hep.emb", g.NumVertices(), h.Dim, 0.1, rng)
+	h.trans = make([]*nn.Dense, nvt)
+	params := []*nn.Param{h.table}
+	for c := 0; c < nvt; c++ {
+		h.trans[c] = nn.NewDense("hep.trans", h.Dim, h.Dim, nn.ActTanh, rng)
+		params = append(params, h.trans[c].Params()...)
+	}
+	opt := nn.NewAdam(h.LR)
+	h.NeighborsVisited = 0
+
+	// Importance distribution for AHEP sampling: degree-weighted (vertices
+	// with high degree carry more of the EP signal; weighting by the
+	// propagation mass minimizes the sampling variance).
+	imp := make([]float64, g.NumVertices())
+	for v := range imp {
+		imp[v] = float64(g.TotalOutDegree(graph.ID(v))+g.TotalInDegree(graph.ID(v))) + 1
+	}
+
+	trav := sampling.NewTraverse(g, rng)
+	negByType := make([]*sampling.Negative, g.Schema().NumEdgeTypes())
+
+	for step := 0; step < h.Steps; step++ {
+		et := graph.EdgeType(step % g.Schema().NumEdgeTypes())
+		if g.NumEdgesOfType(et) == 0 {
+			continue
+		}
+		edges := trav.SampleEdges(et, h.Batch)
+		if negByType[et] == nil {
+			negByType[et] = sampling.NewNegative(g, et, rng)
+		}
+
+		t := nn.NewTape()
+		// Reconstructed embeddings h'_v for batch sources via typed
+		// propagation.
+		src := make([]graph.ID, len(edges))
+		dst := make([]graph.ID, len(edges))
+		for i, e := range edges {
+			src[i] = e.Src
+			dst[i] = e.Dst
+		}
+		hSrc := h.propagate(t, g, src, imp, rng)
+		hDst := h.gatherBase(t, dst)
+		negs := negByType[et].Sample(src, h.NegK)
+		hNeg := h.gatherBase(t, negs)
+
+		rep := make([]int, len(negs))
+		for i := range rep {
+			rep[i] = i / h.NegK
+		}
+		// Supervised link loss (L_SL).
+		pos := t.RowDot(hSrc, hDst)
+		neg := t.RowDot(t.Gather(hSrc, rep), hNeg)
+		lossSL := t.NegSamplingLoss(pos, neg)
+		// EP loss: reconstruction should stay close to the base embedding.
+		lossEP := t.MSE(hSrc, tensor.GatherRows(h.table.Val, toInts(src)))
+		loss := t.AddScalars(lossSL, t.Scale(lossEP, h.Alpha), t.L2Penalty(h.Beta, h.table))
+		t.Backward(loss)
+		nn.ClipGrad(params, 5)
+		opt.Step(params)
+	}
+
+	// Materialize final embeddings: propagate every vertex once.
+	h.emb = tensor.New(g.NumVertices(), h.Dim)
+	const chunk = 256
+	for lo := 0; lo < g.NumVertices(); lo += chunk {
+		hi := lo + chunk
+		if hi > g.NumVertices() {
+			hi = g.NumVertices()
+		}
+		vs := make([]graph.ID, hi-lo)
+		for i := range vs {
+			vs[i] = graph.ID(lo + i)
+		}
+		t := nn.NewTape()
+		hv := h.propagate(t, g, vs, imp, rng)
+		for i := 0; i < hv.Val.Rows; i++ {
+			copy(h.emb.Row(lo+i), hv.Val.Row(i))
+		}
+	}
+	return nil
+}
+
+// propagate reconstructs h'_v for each v: per vertex type c, aggregate the
+// (sampled) type-c neighbors through the type transform, then average the
+// per-type reconstructions with the base embedding.
+func (h *HEP) propagate(t *nn.Tape, g *graph.Graph, vs []graph.ID, imp []float64, rng *rand.Rand) *nn.Node {
+	nvt := g.Schema().NumVertexTypes()
+	base := h.gatherBase(t, vs)
+	acc := base
+	for c := 0; c < nvt; c++ {
+		idx := make([]int, 0, len(vs))
+		rows := make([]int, 0, len(vs))
+		for i, v := range vs {
+			ns := typedNeighbors(g, v, graph.VertexType(c))
+			if len(ns) == 0 {
+				continue
+			}
+			if h.Sample > 0 && len(ns) > h.Sample {
+				ns = sampleByImportance(ns, imp, h.Sample, rng)
+			}
+			h.NeighborsVisited += int64(len(ns))
+			for _, u := range ns {
+				idx = append(idx, int(u))
+				rows = append(rows, i)
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		// Mean-aggregate neighbor embeddings per batch row; rows have
+		// varying neighbor counts, so use the scatter-mean reduction.
+		gathered := t.Gather(t.Use(h.table), idx)
+		pooled := t.ScatterMean(gathered, rows, len(vs))
+		acc = t.Add(acc, h.trans[c].Forward(t, pooled))
+	}
+	return t.RowL2Normalize(acc)
+}
+
+func (h *HEP) gatherBase(t *nn.Tape, vs []graph.ID) *nn.Node {
+	return t.Gather(t.Use(h.table), toInts(vs))
+}
+
+// Embedding implements Embedder.
+func (h *HEP) Embedding(v graph.ID, _ graph.EdgeType) []float64 { return h.emb.Row(int(v)) }
+
+// typedNeighbors returns the neighbors of v whose vertex type is c, across
+// all edge types.
+func typedNeighbors(g *graph.Graph, v graph.ID, c graph.VertexType) []graph.ID {
+	var out []graph.ID
+	for _, u := range g.Neighbors(v) {
+		if g.VertexType(u) == c {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// sampleByImportance draws k distinct-ish neighbors proportional to
+// importance weight.
+func sampleByImportance(ns []graph.ID, imp []float64, k int, rng *rand.Rand) []graph.ID {
+	ws := make([]float64, len(ns))
+	for i, u := range ns {
+		ws[i] = imp[u]
+	}
+	al := sampling.NewAlias(ws)
+	out := make([]graph.ID, k)
+	for i := range out {
+		out[i] = ns[al.Draw(rng)]
+	}
+	return out
+}
+
+func toInts(vs []graph.ID) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = int(v)
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package algo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sampling"
+	"repro/internal/tensor"
+	"repro/internal/walk"
+)
+
+// Mixture GNN (Section 4.2) extends skip-gram to polysemous vertices: each
+// node owns multiple sense embeddings and a known sense distribution P.
+// The intractable polysemous likelihood (Equation 6) is replaced by a lower
+// bound whose terms factor through single senses, so training reduces to
+// SGNS with a sense sampled from P per update — "slightly modifying the
+// sampling process in existing work such as DeepWalk".
+type Mixture struct {
+	Dim    int
+	Senses int
+	Walks  WalkConfig
+	Epochs int
+	NegK   int
+	LR     float64
+	Seed   int64
+
+	sense *tensor.Matrix // (n*Senses) x Dim
+	ctx   *tensor.Matrix // n x Dim
+}
+
+// NewMixture creates the model.
+func NewMixture(dim, senses int) *Mixture {
+	return &Mixture{Dim: dim, Senses: senses, Walks: DefaultWalkConfig(), Epochs: 2, NegK: 4, LR: 0.05, Seed: 1}
+}
+
+// Name implements Embedder.
+func (m *Mixture) Name() string { return "MixtureGNN" }
+
+// Fit implements Embedder.
+func (m *Mixture) Fit(g *graph.Graph) error {
+	rng := rand.New(rand.NewSource(m.Seed))
+	n := g.NumVertices()
+	m.sense = tensor.New(n*m.Senses, m.Dim)
+	m.ctx = tensor.New(n, m.Dim)
+	for i := range m.sense.Data {
+		m.sense.Data[i] = (rng.Float64() - 0.5) / float64(m.Dim)
+	}
+
+	corpus := walk.MergedCorpus(g, m.Walks.WalksPerVertex, m.Walks.WalkLength, rng)
+	counts := make([]float64, n)
+	for _, w := range corpus {
+		for _, v := range w {
+			counts[v]++
+		}
+	}
+	for i := range counts {
+		if counts[i] > 0 {
+			counts[i] = math.Pow(counts[i], sampling.NegativePower)
+		}
+	}
+	table := sampling.NewAlias(counts)
+
+	window := m.Walks.SG.Window
+	if window == 0 {
+		window = 4
+	}
+	for ep := 0; ep < m.Epochs; ep++ {
+		for _, w := range corpus {
+			for i, center := range w {
+				lo, hi := i-window, i+window
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= len(w) {
+					hi = len(w) - 1
+				}
+				for j := lo; j <= hi; j++ {
+					if j == i {
+						continue
+					}
+					// Sense responsibility: pick the sense that best
+					// explains the context (hard-EM flavour of the lower
+					// bound); ties broken by the P prior (uniform).
+					s := m.bestSense(center, w[j], rng)
+					m.sgnsUpdate(center, s, w[j], 1)
+					for k := 0; k < m.NegK; k++ {
+						neg := graph.ID(table.Draw(rng))
+						if neg != w[j] {
+							m.sgnsUpdate(center, s, neg, 0)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Mixture) bestSense(v, ctx graph.ID, rng *rand.Rand) int {
+	best, bestDot := 0, -1e18
+	for s := 0; s < m.Senses; s++ {
+		d := dotRows(m.sense.Row(int(v)*m.Senses+s), m.ctx.Row(int(ctx)))
+		if d > bestDot {
+			best, bestDot = s, d
+		}
+	}
+	// Exploration mass from the prior keeps unused senses alive.
+	if rng.Float64() < 0.1 {
+		return rng.Intn(m.Senses)
+	}
+	return best
+}
+
+func (m *Mixture) sgnsUpdate(v graph.ID, s int, ctx graph.ID, label float64) {
+	in := m.sense.Row(int(v)*m.Senses + s)
+	out := m.ctx.Row(int(ctx))
+	g := (label - sigmoidf(dotRows(in, out))) * m.LR
+	for d := 0; d < m.Dim; d++ {
+		ig := g * out[d]
+		out[d] += g * in[d]
+		in[d] += ig
+	}
+}
+
+// Embedding implements Embedder: the concatenation of all sense embeddings.
+func (m *Mixture) Embedding(v graph.ID, _ graph.EdgeType) []float64 {
+	out := make([]float64, 0, m.Senses*m.Dim)
+	for s := 0; s < m.Senses; s++ {
+		out = append(out, m.sense.Row(int(v)*m.Senses+s)...)
+	}
+	return out
+}
+
+// ScoreMaxSense scores (u, item) by the best-matching sense — the
+// multi-mode recommendation score.
+func (m *Mixture) ScoreMaxSense(u, item graph.ID) float64 {
+	best := -1e18
+	for s := 0; s < m.Senses; s++ {
+		d := dotRows(m.sense.Row(int(u)*m.Senses+s), m.ctx.Row(int(item)))
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Recommendation harness shared by Tables 9 and 12
+
+// RecSplit is a leave-one-out recommendation split on one edge type: for
+// each eligible user one interaction is held out.
+type RecSplit struct {
+	Train    *graph.Graph
+	Users    []graph.ID
+	Heldout  []graph.ID // aligned with Users
+	Items    []graph.ID // all candidate items
+	EdgeType graph.EdgeType
+}
+
+// SplitRec builds a leave-one-out split over type-et edges from users
+// (vertex type 0) to items (vertex type 1).
+func SplitRec(g *graph.Graph, et graph.EdgeType, rng *rand.Rand) *RecSplit {
+	b := graph.NewBuilder(g.Schema(), g.Directed())
+	for v := 0; v < g.NumVertices(); v++ {
+		b.AddVertex(g.VertexType(graph.ID(v)), g.VertexAttr(graph.ID(v)))
+	}
+	sp := &RecSplit{EdgeType: et, Items: g.VerticesOfType(1)}
+	held := make(map[graph.ID]graph.ID)
+	for _, u := range g.VerticesOfType(0) {
+		ns := g.OutNeighbors(u, et)
+		if len(ns) >= 2 {
+			held[u] = ns[rng.Intn(len(ns))]
+			sp.Users = append(sp.Users, u)
+			sp.Heldout = append(sp.Heldout, held[u])
+		}
+	}
+	for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+		g.EdgesOfType(graph.EdgeType(t), func(src, dst graph.ID, w float64) bool {
+			if graph.EdgeType(t) == et {
+				if h, ok := held[src]; ok && h == dst {
+					return true // held out
+				}
+			}
+			b.AddEdge(src, dst, graph.EdgeType(t), w)
+			return true
+		})
+	}
+	sp.Train = b.Finalize()
+	return sp
+}
+
+// RankItems returns each user's candidate items sorted by score descending,
+// excluding items the user already interacted with in training.
+func (sp *RecSplit) RankItems(score func(u, item graph.ID) float64) [][]int {
+	out := make([][]int, len(sp.Users))
+	for ui, u := range sp.Users {
+		seen := make(map[graph.ID]bool)
+		for _, it := range sp.Train.OutNeighbors(u, sp.EdgeType) {
+			seen[it] = true
+		}
+		type scored struct {
+			item graph.ID
+			s    float64
+		}
+		cands := make([]scored, 0, len(sp.Items))
+		for _, it := range sp.Items {
+			if seen[it] {
+				continue
+			}
+			cands = append(cands, scored{it, score(u, it)})
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].s > cands[j].s })
+		ranked := make([]int, len(cands))
+		for i, c := range cands {
+			ranked[i] = int(c.item)
+		}
+		out[ui] = ranked
+	}
+	return out
+}
+
+// Truth returns the held-out item indices aligned with Users.
+func (sp *RecSplit) Truth() []int {
+	out := make([]int, len(sp.Heldout))
+	for i, h := range sp.Heldout {
+		out[i] = int(h)
+	}
+	return out
+}
+
+func dotRows(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func sigmoidf(x float64) float64 {
+	if x > 8 {
+		return 1
+	}
+	if x < -8 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}

@@ -1,0 +1,198 @@
+package algo
+
+import (
+	"math/rand"
+
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/skipgram"
+	"repro/internal/walk"
+)
+
+// This file implements the heterogeneous multiplex baselines of category C3
+// (Table 8): the three PMNE variants, MVE and MNE.
+
+// PMNEVariant selects among the three PMNE approaches of Liu et al.
+type PMNEVariant int
+
+// The three published PMNE variants.
+const (
+	// PMNEn ("network aggregation") merges all layers into one network and
+	// embeds it once.
+	PMNEn PMNEVariant = iota
+	// PMNEr ("results aggregation") embeds each layer independently and
+	// concatenates.
+	PMNEr
+	// PMNEc ("layer co-analysis") trains one shared embedding across layer
+	// corpora so layers regularize each other.
+	PMNEc
+)
+
+// PMNE is the principled multilayer network embedding baseline.
+type PMNE struct {
+	Cfg     WalkConfig
+	Variant PMNEVariant
+	models  []*skipgram.Model
+}
+
+// NewPMNE creates a PMNE baseline of the given variant.
+func NewPMNE(cfg WalkConfig, v PMNEVariant) *PMNE { return &PMNE{Cfg: cfg, Variant: v} }
+
+// Name implements Embedder.
+func (p *PMNE) Name() string {
+	switch p.Variant {
+	case PMNEn:
+		return "PMNE-n"
+	case PMNEr:
+		return "PMNE-r"
+	default:
+		return "PMNE-c"
+	}
+}
+
+// Fit implements Embedder.
+func (p *PMNE) Fit(g *graph.Graph) error {
+	rng := rand.New(rand.NewSource(p.Cfg.Seed))
+	p.models = nil
+	switch p.Variant {
+	case PMNEn:
+		corpus := walk.MergedCorpus(g, p.Cfg.WalksPerVertex, p.Cfg.WalkLength, rng)
+		p.models = []*skipgram.Model{skipgram.TrainCorpus(g.NumVertices(), corpus, p.Cfg.SG, rng)}
+	case PMNEr:
+		for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+			corpus := walk.UniformCorpus(g, p.Cfg.WalksPerVertex, p.Cfg.WalkLength, graph.EdgeType(t), rng)
+			p.models = append(p.models, skipgram.TrainCorpus(g.NumVertices(), corpus, p.Cfg.SG, rng))
+		}
+	case PMNEc:
+		// One shared model trained over every layer's corpus in turn; the
+		// cross-layer co-analysis is the shared parameterization.
+		m := skipgram.NewModel(g.NumVertices(), p.Cfg.SG.Dim, rng)
+		for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+			corpus := walk.UniformCorpus(g, p.Cfg.WalksPerVertex, p.Cfg.WalkLength, graph.EdgeType(t), rng)
+			m.Train(corpus, p.Cfg.SG, rng)
+		}
+		p.models = []*skipgram.Model{m}
+	}
+	return nil
+}
+
+// Embedding implements Embedder.
+func (p *PMNE) Embedding(v graph.ID, _ graph.EdgeType) []float64 {
+	if len(p.models) == 1 {
+		return p.models[0].Embedding(v)
+	}
+	vecs := make([][]float64, len(p.models))
+	for i, m := range p.models {
+		vecs[i] = m.Embedding(v)
+	}
+	return concat(vecs...)
+}
+
+// MVE embeds each view (edge type) separately and combines them with
+// per-view attention weights estimated from each view's fit to the training
+// edges (a closed-form stand-in for the trained attention of Qu et al.).
+type MVE struct {
+	Cfg     WalkConfig
+	models  []*skipgram.Model
+	weights []float64
+}
+
+// NewMVE creates an MVE baseline.
+func NewMVE(cfg WalkConfig) *MVE { return &MVE{Cfg: cfg} }
+
+// Name implements Embedder.
+func (m *MVE) Name() string { return "MVE" }
+
+// Fit implements Embedder.
+func (m *MVE) Fit(g *graph.Graph) error {
+	rng := rand.New(rand.NewSource(m.Cfg.Seed))
+	m.models = nil
+	m.weights = nil
+	var total float64
+	for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+		corpus := walk.UniformCorpus(g, m.Cfg.WalksPerVertex, m.Cfg.WalkLength, graph.EdgeType(t), rng)
+		model := skipgram.TrainCorpus(g.NumVertices(), corpus, m.Cfg.SG, rng)
+		m.models = append(m.models, model)
+		// Attention weight: view quality measured by mean positive-edge
+		// cosine on a sample of training edges.
+		w := viewQuality(g, graph.EdgeType(t), model, rng) + 1e-3
+		m.weights = append(m.weights, w)
+		total += w
+	}
+	for i := range m.weights {
+		m.weights[i] /= total
+	}
+	return nil
+}
+
+func viewQuality(g *graph.Graph, et graph.EdgeType, model *skipgram.Model, rng *rand.Rand) float64 {
+	sum, n := 0.0, 0
+	g.EdgesOfType(et, func(src, dst graph.ID, _ float64) bool {
+		if n >= 200 {
+			return false
+		}
+		sum += eval.Cosine(model.Embedding(src), model.Embedding(dst))
+		n++
+		return true
+	})
+	if n == 0 {
+		return 0
+	}
+	q := sum / float64(n)
+	if q < 0 {
+		return 0
+	}
+	return q
+}
+
+// Embedding implements Embedder: the attention-weighted sum of view
+// embeddings (the "single collaborated embedding" of MVE).
+func (m *MVE) Embedding(v graph.ID, _ graph.EdgeType) []float64 {
+	out := make([]float64, m.Cfg.SG.Dim)
+	for i, model := range m.models {
+		e := model.Embedding(v)
+		w := m.weights[i]
+		for j := range out {
+			out[j] += w * e[j]
+		}
+	}
+	return out
+}
+
+// MNE learns one common embedding plus a low-dimensional per-type
+// embedding for each node (Zhang et al.): h_{v,t} = common_v ⊕ specific_{v,t}.
+type MNE struct {
+	Cfg      WalkConfig
+	SpecDim  int
+	common   *skipgram.Model
+	specific []*skipgram.Model
+}
+
+// NewMNE creates an MNE baseline; specDim is the per-type embedding size.
+func NewMNE(cfg WalkConfig, specDim int) *MNE { return &MNE{Cfg: cfg, SpecDim: specDim} }
+
+// Name implements Embedder.
+func (m *MNE) Name() string { return "MNE" }
+
+// Fit implements Embedder.
+func (m *MNE) Fit(g *graph.Graph) error {
+	rng := rand.New(rand.NewSource(m.Cfg.Seed))
+	merged := walk.MergedCorpus(g, m.Cfg.WalksPerVertex, m.Cfg.WalkLength, rng)
+	m.common = skipgram.TrainCorpus(g.NumVertices(), merged, m.Cfg.SG, rng)
+	m.specific = nil
+	specCfg := m.Cfg.SG
+	specCfg.Dim = m.SpecDim
+	for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+		corpus := walk.UniformCorpus(g, m.Cfg.WalksPerVertex, m.Cfg.WalkLength, graph.EdgeType(t), rng)
+		m.specific = append(m.specific, skipgram.TrainCorpus(g.NumVertices(), corpus, specCfg, rng))
+	}
+	return nil
+}
+
+// Embedding implements Embedder: common plus the type's specific embedding.
+func (m *MNE) Embedding(v graph.ID, et graph.EdgeType) []float64 {
+	if int(et) >= len(m.specific) {
+		et = 0
+	}
+	return concat(m.common.Embedding(v), m.specific[et].Embedding(v))
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests run each experiment at tiny scale to guarantee the harness
+// stays runnable; the real measurements live in the root bench_test.go.
+
+const tiny = 0.05
+
+func TestTable3AndTable6(t *testing.T) {
+	if s := Table3(tiny); !strings.Contains(s, "Taobao-large") {
+		t.Fatalf("table 3: %s", s)
+	}
+	if s := Table6(tiny); !strings.Contains(s, "Amazon") {
+		t.Fatalf("table 6: %s", s)
+	}
+}
+
+func TestFigure7ShrinksWithWorkers(t *testing.T) {
+	rows := Figure7(tiny, []int{1, 4})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	s := FormatFigure7(rows)
+	if !strings.Contains(s, "workers") {
+		t.Fatal(s)
+	}
+}
+
+func TestFigure8Monotone(t *testing.T) {
+	rows := Figure8(tiny)
+	for i := 1; i < len(rows); i++ {
+		if rows[i].CacheRate > rows[i-1].CacheRate+1e-9 {
+			t.Fatalf("cache rate increased with threshold: %+v", rows)
+		}
+	}
+	_ = FormatFigure8(rows)
+}
+
+func TestFigure9ImportanceWins(t *testing.T) {
+	rows := Figure9(tiny, 0) // latency 0: compare remote call counts
+	byStrategy := map[string]int64{}
+	for _, r := range rows {
+		byStrategy[r.Strategy] += r.RemoteCalls
+	}
+	if byStrategy["importance"] >= byStrategy["random"] {
+		t.Fatalf("importance cache should beat random: %+v", byStrategy)
+	}
+	_ = FormatFigure9(rows)
+}
+
+func TestTable4Runs(t *testing.T) {
+	rows := Table4(tiny)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PerBatch <= 0 {
+			t.Fatalf("non-positive time: %+v", r)
+		}
+	}
+	_ = FormatTable4(rows)
+}
+
+func TestTable5MaterializationWins(t *testing.T) {
+	rows := Table5(tiny)
+	for _, r := range rows {
+		if r.Speedup <= 1.0 {
+			t.Fatalf("materialization did not speed up %s: %+v", r.Dataset, r)
+		}
+	}
+	_ = FormatTable5(rows)
+}
+
+func TestTable7AHEPFaster(t *testing.T) {
+	rows := Table7(tiny)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	hep, ahep := rows[0], rows[1]
+	if ahep.PerBatch >= hep.PerBatch {
+		t.Fatalf("AHEP per-batch %v should be below HEP %v", ahep.PerBatch, hep.PerBatch)
+	}
+	_ = FormatTable7(rows)
+}
+
+func TestTable9Runs(t *testing.T) {
+	rows := Table9(tiny)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	_ = FormatTable9(rows)
+}
+
+func TestTable11Runs(t *testing.T) {
+	rows := Table11(0.3)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	_ = FormatTable11(rows)
+}
+
+func TestAblations(t *testing.T) {
+	if s := AblationLockFree(2000, 4); !strings.Contains(s, "lock-free") {
+		t.Fatal(s)
+	}
+	if s := AblationAttrStorage(tiny); !strings.Contains(s, "dedup") {
+		t.Fatal(s)
+	}
+	if s := AblationPartitioners(tiny, 4); !strings.Contains(s, "metis") {
+		t.Fatal(s)
+	}
+	if s := AblationNegativeSampling(1000, 2000); !strings.Contains(s, "alias") {
+		t.Fatal(s)
+	}
+}

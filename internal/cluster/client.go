@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/storage"
+)
+
+// Client is a worker's view of the distributed graph: it routes vertex
+// requests to the owning server via the partition assignment, consults a
+// pluggable NeighborCache before paying for a remote hop (Section 3.2), and
+// stitches batched requests per server exactly as Section 3.3 describes
+// ("we first partition the vertices into sub-batches, and the context of
+// each sub-batch will be stitched together after being returned").
+type Client struct {
+	Assign *partition.Assignment
+	T      Transport
+	Cache  storage.NeighborCache
+}
+
+// NewClient creates a client. A nil cache disables caching.
+func NewClient(a *partition.Assignment, t Transport, cache storage.NeighborCache) *Client {
+	if cache == nil {
+		cache = storage.NoCache{}
+	}
+	return &Client{Assign: a, T: t, Cache: cache}
+}
+
+// Neighbors returns the out-neighbors of v under edge type t, from cache if
+// possible.
+func (c *Client) Neighbors(v graph.ID, t graph.EdgeType) ([]graph.ID, error) {
+	if ns, ok := c.Cache.Get(v, 1); ok {
+		return ns, nil
+	}
+	var reply NeighborsReply
+	req := NeighborsRequest{Vertices: []graph.ID{v}, EdgeType: t}
+	if err := c.T.Neighbors(c.Assign.Part(v), req, &reply); err != nil {
+		return nil, err
+	}
+	ns := reply.Neighbors[0]
+	c.Cache.Observe(v, 1, ns)
+	return ns, nil
+}
+
+// BatchNeighbors fetches out-neighbor lists for a batch of vertices,
+// grouping cache misses into one sub-batch per owning server and stitching
+// the replies back into request order.
+func (c *Client) BatchNeighbors(vs []graph.ID, t graph.EdgeType) ([][]graph.ID, error) {
+	out := make([][]graph.ID, len(vs))
+
+	// Pass 1: cache hits and sub-batch formation.
+	subBatch := make(map[int][]graph.ID) // part -> vertices
+	subIdx := make(map[int][]int)        // part -> indices into out
+	for i, v := range vs {
+		if ns, ok := c.Cache.Get(v, 1); ok {
+			out[i] = ns
+			continue
+		}
+		p := c.Assign.Part(v)
+		subBatch[p] = append(subBatch[p], v)
+		subIdx[p] = append(subIdx[p], i)
+	}
+
+	// Pass 2: one request per server, stitched back.
+	for p, batch := range subBatch {
+		var reply NeighborsReply
+		if err := c.T.Neighbors(p, NeighborsRequest{Vertices: batch, EdgeType: t}, &reply); err != nil {
+			return nil, err
+		}
+		for j, i := range subIdx[p] {
+			out[i] = reply.Neighbors[j]
+			c.Cache.Observe(batch[j], 1, reply.Neighbors[j])
+		}
+	}
+	return out, nil
+}
+
+// Attrs fetches attribute vectors for a batch of vertices with per-server
+// sub-batching.
+func (c *Client) Attrs(vs []graph.ID) ([][]float64, error) {
+	out := make([][]float64, len(vs))
+	subBatch := make(map[int][]graph.ID)
+	subIdx := make(map[int][]int)
+	for i, v := range vs {
+		p := c.Assign.Part(v)
+		subBatch[p] = append(subBatch[p], v)
+		subIdx[p] = append(subIdx[p], i)
+	}
+	for p, batch := range subBatch {
+		var reply AttrsReply
+		if err := c.T.Attrs(p, AttrsRequest{Vertices: batch}, &reply); err != nil {
+			return nil, err
+		}
+		for j, i := range subIdx[p] {
+			out[i] = reply.Attrs[j]
+		}
+	}
+	return out, nil
+}
+
+// MultiHop expands a seed set hop by hop, returning the frontier at each
+// depth 1..k. Cached multi-hop neighborhoods (importance cache) are used
+// when available; otherwise frontiers are fetched with batched requests.
+func (c *Client) MultiHop(v graph.ID, t graph.EdgeType, k int) ([][]graph.ID, error) {
+	frontiers := make([][]graph.ID, k)
+	// Fast path: the whole 1..k expansion is cached.
+	allCached := true
+	for h := 1; h <= k; h++ {
+		if ns, ok := c.Cache.Get(v, h); ok {
+			frontiers[h-1] = ns
+		} else {
+			allCached = false
+			break
+		}
+	}
+	if allCached {
+		return frontiers, nil
+	}
+
+	frontier := []graph.ID{v}
+	seen := map[graph.ID]struct{}{v: {}}
+	for h := 1; h <= k; h++ {
+		lists, err := c.BatchNeighbors(frontier, t)
+		if err != nil {
+			return nil, err
+		}
+		var next []graph.ID
+		for _, ns := range lists {
+			for _, u := range ns {
+				if _, ok := seen[u]; ok {
+					continue
+				}
+				seen[u] = struct{}{}
+				next = append(next, u)
+			}
+		}
+		frontiers[h-1] = next
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return frontiers, nil
+}

@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/sampling"
+	"repro/internal/storage"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	s := graph.MustSchema([]string{"user", "item"}, []string{"click", "buy"})
+	b := graph.NewBuilder(s, true)
+	// 4 users, 4 items; user u clicks items u and u+1 mod 4, buys item u.
+	for i := 0; i < 4; i++ {
+		b.AddVertex(0, []float64{float64(i)})
+	}
+	for i := 0; i < 4; i++ {
+		b.AddVertex(1, []float64{float64(100 + i)})
+	}
+	for u := graph.ID(0); u < 4; u++ {
+		b.AddEdge(u, 4+u, 0, 1)
+		b.AddEdge(u, 4+(u+1)%4, 0, 1)
+		b.AddEdge(u, 4+u, 1, 1)
+	}
+	return b.Finalize()
+}
+
+func setup(t *testing.T, cache storage.NeighborCache) (*Client, *LocalTransport, *graph.Graph) {
+	t.Helper()
+	g := testGraph(t)
+	a, err := partition.HashPartitioner{}.Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := FromGraph(g, a)
+	tr := NewLocalTransport(servers, 0, 0)
+	return NewClient(a, tr, cache), tr, g
+}
+
+func TestServerOwnership(t *testing.T) {
+	g := testGraph(t)
+	a, _ := partition.HashPartitioner{}.Partition(g, 2)
+	servers := FromGraph(g, a)
+	totalV, totalE := 0, 0
+	for _, s := range servers {
+		totalV += s.NumLocalVertices()
+		totalE += s.NumLocalEdges()
+	}
+	if totalV != g.NumVertices() {
+		t.Fatalf("vertices: %d want %d", totalV, g.NumVertices())
+	}
+	if totalE != 12 {
+		t.Fatalf("edges: %d", totalE)
+	}
+	// A server must reject vertices it does not own.
+	var reply NeighborsReply
+	err := servers[0].ServeNeighbors(NeighborsRequest{Vertices: []graph.ID{1}, EdgeType: 0}, &reply)
+	if err == nil {
+		t.Fatal("server 0 should not own odd vertices under hash partition")
+	}
+}
+
+func TestClientNeighbors(t *testing.T) {
+	c, _, g := setup(t, nil)
+	for v := graph.ID(0); v < 4; v++ {
+		ns, err := c.Neighbors(v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.OutNeighbors(v, 0)
+		if len(ns) != len(want) {
+			t.Fatalf("neighbors(%d) = %v want %v", v, ns, want)
+		}
+	}
+}
+
+func TestClientBatchStitching(t *testing.T) {
+	c, tr, g := setup(t, nil)
+	vs := []graph.ID{0, 1, 2, 3}
+	got, err := c.BatchNeighbors(vs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vs {
+		want := g.OutNeighbors(v, 0)
+		if len(got[i]) != len(want) {
+			t.Fatalf("batch[%d] = %v want %v", i, got[i], want)
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("batch[%d] = %v want %v", i, got[i], want)
+			}
+		}
+	}
+	// Sub-batching: 4 vertices over 2 partitions must cost exactly 2 calls,
+	// one of them local (home=0).
+	local, remote := tr.Calls()
+	if local != 1 || remote != 1 {
+		t.Fatalf("calls = local %d remote %d, want 1/1", local, remote)
+	}
+}
+
+func TestClientAttrs(t *testing.T) {
+	c, _, g := setup(t, nil)
+	attrs, err := c.Attrs([]graph.ID{3, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []graph.ID{3, 4, 0} {
+		want := g.VertexAttr(v)
+		if len(attrs[i]) != len(want) || attrs[i][0] != want[0] {
+			t.Fatalf("attr(%d) = %v want %v", v, attrs[i], want)
+		}
+	}
+}
+
+func TestClientCacheAvoidsRemoteCalls(t *testing.T) {
+	g := testGraph(t)
+	a, _ := partition.HashPartitioner{}.Partition(g, 2)
+	servers := FromGraph(g, a)
+	tr := NewLocalTransport(servers, 0, 0)
+	cache := storage.NewLRUNeighborCache(64)
+	c := NewClient(a, tr, cache)
+
+	if _, err := c.Neighbors(1, 0); err != nil { // vertex 1 lives on server 1: remote
+		t.Fatal(err)
+	}
+	_, remote1 := tr.Calls()
+	if remote1 != 1 {
+		t.Fatalf("first access should be remote, calls=%d", remote1)
+	}
+	if _, err := c.Neighbors(1, 0); err != nil { // now cached
+		t.Fatal(err)
+	}
+	_, remote2 := tr.Calls()
+	if remote2 != 1 {
+		t.Fatalf("second access should hit cache, remote=%d", remote2)
+	}
+}
+
+func TestMultiHop(t *testing.T) {
+	c, _, _ := setup(t, nil)
+	fr, err := c.MultiHop(0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hop 1 of user 0 under click: items 4, 5. Items have no out-edges.
+	if len(fr[0]) != 2 {
+		t.Fatalf("hop1 = %v", fr[0])
+	}
+	if len(fr[1]) != 0 {
+		t.Fatalf("hop2 = %v", fr[1])
+	}
+}
+
+func TestMultiHopUsesImportanceCache(t *testing.T) {
+	g := testGraph(t)
+	a, _ := partition.HashPartitioner{}.Partition(g, 2)
+	servers := FromGraph(g, a)
+	tr := NewLocalTransport(servers, 0, 0)
+	// Static cache with every vertex cached at hops 1..2.
+	cache := storage.NewImportanceCacheTopFraction(g, 2, 1.0)
+	c := NewClient(a, tr, cache)
+	fr, err := c.MultiHop(1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr[0]) == 0 {
+		t.Fatalf("hop1 empty: %v", fr)
+	}
+	if _, remote := tr.Calls(); remote != 0 {
+		t.Fatalf("fully cached expansion made %d remote calls", remote)
+	}
+}
+
+func TestBuildServersParallel(t *testing.T) {
+	g := testGraph(t)
+	vs, es := Extract(g)
+	for _, workers := range []int{1, 2, 4} {
+		servers, a := BuildServers(vs, es, BuildConfig{
+			NumPartitions: 2,
+			NumWorkers:    workers,
+			NumEdgeTypes:  2,
+			Assign:        func(v graph.ID) int { return int(v) % 2 },
+		})
+		totalE := 0
+		for _, s := range servers {
+			totalE += s.NumLocalEdges()
+		}
+		if totalE != len(es) {
+			t.Fatalf("workers=%d edges=%d want %d", workers, totalE, len(es))
+		}
+		if a.P != 2 || len(a.Of) != g.NumVertices() {
+			t.Fatalf("assignment: %+v", a)
+		}
+		// Every edge must be on the server owning its source.
+		for _, e := range es {
+			srv := servers[int(e.Src)%2]
+			ns, _, ok := srv.Neighbors(e.Src, e.Type)
+			if !ok {
+				t.Fatalf("server missing source %d", e.Src)
+			}
+			found := false
+			for _, u := range ns {
+				if u == e.Dst {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) not found on owner", e.Src, e.Dst)
+			}
+		}
+	}
+}
+
+func TestRPCTransport(t *testing.T) {
+	g := testGraph(t)
+	a, _ := partition.HashPartitioner{}.Partition(g, 2)
+	servers := FromGraph(g, a)
+
+	addrs := make([]string, len(servers))
+	var rpcServers []*RPCServer
+	for i, s := range servers {
+		rs, err := ServeRPC(s, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rs.Close()
+		rpcServers = append(rpcServers, rs)
+		addrs[i] = rs.Addr()
+	}
+
+	tr, err := DialRPC(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	c := NewClient(a, tr, nil)
+	ns, err := c.Neighbors(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.OutNeighbors(0, 0)
+	if len(ns) != len(want) {
+		t.Fatalf("rpc neighbors = %v want %v", ns, want)
+	}
+	attrs, err := c.Attrs([]graph.ID{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs[0][0] != 101 {
+		t.Fatalf("rpc attr = %v", attrs[0])
+	}
+	// Error path: unknown vertex partition index out of range.
+	var reply NeighborsReply
+	if err := tr.Neighbors(9, NeighborsRequest{}, &reply); err == nil {
+		t.Fatal("expected error for bad partition")
+	}
+}
+
+func TestLocalTransportErrors(t *testing.T) {
+	tr := NewLocalTransport(nil, 0, 0)
+	var reply NeighborsReply
+	if err := tr.Neighbors(0, NeighborsRequest{}, &reply); err == nil {
+		t.Fatal("expected error with no servers")
+	}
+}
+
+func TestImportanceCacheCutsRemoteTraffic(t *testing.T) {
+	// Power-law-ish graph split across 4 partitions: the importance cache
+	// should cut remote calls versus no cache for multi-hop expansion.
+	rng := rand.New(rand.NewSource(9))
+	b := graph.NewBuilder(graph.SimpleSchema(), true)
+	const n = 300
+	b.AddVertices(0, n)
+	targets := []graph.ID{0, 1}
+	b.AddEdge(1, 0, 0, 1)
+	for v := graph.ID(2); v < n; v++ {
+		for e := 0; e < 3; e++ {
+			dst := targets[rng.Intn(len(targets))]
+			if dst != v {
+				b.AddEdge(v, dst, 0, 1)
+				targets = append(targets, dst, v)
+			}
+		}
+	}
+	g := b.Finalize()
+	a, _ := partition.HashPartitioner{}.Partition(g, 4)
+	servers := FromGraph(g, a)
+
+	count := func(cache storage.NeighborCache) int64 {
+		tr := NewLocalTransport(servers, 0, 0)
+		c := NewClient(a, tr, cache)
+		for v := graph.ID(0); v < 50; v++ {
+			if _, err := c.MultiHop(v, 0, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, remote := tr.Calls()
+		return remote
+	}
+
+	noCacheRemote := count(storage.NoCache{})
+	impRemote := count(storage.NewImportanceCacheTopFraction(g, 2, 0.2))
+	if impRemote >= noCacheRemote {
+		t.Fatalf("importance cache did not reduce remote calls: %d vs %d", impRemote, noCacheRemote)
+	}
+}
+
+func TestClientSourceDistributedSampling(t *testing.T) {
+	// NEIGHBORHOOD sampling over a live distributed client must produce
+	// the same aligned context shape as the local path and populate it
+	// with genuine neighbors.
+	g := testGraph(t)
+	a, _ := partition.HashPartitioner{}.Partition(g, 2)
+	servers := FromGraph(g, a)
+	tr := NewLocalTransport(servers, 0, 0)
+	client := NewClient(a, tr, storage.NewLRUNeighborCache(32))
+
+	nbr := sampling.NewNeighborhood(ClientSource{C: client}, rand.New(rand.NewSource(1)))
+	ctx, err := nbr.Sample(0, []graph.ID{0, 1, 2}, []int{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.Layers[1]) != 9 || len(ctx.Layers[2]) != 18 {
+		t.Fatalf("layer sizes %d %d", len(ctx.Layers[1]), len(ctx.Layers[2]))
+	}
+	for i, v := range ctx.Layers[0] {
+		for _, u := range ctx.NeighborsOf(0, i) {
+			if u != v && !g.HasEdge(v, u, 0) {
+				t.Fatalf("%d -> %d is not an edge", v, u)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+)
+
+// This file provides the real-network transport: each graph server is
+// exposed over net/rpc (gob encoding) on a TCP listener, and RPCTransport
+// dials every server. The wire types are the same NeighborsRequest /
+// AttrsRequest pairs used by LocalTransport, so the client is oblivious to
+// which transport it runs on.
+
+// GraphService is the RPC receiver wrapping a Server.
+type GraphService struct {
+	S *Server
+}
+
+// Neighbors is the RPC method for batched neighbor fetches.
+func (g *GraphService) Neighbors(req NeighborsRequest, reply *NeighborsReply) error {
+	return g.S.ServeNeighbors(req, reply)
+}
+
+// Attrs is the RPC method for batched attribute fetches.
+func (g *GraphService) Attrs(req AttrsRequest, reply *AttrsReply) error {
+	return g.S.ServeAttrs(req, reply)
+}
+
+// RPCServer serves one graph server over TCP.
+type RPCServer struct {
+	lis net.Listener
+	srv *rpc.Server
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ServeRPC starts serving s on addr (e.g. "127.0.0.1:0") and returns the
+// bound server; the accept loop runs until Close.
+func ServeRPC(s *Server, addr string) (*RPCServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Graph", &GraphService{S: s}); err != nil {
+		lis.Close()
+		return nil, err
+	}
+	rs := &RPCServer{lis: lis, srv: srv}
+	go rs.acceptLoop()
+	return rs, nil
+}
+
+func (rs *RPCServer) acceptLoop() {
+	for {
+		conn, err := rs.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go rs.srv.ServeConn(conn)
+	}
+}
+
+// Addr returns the bound address.
+func (rs *RPCServer) Addr() string { return rs.lis.Addr().String() }
+
+// Close stops the listener.
+func (rs *RPCServer) Close() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.closed {
+		return nil
+	}
+	rs.closed = true
+	return rs.lis.Close()
+}
+
+// RPCTransport dials one RPC client per partition.
+type RPCTransport struct {
+	clients []*rpc.Client
+}
+
+// DialRPC connects to the given per-partition addresses.
+func DialRPC(addrs []string) (*RPCTransport, error) {
+	t := &RPCTransport{clients: make([]*rpc.Client, len(addrs))}
+	for i, a := range addrs {
+		c, err := rpc.Dial("tcp", a)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", a, err)
+		}
+		t.clients[i] = c
+	}
+	return t, nil
+}
+
+// Neighbors implements Transport.
+func (t *RPCTransport) Neighbors(part int, req NeighborsRequest, reply *NeighborsReply) error {
+	if part < 0 || part >= len(t.clients) {
+		return fmt.Errorf("cluster: no client for partition %d", part)
+	}
+	return t.clients[part].Call("Graph.Neighbors", req, reply)
+}
+
+// Attrs implements Transport.
+func (t *RPCTransport) Attrs(part int, req AttrsRequest, reply *AttrsReply) error {
+	if part < 0 || part >= len(t.clients) {
+		return fmt.Errorf("cluster: no client for partition %d", part)
+	}
+	return t.clients[part].Call("Graph.Attrs", req, reply)
+}
+
+// Close implements Transport.
+func (t *RPCTransport) Close() error {
+	var first error
+	for _, c := range t.clients {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

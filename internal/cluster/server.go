@@ -1,0 +1,172 @@
+// Package cluster implements AliGraph's distributed runtime: graph servers
+// each holding one partition (edges live with their source vertex, Section
+// 3.3), a routing client with a pluggable neighbor cache (Section 3.2), a
+// Transport abstraction with an in-memory implementation (with simulated
+// network latency, for deterministic benchmarks) and a real net/rpc
+// implementation over TCP, and the parallel graph-building pipeline
+// evaluated in Figure 7.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Server is one graph server: it stores the adjacency lists of the vertices
+// assigned to it, plus their attributes. Neighbor lists reference global
+// vertex IDs; a destination may live on another server.
+type Server struct {
+	ID int
+
+	mu    sync.RWMutex
+	adj   []map[graph.ID][]graph.ID // per edge type: local vertex -> out-neighbors
+	wts   []map[graph.ID][]float64
+	attrs map[graph.ID][]float64
+	local []graph.ID // sorted local vertex IDs
+}
+
+// NewServer creates an empty server for the given partition id and number of
+// edge types.
+func NewServer(id, numEdgeTypes int) *Server {
+	s := &Server{
+		ID:    id,
+		adj:   make([]map[graph.ID][]graph.ID, numEdgeTypes),
+		wts:   make([]map[graph.ID][]float64, numEdgeTypes),
+		attrs: make(map[graph.ID][]float64),
+	}
+	for t := range s.adj {
+		s.adj[t] = make(map[graph.ID][]graph.ID)
+		s.wts[t] = make(map[graph.ID][]float64)
+	}
+	return s
+}
+
+// AddVertex registers a local vertex with its attributes.
+func (s *Server) AddVertex(v graph.ID, attr []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.attrs[v]; !ok {
+		s.local = append(s.local, v)
+	}
+	s.attrs[v] = attr
+}
+
+// AddEdge appends an out-edge for local vertex src.
+func (s *Server) AddEdge(src, dst graph.ID, t graph.EdgeType, w float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.adj[t][src] = append(s.adj[t][src], dst)
+	s.wts[t][src] = append(s.wts[t][src], w)
+}
+
+// Seal sorts local vertex IDs; call once loading completes.
+func (s *Server) Seal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sort.Slice(s.local, func(i, j int) bool { return s.local[i] < s.local[j] })
+}
+
+// NumLocalVertices reports how many vertices this server owns.
+func (s *Server) NumLocalVertices() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.local)
+}
+
+// NumLocalEdges reports how many out-edges this server stores.
+func (s *Server) NumLocalEdges() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for t := range s.adj {
+		for _, ns := range s.adj[t] {
+			n += len(ns)
+		}
+	}
+	return n
+}
+
+// LocalVertices returns the sorted local vertex IDs (shared slice).
+func (s *Server) LocalVertices() []graph.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.local
+}
+
+// Neighbors returns the out-neighbors and weights of local vertex v under
+// edge type t. ok is false when v is not local to this server.
+func (s *Server) Neighbors(v graph.ID, t graph.EdgeType) (ns []graph.ID, ws []float64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, here := s.attrs[v]; !here {
+		return nil, nil, false
+	}
+	return s.adj[t][v], s.wts[t][v], true
+}
+
+// Attr returns the attribute vector of local vertex v.
+func (s *Server) Attr(v graph.ID) ([]float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.attrs[v]
+	return a, ok
+}
+
+// ---------------------------------------------------------------------------
+// Wire types shared by all transports. Exported fields for encoding/gob.
+
+// NeighborsRequest asks for the out-neighbors of a batch of vertices under
+// one edge type. Batching amortizes the per-call network cost; the client's
+// sub-batch stitching (Section 3.3) builds these.
+type NeighborsRequest struct {
+	Vertices []graph.ID
+	EdgeType graph.EdgeType
+}
+
+// NeighborsReply carries per-vertex neighbor and weight lists aligned with
+// the request order.
+type NeighborsReply struct {
+	Neighbors [][]graph.ID
+	Weights   [][]float64
+}
+
+// AttrsRequest asks for the attribute vectors of a batch of vertices.
+type AttrsRequest struct {
+	Vertices []graph.ID
+}
+
+// AttrsReply carries attribute vectors aligned with the request.
+type AttrsReply struct {
+	Attrs [][]float64
+}
+
+// ServeNeighbors handles a batched neighbor request.
+func (s *Server) ServeNeighbors(req NeighborsRequest, reply *NeighborsReply) error {
+	reply.Neighbors = make([][]graph.ID, len(req.Vertices))
+	reply.Weights = make([][]float64, len(req.Vertices))
+	for i, v := range req.Vertices {
+		ns, ws, ok := s.Neighbors(v, req.EdgeType)
+		if !ok {
+			return fmt.Errorf("cluster: server %d does not own vertex %d", s.ID, v)
+		}
+		reply.Neighbors[i] = ns
+		reply.Weights[i] = ws
+	}
+	return nil
+}
+
+// ServeAttrs handles a batched attribute request.
+func (s *Server) ServeAttrs(req AttrsRequest, reply *AttrsReply) error {
+	reply.Attrs = make([][]float64, len(req.Vertices))
+	for i, v := range req.Vertices {
+		a, ok := s.Attr(v)
+		if !ok {
+			return fmt.Errorf("cluster: server %d does not own vertex %d", s.ID, v)
+		}
+		reply.Attrs[i] = a
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package cluster
+
+import (
+	"repro/internal/graph"
+)
+
+// ClientSource adapts a distributed Client to the sampling.Source interface
+// so NEIGHBORHOOD sampling (and therefore the whole GNN training loop) can
+// run against a live cluster instead of a local graph. Weights are not
+// shipped over the wire on this path; neighbor selection is uniform, which
+// matches the node-wise samplers of Section 4.1.
+type ClientSource struct {
+	C *Client
+}
+
+// SampleNeighbors implements sampling.Source.
+func (s ClientSource) SampleNeighbors(v graph.ID, t graph.EdgeType) ([]graph.ID, []float64, error) {
+	ns, err := s.C.Neighbors(v, t)
+	return ns, nil, err
+}

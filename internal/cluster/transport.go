@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Transport delivers requests to graph servers. The client treats partition
+// "home" (its own worker) as free and any other partition as a remote call;
+// implementations decide what a remote call costs.
+type Transport interface {
+	// Neighbors fetches out-neighbor lists from the server owning part.
+	Neighbors(part int, req NeighborsRequest, reply *NeighborsReply) error
+	// Attrs fetches attribute vectors from the server owning part.
+	Attrs(part int, req AttrsRequest, reply *AttrsReply) error
+	// Close releases transport resources.
+	Close() error
+}
+
+// LocalTransport serves requests by direct method calls on in-process
+// servers, optionally sleeping RemoteLatency per call to any partition other
+// than Home. It also counts calls so benchmarks can report deterministic
+// remote-trip numbers independent of wall-clock noise.
+type LocalTransport struct {
+	Servers []*Server
+	// Home is the caller's own partition; calls to it are free.
+	Home int
+	// RemoteLatency is added to every call to a non-Home partition.
+	RemoteLatency time.Duration
+
+	localCalls  int64
+	remoteCalls int64
+}
+
+// NewLocalTransport wraps in-process servers.
+func NewLocalTransport(servers []*Server, home int, remoteLatency time.Duration) *LocalTransport {
+	return &LocalTransport{Servers: servers, Home: home, RemoteLatency: remoteLatency}
+}
+
+func (t *LocalTransport) pay(part int) error {
+	if part < 0 || part >= len(t.Servers) {
+		return fmt.Errorf("cluster: no server for partition %d", part)
+	}
+	if part == t.Home {
+		atomic.AddInt64(&t.localCalls, 1)
+		return nil
+	}
+	atomic.AddInt64(&t.remoteCalls, 1)
+	if t.RemoteLatency > 0 {
+		time.Sleep(t.RemoteLatency)
+	}
+	return nil
+}
+
+// Neighbors implements Transport.
+func (t *LocalTransport) Neighbors(part int, req NeighborsRequest, reply *NeighborsReply) error {
+	if err := t.pay(part); err != nil {
+		return err
+	}
+	return t.Servers[part].ServeNeighbors(req, reply)
+}
+
+// Attrs implements Transport.
+func (t *LocalTransport) Attrs(part int, req AttrsRequest, reply *AttrsReply) error {
+	if err := t.pay(part); err != nil {
+		return err
+	}
+	return t.Servers[part].ServeAttrs(req, reply)
+}
+
+// Close implements Transport.
+func (t *LocalTransport) Close() error { return nil }
+
+// Calls reports cumulative local and remote call counts.
+func (t *LocalTransport) Calls() (local, remote int64) {
+	return atomic.LoadInt64(&t.localCalls), atomic.LoadInt64(&t.remoteCalls)
+}
+
+// ResetCalls zeroes the call counters.
+func (t *LocalTransport) ResetCalls() {
+	atomic.StoreInt64(&t.localCalls, 0)
+	atomic.StoreInt64(&t.remoteCalls, 0)
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// This file implements incremental maintenance on live graph servers: the
+// paper's fourth challenge (dynamic graphs) requires applying structural
+// updates without rebuilding the store. Streaming partitioners
+// (internal/partition) are the recommended companions because their
+// placement decisions need only local state.
+
+// UpdateRequest carries a batch of edge insertions and deletions for one
+// server. Exported fields for encoding/gob.
+type UpdateRequest struct {
+	Add    []RawEdge
+	Remove []RawEdge
+}
+
+// UpdateReply reports how many operations were applied.
+type UpdateReply struct {
+	Added, Removed int
+}
+
+// ServeUpdate applies a batch of edge mutations. Additions whose source is
+// not local are rejected; removals of absent edges are ignored (idempotent
+// deletes, the common stream semantics).
+func (s *Server) ServeUpdate(req UpdateRequest, reply *UpdateReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range req.Add {
+		if _, ok := s.attrs[e.Src]; !ok {
+			return fmt.Errorf("cluster: server %d does not own vertex %d", s.ID, e.Src)
+		}
+		s.adj[e.Type][e.Src] = append(s.adj[e.Type][e.Src], e.Dst)
+		s.wts[e.Type][e.Src] = append(s.wts[e.Type][e.Src], e.Weight)
+		reply.Added++
+	}
+	for _, e := range req.Remove {
+		ns := s.adj[e.Type][e.Src]
+		ws := s.wts[e.Type][e.Src]
+		for i, u := range ns {
+			if u == e.Dst {
+				s.adj[e.Type][e.Src] = append(ns[:i], ns[i+1:]...)
+				s.wts[e.Type][e.Src] = append(ws[:i], ws[i+1:]...)
+				reply.Removed++
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Update is the RPC method for incremental edge maintenance.
+func (g *GraphService) Update(req UpdateRequest, reply *UpdateReply) error {
+	return g.S.ServeUpdate(req, reply)
+}
+
+// ApplyDelta routes a snapshot delta (graph.Dynamic.Delta) to the owning
+// servers, grouping mutations per partition.
+func ApplyDelta(servers []*Server, assign func(graph.ID) int, delta graph.EdgeDelta) (added, removed int, err error) {
+	reqs := make(map[int]*UpdateRequest)
+	get := func(p int) *UpdateRequest {
+		r, ok := reqs[p]
+		if !ok {
+			r = &UpdateRequest{}
+			reqs[p] = r
+		}
+		return r
+	}
+	for _, e := range delta.Added {
+		get(assign(e.Src)).Add = append(get(assign(e.Src)).Add, RawEdge{Src: e.Src, Dst: e.Dst, Type: e.Type, Weight: e.Weight})
+	}
+	for _, e := range delta.Removed {
+		get(assign(e.Src)).Remove = append(get(assign(e.Src)).Remove, RawEdge{Src: e.Src, Dst: e.Dst, Type: e.Type, Weight: e.Weight})
+	}
+	for p, req := range reqs {
+		var reply UpdateReply
+		if err := servers[p].ServeUpdate(*req, &reply); err != nil {
+			return added, removed, err
+		}
+		added += reply.Added
+		removed += reply.Removed
+	}
+	return added, removed, nil
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/operator"
+	"repro/internal/sampling"
+	"repro/internal/tensor"
+)
+
+func newEncoder(g *graph.Graph, feat FeatureSource, dims []int, materialize bool, rng *rand.Rand) *Encoder {
+	e := &Encoder{Features: feat, Materialize: materialize, Normalize: true}
+	in := feat.Dim()
+	for k, out := range dims {
+		e.Agg = append(e.Agg, operator.NewMeanAggregator("agg", in, out, rng))
+		e.Comb = append(e.Comb, operator.NewConcatCombiner("comb", in, out, out, rng))
+		_ = k
+		in = out
+	}
+	return e
+}
+
+func cycleGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(graph.SimpleSchema(), true)
+	b.AddVertices(0, n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(graph.ID(v), graph.ID((v+1)%n), 0, 1)
+	}
+	return b.Finalize()
+}
+
+func TestAttrFeaturesPadTruncate(t *testing.T) {
+	s := graph.MustSchema([]string{"a", "b"}, []string{"e"})
+	b := graph.NewBuilder(s, true)
+	v0 := b.AddVertex(0, []float64{1, 2, 3, 4})
+	v1 := b.AddVertex(1, []float64{5})
+	b.AddEdge(v0, v1, 0, 1)
+	g := b.Finalize()
+	f := NewAttrFeatures(g, 2)
+	tp := nn.NewTape()
+	rows := f.Rows(tp, []graph.ID{v0, v1})
+	if rows.Val.At(0, 0) != 1 || rows.Val.At(0, 1) != 2 {
+		t.Fatalf("truncate: %v", rows.Val.Row(0))
+	}
+	if rows.Val.At(1, 0) != 5 || rows.Val.At(1, 1) != 0 {
+		t.Fatalf("pad: %v", rows.Val.Row(1))
+	}
+	if f.Params() != nil {
+		t.Fatal("attr features must be static")
+	}
+}
+
+func TestTableFeaturesTrainable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := NewTableFeatures("emb", 4, 3, rng)
+	if len(f.Params()) != 1 {
+		t.Fatal("table features must expose a parameter")
+	}
+	tp := nn.NewTape()
+	rows := f.Rows(tp, []graph.ID{2, 2})
+	loss := tp.MeanAll(rows)
+	tp.Backward(loss)
+	// Row 2 was used twice, so its grad must be nonzero; row 0 untouched.
+	if f.Emb.Grad.At(2, 0) == 0 {
+		t.Fatal("used row has zero grad")
+	}
+	if f.Emb.Grad.At(0, 0) != 0 {
+		t.Fatal("unused row has grad")
+	}
+}
+
+func TestConcatFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := cycleGraph(4)
+	f := &ConcatFeatures{Srcs: []FeatureSource{
+		NewAttrFeatures(g, 2),
+		NewTableFeatures("emb", 4, 3, rng),
+	}}
+	if f.Dim() != 5 {
+		t.Fatalf("dim = %d", f.Dim())
+	}
+	tp := nn.NewTape()
+	rows := f.Rows(tp, []graph.ID{0, 1})
+	if rows.Val.Rows != 2 || rows.Val.Cols != 5 {
+		t.Fatalf("shape %dx%d", rows.Val.Rows, rows.Val.Cols)
+	}
+	if len(f.Params()) != 1 {
+		t.Fatal("params must pass through")
+	}
+}
+
+func TestEncoderShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := cycleGraph(10)
+	feat := NewTableFeatures("emb", 10, 4, rng)
+	enc := newEncoder(g, feat, []int{8, 6}, false, rng)
+	if enc.OutDim() != 6 {
+		t.Fatalf("out dim = %d", enc.OutDim())
+	}
+	nbr := sampling.NewNeighborhood(sampling.GraphSource{G: g}, rng)
+	ctx, err := nbr.Sample(0, []graph.ID{0, 3, 7}, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.NormalizeFinal = true // pure Algorithm 1: every hop normalized
+	tp := nn.NewTape()
+	h := enc.Encode(tp, ctx)
+	if h.Val.Rows != 3 || h.Val.Cols != 6 {
+		t.Fatalf("encode shape %dx%d", h.Val.Rows, h.Val.Cols)
+	}
+	// Normalized rows have unit norm.
+	for i := 0; i < 3; i++ {
+		s := 0.0
+		for _, v := range h.Val.Row(i) {
+			s += v * v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("row %d norm² = %f", i, s)
+		}
+	}
+}
+
+// On a deterministic context (out-degree 1, width 1) the materialized and
+// positional encoders must agree exactly.
+func TestMaterializedMatchesPositional(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := cycleGraph(8)
+	feat := NewTableFeatures("emb", 8, 4, rng)
+	enc := newEncoder(g, feat, []int{5, 5}, false, rng)
+
+	nbr := sampling.NewNeighborhood(sampling.GraphSource{G: g}, rng)
+	ctx, err := nbr.Sample(0, []graph.ID{0, 4}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tp1 := nn.NewTape()
+	enc.Materialize = false
+	h1 := enc.Encode(tp1, ctx)
+
+	tp2 := nn.NewTape()
+	enc.Materialize = true
+	h2 := enc.Encode(tp2, ctx)
+
+	for i := range h1.Val.Data {
+		if math.Abs(h1.Val.Data[i]-h2.Val.Data[i]) > 1e-9 {
+			t.Fatalf("mismatch at %d: %f vs %f", i, h1.Val.Data[i], h2.Val.Data[i])
+		}
+	}
+}
+
+// The materialized encoder must also backprop into the feature table.
+func TestMaterializedBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := cycleGraph(6)
+	feat := NewTableFeatures("emb", 6, 4, rng)
+	enc := newEncoder(g, feat, []int{4}, true, rng)
+	nbr := sampling.NewNeighborhood(sampling.GraphSource{G: g}, rng)
+	ctx, _ := nbr.Sample(0, []graph.ID{0, 1, 2}, []int{2})
+
+	tp := nn.NewTape()
+	h := enc.Encode(tp, ctx)
+	loss := tp.MeanAll(h)
+	tp.Backward(loss)
+	nonzero := false
+	for _, v := range feat.Emb.Grad.Data {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("materialized path produced no feature gradients")
+	}
+}
+
+func twoCommunityGraph(size int, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(graph.SimpleSchema(), false)
+	b.AddVertices(0, 2*size)
+	for c := 0; c < 2; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for k := 0; k < 4; k++ {
+				j := rng.Intn(size)
+				if i != j {
+					b.AddEdge(graph.ID(base+i), graph.ID(base+j), 0, 1)
+				}
+			}
+		}
+	}
+	// Sparse cross links.
+	for i := 0; i < size/4; i++ {
+		b.AddEdge(graph.ID(rng.Intn(size)), graph.ID(size+rng.Intn(size)), 0, 1)
+	}
+	return b.Finalize()
+}
+
+func TestLinkTrainerLearnsCommunities(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := twoCommunityGraph(20, rng)
+	feat := NewTableFeatures("emb", g.NumVertices(), 8, rng)
+	enc := newEncoder(g, feat, []int{8}, true, rng)
+	cfg := TrainerConfig{EdgeType: 0, HopNums: []int{3}, Batch: 32, NegK: 3, LR: 0.05}
+	tr := NewLinkTrainer(g, enc, cfg, rng)
+
+	losses, err := tr.Train(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := avg(losses[:10])
+	last := avg(losses[len(losses)-10:])
+	if last >= first {
+		t.Fatalf("loss did not decrease: %f -> %f", first, last)
+	}
+
+	// Intra-community pairs should now score above cross-community pairs on
+	// average.
+	intra, inter := 0.0, 0.0
+	for i := 0; i < 30; i++ {
+		s1, err := tr.Score(graph.ID(rng.Intn(20)), graph.ID(rng.Intn(20)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := tr.Score(graph.ID(rng.Intn(20)), graph.ID(20+rng.Intn(20)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		intra += s1
+		inter += s2
+	}
+	if intra <= inter {
+		t.Fatalf("intra %f <= inter %f", intra, inter)
+	}
+}
+
+func TestEmbedAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := cycleGraph(12)
+	feat := NewTableFeatures("emb", 12, 4, rng)
+	enc := newEncoder(g, feat, []int{4}, true, rng)
+	tr := NewLinkTrainer(g, enc, TrainerConfig{HopNums: []int{2}, Batch: 8, NegK: 2, LR: 0.01}, rng)
+	m, err := tr.EmbedAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 12 || m.Cols != 4 {
+		t.Fatalf("embed all shape %dx%d", m.Rows, m.Cols)
+	}
+	var zero tensor.Matrix
+	_ = zero
+	for i := 0; i < m.Rows; i++ {
+		norm := 0.0
+		for _, v := range m.Row(i) {
+			norm += v * v
+		}
+		if norm == 0 {
+			t.Fatalf("vertex %d has zero embedding", i)
+		}
+	}
+}
+
+func avg(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

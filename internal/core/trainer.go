@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/sampling"
+	"repro/internal/tensor"
+)
+
+// LinkTrainer trains an Encoder on unsupervised link prediction with
+// negative sampling: edges of the target type are positives, NEGATIVE
+// sampling provides negatives, and the score of a pair is the dot product
+// of their encoded embeddings. This is the training loop that Sections 3.3
+// and 4.1 sketch (TRAVERSE batch -> NEIGHBORHOOD context -> NEGATIVE
+// samples -> AGGREGATE/COMBINE forward -> backward).
+type LinkTrainer struct {
+	G        *graph.Graph
+	Enc      *Encoder
+	EdgeType graph.EdgeType
+	HopNums  []int
+	Batch    int
+	NegK     int
+	Opt      nn.Optimizer
+	Rng      *rand.Rand
+
+	// ContextFn, when non-nil, overrides NEIGHBORHOOD sampling (FastGCN's
+	// layer-wise sampling swaps the SAMPLE strategy this way).
+	ContextFn func(vs []graph.ID) (*sampling.Context, error)
+
+	trav *sampling.Traverse
+	nbr  *sampling.Neighborhood
+	neg  *sampling.Negative
+}
+
+// TrainerConfig bundles LinkTrainer construction options.
+type TrainerConfig struct {
+	EdgeType graph.EdgeType
+	HopNums  []int
+	Batch    int
+	NegK     int
+	LR       float64
+}
+
+// DefaultTrainerConfig returns sensible defaults for the laptop-scale
+// benchmarks.
+func DefaultTrainerConfig() TrainerConfig {
+	return TrainerConfig{HopNums: []int{5, 3}, Batch: 64, NegK: 4, LR: 0.01}
+}
+
+// NewLinkTrainer assembles the three samplers and optimizer around enc.
+func NewLinkTrainer(g *graph.Graph, enc *Encoder, cfg TrainerConfig, rng *rand.Rand) *LinkTrainer {
+	return &LinkTrainer{
+		G: g, Enc: enc, EdgeType: cfg.EdgeType, HopNums: cfg.HopNums,
+		Batch: cfg.Batch, NegK: cfg.NegK,
+		Opt: nn.NewAdam(cfg.LR), Rng: rng,
+		trav: sampling.NewTraverse(g, rng),
+		nbr:  sampling.NewNeighborhood(sampling.GraphSource{G: g}, rng),
+		neg:  sampling.NewNegative(g, cfg.EdgeType, rng),
+	}
+}
+
+// Step runs one mini-batch and returns the loss.
+func (tr *LinkTrainer) Step() (float64, error) {
+	edges := tr.trav.SampleEdges(tr.EdgeType, tr.Batch)
+	src := make([]graph.ID, len(edges))
+	dst := make([]graph.ID, len(edges))
+	for i, e := range edges {
+		src[i] = e.Src
+		dst[i] = e.Dst
+	}
+	negs := tr.neg.Sample(src, tr.NegK)
+
+	t := nn.NewTape()
+	hs, err := tr.encode(t, src)
+	if err != nil {
+		return 0, err
+	}
+	hd, err := tr.encode(t, dst)
+	if err != nil {
+		return 0, err
+	}
+	hn, err := tr.encode(t, negs)
+	if err != nil {
+		return 0, err
+	}
+
+	// Repeat each source NegK times to align with its negatives.
+	rep := make([]int, len(negs))
+	for i := range rep {
+		rep[i] = i / tr.NegK
+	}
+	hsRep := t.Gather(hs, rep)
+
+	pos := t.RowDot(hs, hd)
+	neg := t.RowDot(hsRep, hn)
+	loss := t.NegSamplingLoss(pos, neg)
+	t.Backward(loss)
+
+	params := tr.Enc.Params()
+	nn.ClipGrad(params, 5.0)
+	tr.Opt.Step(params)
+	return loss.Val.Data[0], nil
+}
+
+// Train runs n steps and returns per-step losses.
+func (tr *LinkTrainer) Train(steps int) ([]float64, error) {
+	losses := make([]float64, steps)
+	for i := range losses {
+		l, err := tr.Step()
+		if err != nil {
+			return nil, err
+		}
+		losses[i] = l
+	}
+	return losses, nil
+}
+
+func (tr *LinkTrainer) encode(t *nn.Tape, vs []graph.ID) (*nn.Node, error) {
+	var ctx *sampling.Context
+	var err error
+	if tr.ContextFn != nil {
+		ctx, err = tr.ContextFn(vs)
+	} else {
+		ctx, err = tr.nbr.Sample(tr.EdgeType, vs, tr.HopNums)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tr.Enc.Encode(t, ctx), nil
+}
+
+// Embed encodes vertices for inference (no gradient is consumed).
+func (tr *LinkTrainer) Embed(vs []graph.ID) (*tensor.Matrix, error) {
+	t := nn.NewTape()
+	h, err := tr.encode(t, vs)
+	if err != nil {
+		return nil, err
+	}
+	return h.Val.Clone(), nil
+}
+
+// Score returns the dot-product link score of (u, v).
+func (tr *LinkTrainer) Score(u, v graph.ID) (float64, error) {
+	m, err := tr.Embed([]graph.ID{u, v})
+	if err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for j := 0; j < m.Cols; j++ {
+		s += m.At(0, j) * m.At(1, j)
+	}
+	return s, nil
+}
+
+// EmbedAll encodes every vertex in id order (n x d); used by evaluation and
+// by the export tooling.
+func (tr *LinkTrainer) EmbedAll() (*tensor.Matrix, error) {
+	n := tr.G.NumVertices()
+	out := tensor.New(n, tr.Enc.OutDim())
+	const chunk = 256
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		vs := make([]graph.ID, hi-lo)
+		for i := range vs {
+			vs[i] = graph.ID(lo + i)
+		}
+		m, err := tr.Embed(vs)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < m.Rows; i++ {
+			copy(out.Row(lo+i), m.Row(i))
+		}
+	}
+	return out, nil
+}

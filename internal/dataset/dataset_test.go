@@ -1,0 +1,192 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTaobaoShape(t *testing.T) {
+	g := Taobao(TaobaoSmallConfig(0.25))
+	st := Census(g)
+	if st.UserVertices == 0 || st.ItemVertices == 0 {
+		t.Fatalf("census: %+v", st)
+	}
+	if st.VertexTypes != 2 || st.EdgeTypes != 5 {
+		t.Fatalf("types: %+v", st)
+	}
+	if st.UserAttrs != UserAttrDim || st.ItemAttrs != ItemAttrDim {
+		t.Fatalf("attr dims: %+v", st)
+	}
+	if st.UserItemEdges == 0 || st.ItemItemEdges == 0 {
+		t.Fatalf("edges: %+v", st)
+	}
+	// Without reverse edges, behaviour edges go strictly user -> item.
+	cfgNoRev := TaobaoSmallConfig(0.25)
+	cfgNoRev.ReverseProb = 0
+	gNoRev := Taobao(cfgNoRev)
+	for tt := 0; tt < 4; tt++ {
+		gNoRev.EdgesOfType(graph.EdgeType(tt), func(src, dst graph.ID, _ float64) bool {
+			if gNoRev.VertexType(src) != 0 || gNoRev.VertexType(dst) != 1 {
+				t.Fatalf("edge type %d connects %d->%d types %d->%d", tt, src, dst,
+					gNoRev.VertexType(src), gNoRev.VertexType(dst))
+			}
+			return true
+		})
+	}
+	// With reverse edges, every behaviour edge connects a user and an item.
+	for tt := 0; tt < 4; tt++ {
+		g.EdgesOfType(graph.EdgeType(tt), func(src, dst graph.ID, _ float64) bool {
+			if g.VertexType(src) == g.VertexType(dst) {
+				t.Fatalf("behaviour edge %d->%d connects same-type vertices", src, dst)
+			}
+			return true
+		})
+	}
+	// Similar edges go item -> item.
+	g.EdgesOfType(4, func(src, dst graph.ID, _ float64) bool {
+		if g.VertexType(src) != 1 || g.VertexType(dst) != 1 {
+			t.Fatal("similar edge endpoints must be items")
+		}
+		return true
+	})
+}
+
+func TestTaobaoLargeIsBigger(t *testing.T) {
+	small := Census(Taobao(TaobaoSmallConfig(0.2)))
+	large := Census(Taobao(TaobaoLargeConfig(0.2)))
+	ratio := float64(large.UserItemEdges) / float64(small.UserItemEdges)
+	if ratio < 3 {
+		t.Fatalf("large/small edge ratio = %f, want >= 3 (paper: ~6x storage)", ratio)
+	}
+}
+
+func TestTaobaoDeterministic(t *testing.T) {
+	a := Census(Taobao(TaobaoSmallConfig(0.1)))
+	b := Census(Taobao(TaobaoSmallConfig(0.1)))
+	if a != b {
+		t.Fatalf("generator not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestTaobaoPowerLaw(t *testing.T) {
+	// User-side activity and authority must both be power-law distributed
+	// (the mixed user+item histogram is bimodal, so fit each side).
+	g := Taobao(TaobaoSmallConfig(0.5))
+	users := g.VerticesOfType(0)
+	var out, in []int
+	for _, u := range users {
+		out = append(out, g.TotalOutDegree(u))
+		in = append(in, g.TotalInDegree(u))
+	}
+	fitOut := graph.FitPowerLaw(graph.Histogram(out))
+	if fitOut.Alpha < 0.8 || fitOut.Alpha > 5 || fitOut.R2 < 0.5 {
+		t.Fatalf("user out-degree: alpha=%f r2=%f", fitOut.Alpha, fitOut.R2)
+	}
+	fitIn := graph.FitPowerLaw(graph.Histogram(in))
+	if fitIn.R2 < 0.5 {
+		t.Fatalf("user in-degree: alpha=%f r2=%f", fitIn.Alpha, fitIn.R2)
+	}
+}
+
+func TestAmazonShape(t *testing.T) {
+	g := Amazon(0.2)
+	st := Census(g)
+	if st.VertexTypes != 1 || st.EdgeTypes != 2 {
+		t.Fatalf("census: %+v", st)
+	}
+	scale := 0.2
+	if g.NumVertices() != int(float64(10166)*scale) {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// Edge density should be in the ballpark of the paper's 14.6
+	// edges/vertex (generated as undirected, so count logical edges).
+	ratio := float64(g.NumEdges()) / float64(g.NumVertices())
+	if ratio < 4 || ratio > 30 {
+		t.Fatalf("edges/vertex = %f", ratio)
+	}
+}
+
+func TestDynamicSeries(t *testing.T) {
+	cfg := DynamicDefaultConfig()
+	cfg.Vertices = 200
+	cfg.T = 5
+	cfg.BurstAt = []int{3}
+	s := Dynamic(cfg)
+	if s.D.T() != 5 {
+		t.Fatalf("T = %d", s.D.T())
+	}
+	if len(s.Comm) != 200 || len(s.BurstEdges) != 5 {
+		t.Fatalf("metadata sizes: %d %d", len(s.Comm), len(s.BurstEdges))
+	}
+	// Burst only at t=3.
+	for tt := 1; tt <= 5; tt++ {
+		n := len(s.BurstEdges[tt-1])
+		if tt == 3 && n == 0 {
+			t.Fatal("expected burst edges at t=3")
+		}
+		if tt != 3 && n != 0 {
+			t.Fatalf("unexpected burst at t=%d", tt)
+		}
+	}
+	// Burst edges must be cross-community.
+	for e := range s.BurstEdges[2] {
+		if s.Comm[e[0]] == s.Comm[e[1]] {
+			t.Fatal("burst edge inside a community")
+		}
+	}
+	// Snapshots evolve: consecutive snapshots differ.
+	d := s.D.Delta(1, 0)
+	if len(d.Added) == 0 && len(d.Removed) == 0 {
+		t.Fatal("no churn between snapshots")
+	}
+}
+
+func TestSplitLinks(t *testing.T) {
+	g := Taobao(TaobaoSmallConfig(0.1))
+	rng := rand.New(rand.NewSource(1))
+	sp := SplitLinks(g, 0, 0.2, rng)
+	if len(sp.TestPos) == 0 {
+		t.Fatal("no held-out positives")
+	}
+	if len(sp.TestNeg) < len(sp.TestPos)*9/10 {
+		t.Fatalf("negatives %d << positives %d", len(sp.TestNeg), len(sp.TestPos))
+	}
+	// Held-out edges must not be in the train graph.
+	for _, e := range sp.TestPos[:min(50, len(sp.TestPos))] {
+		if sp.Train.HasEdge(e[0], e[1], 0) {
+			t.Fatalf("held-out edge %v still present", e)
+		}
+		if !g.HasEdge(e[0], e[1], 0) {
+			t.Fatalf("held-out edge %v never existed", e)
+		}
+	}
+	// Negatives must be true non-edges of the original graph.
+	for _, e := range sp.TestNeg[:min(50, len(sp.TestNeg))] {
+		if g.HasEdge(e[0], e[1], 0) {
+			t.Fatalf("negative %v is a real edge", e)
+		}
+	}
+	// No vertex lost all its type-0 out-edges.
+	sawZero := false
+	for v := 0; v < sp.Train.NumVertices(); v++ {
+		if g.OutDegree(graph.ID(v), 0) > 0 && sp.Train.OutDegree(graph.ID(v), 0) == 0 {
+			sawZero = true
+		}
+	}
+	if sawZero {
+		t.Fatal("split disconnected a vertex")
+	}
+	// Other edge types untouched.
+	if sp.Train.NumEdgesOfType(1) != g.NumEdgesOfType(1) {
+		t.Fatal("non-target edge type modified")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

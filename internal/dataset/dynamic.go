@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// DynamicConfig parameterizes the dynamic snapshot generator used for the
+// Evolving GNN experiments (Table 11). The series starts from a community
+// graph and evolves in two modes, following the paper's taxonomy:
+//   - normal evolution: gradual intra-community edge churn each step;
+//   - burst change: at designated timestamps a small set of "burst"
+//     vertices suddenly gains many cross-community edges.
+type DynamicConfig struct {
+	Vertices    int
+	Communities int
+	T           int // number of snapshots
+	BaseDegree  float64
+	// ChurnFrac is the fraction of edges added (and removed) per step under
+	// normal evolution.
+	ChurnFrac float64
+	// BurstAt lists the 1-based timestamps at which bursts occur.
+	BurstAt []int
+	// BurstVertices and BurstEdges size each burst.
+	BurstVertices, BurstEdges int
+	Seed                      int64
+}
+
+// DynamicDefaultConfig returns a laptop-scale dynamic series.
+func DynamicDefaultConfig() DynamicConfig {
+	return DynamicConfig{
+		Vertices:      800,
+		Communities:   6,
+		T:             6,
+		BaseDegree:    6,
+		ChurnFrac:     0.05,
+		BurstAt:       []int{4},
+		BurstVertices: 20,
+		BurstEdges:    30,
+		Seed:          4,
+	}
+}
+
+// DynamicSeries holds the generated snapshots plus ground truth for the
+// multi-class link prediction task: each vertex's community label and which
+// edges are burst edges at each timestamp.
+type DynamicSeries struct {
+	D          *graph.Dynamic
+	Comm       []int // vertex -> community
+	BurstEdges []map[[2]graph.ID]bool
+}
+
+// Dynamic generates the snapshot series.
+func Dynamic(cfg DynamicConfig) *DynamicSeries {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	comm := make([]int, cfg.Vertices)
+	byComm := make([][]graph.ID, cfg.Communities)
+	for v := 0; v < cfg.Vertices; v++ {
+		comm[v] = rng.Intn(cfg.Communities)
+		byComm[comm[v]] = append(byComm[comm[v]], graph.ID(v))
+	}
+
+	type ek = [2]graph.ID
+	edges := make(map[ek]bool)
+	addIntra := func(n int) {
+		for i := 0; i < n; i++ {
+			c := rng.Intn(cfg.Communities)
+			pool := byComm[c]
+			if len(pool) < 2 {
+				continue
+			}
+			u, v := pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]
+			if u != v {
+				edges[ek{u, v}] = true
+			}
+		}
+	}
+	addIntra(int(cfg.BaseDegree * float64(cfg.Vertices) / 2))
+
+	series := &DynamicSeries{Comm: comm}
+	burstSet := make(map[int]bool)
+	for _, t := range cfg.BurstAt {
+		burstSet[t] = true
+	}
+
+	snapshot := func(burst map[ek]bool) *graph.Graph {
+		b := graph.NewBuilder(graph.SimpleSchema(), true)
+		b.AddVertices(0, cfg.Vertices)
+		for e := range edges {
+			b.AddEdge(e[0], e[1], 0, 1)
+		}
+		for e := range burst {
+			b.AddEdge(e[0], e[1], 0, 1)
+		}
+		return b.Finalize()
+	}
+
+	for t := 1; t <= cfg.T; t++ {
+		// Normal churn: remove then add a ChurnFrac of edges.
+		churn := int(cfg.ChurnFrac * float64(len(edges)))
+		removed := 0
+		for e := range edges {
+			if removed >= churn {
+				break
+			}
+			delete(edges, e)
+			removed++
+		}
+		addIntra(churn)
+
+		burst := make(map[ek]bool)
+		if burstSet[t] {
+			for i := 0; i < cfg.BurstVertices; i++ {
+				u := graph.ID(rng.Intn(cfg.Vertices))
+				for e := 0; e < cfg.BurstEdges/cfg.BurstVertices+1; e++ {
+					// Cross-community target.
+					c := (comm[u] + 1 + rng.Intn(cfg.Communities-1)) % cfg.Communities
+					pool := byComm[c]
+					if len(pool) == 0 {
+						continue
+					}
+					v := pool[rng.Intn(len(pool))]
+					burst[ek{u, v}] = true
+				}
+			}
+		}
+		series.D = appendSnapshot(series.D, snapshot(burst))
+		bm := make(map[[2]graph.ID]bool, len(burst))
+		for e := range burst {
+			bm[e] = true
+		}
+		series.BurstEdges = append(series.BurstEdges, bm)
+	}
+	return series
+}
+
+func appendSnapshot(d *graph.Dynamic, g *graph.Graph) *graph.Dynamic {
+	if d == nil {
+		d = &graph.Dynamic{}
+	}
+	d.Snapshots = append(d.Snapshots, g)
+	return d
+}

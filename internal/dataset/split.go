@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// LinkSplit is a train/test split for link prediction on one edge type:
+// Train is the input graph with the test edges removed; TestPos are the
+// held-out edges; TestNeg are sampled non-edges with the same endpoint-type
+// signature.
+type LinkSplit struct {
+	Train    *graph.Graph
+	EdgeType graph.EdgeType
+	TestPos  [][2]graph.ID
+	TestNeg  [][2]graph.ID
+}
+
+// SplitLinks removes a testFrac fraction of type-et edges from g (keeping
+// at least one out-edge per vertex so sampling stays well-defined) and
+// samples an equal number of negatives.
+func SplitLinks(g *graph.Graph, et graph.EdgeType, testFrac float64, rng *rand.Rand) *LinkSplit {
+	type edge struct {
+		src, dst graph.ID
+		t        graph.EdgeType
+		w        float64
+	}
+	var all []edge
+	var candidates []int // indices of type-et edges eligible for holdout
+	outDeg := make([]int, g.NumVertices())
+	for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+		g.EdgesOfType(graph.EdgeType(t), func(src, dst graph.ID, w float64) bool {
+			if !g.Directed() && src > dst {
+				return true
+			}
+			all = append(all, edge{src, dst, graph.EdgeType(t), w})
+			if graph.EdgeType(t) == et {
+				candidates = append(candidates, len(all)-1)
+			}
+			if graph.EdgeType(t) == et {
+				outDeg[src]++
+			}
+			return true
+		})
+	}
+
+	rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	want := int(testFrac * float64(len(candidates)))
+	held := make(map[int]bool, want)
+	for _, ci := range candidates {
+		if len(held) >= want {
+			break
+		}
+		e := all[ci]
+		if outDeg[e.src] <= 1 {
+			continue // keep the vertex connected
+		}
+		held[ci] = true
+		outDeg[e.src]--
+	}
+
+	// Rebuild the train graph.
+	b := graph.NewBuilder(g.Schema(), g.Directed())
+	for v := 0; v < g.NumVertices(); v++ {
+		b.AddVertex(g.VertexType(graph.ID(v)), g.VertexAttr(graph.ID(v)))
+	}
+	split := &LinkSplit{EdgeType: et}
+	for i, e := range all {
+		if held[i] {
+			split.TestPos = append(split.TestPos, [2]graph.ID{e.src, e.dst})
+			continue
+		}
+		b.AddEdge(e.src, e.dst, e.t, e.w)
+	}
+	split.Train = b.Finalize()
+
+	// Negatives: same endpoint-type signature as the held-out positives,
+	// rejecting existing edges.
+	exists := make(map[[2]graph.ID]bool)
+	g.EdgesOfType(et, func(src, dst graph.ID, _ float64) bool {
+		exists[[2]graph.ID{src, dst}] = true
+		return true
+	})
+	for _, pos := range split.TestPos {
+		st := g.VertexType(pos[0])
+		dt := g.VertexType(pos[1])
+		srcs := g.VerticesOfType(st)
+		dsts := g.VerticesOfType(dt)
+		for tries := 0; tries < 64; tries++ {
+			u := srcs[rng.Intn(len(srcs))]
+			v := dsts[rng.Intn(len(dsts))]
+			if u == v || exists[[2]graph.ID{u, v}] {
+				continue
+			}
+			split.TestNeg = append(split.TestNeg, [2]graph.ID{u, v})
+			break
+		}
+	}
+	return split
+}
+
+// Stats is a dataset census matching the columns of Tables 3 and 6.
+type Stats struct {
+	Vertices      int
+	Edges         int
+	VertexTypes   int
+	EdgeTypes     int
+	UserVertices  int
+	ItemVertices  int
+	UserItemEdges int
+	ItemItemEdges int
+	UserAttrs     int
+	ItemAttrs     int
+}
+
+// Census computes the statistics of a generated graph. User/item rows are
+// zero for single-type graphs.
+func Census(g *graph.Graph) Stats {
+	s := Stats{
+		Vertices:    g.NumVertices(),
+		Edges:       g.NumEdges(),
+		VertexTypes: g.Schema().NumVertexTypes(),
+		EdgeTypes:   g.Schema().NumEdgeTypes(),
+	}
+	if ut, ok := g.Schema().VertexTypeByName("user"); ok {
+		s.UserVertices = len(g.VerticesOfType(ut))
+		if len(g.VerticesOfType(ut)) > 0 {
+			s.UserAttrs = len(g.VertexAttr(g.VerticesOfType(ut)[0]))
+		}
+	}
+	if it, ok := g.Schema().VertexTypeByName("item"); ok {
+		s.ItemVertices = len(g.VerticesOfType(it))
+		if len(g.VerticesOfType(it)) > 0 {
+			s.ItemAttrs = len(g.VertexAttr(g.VerticesOfType(it)[0]))
+		}
+	}
+	for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+		n := g.NumEdgesOfType(graph.EdgeType(t))
+		if !g.Directed() {
+			n /= 2
+		}
+		if g.Schema().EdgeTypeName(graph.EdgeType(t)) == "similar" {
+			s.ItemItemEdges += n
+		} else {
+			s.UserItemEdges += n
+		}
+	}
+	return s
+}

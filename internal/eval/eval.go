@@ -1,0 +1,242 @@
+// Package eval implements the evaluation metrics of Section 5.2: ROC-AUC,
+// PR-AUC, F1-score, hit recall rate (HR@k) and micro/macro F1, plus the
+// link-prediction evaluation harness shared by every algorithm benchmark.
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// ROCAUC computes the area under the ROC curve from scores and binary
+// labels via the rank statistic (Mann-Whitney U), with midrank handling of
+// ties. Returns 0.5 when either class is empty.
+func ROCAUC(scores []float64, labels []bool) float64 {
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	var sumPos float64
+	nPos, nNeg := 0, 0
+	for i, l := range labels {
+		if l {
+			sumPos += ranks[i]
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	u := sumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// PRAUC computes the area under the precision-recall curve using the
+// average-precision formulation.
+func PRAUC(scores []float64, labels []bool) float64 {
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	nPos := 0
+	for _, l := range labels {
+		if l {
+			nPos++
+		}
+	}
+	if nPos == 0 {
+		return 0
+	}
+	tp := 0
+	ap := 0.0
+	for rank, i := range idx {
+		if labels[i] {
+			tp++
+			ap += float64(tp) / float64(rank+1)
+		}
+	}
+	return ap / float64(nPos)
+}
+
+// F1AtThreshold computes precision, recall and F1 classifying score >= thr
+// as positive.
+func F1AtThreshold(scores []float64, labels []bool, thr float64) (precision, recall, f1 float64) {
+	tp, fp, fn := 0, 0, 0
+	for i, s := range scores {
+		pred := s >= thr
+		switch {
+		case pred && labels[i]:
+			tp++
+		case pred && !labels[i]:
+			fp++
+		case !pred && labels[i]:
+			fn++
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return
+}
+
+// BestF1 sweeps all candidate thresholds and returns the maximum F1, the
+// convention used for reporting F1-score in the paper's tables.
+func BestF1(scores []float64, labels []bool) float64 {
+	uniq := append([]float64(nil), scores...)
+	sort.Float64s(uniq)
+	best := 0.0
+	for i := 0; i < len(uniq); i++ {
+		if i > 0 && uniq[i] == uniq[i-1] {
+			continue
+		}
+		_, _, f1 := F1AtThreshold(scores, labels, uniq[i])
+		if f1 > best {
+			best = f1
+		}
+	}
+	return best
+}
+
+// HitRate computes HR@k: the fraction of test users whose held-out item
+// appears in their top-k recommendation list. ranked[u] is u's ranked item
+// list; truth[u] the held-out item index.
+func HitRate(ranked [][]int, truth []int, k int) float64 {
+	if len(ranked) == 0 {
+		return 0
+	}
+	hits := 0
+	for u, list := range ranked {
+		limit := k
+		if limit > len(list) {
+			limit = len(list)
+		}
+		for _, item := range list[:limit] {
+			if item == truth[u] {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(len(ranked))
+}
+
+// MicroMacroF1 computes micro and macro F1 for multi-class predictions.
+func MicroMacroF1(pred, truth []int, numClasses int) (micro, macro float64) {
+	tp := make([]int, numClasses)
+	fp := make([]int, numClasses)
+	fn := make([]int, numClasses)
+	for i := range pred {
+		if pred[i] == truth[i] {
+			tp[truth[i]]++
+		} else {
+			fp[pred[i]]++
+			fn[truth[i]]++
+		}
+	}
+	var sumTP, sumFP, sumFN int
+	macroSum := 0.0
+	nonEmpty := 0
+	for c := 0; c < numClasses; c++ {
+		sumTP += tp[c]
+		sumFP += fp[c]
+		sumFN += fn[c]
+		if tp[c]+fp[c]+fn[c] == 0 {
+			continue
+		}
+		nonEmpty++
+		p, r := 0.0, 0.0
+		if tp[c]+fp[c] > 0 {
+			p = float64(tp[c]) / float64(tp[c]+fp[c])
+		}
+		if tp[c]+fn[c] > 0 {
+			r = float64(tp[c]) / float64(tp[c]+fn[c])
+		}
+		if p+r > 0 {
+			macroSum += 2 * p * r / (p + r)
+		}
+	}
+	if nonEmpty > 0 {
+		macro = macroSum / float64(nonEmpty)
+	}
+	if 2*sumTP+sumFP+sumFN > 0 {
+		micro = 2 * float64(sumTP) / float64(2*sumTP+sumFP+sumFN)
+	}
+	return
+}
+
+// Dot is the embedding link score used across all models.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of two vectors (0 when either is
+// zero).
+func Cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// LinkMetrics bundles the three headline link-prediction numbers of the
+// paper's tables.
+type LinkMetrics struct {
+	ROCAUC float64
+	PRAUC  float64
+	F1     float64
+}
+
+// EvalLinks scores positive and negative test pairs with score and computes
+// the metric bundle.
+func EvalLinks(score func(u, v int64) float64, pos, neg [][2]int64) LinkMetrics {
+	scores := make([]float64, 0, len(pos)+len(neg))
+	labels := make([]bool, 0, len(pos)+len(neg))
+	for _, e := range pos {
+		scores = append(scores, score(e[0], e[1]))
+		labels = append(labels, true)
+	}
+	for _, e := range neg {
+		scores = append(scores, score(e[0], e[1]))
+		labels = append(labels, false)
+	}
+	return LinkMetrics{
+		ROCAUC: ROCAUC(scores, labels),
+		PRAUC:  PRAUC(scores, labels),
+		F1:     BestF1(scores, labels),
+	}
+}

@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestROCAUCPerfect(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	if auc := ROCAUC(scores, labels); auc != 1.0 {
+		t.Fatalf("auc = %f", auc)
+	}
+	// Inverted scores -> 0.
+	if auc := ROCAUC([]float64{0.1, 0.2, 0.8, 0.9}, labels); auc != 0.0 {
+		t.Fatalf("inverted auc = %f", auc)
+	}
+}
+
+func TestROCAUCTiesAndDegenerate(t *testing.T) {
+	// All equal scores: AUC must be 0.5 via midranks.
+	if auc := ROCAUC([]float64{1, 1, 1, 1}, []bool{true, false, true, false}); auc != 0.5 {
+		t.Fatalf("tied auc = %f", auc)
+	}
+	if auc := ROCAUC([]float64{1, 2}, []bool{true, true}); auc != 0.5 {
+		t.Fatalf("single-class auc = %f", auc)
+	}
+}
+
+func TestPRAUC(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	if pr := PRAUC(scores, labels); pr != 1.0 {
+		t.Fatalf("perfect pr-auc = %f", pr)
+	}
+	if pr := PRAUC(scores, []bool{false, false, false, false}); pr != 0 {
+		t.Fatalf("no-positives pr-auc = %f", pr)
+	}
+	// Worst case: positives ranked last. AP = (1/3 + 2/4)/2 = 5/12.
+	got := PRAUC([]float64{0.9, 0.8, 0.2, 0.1}, []bool{false, false, true, true})
+	if math.Abs(got-5.0/12) > 1e-9 {
+		t.Fatalf("pr-auc = %f want %f", got, 5.0/12)
+	}
+}
+
+func TestF1AtThreshold(t *testing.T) {
+	scores := []float64{0.9, 0.6, 0.4, 0.1}
+	labels := []bool{true, false, true, false}
+	p, r, f1 := F1AtThreshold(scores, labels, 0.5)
+	if p != 0.5 || r != 0.5 || f1 != 0.5 {
+		t.Fatalf("p=%f r=%f f1=%f", p, r, f1)
+	}
+	// Threshold below everything: recall 1.
+	_, r, _ = F1AtThreshold(scores, labels, 0)
+	if r != 1 {
+		t.Fatalf("recall = %f", r)
+	}
+}
+
+func TestBestF1(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.1}
+	labels := []bool{true, true, false, false}
+	if f1 := BestF1(scores, labels); f1 != 1.0 {
+		t.Fatalf("best f1 = %f", f1)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	ranked := [][]int{
+		{5, 3, 1}, // truth 3 at rank 2
+		{7, 2, 9}, // truth 9 at rank 3
+		{4, 4, 4}, // truth 0 never
+	}
+	truth := []int{3, 9, 0}
+	if hr := HitRate(ranked, truth, 1); hr != 0 {
+		t.Fatalf("hr@1 = %f", hr)
+	}
+	if hr := HitRate(ranked, truth, 2); math.Abs(hr-1.0/3) > 1e-9 {
+		t.Fatalf("hr@2 = %f", hr)
+	}
+	if hr := HitRate(ranked, truth, 3); math.Abs(hr-2.0/3) > 1e-9 {
+		t.Fatalf("hr@3 = %f", hr)
+	}
+	if HitRate(nil, nil, 5) != 0 {
+		t.Fatal("empty hit rate")
+	}
+}
+
+func TestMicroMacroF1(t *testing.T) {
+	// Perfect prediction.
+	micro, macro := MicroMacroF1([]int{0, 1, 2}, []int{0, 1, 2}, 3)
+	if micro != 1 || macro != 1 {
+		t.Fatalf("perfect: micro=%f macro=%f", micro, macro)
+	}
+	// Skewed: class 0 dominant and always right; class 1 always wrong.
+	pred := []int{0, 0, 0, 0, 0}
+	truth := []int{0, 0, 0, 0, 1}
+	micro, macro = MicroMacroF1(pred, truth, 2)
+	if micro <= macro {
+		t.Fatalf("micro %f should exceed macro %f on skewed classes", micro, macro)
+	}
+}
+
+func TestDotAndCosine(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if Dot(a, b) != 0 {
+		t.Fatal("dot")
+	}
+	if Cosine(a, a) != 1 {
+		t.Fatal("cosine self")
+	}
+	if Cosine(a, b) != 0 {
+		t.Fatal("cosine orthogonal")
+	}
+	if Cosine(a, []float64{0, 0}) != 0 {
+		t.Fatal("cosine zero vector")
+	}
+}
+
+func TestEvalLinks(t *testing.T) {
+	emb := map[int64][]float64{
+		1: {1, 0}, 2: {1, 0.1}, 3: {0, 1}, 4: {0.1, 1},
+	}
+	score := func(u, v int64) float64 { return Dot(emb[u], emb[v]) }
+	pos := [][2]int64{{1, 2}, {3, 4}}
+	neg := [][2]int64{{1, 3}, {2, 4}}
+	m := EvalLinks(score, pos, neg)
+	if m.ROCAUC != 1.0 {
+		t.Fatalf("auc = %f", m.ROCAUC)
+	}
+	if m.F1 != 1.0 || m.PRAUC != 1.0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// Property: ROC-AUC is invariant under strictly monotone score transforms.
+func TestQuickAUCMonotoneInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = rng.Float64() < 0.5
+		}
+		trans := make([]float64, n)
+		for i, s := range scores {
+			trans[i] = math.Exp(2*s) + 1
+		}
+		return math.Abs(ROCAUC(scores, labels)-ROCAUC(trans, labels)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AUC of random scores concentrates near 0.5.
+func TestQuickAUCRandomNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 4000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Float64() < 0.5
+	}
+	if auc := ROCAUC(scores, labels); auc < 0.45 || auc > 0.55 {
+		t.Fatalf("random auc = %f", auc)
+	}
+}

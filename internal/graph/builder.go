@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates vertices and edges and produces an immutable Graph.
+// It is not safe for concurrent use; the distributed build pipeline in
+// internal/cluster shards edges across builders and merges.
+type Builder struct {
+	schema   *Schema
+	directed bool
+
+	vtype []VertexType
+	vattr [][]float64
+
+	edges []Edge
+}
+
+// NewBuilder creates a builder for the given schema. When directed is false
+// every added edge is stored in both directions at finalize time.
+func NewBuilder(schema *Schema, directed bool) *Builder {
+	return &Builder{schema: schema, directed: directed}
+}
+
+// AddVertex registers a vertex of type t with an optional attribute vector
+// and returns its dense ID.
+func (b *Builder) AddVertex(t VertexType, attr []float64) ID {
+	if int(t) >= b.schema.NumVertexTypes() || t < 0 {
+		panic(fmt.Sprintf("graph: vertex type %d out of range", t))
+	}
+	id := ID(len(b.vtype))
+	b.vtype = append(b.vtype, t)
+	b.vattr = append(b.vattr, attr)
+	return id
+}
+
+// AddVertices registers cnt attribute-less vertices of type t and returns
+// the first assigned ID.
+func (b *Builder) AddVertices(t VertexType, cnt int) ID {
+	first := ID(len(b.vtype))
+	for i := 0; i < cnt; i++ {
+		b.AddVertex(t, nil)
+	}
+	return first
+}
+
+// NumVertices reports the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.vtype) }
+
+// AddEdge adds an edge from src to dst with weight w. Both endpoints must
+// already exist.
+func (b *Builder) AddEdge(src, dst ID, t EdgeType, w float64) {
+	b.AddEdgeAttr(src, dst, t, w, nil)
+}
+
+// AddEdgeAttr adds an edge carrying an attribute vector.
+func (b *Builder) AddEdgeAttr(src, dst ID, t EdgeType, w float64, attr []float64) {
+	if int(t) >= b.schema.NumEdgeTypes() || t < 0 {
+		panic(fmt.Sprintf("graph: edge type %d out of range", t))
+	}
+	if src < 0 || int(src) >= len(b.vtype) || dst < 0 || int(dst) >= len(b.vtype) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) references unknown vertex", src, dst))
+	}
+	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Type: t, Weight: w, Attr: attr})
+}
+
+// NumEdges reports the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Finalize builds the immutable CSR graph. The builder may be reused
+// afterwards, but further mutation does not affect the returned graph.
+func (b *Builder) Finalize() *Graph {
+	n := len(b.vtype)
+	nt := b.schema.NumEdgeTypes()
+
+	g := &Graph{
+		schema:   b.schema,
+		directed: b.directed,
+		n:        n,
+		m:        len(b.edges),
+		vtype:    append([]VertexType(nil), b.vtype...),
+		vattr:    append([][]float64(nil), b.vattr...),
+		out:      make([]adjacency, nt),
+		in:       make([]adjacency, nt),
+	}
+
+	g.byVType = make([][]ID, b.schema.NumVertexTypes())
+	for v, t := range g.vtype {
+		g.byVType[t] = append(g.byVType[t], ID(v))
+	}
+
+	// Expand undirected edges into both directions.
+	type dirEdge struct {
+		src, dst ID
+		w        float64
+		attr     int32
+	}
+	perType := make([][]dirEdge, nt)
+	hasAttr := false
+	for _, e := range b.edges {
+		if e.Attr != nil {
+			hasAttr = true
+		}
+	}
+	attrIdx := int32(-1)
+	for _, e := range b.edges {
+		ai := int32(-1)
+		if e.Attr != nil {
+			g.edgeAttrs = append(g.edgeAttrs, e.Attr)
+			attrIdx++
+			ai = attrIdx
+		}
+		perType[e.Type] = append(perType[e.Type], dirEdge{e.Src, e.Dst, e.Weight, ai})
+		if !b.directed && e.Src != e.Dst {
+			perType[e.Type] = append(perType[e.Type], dirEdge{e.Dst, e.Src, e.Weight, ai})
+		}
+	}
+
+	for t := 0; t < nt; t++ {
+		es := perType[t]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].src != es[j].src {
+				return es[i].src < es[j].src
+			}
+			return es[i].dst < es[j].dst
+		})
+		out := adjacency{
+			offs: make([]int64, n+1),
+			dst:  make([]ID, len(es)),
+			w:    make([]float64, len(es)),
+		}
+		if hasAttr {
+			out.attr = make([]int32, len(es))
+		}
+		for _, e := range es {
+			out.offs[e.src+1]++
+		}
+		for v := 0; v < n; v++ {
+			out.offs[v+1] += out.offs[v]
+		}
+		pos := make([]int64, n)
+		copy(pos, out.offs[:n])
+		for _, e := range es {
+			p := pos[e.src]
+			out.dst[p] = e.dst
+			out.w[p] = e.w
+			if hasAttr {
+				out.attr[p] = e.attr
+			}
+			pos[e.src]++
+		}
+		g.out[EdgeType(t)] = out
+
+		// Reverse direction for in-neighbors.
+		in := adjacency{
+			offs: make([]int64, n+1),
+			dst:  make([]ID, len(es)),
+			w:    make([]float64, len(es)),
+		}
+		for _, e := range es {
+			in.offs[e.dst+1]++
+		}
+		for v := 0; v < n; v++ {
+			in.offs[v+1] += in.offs[v]
+		}
+		copy(pos, in.offs[:n])
+		for _, e := range es {
+			p := pos[e.dst]
+			in.dst[p] = e.src
+			in.w[p] = e.w
+			pos[e.dst]++
+		}
+		// Keep in-neighbor lists sorted too.
+		for v := 0; v < n; v++ {
+			lo, hi := in.offs[v], in.offs[v+1]
+			seg := in.dst[lo:hi]
+			wseg := in.w[lo:hi]
+			sort.Sort(&pairSort{seg, wseg})
+		}
+		g.in[EdgeType(t)] = in
+	}
+	return g
+}
+
+type pairSort struct {
+	ids []ID
+	ws  []float64
+}
+
+func (p *pairSort) Len() int           { return len(p.ids) }
+func (p *pairSort) Less(i, j int) bool { return p.ids[i] < p.ids[j] }
+func (p *pairSort) Swap(i, j int) {
+	p.ids[i], p.ids[j] = p.ids[j], p.ids[i]
+	p.ws[i], p.ws[j] = p.ws[j], p.ws[i]
+}

@@ -1,0 +1,55 @@
+package graph
+
+// Dynamic models a dynamic graph G^(1), ..., G^(T) as a series of immutable
+// snapshots over a shared vertex universe (Section 2). Snapshot t may add or
+// remove edges relative to t-1; the Evolving GNN consumes the per-step edge
+// deltas, split into "normal evolution" and "burst" links (Section 4.2).
+type Dynamic struct {
+	Snapshots []*Graph
+}
+
+// T returns the number of timestamps.
+func (d *Dynamic) T() int { return len(d.Snapshots) }
+
+// At returns G^(t) for 1-based timestamp t, matching the paper's indexing.
+func (d *Dynamic) At(t int) *Graph { return d.Snapshots[t-1] }
+
+// EdgeDelta describes the edge changes from one snapshot to the next.
+type EdgeDelta struct {
+	Added   []Edge
+	Removed []Edge
+}
+
+// Delta computes the edge delta between snapshots t and t+1 (1-based) for
+// the given edge type. Both snapshots must share the vertex universe.
+func (d *Dynamic) Delta(t int, et EdgeType) EdgeDelta {
+	prev, next := d.At(t), d.At(t+1)
+	prevSet := edgeSet(prev, et)
+	nextSet := edgeSet(next, et)
+	var delta EdgeDelta
+	for k, w := range nextSet {
+		if _, ok := prevSet[k]; !ok {
+			delta.Added = append(delta.Added, Edge{Src: k.src, Dst: k.dst, Type: et, Weight: w})
+		}
+	}
+	for k, w := range prevSet {
+		if _, ok := nextSet[k]; !ok {
+			delta.Removed = append(delta.Removed, Edge{Src: k.src, Dst: k.dst, Type: et, Weight: w})
+		}
+	}
+	return delta
+}
+
+type edgeKey struct{ src, dst ID }
+
+func edgeSet(g *Graph, et EdgeType) map[edgeKey]float64 {
+	s := make(map[edgeKey]float64)
+	g.EdgesOfType(et, func(src, dst ID, w float64) bool {
+		if !g.Directed() && src > dst {
+			return true // visit undirected edges once
+		}
+		s[edgeKey{src, dst}] = w
+		return true
+	})
+	return s
+}

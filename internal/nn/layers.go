@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer y = act(x @ W + b).
+type Dense struct {
+	W, B *Param
+	Act  func(t *Tape, n *Node) *Node // nil = identity
+}
+
+// NewDense creates a dense layer with Xavier init.
+func NewDense(name string, in, out int, act func(*Tape, *Node) *Node, rng *rand.Rand) *Dense {
+	return &Dense{
+		W:   NewParam(name+".W", in, out, rng),
+		B:   NewParamZero(name+".b", 1, out),
+		Act: act,
+	}
+}
+
+// Forward applies the layer on the tape.
+func (d *Dense) Forward(t *Tape, x *Node) *Node {
+	h := t.AddBias(t.MatMul(x, t.Use(d.W)), t.Use(d.B))
+	if d.Act != nil {
+		h = d.Act(t, h)
+	}
+	return h
+}
+
+// Params returns the trainable parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ActReLU, ActTanh and ActSigmoid are activation adapters for Dense.
+func ActReLU(t *Tape, n *Node) *Node    { return t.ReLU(n) }
+func ActTanh(t *Tape, n *Node) *Node    { return t.Tanh(n) }
+func ActSigmoid(t *Tape, n *Node) *Node { return t.Sigmoid(n) }
+
+// MLP is a stack of dense layers.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds dims[0] -> dims[1] -> ... with act on all but the last
+// layer.
+func NewMLP(name string, dims []int, act func(*Tape, *Node) *Node, rng *rand.Rand) *MLP {
+	m := &MLP{}
+	for i := 0; i+1 < len(dims); i++ {
+		var a func(*Tape, *Node) *Node
+		if i+2 < len(dims) {
+			a = act
+		}
+		m.Layers = append(m.Layers, NewDense(name, dims[i], dims[i+1], a, rng))
+	}
+	return m
+}
+
+// Forward applies the stack.
+func (m *MLP) Forward(t *Tape, x *Node) *Node {
+	for _, l := range m.Layers {
+		x = l.Forward(t, x)
+	}
+	return x
+}
+
+// Params returns all layer parameters.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// LSTMCell is a standard LSTM cell used by the LSTM AGGREGATE operator and
+// the Evolving GNN's sequence model. Gates are packed [i f g o].
+type LSTMCell struct {
+	Wx, Wh, B *Param
+	Hidden    int
+}
+
+// NewLSTMCell creates a cell mapping input size in to hidden size h.
+func NewLSTMCell(name string, in, h int, rng *rand.Rand) *LSTMCell {
+	return &LSTMCell{
+		Wx:     NewParam(name+".Wx", in, 4*h, rng),
+		Wh:     NewParam(name+".Wh", h, 4*h, rng),
+		B:      NewParamZero(name+".b", 1, 4*h),
+		Hidden: h,
+	}
+}
+
+// Step advances the cell one timestep: x is B x in, hPrev and cPrev are
+// B x h (nil means zeros). It returns the new hidden and cell states.
+func (l *LSTMCell) Step(t *Tape, x, hPrev, cPrev *Node) (hNext, cNext *Node) {
+	b := x.Val.Rows
+	if hPrev == nil {
+		hPrev = t.Input(tensor.New(b, l.Hidden))
+	}
+	if cPrev == nil {
+		cPrev = t.Input(tensor.New(b, l.Hidden))
+	}
+	z := t.AddBias(t.Add(t.MatMul(x, t.Use(l.Wx)), t.MatMul(hPrev, t.Use(l.Wh))), t.Use(l.B))
+	h := l.Hidden
+	i := t.Sigmoid(t.SliceCols(z, 0, h))
+	f := t.Sigmoid(t.SliceCols(z, h, 2*h))
+	g := t.Tanh(t.SliceCols(z, 2*h, 3*h))
+	o := t.Sigmoid(t.SliceCols(z, 3*h, 4*h))
+	cNext = t.Add(t.Mul(f, cPrev), t.Mul(i, g))
+	hNext = t.Mul(o, t.Tanh(cNext))
+	return hNext, cNext
+}
+
+// Params returns the trainable parameters.
+func (l *LSTMCell) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// SelfAttention is the structured self-attention of Lin et al. used by
+// GATNE's edge-type attention: scores = softmax(w2 @ tanh(W1 @ Xᵀ)),
+// output = scores @ X.
+type SelfAttention struct {
+	W1, W2 *Param
+	DA     int
+}
+
+// NewSelfAttention creates an attention head over d-dimensional inputs with
+// da attention units.
+func NewSelfAttention(name string, d, da int, rng *rand.Rand) *SelfAttention {
+	return &SelfAttention{
+		W1: NewParam(name+".W1", d, da, rng),
+		W2: NewParam(name+".W2", da, 1, rng),
+		DA: da,
+	}
+}
+
+// Forward computes attention weights over the K rows of x (K x d) and
+// returns (weights K x 1 via softmax over rows, pooled 1 x d).
+func (a *SelfAttention) Forward(t *Tape, x *Node) (weights, pooled *Node) {
+	// scores: K x 1
+	scores := t.MatMul(t.Tanh(t.MatMul(x, t.Use(a.W1))), t.Use(a.W2))
+	// Softmax over the K rows: transpose trick via reshape — scores is K x 1
+	// so softmax must run down the column. Use exp/sum for a column softmax.
+	e := t.Exp(scores)
+	total := t.SumAll(e)
+	// weights_i = e_i / total: implement as e * (1/total) via division node.
+	weights = t.DivScalarNode(e, total)
+	// pooled = weightsᵀ @ x : 1 x d
+	pooled = t.MatMul(t.TransposeNode(weights), x)
+	return weights, pooled
+}
+
+// Params returns the trainable parameters.
+func (a *SelfAttention) Params() []*Param { return []*Param{a.W1, a.W2} }
+
+// TransposeNode transposes a node's matrix differentiably.
+func (t *Tape) TransposeNode(a *Node) *Node {
+	val := a.Val.Transpose()
+	out := t.node(val, a.needs, nil)
+	if a.needs {
+		out.back = func() {
+			gt := out.grad.Transpose()
+			a.grad.AddInPlace(gt)
+		}
+	}
+	return out
+}
+
+// DivScalarNode divides every element of a by the 1x1 scalar node s.
+func (t *Tape) DivScalarNode(a, s *Node) *Node {
+	sv := s.Val.Data[0]
+	val := a.Val.Clone()
+	val.ScaleInPlace(1 / sv)
+	needs := a.needs || s.needs
+	out := t.node(val, needs, nil)
+	if needs {
+		out.back = func() {
+			if a.needs {
+				a.grad.Axpy(1/sv, out.grad)
+			}
+			if s.needs {
+				g := 0.0
+				for i, ov := range out.grad.Data {
+					g -= ov * a.Val.Data[i] / (sv * sv)
+				}
+				s.grad.Data[0] += g
+			}
+		}
+	}
+	return out
+}

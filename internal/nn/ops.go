@@ -1,0 +1,527 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// This file defines the differentiable operations recorded on the tape.
+// Every op computes its value eagerly and registers a closure that
+// accumulates gradients into its inputs when the tape unwinds.
+
+// MatMul returns a @ b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	val := tensor.MatMul(a.Val, b.Val)
+	needs := a.needs || b.needs
+	out := t.node(val, needs, nil)
+	if needs {
+		out.back = func() {
+			if a.needs {
+				a.grad.AddInPlace(tensor.MatMulTransB(out.grad, b.Val))
+			}
+			if b.needs {
+				b.grad.AddInPlace(tensor.MatMulTransA(a.Val, out.grad))
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a + b (same shape).
+func (t *Tape) Add(a, b *Node) *Node {
+	val := a.Val.Clone()
+	val.AddInPlace(b.Val)
+	needs := a.needs || b.needs
+	out := t.node(val, needs, nil)
+	if needs {
+		out.back = func() {
+			if a.needs {
+				a.grad.AddInPlace(out.grad)
+			}
+			if b.needs {
+				b.grad.AddInPlace(out.grad)
+			}
+		}
+	}
+	return out
+}
+
+// AddBias broadcasts a 1 x C bias row across the R x C matrix a.
+func (t *Tape) AddBias(a, bias *Node) *Node {
+	if bias.Val.Rows != 1 || bias.Val.Cols != a.Val.Cols {
+		panic("nn: AddBias expects 1xC bias matching a's columns")
+	}
+	val := a.Val.Clone()
+	for i := 0; i < val.Rows; i++ {
+		row := val.Row(i)
+		for j, bv := range bias.Val.Row(0) {
+			row[j] += bv
+		}
+	}
+	needs := a.needs || bias.needs
+	out := t.node(val, needs, nil)
+	if needs {
+		out.back = func() {
+			if a.needs {
+				a.grad.AddInPlace(out.grad)
+			}
+			if bias.needs {
+				brow := bias.grad.Row(0)
+				for i := 0; i < out.grad.Rows; i++ {
+					for j, gv := range out.grad.Row(i) {
+						brow[j] += gv
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sub returns a - b.
+func (t *Tape) Sub(a, b *Node) *Node {
+	val := a.Val.Clone()
+	val.SubInPlace(b.Val)
+	needs := a.needs || b.needs
+	out := t.node(val, needs, nil)
+	if needs {
+		out.back = func() {
+			if a.needs {
+				a.grad.AddInPlace(out.grad)
+			}
+			if b.needs {
+				b.grad.Axpy(-1, out.grad)
+			}
+		}
+	}
+	return out
+}
+
+// Mul returns the element-wise product a ⊙ b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	val := a.Val.Clone()
+	val.MulInPlace(b.Val)
+	needs := a.needs || b.needs
+	out := t.node(val, needs, nil)
+	if needs {
+		out.back = func() {
+			if a.needs {
+				for i, g := range out.grad.Data {
+					a.grad.Data[i] += g * b.Val.Data[i]
+				}
+			}
+			if b.needs {
+				for i, g := range out.grad.Data {
+					b.grad.Data[i] += g * a.Val.Data[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Scale returns s * a for a constant s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	val := a.Val.Clone()
+	val.ScaleInPlace(s)
+	out := t.node(val, a.needs, nil)
+	if a.needs {
+		out.back = func() { a.grad.Axpy(s, out.grad) }
+	}
+	return out
+}
+
+func (t *Tape) unary(a *Node, fwd func(float64) float64, dfdx func(x, y float64) float64) *Node {
+	val := a.Val.Apply(fwd)
+	out := t.node(val, a.needs, nil)
+	if a.needs {
+		out.back = func() {
+			for i, g := range out.grad.Data {
+				a.grad.Data[i] += g * dfdx(a.Val.Data[i], val.Data[i])
+			}
+		}
+	}
+	return out
+}
+
+// Sigmoid applies the logistic function element-wise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	return t.unary(a, sigmoid, func(_, y float64) float64 { return y * (1 - y) })
+}
+
+// Tanh applies tanh element-wise.
+func (t *Tape) Tanh(a *Node) *Node {
+	return t.unary(a, math.Tanh, func(_, y float64) float64 { return 1 - y*y })
+}
+
+// ReLU applies max(0, x) element-wise.
+func (t *Tape) ReLU(a *Node) *Node {
+	return t.unary(a,
+		func(x float64) float64 { return math.Max(0, x) },
+		func(x, _ float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// Exp applies e^x element-wise.
+func (t *Tape) Exp(a *Node) *Node {
+	return t.unary(a, math.Exp, func(_, y float64) float64 { return y })
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Softmax applies a row-wise softmax.
+func (t *Tape) Softmax(a *Node) *Node {
+	val := tensor.New(a.Val.Rows, a.Val.Cols)
+	for i := 0; i < a.Val.Rows; i++ {
+		softmaxRow(a.Val.Row(i), val.Row(i))
+	}
+	out := t.node(val, a.needs, nil)
+	if a.needs {
+		out.back = func() {
+			for i := 0; i < val.Rows; i++ {
+				y := val.Row(i)
+				g := out.grad.Row(i)
+				dot := 0.0
+				for j := range y {
+					dot += y[j] * g[j]
+				}
+				arow := a.grad.Row(i)
+				for j := range y {
+					arow[j] += y[j] * (g[j] - dot)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func softmaxRow(in, out []float64) {
+	max := math.Inf(-1)
+	for _, v := range in {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for j, v := range in {
+		out[j] = math.Exp(v - max)
+		sum += out[j]
+	}
+	for j := range out {
+		out[j] /= sum
+	}
+}
+
+// Concat concatenates nodes horizontally (same row count).
+func (t *Tape) Concat(ns ...*Node) *Node {
+	mats := make([]*tensor.Matrix, len(ns))
+	needs := false
+	for i, n := range ns {
+		mats[i] = n.Val
+		needs = needs || n.needs
+	}
+	val := tensor.ConcatCols(mats...)
+	out := t.node(val, needs, nil)
+	if needs {
+		out.back = func() {
+			off := 0
+			for _, n := range ns {
+				if n.needs {
+					for i := 0; i < n.Val.Rows; i++ {
+						grow := out.grad.Row(i)[off : off+n.Val.Cols]
+						nrow := n.grad.Row(i)
+						for j, g := range grow {
+							nrow[j] += g
+						}
+					}
+				}
+				off += n.Val.Cols
+			}
+		}
+	}
+	return out
+}
+
+// SliceCols returns columns [lo, hi) of a.
+func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
+	val := tensor.New(a.Val.Rows, hi-lo)
+	for i := 0; i < a.Val.Rows; i++ {
+		copy(val.Row(i), a.Val.Row(i)[lo:hi])
+	}
+	out := t.node(val, a.needs, nil)
+	if a.needs {
+		out.back = func() {
+			for i := 0; i < val.Rows; i++ {
+				arow := a.grad.Row(i)
+				for j, g := range out.grad.Row(i) {
+					arow[lo+j] += g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Gather builds a matrix whose i-th row is a.Row(idx[i]); gradients
+// scatter-add back into the gathered rows (sparse embedding update).
+func (t *Tape) Gather(a *Node, idx []int) *Node {
+	val := tensor.GatherRows(a.Val, idx)
+	out := t.node(val, a.needs, nil)
+	if a.needs {
+		out.back = func() {
+			for i, r := range idx {
+				arow := a.grad.Row(r)
+				for j, g := range out.grad.Row(i) {
+					arow[j] += g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MeanRows reduces R x C to 1 x C by column-wise mean.
+func (t *Tape) MeanRows(a *Node) *Node {
+	val := a.Val.MeanRows()
+	out := t.node(val, a.needs, nil)
+	if a.needs {
+		inv := 1 / float64(a.Val.Rows)
+		out.back = func() {
+			g := out.grad.Row(0)
+			for i := 0; i < a.Val.Rows; i++ {
+				arow := a.grad.Row(i)
+				for j, gv := range g {
+					arow[j] += gv * inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MeanGroups reduces (B*K) x C to B x C by averaging each consecutive group
+// of K rows; this is the batched mean-AGGREGATE over aligned sampled
+// neighborhoods.
+func (t *Tape) MeanGroups(a *Node, k int) *Node {
+	if a.Val.Rows%k != 0 {
+		panic("nn: MeanGroups row count not divisible by group size")
+	}
+	b := a.Val.Rows / k
+	val := tensor.New(b, a.Val.Cols)
+	for g := 0; g < b; g++ {
+		orow := val.Row(g)
+		for r := 0; r < k; r++ {
+			for j, v := range a.Val.Row(g*k + r) {
+				orow[j] += v
+			}
+		}
+		for j := range orow {
+			orow[j] /= float64(k)
+		}
+	}
+	out := t.node(val, a.needs, nil)
+	if a.needs {
+		inv := 1 / float64(k)
+		out.back = func() {
+			for g := 0; g < b; g++ {
+				grow := out.grad.Row(g)
+				for r := 0; r < k; r++ {
+					arow := a.grad.Row(g*k + r)
+					for j, gv := range grow {
+						arow[j] += gv * inv
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxGroups reduces (B*K) x C to B x C by element-wise max over each group
+// of K rows (max-pooling AGGREGATE).
+func (t *Tape) MaxGroups(a *Node, k int) *Node {
+	if a.Val.Rows%k != 0 {
+		panic("nn: MaxGroups row count not divisible by group size")
+	}
+	b := a.Val.Rows / k
+	val := tensor.New(b, a.Val.Cols)
+	argmax := make([]int, b*a.Val.Cols)
+	for g := 0; g < b; g++ {
+		orow := val.Row(g)
+		for j := range orow {
+			orow[j] = math.Inf(-1)
+		}
+		for r := 0; r < k; r++ {
+			row := a.Val.Row(g*k + r)
+			for j, v := range row {
+				if v > orow[j] {
+					orow[j] = v
+					argmax[g*a.Val.Cols+j] = g*k + r
+				}
+			}
+		}
+	}
+	out := t.node(val, a.needs, nil)
+	if a.needs {
+		cols := a.Val.Cols
+		out.back = func() {
+			for g := 0; g < b; g++ {
+				grow := out.grad.Row(g)
+				for j, gv := range grow {
+					a.grad.Row(argmax[g*cols+j])[j] += gv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ScatterMean averages the rows of a into outRows buckets given each row's
+// bucket assignment; empty buckets stay zero. It is the variable-group-size
+// counterpart of MeanGroups, used when neighbor counts differ per vertex
+// (full-neighborhood propagation in HEP).
+func (t *Tape) ScatterMean(a *Node, rows []int, outRows int) *Node {
+	if len(rows) != a.Val.Rows {
+		panic("nn: ScatterMean assignment length mismatch")
+	}
+	counts := make([]float64, outRows)
+	for _, r := range rows {
+		counts[r]++
+	}
+	val := tensor.New(outRows, a.Val.Cols)
+	for i, r := range rows {
+		orow := val.Row(r)
+		for j, v := range a.Val.Row(i) {
+			orow[j] += v / counts[r]
+		}
+	}
+	out := t.node(val, a.needs, nil)
+	if a.needs {
+		out.back = func() {
+			for i, r := range rows {
+				arow := a.grad.Row(i)
+				for j, g := range out.grad.Row(r) {
+					arow[j] += g / counts[r]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SumAll reduces to a 1x1 scalar node.
+func (t *Tape) SumAll(a *Node) *Node {
+	s := 0.0
+	for _, v := range a.Val.Data {
+		s += v
+	}
+	val := tensor.FromSlice(1, 1, []float64{s})
+	out := t.node(val, a.needs, nil)
+	if a.needs {
+		out.back = func() {
+			g := out.grad.Data[0]
+			for i := range a.grad.Data {
+				a.grad.Data[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// MeanAll reduces to the scalar mean of all elements.
+func (t *Tape) MeanAll(a *Node) *Node {
+	n := len(a.Val.Data)
+	return t.Scale(t.SumAll(a), 1/float64(n))
+}
+
+// RowDot computes per-row dot products of same-shape a and b, producing
+// R x 1 (the edge-score head used by every link-prediction model).
+func (t *Tape) RowDot(a, b *Node) *Node {
+	if !a.Val.SameShape(b.Val) {
+		panic("nn: RowDot shape mismatch")
+	}
+	val := tensor.New(a.Val.Rows, 1)
+	for i := 0; i < a.Val.Rows; i++ {
+		s := 0.0
+		ar, br := a.Val.Row(i), b.Val.Row(i)
+		for j := range ar {
+			s += ar[j] * br[j]
+		}
+		val.Data[i] = s
+	}
+	needs := a.needs || b.needs
+	out := t.node(val, needs, nil)
+	if needs {
+		out.back = func() {
+			for i := 0; i < a.Val.Rows; i++ {
+				g := out.grad.Data[i]
+				if a.needs {
+					ar := a.grad.Row(i)
+					for j, bv := range b.Val.Row(i) {
+						ar[j] += g * bv
+					}
+				}
+				if b.needs {
+					br := b.grad.Row(i)
+					for j, av := range a.Val.Row(i) {
+						br[j] += g * av
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RowL2Normalize normalizes each row of a to unit L2 norm (zero rows pass
+// through), differentiably.
+func (t *Tape) RowL2Normalize(a *Node) *Node {
+	val := tensor.New(a.Val.Rows, a.Val.Cols)
+	norms := make([]float64, a.Val.Rows)
+	for i := 0; i < a.Val.Rows; i++ {
+		row := a.Val.Row(i)
+		s := 0.0
+		for _, v := range row {
+			s += v * v
+		}
+		norms[i] = math.Sqrt(s)
+		orow := val.Row(i)
+		if norms[i] == 0 {
+			copy(orow, row)
+			continue
+		}
+		for j, v := range row {
+			orow[j] = v / norms[i]
+		}
+	}
+	out := t.node(val, a.needs, nil)
+	if a.needs {
+		out.back = func() {
+			for i := 0; i < a.Val.Rows; i++ {
+				if norms[i] == 0 {
+					arow := a.grad.Row(i)
+					for j, g := range out.grad.Row(i) {
+						arow[j] += g
+					}
+					continue
+				}
+				y := val.Row(i)
+				g := out.grad.Row(i)
+				dot := 0.0
+				for j := range y {
+					dot += y[j] * g[j]
+				}
+				arow := a.grad.Row(i)
+				for j := range y {
+					arow[j] += (g[j] - y[j]*dot) / norms[i]
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// This file implements the two edge-placement partitioners of Section 3.2:
+// PowerGraph-style vertex-cut (greedy edge placement that minimizes vertex
+// replication) and 2-D grid partitioning (used when the number of workers is
+// fixed, e.g. a sqrt(p) x sqrt(p) grid).
+
+// EdgeAssignment places every edge on a worker; vertices are replicated on
+// every worker holding one of their edges.
+type EdgeAssignment struct {
+	P      int
+	Of     []int // edge index (in visit order) -> partition
+	n      int
+	placed []map[int]struct{} // vertex -> set of partitions holding it
+}
+
+// ReplicationFactor is the average number of copies per vertex, the
+// vertex-cut quality metric from the PowerGraph paper.
+func (ea *EdgeAssignment) ReplicationFactor() float64 {
+	total, cnt := 0, 0
+	for _, s := range ea.placed {
+		if len(s) > 0 {
+			total += len(s)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(total) / float64(cnt)
+}
+
+// Sizes returns the number of edges per partition.
+func (ea *EdgeAssignment) Sizes() []int {
+	s := make([]int, ea.P)
+	for _, p := range ea.Of {
+		s[p]++
+	}
+	return s
+}
+
+// EdgePartitioner assigns edges (rather than vertices) to p workers.
+type EdgePartitioner interface {
+	Name() string
+	PartitionEdges(g *graph.Graph, p int) (*EdgeAssignment, error)
+}
+
+// VertexCut implements PowerGraph's greedy vertex-cut heuristic: place each
+// edge on a worker already holding one (ideally both) of its endpoints,
+// breaking ties toward the least-loaded worker.
+type VertexCut struct{}
+
+// Name implements EdgePartitioner.
+func (VertexCut) Name() string { return "vertexcut" }
+
+// PartitionEdges implements EdgePartitioner.
+func (VertexCut) PartitionEdges(g *graph.Graph, p int) (*EdgeAssignment, error) {
+	if err := validate(g, p); err != nil {
+		return nil, err
+	}
+	ea := &EdgeAssignment{P: p, n: g.NumVertices(), placed: make([]map[int]struct{}, g.NumVertices())}
+	for i := range ea.placed {
+		ea.placed[i] = make(map[int]struct{})
+	}
+	load := make([]int, p)
+
+	place := func(src, dst graph.ID) {
+		su, sv := ea.placed[src], ea.placed[dst]
+		var best, bestScore = -1, math.Inf(-1)
+		for q := 0; q < p; q++ {
+			score := 0.0
+			if _, ok := su[q]; ok {
+				score += 1
+			}
+			if _, ok := sv[q]; ok {
+				score += 1
+			}
+			score -= float64(load[q]) * 1e-6 // least-loaded tie break
+			if score > bestScore {
+				best, bestScore = q, score
+			}
+		}
+		ea.Of = append(ea.Of, best)
+		load[best]++
+		su[best] = struct{}{}
+		sv[best] = struct{}{}
+	}
+
+	for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+		g.EdgesOfType(graph.EdgeType(t), func(src, dst graph.ID, _ float64) bool {
+			if !g.Directed() && src > dst {
+				return true
+			}
+			place(src, dst)
+			return true
+		})
+	}
+	return ea, nil
+}
+
+// Grid2D implements 2-D partitioning: workers form an r x c grid with
+// r*c = p; edge (u,v) goes to worker (row(u), col(v)). Each vertex is then
+// replicated on at most r+c-1 workers regardless of degree, which is why
+// 2-D partitioning is preferred when p is fixed.
+type Grid2D struct{}
+
+// Name implements EdgePartitioner.
+func (Grid2D) Name() string { return "2d" }
+
+// gridShape factors p into the most square r x c grid.
+func gridShape(p int) (r, c int) {
+	r = int(math.Sqrt(float64(p)))
+	for r > 1 && p%r != 0 {
+		r--
+	}
+	return r, p / r
+}
+
+// PartitionEdges implements EdgePartitioner.
+func (Grid2D) PartitionEdges(g *graph.Graph, p int) (*EdgeAssignment, error) {
+	if err := validate(g, p); err != nil {
+		return nil, err
+	}
+	r, c := gridShape(p)
+	if r*c != p {
+		return nil, fmt.Errorf("partition: cannot form grid from p=%d", p)
+	}
+	ea := &EdgeAssignment{P: p, n: g.NumVertices(), placed: make([]map[int]struct{}, g.NumVertices())}
+	for i := range ea.placed {
+		ea.placed[i] = make(map[int]struct{})
+	}
+	for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+		g.EdgesOfType(graph.EdgeType(t), func(src, dst graph.ID, _ float64) bool {
+			if !g.Directed() && src > dst {
+				return true
+			}
+			q := int(src)%r*c + int(dst)%c
+			ea.Of = append(ea.Of, q)
+			ea.placed[src][q] = struct{}{}
+			ea.placed[dst][q] = struct{}{}
+			return true
+		})
+	}
+	return ea, nil
+}

@@ -1,0 +1,278 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Metis is a METIS-style multilevel partitioner: the graph is coarsened by
+// repeated heavy-edge matching, the coarsest graph is partitioned by greedy
+// region growing, and the partition is projected back with boundary
+// refinement at each level. As in the paper's recommendation it is the best
+// choice for sparse graphs.
+type Metis struct {
+	// MaxCoarseVertices stops coarsening once the graph is this small;
+	// zero means 8*p.
+	MaxCoarseVertices int
+}
+
+// Name implements VertexPartitioner.
+func (Metis) Name() string { return "metis" }
+
+// coarseGraph is an intermediate weighted graph in the multilevel hierarchy.
+type coarseGraph struct {
+	n      int
+	vw     []int             // vertex weights (number of original vertices)
+	adj    []map[int]float64 // adjacency with accumulated edge weights
+	parent []int             // fine vertex -> coarse vertex (in the *finer* graph)
+}
+
+func buildCoarse(g *graph.Graph) *coarseGraph {
+	n := g.NumVertices()
+	cg := &coarseGraph{n: n, vw: make([]int, n), adj: make([]map[int]float64, n)}
+	for v := 0; v < n; v++ {
+		cg.vw[v] = 1
+		cg.adj[v] = make(map[int]float64)
+	}
+	for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+		g.EdgesOfType(graph.EdgeType(t), func(src, dst graph.ID, w float64) bool {
+			if src == dst {
+				return true
+			}
+			cg.adj[src][int(dst)] += w
+			cg.adj[dst][int(src)] += w
+			return true
+		})
+	}
+	return cg
+}
+
+// coarsen performs one level of heavy-edge matching.
+func (cg *coarseGraph) coarsen() *coarseGraph {
+	match := make([]int, cg.n)
+	for i := range match {
+		match[i] = -1
+	}
+	// Visit vertices in increasing degree order (small-degree first gives
+	// better matchings on power-law graphs).
+	order := make([]int, cg.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(cg.adj[order[a]]) < len(cg.adj[order[b]]) })
+
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		best, bestW := -1, -1.0
+		for u, w := range cg.adj[v] {
+			if match[u] == -1 && w > bestW {
+				best, bestW = u, w
+			}
+		}
+		if best == -1 {
+			match[v] = v
+		} else {
+			match[v] = best
+			match[best] = v
+		}
+	}
+
+	// Number coarse vertices.
+	coarseID := make([]int, cg.n)
+	for i := range coarseID {
+		coarseID[i] = -1
+	}
+	next := 0
+	for v := 0; v < cg.n; v++ {
+		if coarseID[v] != -1 {
+			continue
+		}
+		coarseID[v] = next
+		if match[v] != v {
+			coarseID[match[v]] = next
+		}
+		next = next + 1
+	}
+
+	out := &coarseGraph{
+		n:      next,
+		vw:     make([]int, next),
+		adj:    make([]map[int]float64, next),
+		parent: coarseID,
+	}
+	for i := 0; i < next; i++ {
+		out.adj[i] = make(map[int]float64)
+	}
+	for v := 0; v < cg.n; v++ {
+		out.vw[coarseID[v]] += cg.vw[v]
+		for u, w := range cg.adj[v] {
+			cu, cv := coarseID[u], coarseID[v]
+			if cu != cv {
+				out.adj[cv][cu] += w
+			}
+		}
+	}
+	return out
+}
+
+// initialPartition grows p regions greedily from seed vertices, weighting by
+// vertex weight to balance original-vertex counts.
+func (cg *coarseGraph) initialPartition(p int) []int {
+	part := make([]int, cg.n)
+	for i := range part {
+		part[i] = -1
+	}
+	total := 0
+	for _, w := range cg.vw {
+		total += w
+	}
+	target := (total + p - 1) / p
+
+	// Seeds: spread across the degree-sorted order.
+	order := make([]int, cg.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(cg.adj[order[a]]) > len(cg.adj[order[b]]) })
+
+	load := make([]int, p)
+	cur := 0
+	var frontier []int
+	assign := func(v, pt int) {
+		part[v] = pt
+		load[pt] += cg.vw[v]
+		frontier = append(frontier, v)
+	}
+	for _, seed := range order {
+		if part[seed] != -1 {
+			continue
+		}
+		if cur >= p {
+			cur = 0 // wrap: remaining components go to least-loaded region
+			least := 0
+			for i := 1; i < p; i++ {
+				if load[i] < load[least] {
+					least = i
+				}
+			}
+			cur = least
+		}
+		frontier = frontier[:0]
+		assign(seed, cur)
+		for len(frontier) > 0 && load[cur] < target {
+			v := frontier[0]
+			frontier = frontier[1:]
+			for u := range cg.adj[v] {
+				if part[u] == -1 && load[cur] < target {
+					assign(u, cur)
+				}
+			}
+		}
+		if cur < p {
+			cur++
+		}
+	}
+	// Any leftovers go to the least loaded part.
+	for v := 0; v < cg.n; v++ {
+		if part[v] == -1 {
+			least := 0
+			for i := 1; i < p; i++ {
+				if load[i] < load[least] {
+					least = i
+				}
+			}
+			part[v] = least
+			load[least] += cg.vw[v]
+		}
+	}
+	return part
+}
+
+// refine performs greedy boundary refinement: move a vertex to the
+// neighboring partition with the highest gain if it does not worsen balance.
+func (cg *coarseGraph) refine(part []int, p int, passes int) {
+	load := make([]int, p)
+	for v := 0; v < cg.n; v++ {
+		load[part[v]] += cg.vw[v]
+	}
+	total := 0
+	for _, w := range cg.vw {
+		total += w
+	}
+	maxLoad := int(1.1*float64(total)/float64(p)) + 1
+
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		for v := 0; v < cg.n; v++ {
+			cur := part[v]
+			// Gain of moving v to part q: sum w(v,u in q) - sum w(v,u in cur).
+			gain := make(map[int]float64)
+			var curW float64
+			for u, w := range cg.adj[v] {
+				if part[u] == cur {
+					curW += w
+				} else {
+					gain[part[u]] += w
+				}
+			}
+			bestQ, bestG := -1, 0.0
+			for q, w := range gain {
+				if g := w - curW; g > bestG && load[q]+cg.vw[v] <= maxLoad {
+					bestQ, bestG = q, g
+				}
+			}
+			if bestQ >= 0 {
+				load[cur] -= cg.vw[v]
+				load[bestQ] += cg.vw[v]
+				part[v] = bestQ
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+// Partition implements VertexPartitioner.
+func (m Metis) Partition(g *graph.Graph, p int) (*Assignment, error) {
+	if err := validate(g, p); err != nil {
+		return nil, err
+	}
+	if p == 1 {
+		return &Assignment{P: 1, Of: make([]int, g.NumVertices())}, nil
+	}
+	limit := m.MaxCoarseVertices
+	if limit <= 0 {
+		limit = 8 * p
+	}
+
+	levels := []*coarseGraph{buildCoarse(g)}
+	for levels[len(levels)-1].n > limit {
+		next := levels[len(levels)-1].coarsen()
+		if next.n >= levels[len(levels)-1].n {
+			break // matching stalled (e.g. star graphs)
+		}
+		levels = append(levels, next)
+	}
+
+	coarsest := levels[len(levels)-1]
+	part := coarsest.initialPartition(p)
+	coarsest.refine(part, p, 4)
+
+	// Project back through the hierarchy, refining at each level.
+	for li := len(levels) - 1; li >= 1; li-- {
+		finer := levels[li-1]
+		proj := make([]int, finer.n)
+		for v := 0; v < finer.n; v++ {
+			proj[v] = part[levels[li].parent[v]]
+		}
+		part = proj
+		finer.refine(part, p, 2)
+	}
+
+	return &Assignment{P: p, Of: part}, nil
+}

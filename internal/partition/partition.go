@@ -1,0 +1,129 @@
+// Package partition implements the four built-in graph partitioning
+// strategies of Section 3.2: a METIS-style multilevel partitioner for sparse
+// graphs, vertex-cut and edge-cut partitioning for dense graphs, 2-D grid
+// partitioning for fixed worker counts, and streaming partitioning for
+// frequently updated graphs. Partitioners are plugins: anything satisfying
+// VertexPartitioner or EdgePartitioner can be registered with the cluster
+// build pipeline (Algorithm 2, lines 1-4).
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Assignment maps every vertex to one of P workers. Edges live with their
+// source vertex, matching the paper's "partitioned by source vertices".
+type Assignment struct {
+	P  int
+	Of []int // vertex -> partition, len = |V|
+}
+
+// VertexPartitioner produces a vertex assignment into p parts.
+type VertexPartitioner interface {
+	Name() string
+	Partition(g *graph.Graph, p int) (*Assignment, error)
+}
+
+// Part returns the partition of vertex v.
+func (a *Assignment) Part(v graph.ID) int { return a.Of[v] }
+
+// Sizes returns the number of vertices in each partition.
+func (a *Assignment) Sizes() []int {
+	s := make([]int, a.P)
+	for _, p := range a.Of {
+		s[p]++
+	}
+	return s
+}
+
+// EdgeCut counts edges whose endpoints lie in different partitions; this is
+// the objective the partitioners minimize (cross-partition edges force
+// remote hops during NEIGHBORHOOD sampling).
+func (a *Assignment) EdgeCut(g *graph.Graph) int {
+	cut := 0
+	for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+		g.EdgesOfType(graph.EdgeType(t), func(src, dst graph.ID, _ float64) bool {
+			if a.Of[src] != a.Of[dst] {
+				cut++
+			}
+			return true
+		})
+	}
+	if !g.Directed() {
+		cut /= 2
+	}
+	return cut
+}
+
+// CutFraction is EdgeCut normalized by total edge count.
+func (a *Assignment) CutFraction(g *graph.Graph) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	return float64(a.EdgeCut(g)) / float64(g.NumEdges())
+}
+
+// Imbalance returns max part size divided by the ideal size n/P; 1.0 is a
+// perfect balance.
+func (a *Assignment) Imbalance() float64 {
+	sizes := a.Sizes()
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	ideal := float64(len(a.Of)) / float64(a.P)
+	if ideal == 0 {
+		return 1
+	}
+	return float64(max) / ideal
+}
+
+func validate(g *graph.Graph, p int) error {
+	if p <= 0 {
+		return fmt.Errorf("partition: p must be positive, got %d", p)
+	}
+	if g.NumVertices() == 0 {
+		return fmt.Errorf("partition: empty graph")
+	}
+	return nil
+}
+
+// HashPartitioner is the trivial edge-cut baseline: vertices are assigned
+// by ID modulo P. It guarantees balance but ignores locality.
+type HashPartitioner struct{}
+
+// Name implements VertexPartitioner.
+func (HashPartitioner) Name() string { return "hash" }
+
+// Partition implements VertexPartitioner.
+func (HashPartitioner) Partition(g *graph.Graph, p int) (*Assignment, error) {
+	if err := validate(g, p); err != nil {
+		return nil, err
+	}
+	a := &Assignment{P: p, Of: make([]int, g.NumVertices())}
+	for v := 0; v < g.NumVertices(); v++ {
+		a.Of[v] = v % p
+	}
+	return a, nil
+}
+
+// ByName returns the built-in vertex partitioner with the given name:
+// "metis", "streaming", "hash", or "edgecut".
+func ByName(name string) (VertexPartitioner, error) {
+	switch name {
+	case "metis":
+		return Metis{}, nil
+	case "streaming":
+		return Streaming{}, nil
+	case "hash":
+		return HashPartitioner{}, nil
+	case "edgecut":
+		return EdgeCutGreedy{}, nil
+	default:
+		return nil, fmt.Errorf("partition: unknown partitioner %q", name)
+	}
+}

@@ -1,0 +1,126 @@
+package partition
+
+import "repro/internal/graph"
+
+// Streaming implements the streaming-style partitioner (Stanton & Kliot):
+// vertices arrive one at a time and are placed greedily using the Linear
+// Deterministic Greedy (LDG) rule, which scores each partition by the number
+// of already-placed neighbors there, discounted by how full the partition
+// is. As the paper notes, streaming partitioning suits graphs with frequent
+// edge updates because placement needs only local state.
+type Streaming struct {
+	// Slack is the allowed capacity headroom; partition capacity is
+	// (1+Slack)*n/p. Zero means 0.1.
+	Slack float64
+}
+
+// Name implements VertexPartitioner.
+func (Streaming) Name() string { return "streaming" }
+
+// Partition implements VertexPartitioner.
+func (s Streaming) Partition(g *graph.Graph, p int) (*Assignment, error) {
+	if err := validate(g, p); err != nil {
+		return nil, err
+	}
+	slack := s.Slack
+	if slack == 0 {
+		slack = 0.1
+	}
+	n := g.NumVertices()
+	capacity := (1 + slack) * float64(n) / float64(p)
+
+	part := make([]int, n)
+	for i := range part {
+		part[i] = -1
+	}
+	load := make([]int, p)
+
+	for v := 0; v < n; v++ {
+		// Count placed neighbors per partition (both directions; arriving
+		// vertices see edges to already-placed vertices).
+		counts := make([]int, p)
+		vid := graph.ID(v)
+		for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+			for _, u := range g.OutNeighbors(vid, graph.EdgeType(t)) {
+				if part[u] >= 0 {
+					counts[part[u]]++
+				}
+			}
+			for _, u := range g.InNeighbors(vid, graph.EdgeType(t)) {
+				if part[u] >= 0 {
+					counts[part[u]]++
+				}
+			}
+		}
+		best, bestScore := 0, -1.0
+		for q := 0; q < p; q++ {
+			penalty := 1 - float64(load[q])/capacity
+			if penalty < 0 {
+				penalty = 0
+			}
+			score := float64(counts[q]) * penalty
+			// Tie-break toward the least-loaded partition so attribute-less
+			// prefixes spread out.
+			if score > bestScore || (score == bestScore && load[q] < load[best]) {
+				best, bestScore = q, score
+			}
+		}
+		part[v] = best
+		load[best]++
+	}
+	return &Assignment{P: p, Of: part}, nil
+}
+
+// EdgeCutGreedy is a one-pass greedy edge-cut partitioner for dense graphs:
+// like Streaming but with no capacity discounting until a hard cap, placing
+// each vertex with the plurality of its neighbors. The paper groups
+// vertex-cut and edge-cut partitioning as the dense-graph option.
+type EdgeCutGreedy struct{}
+
+// Name implements VertexPartitioner.
+func (EdgeCutGreedy) Name() string { return "edgecut" }
+
+// Partition implements VertexPartitioner.
+func (EdgeCutGreedy) Partition(g *graph.Graph, p int) (*Assignment, error) {
+	if err := validate(g, p); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	hardCap := int(1.25*float64(n)/float64(p)) + 1
+	part := make([]int, n)
+	for i := range part {
+		part[i] = -1
+	}
+	load := make([]int, p)
+	for v := 0; v < n; v++ {
+		counts := make([]int, p)
+		vid := graph.ID(v)
+		for t := 0; t < g.Schema().NumEdgeTypes(); t++ {
+			for _, u := range g.OutNeighbors(vid, graph.EdgeType(t)) {
+				if part[u] >= 0 {
+					counts[part[u]]++
+				}
+			}
+			for _, u := range g.InNeighbors(vid, graph.EdgeType(t)) {
+				if part[u] >= 0 {
+					counts[part[u]]++
+				}
+			}
+		}
+		best, bestCnt := -1, -1
+		for q := 0; q < p; q++ {
+			if load[q] >= hardCap {
+				continue
+			}
+			if counts[q] > bestCnt || (counts[q] == bestCnt && load[q] < load[best]) {
+				best, bestCnt = q, counts[q]
+			}
+		}
+		if best < 0 { // all full (cannot happen with cap > n/p, but be safe)
+			best = v % p
+		}
+		part[v] = best
+		load[best]++
+	}
+	return &Assignment{P: p, Of: part}, nil
+}

@@ -1,0 +1,93 @@
+// Package sampling implements AliGraph's sampling layer (Section 3.3): the
+// three sampler classes TRAVERSE, NEIGHBORHOOD and NEGATIVE, weighted
+// samplers with dynamic weight updates (a sampler "backward" pass), and the
+// lock-free per-group request-flow buckets that serialize reads and updates
+// without locking (Figure 6).
+package sampling
+
+import (
+	"math/rand"
+)
+
+// Alias is a Walker alias table: O(n) construction, O(1) weighted sampling.
+// It is the workhorse behind NEGATIVE sampling (unigram^0.75 distributions)
+// and weighted neighbor selection.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table over the given non-negative weights. A nil
+// or all-zero weight vector yields a uniform table.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		return &Alias{}
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int32, n)}
+	if total == 0 {
+		for i := range a.prob {
+			a.prob[i] = 1
+			a.alias[i] = int32(i)
+		}
+		return a
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = int32(i)
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = int32(i)
+	}
+	return a
+}
+
+// Draw samples an index according to the table's weights.
+func (a *Alias) Draw(rng *rand.Rand) int {
+	if len(a.prob) == 0 {
+		return -1
+	}
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// Len reports the table size.
+func (a *Alias) Len() int { return len(a.prob) }

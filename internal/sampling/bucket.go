@@ -1,0 +1,146 @@
+package sampling
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// This file implements the lock-free graph operations of Section 3.3 /
+// Figure 6: vertices on a graph server are split into groups; each group is
+// bound to a request-flow bucket — a lock-free multi-producer single-
+// consumer queue drained by one dedicated goroutine — so that all reads and
+// weight updates touching a group execute sequentially without locking.
+
+// mpscNode is a node of the Vyukov MPSC intrusive queue.
+type mpscNode struct {
+	next atomic.Pointer[mpscNode]
+	op   func()
+}
+
+// mpscQueue is a lock-free multi-producer single-consumer queue. Producers
+// only touch tail with an atomic swap; the single consumer owns head.
+type mpscQueue struct {
+	head *mpscNode // consumer-owned
+	tail atomic.Pointer[mpscNode]
+	stub mpscNode
+}
+
+func newMPSCQueue() *mpscQueue {
+	q := &mpscQueue{}
+	q.head = &q.stub
+	q.tail.Store(&q.stub)
+	return q
+}
+
+// push enqueues op; safe for concurrent producers.
+func (q *mpscQueue) push(op func()) {
+	n := &mpscNode{op: op}
+	prev := q.tail.Swap(n)
+	prev.next.Store(n)
+}
+
+// pop dequeues one op; only the single consumer may call it. It returns nil
+// when the queue is (momentarily) empty.
+func (q *mpscQueue) pop() func() {
+	head := q.head
+	next := head.next.Load()
+	if next == nil {
+		return nil
+	}
+	q.head = next
+	op := next.op
+	next.op = nil
+	return op
+}
+
+// Buckets partitions vertex operations across lock-free request-flow
+// buckets, one consumer goroutine per bucket (the paper binds each to a CPU
+// core). Operations on the same vertex group are serialized; operations on
+// different groups run in parallel.
+type Buckets struct {
+	n      int
+	queues []*mpscQueue
+	wake   []chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	processed atomic.Int64
+}
+
+// NewBuckets starts n bucket consumers.
+func NewBuckets(n int) *Buckets {
+	b := &Buckets{
+		n:      n,
+		queues: make([]*mpscQueue, n),
+		wake:   make([]chan struct{}, n),
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		b.queues[i] = newMPSCQueue()
+		b.wake[i] = make(chan struct{}, 1)
+		b.wg.Add(1)
+		go b.consume(i)
+	}
+	return b
+}
+
+func (b *Buckets) consume(i int) {
+	defer b.wg.Done()
+	q := b.queues[i]
+	for {
+		if op := q.pop(); op != nil {
+			op()
+			b.processed.Add(1)
+			continue
+		}
+		select {
+		case <-b.wake[i]:
+		case <-b.done:
+			// Drain remaining ops before exiting.
+			for op := q.pop(); op != nil; op = q.pop() {
+				op()
+				b.processed.Add(1)
+			}
+			return
+		}
+	}
+}
+
+// bucketOf maps a vertex to its group's bucket. The graph is partitioned by
+// source vertex, so grouping by ID keeps each vertex's reads and updates on
+// one bucket.
+func (b *Buckets) bucketOf(v graph.ID) int {
+	h := uint64(v) * 0x9E3779B97F4A7C15 // Fibonacci hashing
+	return int(h % uint64(b.n))
+}
+
+// Submit enqueues op on v's bucket and returns immediately.
+func (b *Buckets) Submit(v graph.ID, op func()) {
+	i := b.bucketOf(v)
+	b.queues[i].push(op)
+	select {
+	case b.wake[i] <- struct{}{}:
+	default:
+	}
+}
+
+// SubmitWait enqueues op on v's bucket and blocks until it has run.
+func (b *Buckets) SubmitWait(v graph.ID, op func()) {
+	ch := make(chan struct{})
+	b.Submit(v, func() {
+		op()
+		close(ch)
+	})
+	<-ch
+}
+
+// Processed reports how many operations have completed.
+func (b *Buckets) Processed() int64 { return b.processed.Load() }
+
+// Close stops all consumers after draining queued operations.
+func (b *Buckets) Close() {
+	close(b.done)
+	b.wg.Wait()
+}

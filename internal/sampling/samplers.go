@@ -1,0 +1,248 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Source abstracts where neighbor lists come from: a local graph, a graph
+// server partition, or a distributed client with caching. Weights may be nil
+// (uniform).
+type Source interface {
+	SampleNeighbors(v graph.ID, t graph.EdgeType) (ns []graph.ID, ws []float64, err error)
+}
+
+// GraphSource serves neighbors from an in-memory graph.
+type GraphSource struct {
+	G *graph.Graph
+}
+
+// SampleNeighbors implements Source.
+func (s GraphSource) SampleNeighbors(v graph.ID, t graph.EdgeType) ([]graph.ID, []float64, error) {
+	return s.G.OutNeighbors(v, t), s.G.OutWeights(v, t), nil
+}
+
+// ---------------------------------------------------------------------------
+// TRAVERSE sampler
+
+// Traverse samples batches of vertices or edges of a given type from the
+// (partitioned sub)graph; it is the entry point of every training loop
+// (Figure 5: vertex = s1.sample(edge_type, batch_size)).
+type Traverse struct {
+	G   *graph.Graph
+	Rng *rand.Rand
+}
+
+// NewTraverse creates a TRAVERSE sampler over g.
+func NewTraverse(g *graph.Graph, rng *rand.Rand) *Traverse {
+	return &Traverse{G: g, Rng: rng}
+}
+
+// SampleVertices draws batch source vertices uniformly among vertices that
+// have at least one out-edge of type t.
+func (s *Traverse) SampleVertices(t graph.EdgeType, batch int) []graph.ID {
+	out := make([]graph.ID, 0, batch)
+	n := s.G.NumVertices()
+	for len(out) < batch {
+		v := graph.ID(s.Rng.Intn(n))
+		if s.G.OutDegree(v, t) > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SampleVerticesOfType draws batch vertices uniformly among vertices of
+// vertex type vt.
+func (s *Traverse) SampleVerticesOfType(vt graph.VertexType, batch int) []graph.ID {
+	pool := s.G.VerticesOfType(vt)
+	out := make([]graph.ID, batch)
+	for i := range out {
+		out[i] = pool[s.Rng.Intn(len(pool))]
+	}
+	return out
+}
+
+// SampleEdges draws batch edges of type t uniformly, weighted by nothing
+// but presence (uniform over CSR entries).
+func (s *Traverse) SampleEdges(t graph.EdgeType, batch int) []graph.Edge {
+	out := make([]graph.Edge, 0, batch)
+	total := s.G.NumEdgesOfType(t)
+	if total == 0 {
+		return out
+	}
+	for len(out) < batch {
+		// Pick a random CSR entry via a random source vertex weighted by
+		// degree: draw a vertex proportional to its type-t out-degree by
+		// rejection on a uniform entry index.
+		v := graph.ID(s.Rng.Intn(s.G.NumVertices()))
+		d := s.G.OutDegree(v, t)
+		if d == 0 {
+			continue
+		}
+		i := s.Rng.Intn(d)
+		out = append(out, graph.Edge{
+			Src:    v,
+			Dst:    s.G.OutNeighbors(v, t)[i],
+			Type:   t,
+			Weight: s.G.OutWeights(v, t)[i],
+		})
+	}
+	return out
+}
+
+// EpochVertices returns all vertices with out-edges of type t in shuffled
+// order, for full-epoch traversal.
+func (s *Traverse) EpochVertices(t graph.EdgeType) []graph.ID {
+	var out []graph.ID
+	for v := 0; v < s.G.NumVertices(); v++ {
+		if s.G.OutDegree(graph.ID(v), t) > 0 {
+			out = append(out, graph.ID(v))
+		}
+	}
+	s.Rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// NEIGHBORHOOD sampler
+
+// Context is the sampled multi-hop neighborhood of a vertex batch: Layers[0]
+// is the batch itself; Layers[h] holds, for each vertex of Layers[h-1],
+// exactly HopNums[h-1] sampled neighbors, flattened in order.
+type Context struct {
+	HopNums []int
+	Layers  [][]graph.ID
+}
+
+// NeighborsOf returns the sampled neighbors of the i-th vertex of layer h
+// (the slice aliases the layer storage).
+func (c *Context) NeighborsOf(h, i int) []graph.ID {
+	width := c.HopNums[h]
+	return c.Layers[h+1][i*width : (i+1)*width]
+}
+
+// Neighborhood samples aligned fixed-size neighborhoods
+// (Figure 5: context = s2.sample(edge_type, vertex, hop_nums)).
+type Neighborhood struct {
+	Src Source
+	Rng *rand.Rand
+	// ByWeight selects neighbors proportionally to edge weight instead of
+	// uniformly.
+	ByWeight bool
+}
+
+// NewNeighborhood creates a NEIGHBORHOOD sampler over src.
+func NewNeighborhood(src Source, rng *rand.Rand) *Neighborhood {
+	return &Neighborhood{Src: src, Rng: rng}
+}
+
+// Sample expands the batch hop by hop. Vertices with no neighbors under t
+// are padded with themselves, keeping every layer perfectly aligned (the
+// aligned output is what makes the downstream AGGREGATE batched).
+func (s *Neighborhood) Sample(t graph.EdgeType, batch []graph.ID, hopNums []int) (*Context, error) {
+	ctx := &Context{HopNums: hopNums, Layers: make([][]graph.ID, len(hopNums)+1)}
+	ctx.Layers[0] = batch
+	cur := batch
+	for h, width := range hopNums {
+		next := make([]graph.ID, 0, len(cur)*width)
+		for _, v := range cur {
+			ns, ws, err := s.Src.SampleNeighbors(v, t)
+			if err != nil {
+				return nil, err
+			}
+			if len(ns) == 0 {
+				for i := 0; i < width; i++ {
+					next = append(next, v)
+				}
+				continue
+			}
+			if s.ByWeight && ws != nil {
+				alias := NewAlias(ws)
+				for i := 0; i < width; i++ {
+					next = append(next, ns[alias.Draw(s.Rng)])
+				}
+			} else {
+				for i := 0; i < width; i++ {
+					next = append(next, ns[s.Rng.Intn(len(ns))])
+				}
+			}
+		}
+		ctx.Layers[h+1] = next
+		cur = next
+	}
+	return ctx, nil
+}
+
+// ---------------------------------------------------------------------------
+// NEGATIVE sampler
+
+// Negative draws negative examples from the smoothed unigram distribution
+// P(v) ∝ deg(v)^power over candidate destination vertices of an edge type
+// (Figure 5: neg = s3.sample(edge_type, vertex, neg_num)).
+type Negative struct {
+	Rng        *rand.Rand
+	candidates []graph.ID
+	table      *Alias
+}
+
+// NegativePower is the standard unigram smoothing exponent from word2vec,
+// which the paper's negative samplers inherit.
+const NegativePower = 0.75
+
+// NewNegative builds a negative sampler for edge type t of g: candidates are
+// all vertices with at least one in-edge of type t, weighted by
+// in-degree^power.
+func NewNegative(g *graph.Graph, t graph.EdgeType, rng *rand.Rand) *Negative {
+	var cands []graph.ID
+	var ws []float64
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.InDegree(graph.ID(v), t)
+		if d > 0 {
+			cands = append(cands, graph.ID(v))
+			ws = append(ws, math.Pow(float64(d), NegativePower))
+		}
+	}
+	return &Negative{Rng: rng, candidates: cands, table: NewAlias(ws)}
+}
+
+// Sample draws n negatives for each vertex of batch, avoiding the trivial
+// collision with the vertex itself. Results are flattened batch-major.
+func (s *Negative) Sample(batch []graph.ID, n int) []graph.ID {
+	out := make([]graph.ID, 0, len(batch)*n)
+	for _, v := range batch {
+		for i := 0; i < n; i++ {
+			out = append(out, s.drawAvoiding(v))
+		}
+	}
+	return out
+}
+
+// SampleAvoiding draws n negatives avoiding every vertex in the exclusion
+// set (e.g. the true positives of the current example).
+func (s *Negative) SampleAvoiding(exclude map[graph.ID]struct{}, n int) []graph.ID {
+	out := make([]graph.ID, 0, n)
+	for len(out) < n {
+		c := s.candidates[s.table.Draw(s.Rng)]
+		if _, bad := exclude[c]; bad && len(s.candidates) > len(exclude) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func (s *Negative) drawAvoiding(v graph.ID) graph.ID {
+	for tries := 0; tries < 8; tries++ {
+		c := s.candidates[s.table.Draw(s.Rng)]
+		if c != v {
+			return c
+		}
+	}
+	return s.candidates[s.table.Draw(s.Rng)]
+}
+
+// NumCandidates reports the candidate pool size.
+func (s *Negative) NumCandidates() int { return len(s.candidates) }

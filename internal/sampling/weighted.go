@@ -1,0 +1,99 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Weighted is a dynamically re-weightable sampler: training can register a
+// gradient function so that the sampler's weights are updated in its
+// backward computation, "just like gradient back propagation of an
+// operator" (Section 3.3). Sampling uses a Fenwick (binary indexed) tree so
+// both Draw and Update are O(log n) — an alias table would need a full
+// O(n) rebuild per update.
+type Weighted struct {
+	n    int
+	tree []float64 // Fenwick tree over weights
+	w    []float64
+
+	// grad is the registered backward function mapping (index, signal) to a
+	// weight delta.
+	grad func(idx int, signal float64) float64
+}
+
+// NewWeighted creates a sampler over n items with the given initial weights
+// (nil means uniform 1.0).
+func NewWeighted(weights []float64, n int) *Weighted {
+	s := &Weighted{n: n, tree: make([]float64, n+1), w: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		wi := 1.0
+		if weights != nil {
+			wi = math.Max(0, weights[i])
+		}
+		s.w[i] = wi
+		s.add(i, wi)
+	}
+	return s
+}
+
+func (s *Weighted) add(i int, delta float64) {
+	for j := i + 1; j <= s.n; j += j & (-j) {
+		s.tree[j] += delta
+	}
+}
+
+func (s *Weighted) prefix(i int) float64 {
+	t := 0.0
+	for j := i; j > 0; j -= j & (-j) {
+		t += s.tree[j]
+	}
+	return t
+}
+
+// Total returns the current weight mass.
+func (s *Weighted) Total() float64 { return s.prefix(s.n) }
+
+// Weight returns the current weight of item i.
+func (s *Weighted) Weight(i int) float64 { return s.w[i] }
+
+// Draw samples an index proportional to current weights; -1 when all
+// weights are zero.
+func (s *Weighted) Draw(rng *rand.Rand) int {
+	total := s.Total()
+	if total <= 0 {
+		return -1
+	}
+	target := rng.Float64() * total
+	// Binary search on prefix sums.
+	idx := sort.Search(s.n, func(i int) bool { return s.prefix(i+1) > target })
+	if idx >= s.n {
+		idx = s.n - 1
+	}
+	return idx
+}
+
+// Set replaces the weight of item i.
+func (s *Weighted) Set(i int, w float64) {
+	if w < 0 {
+		w = 0
+	}
+	s.add(i, w-s.w[i])
+	s.w[i] = w
+}
+
+// RegisterGradient installs the backward function. Subsequent Backward
+// calls apply fn's delta to the item's weight, clamped at zero.
+func (s *Weighted) RegisterGradient(fn func(idx int, signal float64) float64) {
+	s.grad = fn
+}
+
+// Backward applies the registered gradient for item idx with the given
+// training signal (e.g. the loss contribution of the sample). Without a
+// registered gradient it is a no-op, mirroring samplers that do not learn.
+func (s *Weighted) Backward(idx int, signal float64) {
+	if s.grad == nil {
+		return
+	}
+	s.Set(idx, s.w[idx]+s.grad(idx, signal))
+}

@@ -1,0 +1,147 @@
+// Package skipgram implements skip-gram with negative sampling (SGNS) over
+// random-walk corpora. It is the shared training engine behind DeepWalk,
+// Node2Vec, Metapath2Vec, PMNE, MNE, MVE and the random-walk half of GATNE
+// (Section 4.2, Equation 4: the objective -log P(v_p' | v) approximated by
+// negative sampling). Updates are hand-rolled SGD on raw slices — SGNS is
+// the throughput bottleneck of every baseline and does not need the
+// autograd tape.
+package skipgram
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/sampling"
+	"repro/internal/tensor"
+	"repro/internal/walk"
+)
+
+// Config holds SGNS hyper-parameters.
+type Config struct {
+	Dim      int
+	Window   int
+	Negative int
+	Epochs   int
+	LR       float64
+}
+
+// DefaultConfig mirrors common DeepWalk settings scaled to laptop runs.
+func DefaultConfig() Config {
+	return Config{Dim: 32, Window: 4, Negative: 4, Epochs: 2, LR: 0.025}
+}
+
+// Model holds the input ("in") and context ("out") embedding tables.
+type Model struct {
+	Dim int
+	In  *tensor.Matrix // n x dim; the embeddings exported to consumers
+	Out *tensor.Matrix
+}
+
+// NewModel allocates a model for n vertices.
+func NewModel(n, dim int, rng *rand.Rand) *Model {
+	m := &Model{Dim: dim, In: tensor.New(n, dim), Out: tensor.New(n, dim)}
+	for i := range m.In.Data {
+		m.In.Data[i] = (rng.Float64() - 0.5) / float64(dim)
+	}
+	return m
+}
+
+// Embedding returns the learned embedding of v (shared slice).
+func (m *Model) Embedding(v graph.ID) []float64 { return m.In.Row(int(v)) }
+
+// Train runs SGNS over the corpus. Negative samples are drawn from the
+// corpus unigram distribution raised to 0.75.
+func (m *Model) Train(corpus walk.Corpus, cfg Config, rng *rand.Rand) {
+	counts := make([]float64, m.In.Rows)
+	for _, w := range corpus {
+		for _, v := range w {
+			counts[v]++
+		}
+	}
+	for i, c := range counts {
+		counts[i] = math.Pow(c, sampling.NegativePower)
+	}
+	table := sampling.NewAlias(counts)
+
+	lr := cfg.LR
+	totalSteps := cfg.Epochs * len(corpus)
+	step := 0
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		for _, w := range corpus {
+			m.trainWalk(w, cfg, table, lr, rng)
+			step++
+			// Linear learning-rate decay to 10% of the initial rate.
+			lr = cfg.LR * math.Max(0.1, 1-float64(step)/float64(totalSteps))
+		}
+	}
+}
+
+func (m *Model) trainWalk(w []graph.ID, cfg Config, table *sampling.Alias, lr float64, rng *rand.Rand) {
+	grad := make([]float64, m.Dim)
+	for i, center := range w {
+		lo := i - cfg.Window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + cfg.Window
+		if hi >= len(w) {
+			hi = len(w) - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if j == i {
+				continue
+			}
+			m.pair(center, w[j], 1, grad, lr)
+			for k := 0; k < cfg.Negative; k++ {
+				neg := graph.ID(table.Draw(rng))
+				if neg == w[j] {
+					continue
+				}
+				m.pair(center, neg, 0, grad, lr)
+			}
+			// Apply accumulated input gradient for this (center, context)
+			// group.
+			in := m.In.Row(int(center))
+			for d := 0; d < m.Dim; d++ {
+				in[d] += grad[d]
+				grad[d] = 0
+			}
+		}
+	}
+}
+
+// pair applies one SGNS update for (center -> ctx) with the given label,
+// accumulating the center gradient into grad and updating the context
+// vector immediately.
+func (m *Model) pair(center, ctx graph.ID, label float64, grad []float64, lr float64) {
+	in := m.In.Row(int(center))
+	out := m.Out.Row(int(ctx))
+	dot := 0.0
+	for d := 0; d < m.Dim; d++ {
+		dot += in[d] * out[d]
+	}
+	g := (label - sigmoid(dot)) * lr
+	for d := 0; d < m.Dim; d++ {
+		grad[d] += g * out[d]
+		out[d] += g * in[d]
+	}
+}
+
+func sigmoid(x float64) float64 {
+	if x > 8 {
+		return 1
+	}
+	if x < -8 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// TrainCorpus is a convenience wrapper: allocate a model over n vertices and
+// train on the corpus.
+func TrainCorpus(n int, corpus walk.Corpus, cfg Config, rng *rand.Rand) *Model {
+	m := NewModel(n, cfg.Dim, rng)
+	m.Train(corpus, cfg, rng)
+	return m
+}

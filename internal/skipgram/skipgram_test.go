@@ -1,0 +1,93 @@
+package skipgram
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/walk"
+)
+
+// twoCommunities builds a graph of two dense clusters and returns it with
+// the cluster size.
+func twoCommunities(size int, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(graph.SimpleSchema(), false)
+	b.AddVertices(0, 2*size)
+	for c := 0; c < 2; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for k := 0; k < 5; k++ {
+				j := rng.Intn(size)
+				if i != j {
+					b.AddEdge(graph.ID(base+i), graph.ID(base+j), 0, 1)
+				}
+			}
+		}
+	}
+	b.AddEdge(0, graph.ID(size), 0, 1)
+	return b.Finalize()
+}
+
+func TestSGNSLearnsCommunities(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const size = 25
+	g := twoCommunities(size, rng)
+	corpus := walk.UniformCorpus(g, 6, 10, 0, rng)
+	cfg := Config{Dim: 16, Window: 3, Negative: 4, Epochs: 3, LR: 0.05}
+	m := TrainCorpus(g.NumVertices(), corpus, cfg, rng)
+
+	intra, inter := 0.0, 0.0
+	n := 0
+	for i := 0; i < 50; i++ {
+		a := graph.ID(rng.Intn(size))
+		b := graph.ID(rng.Intn(size))
+		c := graph.ID(size + rng.Intn(size))
+		intra += eval.Cosine(m.Embedding(a), m.Embedding(b))
+		inter += eval.Cosine(m.Embedding(a), m.Embedding(c))
+		n++
+	}
+	if intra/float64(n) <= inter/float64(n)+0.1 {
+		t.Fatalf("intra %.3f not above inter %.3f", intra/float64(n), inter/float64(n))
+	}
+}
+
+func TestModelDeterministicGivenSeed(t *testing.T) {
+	build := func() *Model {
+		rng := rand.New(rand.NewSource(9))
+		g := twoCommunities(10, rng)
+		corpus := walk.UniformCorpus(g, 2, 5, 0, rng)
+		return TrainCorpus(g.NumVertices(), corpus, Config{Dim: 8, Window: 2, Negative: 2, Epochs: 1, LR: 0.05}, rng)
+	}
+	a, b := build(), build()
+	for i := range a.In.Data {
+		if a.In.Data[i] != b.In.Data[i] {
+			t.Fatal("training is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestEmbeddingAccessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewModel(5, 4, rng)
+	e := m.Embedding(3)
+	if len(e) != 4 {
+		t.Fatalf("embedding dim = %d", len(e))
+	}
+	e[0] = 42
+	if m.In.At(3, 0) != 42 {
+		t.Fatal("Embedding must return a live view")
+	}
+}
+
+func TestTrainEmptyCorpusNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewModel(3, 4, rng)
+	before := m.In.Clone()
+	m.Train(nil, DefaultConfig(), rng)
+	for i := range before.Data {
+		if m.In.Data[i] != before.Data[i] {
+			t.Fatal("empty corpus modified embeddings")
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// NeighborCache is the pluggable neighbor-caching strategy evaluated in
+// Figure 9 of the paper: the importance-based cache (AliGraph's strategy),
+// a random static cache, and an LRU replacing cache. A cache answers
+// "do I hold the hop-h out-neighbors of v locally?"; on a miss the caller
+// pays a remote fetch.
+type NeighborCache interface {
+	// Get returns the cached hop-h out-neighbor list of v (h is 1-based)
+	// and whether it was present.
+	Get(v graph.ID, h int) ([]graph.ID, bool)
+	// Observe notifies the cache of a fetch result so replacing strategies
+	// can admit it.
+	Observe(v graph.ID, h int, nbrs []graph.ID)
+	// Name identifies the strategy in reports.
+	Name() string
+	// CachedVertices reports how many vertices currently have hop-1
+	// neighborhoods cached.
+	CachedVertices() int
+}
+
+// hopKey packs (vertex, hop) into an int64 LRU key. Hops are tiny (h <= 7).
+func hopKey(v graph.ID, h int) int64 { return v<<3 | int64(h&0x7) }
+
+// ---------------------------------------------------------------------------
+// Importance-based cache (Algorithm 2 lines 5-9)
+
+// ImportanceCache statically caches the 1..k-hop out-neighborhoods of
+// vertices whose importance Imp^(k)(v) = D_i^(k)(v)/D_o^(k)(v) meets the
+// per-depth thresholds tau[k-1]. Theorem 2 shows importance is power-law
+// distributed, so a small threshold already restricts the cache to a small
+// vertex fraction.
+type ImportanceCache struct {
+	entries map[int64][]graph.ID
+	hop1    int
+}
+
+// SelectImportant returns the vertices with Imp^(h)(v) >= tau, for depth h.
+func SelectImportant(g *graph.Graph, h int, tau float64) []graph.ID {
+	var out []graph.ID
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Importance(graph.ID(v), h) >= tau {
+			out = append(out, graph.ID(v))
+		}
+	}
+	return out
+}
+
+// NewImportanceCache builds the static cache: for each depth k in 1..len(tau),
+// every vertex with Imp^(k) >= tau[k-1] has its 1..k-hop out-neighborhoods
+// cached (Algorithm 2).
+func NewImportanceCache(g *graph.Graph, tau []float64) *ImportanceCache {
+	c := &ImportanceCache{entries: make(map[int64][]graph.ID)}
+	for k := 1; k <= len(tau); k++ {
+		for _, v := range SelectImportant(g, k, tau[k-1]) {
+			for h := 1; h <= k; h++ {
+				key := hopKey(v, h)
+				if _, ok := c.entries[key]; ok {
+					continue
+				}
+				c.entries[key] = khopFrontier(g, v, h)
+				if h == 1 {
+					c.hop1++
+				}
+			}
+		}
+	}
+	return c
+}
+
+// NewImportanceCacheTopFraction caches the top-frac fraction of vertices
+// ranked by Imp^(h); used by the Figure 9 sweep where the x-axis is the
+// cached-vertex percentage rather than the threshold.
+func NewImportanceCacheTopFraction(g *graph.Graph, h int, frac float64) *ImportanceCache {
+	imps := g.ImportanceAll(h)
+	order := make([]int, len(imps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return imps[order[a]] > imps[order[b]] })
+	k := int(frac * float64(len(order)))
+	c := &ImportanceCache{entries: make(map[int64][]graph.ID)}
+	for _, vi := range order[:k] {
+		v := graph.ID(vi)
+		for hh := 1; hh <= h; hh++ {
+			c.entries[hopKey(v, hh)] = khopFrontier(g, v, hh)
+		}
+		c.hop1++
+	}
+	return c
+}
+
+func (c *ImportanceCache) Get(v graph.ID, h int) ([]graph.ID, bool) {
+	ns, ok := c.entries[hopKey(v, h)]
+	return ns, ok
+}
+
+func (c *ImportanceCache) Observe(graph.ID, int, []graph.ID) {} // static
+
+func (c *ImportanceCache) Name() string { return "importance" }
+
+func (c *ImportanceCache) CachedVertices() int { return c.hop1 }
+
+// khopFrontier returns the vertices exactly h hops from v (not the union of
+// 1..h); per-hop frontiers are what NEIGHBORHOOD sampling consumes.
+func khopFrontier(g *graph.Graph, v graph.ID, h int) []graph.ID {
+	frontier := []graph.ID{v}
+	seen := map[graph.ID]struct{}{v: {}}
+	for hop := 0; hop < h; hop++ {
+		var next []graph.ID
+		for _, u := range frontier {
+			for _, w := range g.Neighbors(u) {
+				if _, ok := seen[w]; ok {
+					continue
+				}
+				seen[w] = struct{}{}
+				next = append(next, w)
+			}
+		}
+		frontier = next
+	}
+	return frontier
+}
+
+// ---------------------------------------------------------------------------
+// Random static cache (Figure 9 baseline)
+
+// RandomCache statically caches the neighborhoods of a uniformly random
+// vertex fraction. Randomly selected vertices are unlikely to be the hubs
+// other vertices route through, which is why this baseline loses.
+type RandomCache struct {
+	entries map[int64][]graph.ID
+	hop1    int
+}
+
+// NewRandomCache caches hops 1..h of a frac fraction of vertices drawn with
+// rng.
+func NewRandomCache(g *graph.Graph, h int, frac float64, rng *rand.Rand) *RandomCache {
+	c := &RandomCache{entries: make(map[int64][]graph.ID)}
+	n := g.NumVertices()
+	k := int(frac * float64(n))
+	perm := rng.Perm(n)
+	for _, vi := range perm[:k] {
+		v := graph.ID(vi)
+		for hh := 1; hh <= h; hh++ {
+			c.entries[hopKey(v, hh)] = khopFrontier(g, v, hh)
+		}
+		c.hop1++
+	}
+	return c
+}
+
+func (c *RandomCache) Get(v graph.ID, h int) ([]graph.ID, bool) {
+	ns, ok := c.entries[hopKey(v, h)]
+	return ns, ok
+}
+
+func (c *RandomCache) Observe(graph.ID, int, []graph.ID) {}
+
+func (c *RandomCache) Name() string { return "random" }
+
+func (c *RandomCache) CachedVertices() int { return c.hop1 }
+
+// ---------------------------------------------------------------------------
+// LRU replacing cache (Figure 9 baseline)
+
+// LRUNeighborCache admits every fetched neighborhood and evicts the least
+// recently used, holding at most capacity (vertex, hop) entries. Frequent
+// replacement churn is its cost relative to the static importance cache.
+type LRUNeighborCache struct {
+	lru  *LRU
+	hop1 map[graph.ID]struct{}
+}
+
+// NewLRUNeighborCache creates an LRU neighbor cache with the given entry
+// capacity.
+func NewLRUNeighborCache(capacity int) *LRUNeighborCache {
+	return &LRUNeighborCache{lru: NewLRU(capacity), hop1: make(map[graph.ID]struct{})}
+}
+
+func (c *LRUNeighborCache) Get(v graph.ID, h int) ([]graph.ID, bool) {
+	if x, ok := c.lru.Get(hopKey(v, h)); ok {
+		return x.([]graph.ID), true
+	}
+	return nil, false
+}
+
+func (c *LRUNeighborCache) Observe(v graph.ID, h int, nbrs []graph.ID) {
+	c.lru.Put(hopKey(v, h), nbrs)
+	if h == 1 {
+		c.hop1[v] = struct{}{}
+	}
+}
+
+func (c *LRUNeighborCache) Name() string { return "lru" }
+
+func (c *LRUNeighborCache) CachedVertices() int { return c.lru.Len() }
+
+// NoCache disables neighbor caching; every access is remote.
+type NoCache struct{}
+
+func (NoCache) Get(graph.ID, int) ([]graph.ID, bool) { return nil, false }
+func (NoCache) Observe(graph.ID, int, []graph.ID)    {}
+func (NoCache) Name() string                         { return "none" }
+func (NoCache) CachedVertices() int                  { return 0 }
+
+// CacheRate returns the fraction of vertices whose hop-1 neighborhood the
+// cache holds; this is the y-axis of Figure 8.
+func CacheRate(c NeighborCache, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(c.CachedVertices()) / float64(n)
+}

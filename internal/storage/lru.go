@@ -1,0 +1,82 @@
+// Package storage implements the AliGraph storage layer (Section 3.2):
+// separate structural and attribute storage with deduplicating attribute
+// indices I_V and I_E fronted by LRU caches, and neighbor caching of
+// important vertices selected by the Imp^(k) metric (Algorithm 2).
+package storage
+
+import "container/list"
+
+// LRU is a fixed-capacity least-recently-used cache from int64 keys to
+// arbitrary values. It is not safe for concurrent use; callers that share a
+// cache across goroutines wrap it (the graph-server request buckets
+// serialize access instead, see internal/sampling).
+type LRU struct {
+	cap   int
+	ll    *list.List
+	items map[int64]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type lruEntry struct {
+	key int64
+	val interface{}
+}
+
+// NewLRU creates an LRU cache holding at most capacity entries.
+// A capacity <= 0 yields a cache that stores nothing.
+func NewLRU(capacity int) *LRU {
+	return &LRU{cap: capacity, ll: list.New(), items: make(map[int64]*list.Element)}
+}
+
+// Get returns the cached value for key and whether it was present,
+// promoting the entry to most-recently-used.
+func (c *LRU) Get(key int64) (interface{}, bool) {
+	if e, ok := c.items[key]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		return e.Value.(*lruEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts or refreshes key, evicting the least-recently-used entry when
+// over capacity.
+func (c *LRU) Put(key int64, val interface{}) {
+	if c.cap <= 0 {
+		return
+	}
+	if e, ok := c.items[key]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*lruEntry).val = val
+		return
+	}
+	e := c.ll.PushFront(&lruEntry{key, val})
+	c.items[key] = e
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*lruEntry).key)
+			c.evictions++
+		}
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// Stats returns cumulative hit/miss/eviction counters.
+func (c *LRU) Stats() (hits, misses, evictions int64) {
+	return c.hits, c.misses, c.evictions
+}
+
+// HitRate returns hits / (hits+misses), or 0 before any access.
+func (c *LRU) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

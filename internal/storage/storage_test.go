@@ -1,0 +1,283 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestLRUBasic(t *testing.T) {
+	c := NewLRU(2)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if v, ok := c.Get(1); !ok || v.(string) != "a" {
+		t.Fatalf("get(1) = %v,%v", v, ok)
+	}
+	c.Put(3, "c") // evicts 2 (1 was just used)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should be evicted")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("1 should remain")
+	}
+	if _, ok := c.Get(3); !ok {
+		t.Fatal("3 should be cached")
+	}
+	hits, misses, ev := c.Stats()
+	if hits != 3 || misses != 1 || ev != 1 {
+		t.Fatalf("stats = %d,%d,%d", hits, misses, ev)
+	}
+	if hr := c.HitRate(); hr != 0.75 {
+		t.Fatalf("hit rate = %f", hr)
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := NewLRU(2)
+	c.Put(1, "a")
+	c.Put(1, "a2")
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if v, _ := c.Get(1); v.(string) != "a2" {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := NewLRU(0)
+	c.Put(1, "a")
+	if _, ok := c.Get(1); ok {
+		t.Fatal("zero-cap cache must store nothing")
+	}
+	if c.HitRate() != 0 {
+		t.Fatal("hit rate should be 0")
+	}
+}
+
+// Property: LRU never exceeds capacity and most-recent insertions survive.
+func TestQuickLRUCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capn := 1 + rng.Intn(16)
+		c := NewLRU(capn)
+		var last int64
+		for i := 0; i < 200; i++ {
+			k := int64(rng.Intn(64))
+			c.Put(k, k)
+			last = k
+			if c.Len() > capn {
+				return false
+			}
+		}
+		_, ok := c.Get(last)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttributeIndexDedup(t *testing.T) {
+	ai := NewAttributeIndex(8)
+	a := ai.Intern([]float64{1, 2})
+	b := ai.Intern([]float64{1, 2})
+	c := ai.Intern([]float64{3})
+	if a != b {
+		t.Fatalf("identical vectors should dedup: %d vs %d", a, b)
+	}
+	if a == c {
+		t.Fatal("distinct vectors must not collide")
+	}
+	if ai.NumDistinct() != 2 {
+		t.Fatalf("distinct = %d", ai.NumDistinct())
+	}
+	if ai.Intern(nil) != -1 {
+		t.Fatal("nil must intern to -1")
+	}
+	if ai.Lookup(-1) != nil || ai.Direct(-1) != nil {
+		t.Fatal("index -1 must resolve to nil")
+	}
+	if got := ai.Lookup(a); len(got) != 2 || got[1] != 2 {
+		t.Fatalf("lookup = %v", got)
+	}
+	if ai.Bytes() != 8*3 {
+		t.Fatalf("bytes = %d", ai.Bytes())
+	}
+}
+
+func TestAttributeIndexNoFloatCollision(t *testing.T) {
+	ai := NewAttributeIndex(8)
+	a := ai.Intern([]float64{1.0})
+	b := ai.Intern([]float64{1.0000000001})
+	if a == b {
+		t.Fatal("nearby floats must not dedup")
+	}
+}
+
+func buildUserItem(t *testing.T) *graph.Graph {
+	t.Helper()
+	s := graph.MustSchema([]string{"user", "item"}, []string{"click", "buy"})
+	b := graph.NewBuilder(s, true)
+	// 4 users sharing 2 distinct attribute vectors; 2 items.
+	maleAttr := []float64{1, 0}
+	femaleAttr := []float64{0, 1}
+	u0 := b.AddVertex(0, maleAttr)
+	u1 := b.AddVertex(0, maleAttr)
+	u2 := b.AddVertex(0, femaleAttr)
+	u3 := b.AddVertex(0, femaleAttr)
+	i0 := b.AddVertex(1, []float64{100})
+	i1 := b.AddVertex(1, []float64{200})
+	for _, u := range []graph.ID{u0, u1, u2, u3} {
+		b.AddEdge(u, i0, 0, 1)
+	}
+	b.AddEdge(u0, i1, 1, 1)
+	return b.Finalize()
+}
+
+func TestStoreDedupAndSpace(t *testing.T) {
+	g := buildUserItem(t)
+	s := BuildStore(g, DefaultStoreOptions())
+	if s.VIndex.NumDistinct() != 4 { // male, female, item100, item200
+		t.Fatalf("distinct vertex attrs = %d", s.VIndex.NumDistinct())
+	}
+	if s.VertexAttrIndex(0) != s.VertexAttrIndex(1) {
+		t.Fatal("shared attrs must share index")
+	}
+	if got := s.VertexAttr(2); len(got) != 2 || got[1] != 1 {
+		t.Fatalf("attr(u2) = %v", got)
+	}
+	rep := s.Space()
+	if rep.DedupBytes <= 0 || rep.InlineBytes <= 0 {
+		t.Fatalf("space report: %+v", rep)
+	}
+	if rep.Ratio <= 1.0 {
+		t.Fatalf("dedup should save space on this graph: ratio=%f", rep.Ratio)
+	}
+}
+
+func hubGraph(nSpokes int) *graph.Graph {
+	b := graph.NewBuilder(graph.SimpleSchema(), true)
+	hub := b.AddVertex(0, nil)
+	sink := b.AddVertex(0, nil)
+	b.AddEdge(hub, sink, 0, 1)
+	for i := 0; i < nSpokes; i++ {
+		v := b.AddVertex(0, nil)
+		b.AddEdge(v, hub, 0, 1)
+	}
+	return b.Finalize()
+}
+
+func TestSelectImportant(t *testing.T) {
+	g := hubGraph(10)
+	// Hub has Imp^1 = 10/1 = 10; spokes have Imp^1 = 0/1 = 0; sink = 1/0 -> 1.
+	sel := SelectImportant(g, 1, 5.0)
+	if len(sel) != 1 || sel[0] != 0 {
+		t.Fatalf("selected = %v", sel)
+	}
+}
+
+func TestImportanceCache(t *testing.T) {
+	g := hubGraph(10)
+	c := NewImportanceCache(g, []float64{5.0, 5.0})
+	if c.CachedVertices() != 1 {
+		t.Fatalf("cached = %d", c.CachedVertices())
+	}
+	ns, ok := c.Get(0, 1)
+	if !ok || len(ns) != 1 || ns[0] != 1 {
+		t.Fatalf("hop1(hub) = %v,%v", ns, ok)
+	}
+	// Hop 2 of the hub is empty (sink has no out-edges) but must be cached.
+	ns2, ok2 := c.Get(0, 2)
+	if !ok2 || len(ns2) != 0 {
+		t.Fatalf("hop2(hub) = %v,%v", ns2, ok2)
+	}
+	if _, ok := c.Get(2, 1); ok {
+		t.Fatal("spoke should not be cached")
+	}
+	if CacheRate(c, g.NumVertices()) <= 0 {
+		t.Fatal("cache rate must be positive")
+	}
+}
+
+func TestImportanceCacheTopFraction(t *testing.T) {
+	g := hubGraph(20)
+	c := NewImportanceCacheTopFraction(g, 2, 0.1)
+	want := int(0.1 * float64(g.NumVertices()))
+	if c.CachedVertices() != want {
+		t.Fatalf("cached = %d want %d", c.CachedVertices(), want)
+	}
+	// The hub must rank first.
+	if _, ok := c.Get(0, 1); !ok {
+		t.Fatal("hub should be among the top fraction")
+	}
+}
+
+func TestRandomCache(t *testing.T) {
+	g := hubGraph(20)
+	rng := rand.New(rand.NewSource(1))
+	c := NewRandomCache(g, 2, 0.5, rng)
+	want := int(0.5 * float64(g.NumVertices()))
+	if c.CachedVertices() != want {
+		t.Fatalf("cached = %d want %d", c.CachedVertices(), want)
+	}
+}
+
+func TestLRUNeighborCache(t *testing.T) {
+	c := NewLRUNeighborCache(2)
+	if _, ok := c.Get(1, 1); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Observe(1, 1, []graph.ID{2})
+	c.Observe(2, 1, []graph.ID{3})
+	c.Observe(3, 1, []graph.ID{4}) // evicts (1,1)
+	if _, ok := c.Get(1, 1); ok {
+		t.Fatal("expected eviction of oldest entry")
+	}
+	if ns, ok := c.Get(3, 1); !ok || ns[0] != 4 {
+		t.Fatalf("get(3) = %v,%v", ns, ok)
+	}
+}
+
+func TestNoCache(t *testing.T) {
+	var c NoCache
+	if _, ok := c.Get(1, 1); ok {
+		t.Fatal("NoCache must always miss")
+	}
+	c.Observe(1, 1, nil)
+	if c.CachedVertices() != 0 || c.Name() != "none" {
+		t.Fatal("NoCache identity")
+	}
+}
+
+func TestCacheRateDecreasesWithThreshold(t *testing.T) {
+	// On a power-law-ish graph, raising tau must not increase cache rate
+	// (Figure 8 shape).
+	rng := rand.New(rand.NewSource(42))
+	b := graph.NewBuilder(graph.SimpleSchema(), true)
+	const n = 400
+	b.AddVertices(0, n)
+	targets := []graph.ID{0, 1}
+	b.AddEdge(1, 0, 0, 1)
+	for v := graph.ID(2); v < n; v++ {
+		for e := 0; e < 2; e++ {
+			dst := targets[rng.Intn(len(targets))]
+			if dst != v {
+				b.AddEdge(v, dst, 0, 1)
+				targets = append(targets, dst, v)
+			}
+		}
+	}
+	g := b.Finalize()
+	prev := 2.0
+	for _, tau := range []float64{0.05, 0.2, 0.45} {
+		c := NewImportanceCache(g, []float64{tau, tau})
+		rate := CacheRate(c, g.NumVertices())
+		if rate > prev {
+			t.Fatalf("cache rate increased with threshold: %f > %f at tau=%f", rate, prev, tau)
+		}
+		prev = rate
+	}
+}

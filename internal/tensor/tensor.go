@@ -1,0 +1,319 @@
+// Package tensor provides the dense matrix type underlying the NN substrate
+// (internal/nn). AliGraph's production deployment trains with TensorFlow;
+// this reproduction substitutes a small, allocation-conscious float64 matrix
+// library — the models in the paper are small MLPs, attention heads, LSTM
+// cells and VAEs over sampled mini-batches, all expressible as dense matrix
+// programs.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New allocates a zero matrix of the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (len rows*cols) without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data len %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRow copies a vector into a 1 x n matrix.
+func FromRow(v []float64) *Matrix {
+	m := New(1, len(v))
+	copy(m.Data, v)
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a shared slice.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets all elements in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+func (m *Matrix) shapeCheck(o *Matrix, op string) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// AddInPlace adds o element-wise into m.
+func (m *Matrix) AddInPlace(o *Matrix) {
+	m.shapeCheck(o, "add")
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// SubInPlace subtracts o element-wise from m.
+func (m *Matrix) SubInPlace(o *Matrix) {
+	m.shapeCheck(o, "sub")
+	for i, v := range o.Data {
+		m.Data[i] -= v
+	}
+}
+
+// MulInPlace multiplies element-wise by o.
+func (m *Matrix) MulInPlace(o *Matrix) {
+	m.shapeCheck(o, "mul")
+	for i, v := range o.Data {
+		m.Data[i] *= v
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Matrix) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Axpy adds a*x into m (BLAS axpy).
+func (m *Matrix) Axpy(a float64, x *Matrix) {
+	m.shapeCheck(x, "axpy")
+	for i, v := range x.Data {
+		m.Data[i] += a * v
+	}
+}
+
+// MatMul computes a @ b into a fresh matrix.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes a @ b into out (ikj loop order for cache locality).
+func MatMulInto(out, a, b *Matrix) {
+	if out.Rows != a.Rows || out.Cols != b.Cols || a.Cols != b.Rows {
+		panic("tensor: matmul shape mismatch")
+	}
+	out.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransA computes aᵀ @ b.
+func MatMulTransA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("tensor: matmulTransA shape mismatch")
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB computes a @ bᵀ.
+func MatMulTransB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("tensor: matmulTransB shape mismatch")
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Dot computes the Frobenius inner product of two same-shape matrices.
+func Dot(a, b *Matrix) float64 {
+	a.shapeCheck(b, "dot")
+	s := 0.0
+	for i, v := range a.Data {
+		s += v * b.Data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Frobenius norm.
+func (m *Matrix) Norm2() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Apply maps fn over all elements into a fresh matrix.
+func (m *Matrix) Apply(fn func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = fn(v)
+	}
+	return out
+}
+
+// XavierInit fills m with Glorot-uniform values for fanIn/fanOut.
+func (m *Matrix) XavierInit(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// GaussianInit fills m with N(0, std^2) values.
+func (m *Matrix) GaussianInit(rng *rand.Rand, std float64) {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// RowL2Normalize normalizes each row to unit L2 norm in place (the
+// per-hop normalization step of Algorithm 1 line 7). Zero rows are left
+// untouched.
+func (m *Matrix) RowL2Normalize() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for _, v := range row {
+			s += v * v
+		}
+		if s == 0 {
+			continue
+		}
+		inv := 1 / math.Sqrt(s)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// ConcatCols horizontally concatenates matrices with equal row counts.
+func ConcatCols(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic("tensor: concat row mismatch")
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		orow := out.Row(i)
+		off := 0
+		for _, m := range ms {
+			copy(orow[off:off+m.Cols], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// GatherRows builds a matrix whose i-th row is src.Row(idx[i]).
+func GatherRows(src *Matrix, idx []int) *Matrix {
+	out := New(len(idx), src.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), src.Row(r))
+	}
+	return out
+}
+
+// MeanRows returns the 1 x Cols column-wise mean.
+func (m *Matrix) MeanRows() *Matrix {
+	out := New(1, m.Cols)
+	if m.Rows == 0 {
+		return out
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	out.ScaleInPlace(1 / float64(m.Rows))
+	return out
+}

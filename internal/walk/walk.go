@@ -1,0 +1,198 @@
+// Package walk generates random-walk corpora over graphs: uniform walks
+// (DeepWalk), second-order p/q-biased walks (Node2Vec), meta-path
+// constrained walks (Metapath2Vec) and per-layer multiplex walks
+// (PMNE/MNE/MVE/GATNE). A corpus is a slice of vertex sequences fed to the
+// skip-gram trainer in internal/skipgram.
+package walk
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Corpus is a set of random-walk sequences.
+type Corpus [][]graph.ID
+
+// Uniform performs a uniform random walk of the given length from start,
+// following out-edges of edge type et. The walk stops early at dead ends.
+func Uniform(g *graph.Graph, start graph.ID, length int, et graph.EdgeType, rng *rand.Rand) []graph.ID {
+	w := make([]graph.ID, 0, length)
+	w = append(w, start)
+	cur := start
+	for len(w) < length {
+		ns := g.OutNeighbors(cur, et)
+		if len(ns) == 0 {
+			break
+		}
+		cur = ns[rng.Intn(len(ns))]
+		w = append(w, cur)
+	}
+	return w
+}
+
+// UniformAllTypes walks following out-edges of any type, choosing uniformly
+// among the union of typed neighbor lists.
+func UniformAllTypes(g *graph.Graph, start graph.ID, length int, rng *rand.Rand) []graph.ID {
+	w := make([]graph.ID, 0, length)
+	w = append(w, start)
+	cur := start
+	for len(w) < length {
+		ns := g.Neighbors(cur)
+		if len(ns) == 0 {
+			break
+		}
+		cur = ns[rng.Intn(len(ns))]
+		w = append(w, cur)
+	}
+	return w
+}
+
+// UniformCorpus generates walksPerVertex uniform walks from every vertex.
+func UniformCorpus(g *graph.Graph, walksPerVertex, length int, et graph.EdgeType, rng *rand.Rand) Corpus {
+	var c Corpus
+	for r := 0; r < walksPerVertex; r++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.OutDegree(graph.ID(v), et) == 0 {
+				continue
+			}
+			c = append(c, Uniform(g, graph.ID(v), length, et, rng))
+		}
+	}
+	return c
+}
+
+// MergedCorpus generates walks over the union of all edge types (the
+// "merge layers then embed" strategy, e.g. PMNE-n's network-aggregation
+// baseline and DeepWalk on heterogeneous graphs).
+func MergedCorpus(g *graph.Graph, walksPerVertex, length int, rng *rand.Rand) Corpus {
+	var c Corpus
+	for r := 0; r < walksPerVertex; r++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.TotalOutDegree(graph.ID(v)) == 0 {
+				continue
+			}
+			c = append(c, UniformAllTypes(g, graph.ID(v), length, rng))
+		}
+	}
+	return c
+}
+
+// Node2Vec performs a second-order biased walk with return parameter p and
+// in-out parameter q (Grover & Leskovec). Bias is applied by rejection
+// sampling against the unnormalized transition weights.
+func Node2Vec(g *graph.Graph, start graph.ID, length int, et graph.EdgeType, p, q float64, rng *rand.Rand) []graph.ID {
+	w := make([]graph.ID, 0, length)
+	w = append(w, start)
+	if length == 1 {
+		return w
+	}
+	ns := g.OutNeighbors(start, et)
+	if len(ns) == 0 {
+		return w
+	}
+	cur := ns[rng.Intn(len(ns))]
+	w = append(w, cur)
+	prev := start
+	maxBias := max3(1/p, 1, 1/q)
+	for len(w) < length {
+		ns := g.OutNeighbors(cur, et)
+		if len(ns) == 0 {
+			break
+		}
+		// Rejection sampling on the p/q bias.
+		var next graph.ID
+		for {
+			cand := ns[rng.Intn(len(ns))]
+			var bias float64
+			switch {
+			case cand == prev:
+				bias = 1 / p
+			case g.HasEdge(prev, cand, et):
+				bias = 1
+			default:
+				bias = 1 / q
+			}
+			if rng.Float64() < bias/maxBias {
+				next = cand
+				break
+			}
+		}
+		w = append(w, next)
+		prev, cur = cur, next
+	}
+	return w
+}
+
+// Node2VecCorpus generates biased walks from every vertex.
+func Node2VecCorpus(g *graph.Graph, walksPerVertex, length int, et graph.EdgeType, p, q float64, rng *rand.Rand) Corpus {
+	var c Corpus
+	for r := 0; r < walksPerVertex; r++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.OutDegree(graph.ID(v), et) == 0 {
+				continue
+			}
+			c = append(c, Node2Vec(g, graph.ID(v), length, et, p, q, rng))
+		}
+	}
+	return c
+}
+
+// MetaPath performs a walk constrained to follow the given vertex-type
+// pattern cyclically (e.g. user-item-user). At each step only neighbors of
+// the next required type are candidates; the walk stops when none exist.
+func MetaPath(g *graph.Graph, start graph.ID, length int, pattern []graph.VertexType, rng *rand.Rand) []graph.ID {
+	w := make([]graph.ID, 0, length)
+	w = append(w, start)
+	cur := start
+	pos := 0 // position of cur in the pattern
+	for len(w) < length {
+		want := pattern[(pos+1)%len(pattern)]
+		var cands []graph.ID
+		for _, u := range g.Neighbors(cur) {
+			if g.VertexType(u) == want {
+				cands = append(cands, u)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		cur = cands[rng.Intn(len(cands))]
+		pos++
+		w = append(w, cur)
+	}
+	return w
+}
+
+// MetaPathCorpus generates meta-path walks starting from every vertex whose
+// type matches the head of the pattern.
+func MetaPathCorpus(g *graph.Graph, walksPerVertex, length int, pattern []graph.VertexType, rng *rand.Rand) Corpus {
+	var c Corpus
+	for r := 0; r < walksPerVertex; r++ {
+		for _, v := range g.VerticesOfType(pattern[0]) {
+			c = append(c, MetaPath(g, v, length, pattern, rng))
+		}
+	}
+	return c
+}
+
+// PerTypeCorpora generates one uniform-walk corpus per edge type (the
+// multiplex decomposition used by PMNE, MNE, MVE and GATNE).
+func PerTypeCorpora(g *graph.Graph, walksPerVertex, length int, rng *rand.Rand) []Corpus {
+	out := make([]Corpus, g.Schema().NumEdgeTypes())
+	for t := range out {
+		out[t] = UniformCorpus(g, walksPerVertex, length, graph.EdgeType(t), rng)
+	}
+	return out
+}
+
+func max3(a, b, c float64) float64 {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	return m
+}

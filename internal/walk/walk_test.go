@@ -1,0 +1,170 @@
+package walk
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func lineGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(graph.SimpleSchema(), true)
+	b.AddVertices(0, n)
+	for v := 0; v < n-1; v++ {
+		b.AddEdge(graph.ID(v), graph.ID(v+1), 0, 1)
+	}
+	return b.Finalize()
+}
+
+func bipartite() *graph.Graph {
+	s := graph.MustSchema([]string{"user", "item"}, []string{"e"})
+	b := graph.NewBuilder(s, false)
+	for i := 0; i < 3; i++ {
+		b.AddVertex(0, nil)
+	}
+	for i := 0; i < 3; i++ {
+		b.AddVertex(1, nil)
+	}
+	for u := graph.ID(0); u < 3; u++ {
+		for v := graph.ID(3); v < 6; v++ {
+			b.AddEdge(u, v, 0, 1)
+		}
+	}
+	return b.Finalize()
+}
+
+func TestUniformWalkFollowsEdges(t *testing.T) {
+	g := lineGraph(6)
+	rng := rand.New(rand.NewSource(1))
+	w := Uniform(g, 0, 10, 0, rng)
+	// On a line, the walk is deterministic: 0,1,2,3,4,5 then stops.
+	if len(w) != 6 {
+		t.Fatalf("walk = %v", w)
+	}
+	for i, v := range w {
+		if v != graph.ID(i) {
+			t.Fatalf("walk = %v", w)
+		}
+	}
+}
+
+func TestUniformWalkDeadEnd(t *testing.T) {
+	g := lineGraph(2)
+	rng := rand.New(rand.NewSource(1))
+	w := Uniform(g, 1, 5, 0, rng)
+	if len(w) != 1 || w[0] != 1 {
+		t.Fatalf("dead-end walk = %v", w)
+	}
+}
+
+func TestUniformCorpusSkipsIsolated(t *testing.T) {
+	g := lineGraph(4)
+	rng := rand.New(rand.NewSource(1))
+	c := UniformCorpus(g, 2, 3, 0, rng)
+	// Vertex 3 has no out-edges: 3 eligible vertices x 2 reps.
+	if len(c) != 6 {
+		t.Fatalf("corpus size = %d", len(c))
+	}
+}
+
+func TestNode2VecReturnBias(t *testing.T) {
+	// Triangle with tail. With very small p (return cheap) the walk should
+	// backtrack often; with huge p rarely. Count immediate returns.
+	b := graph.NewBuilder(graph.SimpleSchema(), false)
+	b.AddVertices(0, 4)
+	b.AddEdge(0, 1, 0, 1)
+	b.AddEdge(1, 2, 0, 1)
+	b.AddEdge(2, 0, 0, 1)
+	b.AddEdge(1, 3, 0, 1)
+	g := b.Finalize()
+
+	countReturns := func(p float64, seed int64) int {
+		rng := rand.New(rand.NewSource(seed))
+		returns := 0
+		for i := 0; i < 200; i++ {
+			w := Node2Vec(g, 0, 20, 0, p, 1.0, rng)
+			for j := 2; j < len(w); j++ {
+				if w[j] == w[j-2] {
+					returns++
+				}
+			}
+		}
+		return returns
+	}
+	low := countReturns(0.1, 7)
+	high := countReturns(10, 7)
+	if low <= high {
+		t.Fatalf("return bias inverted: p=0.1 gives %d returns, p=10 gives %d", low, high)
+	}
+}
+
+func TestMetaPathRespectsPattern(t *testing.T) {
+	g := bipartite()
+	rng := rand.New(rand.NewSource(2))
+	pattern := []graph.VertexType{0, 1} // user-item-user-item...
+	w := MetaPath(g, 0, 9, pattern, rng)
+	if len(w) != 9 {
+		t.Fatalf("walk len = %d", len(w))
+	}
+	for i, v := range w {
+		want := pattern[i%2]
+		if g.VertexType(v) != want {
+			t.Fatalf("position %d: type %d want %d", i, g.VertexType(v), want)
+		}
+	}
+}
+
+func TestMetaPathCorpusStartsAtHeads(t *testing.T) {
+	g := bipartite()
+	rng := rand.New(rand.NewSource(3))
+	c := MetaPathCorpus(g, 1, 5, []graph.VertexType{1, 0}, rng)
+	if len(c) != 3 {
+		t.Fatalf("corpus = %d", len(c))
+	}
+	for _, w := range c {
+		if g.VertexType(w[0]) != 1 {
+			t.Fatal("walk must start at an item")
+		}
+	}
+}
+
+func TestPerTypeCorpora(t *testing.T) {
+	s := graph.MustSchema([]string{"v"}, []string{"a", "b"})
+	b := graph.NewBuilder(s, true)
+	b.AddVertices(0, 3)
+	b.AddEdge(0, 1, 0, 1)
+	b.AddEdge(1, 2, 1, 1)
+	g := b.Finalize()
+	rng := rand.New(rand.NewSource(4))
+	cs := PerTypeCorpora(g, 1, 3, rng)
+	if len(cs) != 2 {
+		t.Fatalf("corpora = %d", len(cs))
+	}
+	if len(cs[0]) != 1 || len(cs[1]) != 1 {
+		t.Fatalf("sizes = %d, %d", len(cs[0]), len(cs[1]))
+	}
+	if cs[0][0][0] != 0 || cs[1][0][0] != 1 {
+		t.Fatal("walks start at wrong vertices")
+	}
+}
+
+func TestMergedCorpusUsesAllTypes(t *testing.T) {
+	s := graph.MustSchema([]string{"v"}, []string{"a", "b"})
+	b := graph.NewBuilder(s, true)
+	b.AddVertices(0, 3)
+	b.AddEdge(0, 1, 0, 1)
+	b.AddEdge(0, 2, 1, 1)
+	g := b.Finalize()
+	rng := rand.New(rand.NewSource(5))
+	saw := map[graph.ID]bool{}
+	for i := 0; i < 50; i++ {
+		for _, w := range MergedCorpus(g, 1, 2, rng) {
+			if len(w) > 1 {
+				saw[w[1]] = true
+			}
+		}
+	}
+	if !saw[1] || !saw[2] {
+		t.Fatalf("merged walk ignored an edge type: %v", saw)
+	}
+}
