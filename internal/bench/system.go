@@ -217,18 +217,25 @@ func Table4(scale float64) []Table4Row {
 		const batch = 512
 		const iters = 20
 
+		// Warm the eligible-vertex pool outside the timed region; Table 4
+		// reports steady-state per-batch cost, not the one-time scan.
 		trav := sampling.NewTraverse(g, rng)
+		vs := trav.SampleVertices(0, batch)
 		start := time.Now()
 		for i := 0; i < iters; i++ {
 			trav.SampleVertices(0, batch)
 		}
 		rows = append(rows, Table4Row{d.name, "TRAVERSE", time.Since(start) / iters})
 
+		// NEIGHBORHOOD runs through the steady-state engine: a reused
+		// Context and a per-worker Rng, as a training loop would.
 		nbr := sampling.NewNeighborhood(sampling.GraphSource{G: g}, rng)
-		vs := trav.SampleVertices(0, batch)
+		hopNums := []int{5, 3}
+		var ctx sampling.Context
+		srng := sampling.NewRng(1)
 		start = time.Now()
 		for i := 0; i < iters; i++ {
-			if _, err := nbr.Sample(0, vs, []int{5, 3}); err != nil {
+			if err := nbr.SampleInto(&ctx, 0, vs, hopNums, srng); err != nil {
 				panic(err)
 			}
 		}

@@ -32,6 +32,14 @@ type LinkTrainer struct {
 	trav *sampling.Traverse
 	nbr  *sampling.Neighborhood
 	neg  *sampling.Negative
+
+	// Steady-state sampling state: Step encodes three batches (src, dst,
+	// negatives) on one tape, and the tape's backward pass still references
+	// each context's layers, so the reusable contexts rotate with period 3;
+	// the layers of one encode are never overwritten before Backward runs.
+	sctx [3]sampling.Context
+	nenc int
+	srng *sampling.Rng
 }
 
 // TrainerConfig bundles LinkTrainer construction options.
@@ -119,14 +127,21 @@ func (tr *LinkTrainer) Train(steps int) ([]float64, error) {
 
 func (tr *LinkTrainer) encode(t *nn.Tape, vs []graph.ID) (*nn.Node, error) {
 	var ctx *sampling.Context
-	var err error
 	if tr.ContextFn != nil {
-		ctx, err = tr.ContextFn(vs)
+		c, err := tr.ContextFn(vs)
+		if err != nil {
+			return nil, err
+		}
+		ctx = c
 	} else {
-		ctx, err = tr.nbr.Sample(tr.EdgeType, vs, tr.HopNums)
-	}
-	if err != nil {
-		return nil, err
+		if tr.srng == nil {
+			tr.srng = sampling.NewRng(uint64(tr.Rng.Int63()))
+		}
+		ctx = &tr.sctx[tr.nenc%len(tr.sctx)]
+		tr.nenc++
+		if err := tr.nbr.SampleInto(ctx, tr.EdgeType, vs, tr.HopNums, tr.srng); err != nil {
+			return nil, err
+		}
 	}
 	return tr.Enc.Encode(t, ctx), nil
 }

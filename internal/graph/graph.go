@@ -12,6 +12,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ID identifies a vertex. IDs are dense: a finalized graph with n vertices
@@ -143,6 +144,8 @@ type Graph struct {
 	in  []adjacency
 
 	edgeAttrs [][]float64 // pool of edge attribute vectors
+
+	scratch sync.Pool // of *Scratch, recycled across k-hop expansions
 }
 
 // Schema returns the graph's schema.

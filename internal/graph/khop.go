@@ -8,88 +8,61 @@ package graph
 // where D_i^(k)(v) and D_o^(k)(v) are the numbers of distinct k-hop in- and
 // out-neighbors of v. The storage layer caches the out-neighbors of vertices
 // whose importance exceeds a threshold (Algorithm 2, lines 5-9).
+//
+// The BFS underneath is the epoch-stamped, buffer-reusing expansion in
+// scratch.go: the convenience methods here acquire a pooled Scratch, so
+// steady-state counting allocates nothing and the slice-returning variants
+// allocate only their result copy.
 
 // KHopOut returns the set of vertices reachable from v in exactly 1..k hops
 // following out-edges of any type (v itself excluded). The result is a
-// deduplicated slice in discovery order.
+// deduplicated slice in discovery order, owned by the caller.
 func (g *Graph) KHopOut(v ID, k int) []ID {
-	return g.khop(v, k, g.outNeighborsAll)
+	s := g.AcquireScratch()
+	out := append([]ID(nil), g.KHopOutScratch(v, k, s)...)
+	g.ReleaseScratch(s)
+	return out
 }
 
 // KHopIn returns the set of vertices that reach v in 1..k hops following
 // out-edges (equivalently, v's k-hop in-neighborhood).
 func (g *Graph) KHopIn(v ID, k int) []ID {
-	return g.khop(v, k, g.inNeighborsAll)
+	s := g.AcquireScratch()
+	out := append([]ID(nil), g.KHopInScratch(v, k, s)...)
+	g.ReleaseScratch(s)
+	return out
 }
 
 // KHopOutCount returns D_o^(k)(v).
-func (g *Graph) KHopOutCount(v ID, k int) int { return len(g.KHopOut(v, k)) }
+func (g *Graph) KHopOutCount(v ID, k int) int {
+	s := g.AcquireScratch()
+	n := len(g.KHopOutScratch(v, k, s))
+	g.ReleaseScratch(s)
+	return n
+}
 
 // KHopInCount returns D_i^(k)(v).
-func (g *Graph) KHopInCount(v ID, k int) int { return len(g.KHopIn(v, k)) }
+func (g *Graph) KHopInCount(v ID, k int) int {
+	s := g.AcquireScratch()
+	n := len(g.KHopInScratch(v, k, s))
+	g.ReleaseScratch(s)
+	return n
+}
 
 // Importance returns Imp^(k)(v) = D_i^(k)(v) / D_o^(k)(v), the benefit/cost
 // ratio of caching v's out-neighborhood. A vertex with no k-hop
 // out-neighbors has importance 0: there is no neighborhood to cache, so it
 // can never repay a cache slot.
 func (g *Graph) Importance(v ID, k int) float64 {
-	do := g.KHopOutCount(v, k)
-	if do == 0 {
-		return 0
-	}
-	return float64(g.KHopInCount(v, k)) / float64(do)
-}
-
-func (g *Graph) outNeighborsAll(v ID, buf []ID) []ID {
-	for t := range g.out {
-		buf = append(buf, g.out[t].neighbors(v)...)
-	}
-	return buf
-}
-
-func (g *Graph) inNeighborsAll(v ID, buf []ID) []ID {
-	for t := range g.in {
-		buf = append(buf, g.in[t].neighbors(v)...)
-	}
-	return buf
-}
-
-// khop runs a breadth-first expansion up to depth k using the supplied
-// neighbor function, returning distinct visited vertices excluding v.
-func (g *Graph) khop(v ID, k int, nbrs func(ID, []ID) []ID) []ID {
-	if k <= 0 {
-		return nil
-	}
-	seen := map[ID]struct{}{v: {}}
-	frontier := []ID{v}
-	var result []ID
-	var buf []ID
-	for hop := 0; hop < k && len(frontier) > 0; hop++ {
-		var next []ID
-		for _, u := range frontier {
-			buf = nbrs(u, buf[:0])
-			for _, w := range buf {
-				if _, ok := seen[w]; ok {
-					continue
-				}
-				seen[w] = struct{}{}
-				next = append(next, w)
-				result = append(result, w)
-			}
-		}
-		frontier = next
-	}
-	return result
-}
-
-// ImportanceAll computes Imp^(k) for every vertex. It is the batch form used
-// by the storage layer when deciding the cache set; the per-vertex BFS is
-// embarrassingly parallel but kept sequential here — callers that need
-// parallelism (the cluster build pipeline) shard the vertex range.
-func (g *Graph) ImportanceAll(k int) []float64 {
-	imp := make([]float64, g.n)
-	for v := 0; v < g.n; v++ {
-		imp[v] = g.Importance(ID(v), k)
-	}
+	s := g.AcquireScratch()
+	imp := g.ImportanceScratch(v, k, s)
+	g.ReleaseScratch(s)
 	return imp
+}
+
+// ImportanceAll computes Imp^(k) for every vertex, in parallel over
+// GOMAXPROCS workers; it is the batch form used by the storage layer when
+// deciding the cache set. Use ImportanceAllParallel to pick the worker count.
+func (g *Graph) ImportanceAll(k int) []float64 {
+	return g.ImportanceAllParallel(k, 0)
 }

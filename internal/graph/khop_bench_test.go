@@ -1,0 +1,45 @@
+package graph
+
+import "testing"
+
+// Before/after numbers for these benchmarks are tracked in CHANGES.md; the
+// "before" implementation was a map[ID]struct{} BFS per call and a
+// sequential ImportanceAll.
+
+func BenchmarkKHop(b *testing.B) {
+	g := randomGraph(5000, 8, 42)
+	s := NewScratch(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.KHopOutScratch(ID(i%5000), 2, s)
+	}
+}
+
+func BenchmarkKHopAlloc(b *testing.B) {
+	// The copying convenience wrapper, for comparison with KHopOutScratch.
+	g := randomGraph(5000, 8, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.KHopOut(ID(i%5000), 2)
+	}
+}
+
+func BenchmarkImportanceAllParallel(b *testing.B) {
+	g := randomGraph(2000, 8, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ImportanceAllParallel(2, 0)
+	}
+}
+
+func BenchmarkImportanceAllSequential(b *testing.B) {
+	g := randomGraph(2000, 8, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ImportanceAllParallel(2, 1)
+	}
+}

@@ -1,0 +1,62 @@
+package sampling
+
+import (
+	"repro/internal/graph"
+)
+
+// AliasIndex holds one Walker alias table per vertex for the out-edges of a
+// single (graph, edge type) pair, flattened into two CSR-aligned arrays.
+// Construction costs one pass over the type's edges; afterwards a weighted
+// neighbor draw is O(1) with zero allocation — the per-draw NewAlias
+// construction the naive path pays (O(deg) time and two allocations per
+// vertex per hop) disappears entirely.
+//
+// An AliasIndex is immutable after construction and safe for concurrent
+// Draw from any number of goroutines (each with its own Rng).
+type AliasIndex struct {
+	offs  []int64   // len n+1, CSR offsets into prob/alias
+	prob  []float64 // len m_t
+	alias []int32   // len m_t; indices local to each vertex's segment
+}
+
+// NewAliasIndex precomputes the per-vertex alias tables for out-edges of
+// type t in g.
+func NewAliasIndex(g *graph.Graph, t graph.EdgeType) *AliasIndex {
+	n := g.NumVertices()
+	offs := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		offs[v+1] = offs[v] + int64(g.OutDegree(graph.ID(v), t))
+	}
+	m := offs[n]
+	ai := &AliasIndex{offs: offs, prob: make([]float64, m), alias: make([]int32, m)}
+	var scratch aliasScratch
+	for v := 0; v < n; v++ {
+		lo, hi := offs[v], offs[v+1]
+		if lo == hi {
+			continue
+		}
+		fillAlias(ai.prob[lo:hi], ai.alias[lo:hi], g.OutWeights(graph.ID(v), t), &scratch)
+	}
+	return ai
+}
+
+// Draw samples an out-edge slot of v proportionally to edge weight and
+// returns its local index (0..deg-1), or -1 when v has no out-edges of this
+// type. The caller indexes its neighbor slice with the result.
+func (ai *AliasIndex) Draw(v graph.ID, rng *Rng) int {
+	lo, hi := ai.offs[v], ai.offs[v+1]
+	deg := int(hi - lo)
+	if deg == 0 {
+		return -1
+	}
+	i := lo + int64(rng.Intn(deg))
+	if rng.Float64() < ai.prob[i] {
+		return int(i - lo)
+	}
+	return int(ai.alias[i])
+}
+
+// Degree reports the number of type-t out-edges of v covered by the index.
+func (ai *AliasIndex) Degree(v graph.ID) int {
+	return int(ai.offs[v+1] - ai.offs[v])
+}

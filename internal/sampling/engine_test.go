@@ -1,0 +1,252 @@
+package sampling
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// weightedStar builds a graph whose vertex 0 has out-neighbors 1..n with the
+// given weights, for distribution tests.
+func weightedStar(weights []float64) *graph.Graph {
+	b := graph.NewBuilder(graph.SimpleSchema(), true)
+	b.AddVertices(0, len(weights)+1)
+	for i, w := range weights {
+		b.AddEdge(0, graph.ID(i+1), 0, w)
+	}
+	return b.Finalize()
+}
+
+// TestAliasIndexChiSquare verifies that AliasIndex draws follow the edge
+// weights: a chi-square goodness-of-fit on 60k draws against expected
+// frequencies, with the p=0.001 critical value for the relevant degrees of
+// freedom. Failure probability under a correct sampler is ~0.1%, and the
+// Rng is deterministic, so the test is stable.
+func TestAliasIndexChiSquare(t *testing.T) {
+	weights := []float64{1, 2, 3, 4, 10}
+	g := weightedStar(weights)
+	ai := NewAliasIndex(g, 0)
+	rng := NewRng(12345)
+
+	const draws = 60000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		d := ai.Draw(0, rng)
+		if d < 0 || d >= len(weights) {
+			t.Fatalf("draw out of range: %d", d)
+		}
+		counts[d]++
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	chi2 := 0.0
+	for i, c := range counts {
+		exp := float64(draws) * weights[i] / total
+		chi2 += (float64(c) - exp) * (float64(c) - exp) / exp
+	}
+	// Critical value of chi-square with df=4 at p=0.001.
+	if chi2 > 18.47 {
+		t.Fatalf("chi-square = %.2f > 18.47; counts = %v", chi2, counts)
+	}
+}
+
+func TestAliasIndexEmptyAndUniform(t *testing.T) {
+	// Vertex with no out-edges draws -1; zero weights degrade to uniform.
+	b := graph.NewBuilder(graph.SimpleSchema(), true)
+	b.AddVertices(0, 4)
+	b.AddEdge(0, 1, 0, 0)
+	b.AddEdge(0, 2, 0, 0)
+	g := b.Finalize()
+	ai := NewAliasIndex(g, 0)
+	rng := NewRng(1)
+	if ai.Draw(3, rng) != -1 {
+		t.Fatal("edge-less vertex must draw -1")
+	}
+	if ai.Degree(0) != 2 || ai.Degree(3) != 0 {
+		t.Fatalf("degrees: %d %d", ai.Degree(0), ai.Degree(3))
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[ai.Draw(0, rng)] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("zero-weight draws not uniform: %v", seen)
+	}
+}
+
+func TestSampleIntoMatchesSampleSemantics(t *testing.T) {
+	g := userItemGraph()
+	s := NewNeighborhood(GraphSource{g}, rand.New(rand.NewSource(1)))
+	var ctx Context
+	rng := NewRng(9)
+	batch := []graph.ID{0, 1, 2}
+	if err := s.SampleInto(&ctx, 0, batch, []int{4, 2}, rng); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.Layers[0]) != 3 || len(ctx.Layers[1]) != 12 || len(ctx.Layers[2]) != 24 {
+		t.Fatalf("layer sizes: %d %d %d", len(ctx.Layers[0]), len(ctx.Layers[1]), len(ctx.Layers[2]))
+	}
+	for i, v := range batch {
+		for _, u := range ctx.NeighborsOf(0, i) {
+			if !g.HasEdge(v, u, 0) {
+				t.Fatalf("%d -> %d is not a click edge", v, u)
+			}
+		}
+	}
+	// Isolated vertices pad with themselves, same as Sample.
+	if err := s.SampleInto(&ctx, 0, []graph.ID{6}, []int{3}, rng); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range ctx.Layers[1] {
+		if u != 6 {
+			t.Fatalf("isolated vertex padded with %d", u)
+		}
+	}
+	// Reuse shrinks layers correctly: a narrower second call must not leak
+	// stale entries.
+	if got := len(ctx.Layers); got != 2 {
+		t.Fatalf("layers after narrower call = %d, want 2", got)
+	}
+}
+
+func TestSampleIntoWeighted(t *testing.T) {
+	g := weightedStar([]float64{1, 99})
+	s := NewNeighborhood(GraphSource{g}, rand.New(rand.NewSource(1)))
+	s.ByWeight = true
+	var ctx Context
+	if err := s.SampleInto(&ctx, 0, []graph.ID{0}, []int{400}, NewRng(3)); err != nil {
+		t.Fatal(err)
+	}
+	heavy := 0
+	for _, u := range ctx.Layers[1] {
+		if u == 2 {
+			heavy++
+		}
+	}
+	if heavy < 360 {
+		t.Fatalf("weighted SampleInto picked heavy neighbor only %d/400", heavy)
+	}
+}
+
+// TestSampleIntoConcurrent shares one Neighborhood (and its lazily built
+// AliasIndex) across goroutines, each with its own Context and Rng; run
+// with -race to validate the sharing contract.
+func TestSampleIntoConcurrent(t *testing.T) {
+	g := userItemGraph()
+	s := NewNeighborhood(GraphSource{g}, rand.New(rand.NewSource(1)))
+	s.ByWeight = true // exercises the concurrent lazy index build
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			var ctx Context
+			rng := NewRng(seed)
+			batch := []graph.ID{0, 1, 2, 3}
+			for i := 0; i < 200; i++ {
+				if err := s.SampleInto(&ctx, 0, batch, []int{4, 2}, rng); err != nil {
+					t.Errorf("SampleInto: %v", err)
+					return
+				}
+				if len(ctx.Layers[2]) != 4*4*2 {
+					t.Errorf("misaligned layer: %d", len(ctx.Layers[2]))
+					return
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+}
+
+func TestSampleIntoSteadyStateAllocFree(t *testing.T) {
+	g := weightedStar([]float64{1, 2, 3, 4})
+	s := NewNeighborhood(GraphSource{g}, rand.New(rand.NewSource(1)))
+	s.ByWeight = true
+	var ctx Context
+	rng := NewRng(7)
+	batch := []graph.ID{0, 0, 0, 0}
+	hops := []int{5, 3}
+	// Warm: builds the alias index and grows the layer buffers.
+	for i := 0; i < 4; i++ {
+		if err := s.SampleInto(&ctx, 0, batch, hops, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := s.SampleInto(&ctx, 0, batch, hops, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state SampleInto allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestSampleVerticesEmptyPool(t *testing.T) {
+	// Edge type 1 ("buy") exists in the schema but carries no edges: the old
+	// rejection loop would spin forever here.
+	s := graph.MustSchema([]string{"v"}, []string{"click", "buy"})
+	b := graph.NewBuilder(s, true)
+	b.AddVertices(0, 5)
+	b.AddEdge(0, 1, 0, 1)
+	g := b.Finalize()
+	tr := NewTraverse(g, rand.New(rand.NewSource(1)))
+	if got := tr.SampleVertices(1, 8); len(got) != 0 {
+		t.Fatalf("empty pool must yield empty batch, got %v", got)
+	}
+	if got := tr.SampleEdges(1, 8); len(got) != 0 {
+		t.Fatalf("empty edge set must yield empty batch, got %v", got)
+	}
+	// And the non-empty type still works.
+	if got := tr.SampleVertices(0, 8); len(got) != 8 {
+		t.Fatalf("batch = %d, want 8", len(got))
+	}
+}
+
+func TestSampleVerticesOfTypeEmptyPool(t *testing.T) {
+	s := graph.MustSchema([]string{"user", "item"}, []string{"e"})
+	b := graph.NewBuilder(s, true)
+	b.AddVertex(0, nil) // users only; item pool is empty
+	g := b.Finalize()
+	tr := NewTraverse(g, rand.New(rand.NewSource(1)))
+	if got := tr.SampleVerticesOfType(1, 4); len(got) != 0 {
+		t.Fatalf("empty type pool must yield empty batch, got %v", got)
+	}
+}
+
+func TestRngBasics(t *testing.T) {
+	rng := NewRng(1)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		n := rng.Intn(10)
+		if n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+		counts[n]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn skewed: counts[%d] = %d", i, c)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if f := rng.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+	// Distinct seeds give distinct streams.
+	a, b := NewRng(1), NewRng(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams from distinct seeds collided %d/100 times", same)
+	}
+}

@@ -3,6 +3,7 @@ package sampling
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -33,6 +34,16 @@ func (s GraphSource) SampleNeighbors(v graph.ID, t graph.EdgeType) ([]graph.ID, 
 type Traverse struct {
 	G   *graph.Graph
 	Rng *rand.Rand
+
+	// eligible caches, per edge type, the vertices with at least one
+	// out-edge of that type. Built on first use; a rejection loop over the
+	// whole vertex range would degenerate (or never terminate when the pool
+	// is empty) on sparse edge types.
+	eligible map[graph.EdgeType][]graph.ID
+	// edgeAlias caches, per edge type, an alias table over the eligible
+	// vertices weighted by out-degree, making SampleEdges uniform over CSR
+	// entries in O(1) per draw.
+	edgeAlias map[graph.EdgeType]*Alias
 }
 
 // NewTraverse creates a TRAVERSE sampler over g.
@@ -40,24 +51,32 @@ func NewTraverse(g *graph.Graph, rng *rand.Rand) *Traverse {
 	return &Traverse{G: g, Rng: rng}
 }
 
-// SampleVertices draws batch source vertices uniformly among vertices that
-// have at least one out-edge of type t.
-func (s *Traverse) SampleVertices(t graph.EdgeType, batch int) []graph.ID {
-	out := make([]graph.ID, 0, batch)
-	n := s.G.NumVertices()
-	for len(out) < batch {
-		v := graph.ID(s.Rng.Intn(n))
-		if s.G.OutDegree(v, t) > 0 {
-			out = append(out, v)
+// pool returns (building lazily) the vertices with out-edges of type t.
+func (s *Traverse) pool(t graph.EdgeType) []graph.ID {
+	if p, ok := s.eligible[t]; ok {
+		return p
+	}
+	var p []graph.ID
+	for v := 0; v < s.G.NumVertices(); v++ {
+		if s.G.OutDegree(graph.ID(v), t) > 0 {
+			p = append(p, graph.ID(v))
 		}
 	}
-	return out
+	if s.eligible == nil {
+		s.eligible = make(map[graph.EdgeType][]graph.ID)
+	}
+	s.eligible[t] = p
+	return p
 }
 
-// SampleVerticesOfType draws batch vertices uniformly among vertices of
-// vertex type vt.
-func (s *Traverse) SampleVerticesOfType(vt graph.VertexType, batch int) []graph.ID {
-	pool := s.G.VerticesOfType(vt)
+// SampleVertices draws batch source vertices uniformly among vertices that
+// have at least one out-edge of type t. When no vertex qualifies the batch
+// is empty rather than looping forever.
+func (s *Traverse) SampleVertices(t graph.EdgeType, batch int) []graph.ID {
+	pool := s.pool(t)
+	if len(pool) == 0 {
+		return nil
+	}
 	out := make([]graph.ID, batch)
 	for i := range out {
 		out[i] = pool[s.Rng.Intn(len(pool))]
@@ -65,24 +84,44 @@ func (s *Traverse) SampleVerticesOfType(vt graph.VertexType, batch int) []graph.
 	return out
 }
 
-// SampleEdges draws batch edges of type t uniformly, weighted by nothing
-// but presence (uniform over CSR entries).
+// SampleVerticesOfType draws batch vertices uniformly among vertices of
+// vertex type vt; empty when the graph has no such vertices.
+func (s *Traverse) SampleVerticesOfType(vt graph.VertexType, batch int) []graph.ID {
+	pool := s.G.VerticesOfType(vt)
+	if len(pool) == 0 {
+		return nil
+	}
+	out := make([]graph.ID, batch)
+	for i := range out {
+		out[i] = pool[s.Rng.Intn(len(pool))]
+	}
+	return out
+}
+
+// SampleEdges draws batch edges of type t uniformly over CSR entries: a
+// source vertex proportional to its type-t out-degree (via the cached
+// degree alias table), then a uniform entry of that vertex.
 func (s *Traverse) SampleEdges(t graph.EdgeType, batch int) []graph.Edge {
 	out := make([]graph.Edge, 0, batch)
-	total := s.G.NumEdgesOfType(t)
-	if total == 0 {
+	if s.G.NumEdgesOfType(t) == 0 {
 		return out
 	}
-	for len(out) < batch {
-		// Pick a random CSR entry via a random source vertex weighted by
-		// degree: draw a vertex proportional to its type-t out-degree by
-		// rejection on a uniform entry index.
-		v := graph.ID(s.Rng.Intn(s.G.NumVertices()))
-		d := s.G.OutDegree(v, t)
-		if d == 0 {
-			continue
+	pool := s.pool(t)
+	al, ok := s.edgeAlias[t]
+	if !ok {
+		ws := make([]float64, len(pool))
+		for i, v := range pool {
+			ws[i] = float64(s.G.OutDegree(v, t))
 		}
-		i := s.Rng.Intn(d)
+		al = NewAlias(ws)
+		if s.edgeAlias == nil {
+			s.edgeAlias = make(map[graph.EdgeType]*Alias)
+		}
+		s.edgeAlias[t] = al
+	}
+	for len(out) < batch {
+		v := pool[al.Draw(s.Rng)]
+		i := s.Rng.Intn(s.G.OutDegree(v, t))
 		out = append(out, graph.Edge{
 			Src:    v,
 			Dst:    s.G.OutNeighbors(v, t)[i],
@@ -96,12 +135,7 @@ func (s *Traverse) SampleEdges(t graph.EdgeType, batch int) []graph.Edge {
 // EpochVertices returns all vertices with out-edges of type t in shuffled
 // order, for full-epoch traversal.
 func (s *Traverse) EpochVertices(t graph.EdgeType) []graph.ID {
-	var out []graph.ID
-	for v := 0; v < s.G.NumVertices(); v++ {
-		if s.G.OutDegree(graph.ID(v), t) > 0 {
-			out = append(out, graph.ID(v))
-		}
-	}
+	out := append([]graph.ID(nil), s.pool(t)...)
 	s.Rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out
 }
@@ -112,6 +146,9 @@ func (s *Traverse) EpochVertices(t graph.EdgeType) []graph.ID {
 // Context is the sampled multi-hop neighborhood of a vertex batch: Layers[0]
 // is the batch itself; Layers[h] holds, for each vertex of Layers[h-1],
 // exactly HopNums[h-1] sampled neighbors, flattened in order.
+//
+// A zero Context is ready for use with SampleInto, which reuses the layer
+// buffers across calls; one Context must not be shared between goroutines.
 type Context struct {
 	HopNums []int
 	Layers  [][]graph.ID
@@ -126,12 +163,19 @@ func (c *Context) NeighborsOf(h, i int) []graph.ID {
 
 // Neighborhood samples aligned fixed-size neighborhoods
 // (Figure 5: context = s2.sample(edge_type, vertex, hop_nums)).
+//
+// A Neighborhood is safe for concurrent SampleInto calls as long as each
+// goroutine supplies its own Context and Rng; the lazily built per-edge-type
+// AliasIndex is shared and immutable.
 type Neighborhood struct {
 	Src Source
 	Rng *rand.Rand
 	// ByWeight selects neighbors proportionally to edge weight instead of
 	// uniformly.
 	ByWeight bool
+
+	mu      sync.RWMutex
+	indexes map[graph.EdgeType]*AliasIndex
 }
 
 // NewNeighborhood creates a NEIGHBORHOOD sampler over src.
@@ -139,41 +183,110 @@ func NewNeighborhood(src Source, rng *rand.Rand) *Neighborhood {
 	return &Neighborhood{Src: src, Rng: rng}
 }
 
+// aliasIndex returns the shared alias index for edge type t, building it on
+// first use. Safe for concurrent callers.
+func (s *Neighborhood) aliasIndex(g *graph.Graph, t graph.EdgeType) *AliasIndex {
+	s.mu.RLock()
+	ai := s.indexes[t]
+	s.mu.RUnlock()
+	if ai != nil {
+		return ai
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ai = s.indexes[t]; ai != nil {
+		return ai
+	}
+	ai = NewAliasIndex(g, t)
+	if s.indexes == nil {
+		s.indexes = make(map[graph.EdgeType]*AliasIndex)
+	}
+	s.indexes[t] = ai
+	return ai
+}
+
 // Sample expands the batch hop by hop. Vertices with no neighbors under t
 // are padded with themselves, keeping every layer perfectly aligned (the
 // aligned output is what makes the downstream AGGREGATE batched).
+//
+// Sample allocates a fresh Context per call; hot loops should hold a
+// Context and an Rng and call SampleInto instead.
 func (s *Neighborhood) Sample(t graph.EdgeType, batch []graph.ID, hopNums []int) (*Context, error) {
-	ctx := &Context{HopNums: hopNums, Layers: make([][]graph.ID, len(hopNums)+1)}
-	ctx.Layers[0] = batch
-	cur := batch
+	ctx := &Context{}
+	if err := s.SampleInto(ctx, t, batch, hopNums, NewRng(uint64(s.Rng.Int63()))); err != nil {
+		return nil, err
+	}
+	return ctx, nil
+}
+
+// SampleInto is Sample with caller-owned state: layer buffers are reused
+// from ctx (growing only until steady state) and randomness comes from rng,
+// so a warm call performs zero allocations. ctx and rng must not be shared
+// between goroutines; s itself may be.
+func (s *Neighborhood) SampleInto(ctx *Context, t graph.EdgeType, batch []graph.ID, hopNums []int, rng *Rng) error {
+	ctx.HopNums = append(ctx.HopNums[:0], hopNums...)
+	for len(ctx.Layers) < len(hopNums)+1 {
+		ctx.Layers = append(ctx.Layers, nil)
+	}
+	ctx.Layers = ctx.Layers[:len(hopNums)+1]
+	ctx.Layers[0] = append(ctx.Layers[0][:0], batch...)
+
+	gs, isGraph := s.Src.(GraphSource)
+	var ai *AliasIndex
+	if isGraph && s.ByWeight {
+		ai = s.aliasIndex(gs.G, t)
+	}
+
+	cur := ctx.Layers[0]
 	for h, width := range hopNums {
-		next := make([]graph.ID, 0, len(cur)*width)
-		for _, v := range cur {
-			ns, ws, err := s.Src.SampleNeighbors(v, t)
-			if err != nil {
-				return nil, err
-			}
-			if len(ns) == 0 {
-				for i := 0; i < width; i++ {
-					next = append(next, v)
+		next := ctx.Layers[h+1][:0]
+		if isGraph {
+			g := gs.G
+			for _, v := range cur {
+				ns := g.OutNeighbors(v, t)
+				switch {
+				case len(ns) == 0:
+					for i := 0; i < width; i++ {
+						next = append(next, v)
+					}
+				case ai != nil:
+					for i := 0; i < width; i++ {
+						next = append(next, ns[ai.Draw(v, rng)])
+					}
+				default:
+					for i := 0; i < width; i++ {
+						next = append(next, ns[rng.Intn(len(ns))])
+					}
 				}
-				continue
 			}
-			if s.ByWeight && ws != nil {
-				alias := NewAlias(ws)
-				for i := 0; i < width; i++ {
-					next = append(next, ns[alias.Draw(s.Rng)])
+		} else {
+			for _, v := range cur {
+				ns, ws, err := s.Src.SampleNeighbors(v, t)
+				if err != nil {
+					return err
 				}
-			} else {
-				for i := 0; i < width; i++ {
-					next = append(next, ns[s.Rng.Intn(len(ns))])
+				if len(ns) == 0 {
+					for i := 0; i < width; i++ {
+						next = append(next, v)
+					}
+					continue
+				}
+				if s.ByWeight && ws != nil {
+					alias := NewAlias(ws)
+					for i := 0; i < width; i++ {
+						next = append(next, ns[alias.drawRng(rng)])
+					}
+				} else {
+					for i := 0; i < width; i++ {
+						next = append(next, ns[rng.Intn(len(ns))])
+					}
 				}
 			}
 		}
 		ctx.Layers[h+1] = next
 		cur = next
 	}
-	return ctx, nil
+	return nil
 }
 
 // ---------------------------------------------------------------------------

@@ -43,10 +43,13 @@ type ImportanceCache struct {
 }
 
 // SelectImportant returns the vertices with Imp^(h)(v) >= tau, for depth h.
+// Importance is computed for all vertices in one parallel batch (shared
+// scratch BFS per worker) rather than one map-based BFS per vertex.
 func SelectImportant(g *graph.Graph, h int, tau float64) []graph.ID {
+	imps := g.ImportanceAll(h)
 	var out []graph.ID
-	for v := 0; v < g.NumVertices(); v++ {
-		if g.Importance(graph.ID(v), h) >= tau {
+	for v, imp := range imps {
+		if imp >= tau {
 			out = append(out, graph.ID(v))
 		}
 	}
@@ -58,6 +61,8 @@ func SelectImportant(g *graph.Graph, h int, tau float64) []graph.ID {
 // cached (Algorithm 2).
 func NewImportanceCache(g *graph.Graph, tau []float64) *ImportanceCache {
 	c := &ImportanceCache{entries: make(map[int64][]graph.ID)}
+	s := g.AcquireScratch()
+	defer g.ReleaseScratch(s)
 	for k := 1; k <= len(tau); k++ {
 		for _, v := range SelectImportant(g, k, tau[k-1]) {
 			for h := 1; h <= k; h++ {
@@ -65,7 +70,7 @@ func NewImportanceCache(g *graph.Graph, tau []float64) *ImportanceCache {
 				if _, ok := c.entries[key]; ok {
 					continue
 				}
-				c.entries[key] = khopFrontier(g, v, h)
+				c.entries[key] = append([]graph.ID(nil), g.KHopFrontier(v, h, s)...)
 				if h == 1 {
 					c.hop1++
 				}
@@ -87,10 +92,12 @@ func NewImportanceCacheTopFraction(g *graph.Graph, h int, frac float64) *Importa
 	sort.Slice(order, func(a, b int) bool { return imps[order[a]] > imps[order[b]] })
 	k := int(frac * float64(len(order)))
 	c := &ImportanceCache{entries: make(map[int64][]graph.ID)}
+	s := g.AcquireScratch()
+	defer g.ReleaseScratch(s)
 	for _, vi := range order[:k] {
 		v := graph.ID(vi)
 		for hh := 1; hh <= h; hh++ {
-			c.entries[hopKey(v, hh)] = khopFrontier(g, v, hh)
+			c.entries[hopKey(v, hh)] = append([]graph.ID(nil), g.KHopFrontier(v, hh, s)...)
 		}
 		c.hop1++
 	}
@@ -107,27 +114,6 @@ func (c *ImportanceCache) Observe(graph.ID, int, []graph.ID) {} // static
 func (c *ImportanceCache) Name() string { return "importance" }
 
 func (c *ImportanceCache) CachedVertices() int { return c.hop1 }
-
-// khopFrontier returns the vertices exactly h hops from v (not the union of
-// 1..h); per-hop frontiers are what NEIGHBORHOOD sampling consumes.
-func khopFrontier(g *graph.Graph, v graph.ID, h int) []graph.ID {
-	frontier := []graph.ID{v}
-	seen := map[graph.ID]struct{}{v: {}}
-	for hop := 0; hop < h; hop++ {
-		var next []graph.ID
-		for _, u := range frontier {
-			for _, w := range g.Neighbors(u) {
-				if _, ok := seen[w]; ok {
-					continue
-				}
-				seen[w] = struct{}{}
-				next = append(next, w)
-			}
-		}
-		frontier = next
-	}
-	return frontier
-}
 
 // ---------------------------------------------------------------------------
 // Random static cache (Figure 9 baseline)
@@ -147,10 +133,12 @@ func NewRandomCache(g *graph.Graph, h int, frac float64, rng *rand.Rand) *Random
 	n := g.NumVertices()
 	k := int(frac * float64(n))
 	perm := rng.Perm(n)
+	s := g.AcquireScratch()
+	defer g.ReleaseScratch(s)
 	for _, vi := range perm[:k] {
 		v := graph.ID(vi)
 		for hh := 1; hh <= h; hh++ {
-			c.entries[hopKey(v, hh)] = khopFrontier(g, v, hh)
+			c.entries[hopKey(v, hh)] = append([]graph.ID(nil), g.KHopFrontier(v, hh, s)...)
 		}
 		c.hop1++
 	}
