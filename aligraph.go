@@ -5,21 +5,35 @@
 // materialization, and an algorithm layer containing the paper's six
 // in-house GNNs and their published baselines.
 //
-// The three system layers of the paper map onto this API as:
+// The three system layers of the paper meet at one seam: the batch-first
+// sampling.Source contract, which answers a whole hop of a mini-batch per
+// call. They map onto this API as:
 //
-//   - storage layer:  Platform (partitioning, attribute indices,
-//     importance-based neighbor caching)
-//   - sampling layer: Platform.Traverse / Neighborhood / Negative
-//   - operator layer: the encoder behind Platform.NewGraphSAGE (and every
-//     model in internal/algo)
+//   - storage layer:  Platform serves an in-memory graph (partitioning,
+//     attribute indices, importance-based neighbor caching);
+//     ClusterPlatform serves the same contract from live RPC graph shards,
+//     stitching one sub-batch per owning server and pushing fixed-width
+//     draws server-side (the SampleNeighbors RPC), so hub adjacency lists
+//     never cross the network.
+//   - sampling layer: Platform.Traverse / Neighborhood / Negative locally;
+//     on ClusterPlatform, Neighborhood is exposed directly while TRAVERSE
+//     and NEGATIVE run inside the trainer as SampleEdges / NegativePool
+//     RPCs. NEIGHBORHOOD consumes any Source, which is what makes the two
+//     storage backends interchangeable under one training loop.
+//   - operator layer: the encoder behind NewGraphSAGE (and every model in
+//     internal/algo), fed aligned contexts regardless of where the
+//     neighbors came from.
 //
-// See examples/ for runnable end-to-end programs.
+// See examples/ for runnable end-to-end programs; examples/distributed
+// trains GraphSAGE against net/rpc shards.
 package aligraph
 
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/nn"
@@ -89,6 +103,8 @@ type Platform struct {
 	Assign *partition.Assignment
 	Cache  storage.NeighborCache
 
+	src *sampling.GraphSource // shared batch Source (and its alias indexes)
+	mu  sync.Mutex
 	rng *rand.Rand
 }
 
@@ -113,6 +129,7 @@ func NewPlatform(g *Graph, cfg Config) (*Platform, error) {
 		G:      g,
 		Store:  storage.BuildStore(g, storage.StoreOptions{VertexAttrCache: cfg.AttrCache, EdgeAttrCache: cfg.AttrCache}),
 		Assign: assign,
+		src:    sampling.NewGraphSource(g),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
 	if len(cfg.CacheThresholds) > 0 {
@@ -123,17 +140,28 @@ func NewPlatform(g *Graph, cfg Config) (*Platform, error) {
 	return p, nil
 }
 
-// Traverse returns a TRAVERSE sampler over the platform's graph.
-func (p *Platform) Traverse() *sampling.Traverse { return sampling.NewTraverse(p.G, p.rng) }
+// newRng derives an independently seeded rand.Rand under the platform
+// lock. Every sampler handed out gets its own generator, so samplers
+// created from one Platform can be used concurrently without sharing
+// unsynchronized rng state.
+func (p *Platform) newRng() *rand.Rand {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return rand.New(rand.NewSource(p.rng.Int63()))
+}
 
-// Neighborhood returns a NEIGHBORHOOD sampler.
+// Traverse returns a TRAVERSE sampler over the platform's graph.
+func (p *Platform) Traverse() *sampling.Traverse { return sampling.NewTraverse(p.G, p.newRng()) }
+
+// Neighborhood returns a NEIGHBORHOOD sampler. All samplers share the
+// platform's GraphSource (and therefore its lazily built alias indexes).
 func (p *Platform) Neighborhood() *sampling.Neighborhood {
-	return sampling.NewNeighborhood(sampling.GraphSource{G: p.G}, p.rng)
+	return sampling.NewNeighborhood(p.src, p.newRng())
 }
 
 // Negative returns a NEGATIVE sampler for edge type t.
 func (p *Platform) Negative(t EdgeType) *sampling.Negative {
-	return sampling.NewNegative(p.G, t, p.rng)
+	return sampling.NewNegative(p.G, t, p.newRng())
 }
 
 // CacheRate reports the fraction of vertices whose neighborhoods are cached.
@@ -165,10 +193,28 @@ type Trainer struct {
 	inner *core.LinkTrainer
 }
 
-// NewGraphSAGE assembles a GraphSAGE-style model on the platform: mean
-// AGGREGATE, concat COMBINE, materialization enabled.
+// newSAGEEncoder assembles the GraphSAGE-style encoder shared by both
+// platforms: mean AGGREGATE, concat COMBINE, materialization enabled.
+func newSAGEEncoder(feat core.FeatureSource, cfg TrainConfig, rng *rand.Rand) *core.Encoder {
+	enc := &core.Encoder{Features: feat, Materialize: true, Normalize: true}
+	in := feat.Dim()
+	for k := range cfg.HopNums {
+		agg := operator.NewMeanAggregator("agg", in, cfg.Dim, rng)
+		enc.Agg = append(enc.Agg, agg)
+		act := nn.ActReLU
+		if k == len(cfg.HopNums)-1 {
+			act = nil // linear output layer
+		}
+		enc.Comb = append(enc.Comb, operator.NewConcatCombinerAct("comb", in, cfg.Dim, cfg.Dim, act, rng))
+		in = cfg.Dim
+	}
+	return enc
+}
+
+// NewGraphSAGE assembles a GraphSAGE-style model on the platform.
 func (p *Platform) NewGraphSAGE(cfg TrainConfig) *Trainer {
-	var feat core.FeatureSource = core.NewTableFeatures("emb", p.G.NumVertices(), cfg.Dim, p.rng)
+	rng := p.newRng()
+	var feat core.FeatureSource = core.NewTableFeatures("emb", p.G.NumVertices(), cfg.Dim, rng)
 	if cfg.UseAttrs {
 		ad := cfg.AttrDim
 		if ad == 0 {
@@ -176,20 +222,115 @@ func (p *Platform) NewGraphSAGE(cfg TrainConfig) *Trainer {
 		}
 		feat = &core.ConcatFeatures{Srcs: []core.FeatureSource{core.NewAttrFeatures(p.G, ad), feat}}
 	}
-	enc := &core.Encoder{Features: feat, Materialize: true, Normalize: true}
-	in := feat.Dim()
-	for k := range cfg.HopNums {
-		agg := operator.NewMeanAggregator("agg", in, cfg.Dim, p.rng)
-		enc.Agg = append(enc.Agg, agg)
-		act := nn.ActReLU
-		if k == len(cfg.HopNums)-1 {
-			act = nil // linear output layer
-		}
-		enc.Comb = append(enc.Comb, operator.NewConcatCombinerAct("comb", in, cfg.Dim, cfg.Dim, act, p.rng))
-		in = cfg.Dim
-	}
+	enc := newSAGEEncoder(feat, cfg, rng)
 	tc := core.TrainerConfig{EdgeType: cfg.EdgeType, HopNums: cfg.HopNums, Batch: cfg.Batch, NegK: cfg.NegK, LR: cfg.LR}
-	return &Trainer{inner: core.NewLinkTrainer(p.G, enc, tc, p.rng)}
+	inner, err := core.NewLinkTrainerOver(core.NewLocalEnv(p.G, rng), p.src, enc, tc, rng)
+	if err != nil {
+		panic(err) // local env never fails
+	}
+	return &Trainer{inner: inner}
+}
+
+// ---------------------------------------------------------------------------
+// Distributed platform
+
+// ClusterPlatform is the distributed counterpart of Platform: the same
+// sampling and training seams, served by graph shards behind a
+// cluster.Transport (in-process servers or live net/rpc) through a routing,
+// caching cluster.Client. Because the client implements the batch-first
+// sampling.Source contract, every layer above it — NEIGHBORHOOD sampling,
+// the encoder, the link trainer — is byte-for-byte the code that runs
+// locally.
+type ClusterPlatform struct {
+	Client *cluster.Client
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClusterPlatform wires a worker's view of a sharded graph: assign maps
+// vertices to partitions, t reaches the per-partition servers, and cache
+// (nil to disable) short-circuits remote hops per Section 3.2.
+func NewClusterPlatform(assign *partition.Assignment, t cluster.Transport, cache storage.NeighborCache, seed int64) *ClusterPlatform {
+	return &ClusterPlatform{
+		Client: cluster.NewClient(assign, t, cache),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (p *ClusterPlatform) newRng() *rand.Rand {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return rand.New(rand.NewSource(p.rng.Int63()))
+}
+
+// NumVertices reports the size of the sharded graph's vertex universe.
+func (p *ClusterPlatform) NumVertices() int { return len(p.Client.Assign.Of) }
+
+// Neighborhood returns a NEIGHBORHOOD sampler over the cluster: each hop of
+// a batch costs at most one SampleNeighbors RPC per owning server.
+func (p *ClusterPlatform) Neighborhood() *sampling.Neighborhood {
+	return sampling.NewNeighborhood(p.Client, p.newRng())
+}
+
+// CacheRate reports the fraction of vertices whose neighborhoods the
+// client-side cache holds.
+func (p *ClusterPlatform) CacheRate() float64 {
+	return storage.CacheRate(p.Client.Cache, p.NumVertices())
+}
+
+// clusterAttrFeatures serves hop-0 attribute rows through batched Attrs
+// RPCs (with per-server sub-batching and dedup in the client). A fetch
+// failure yields zero rows for the batch — the feature interface has no
+// error path — so transient shard outages degrade the features instead of
+// crashing training.
+type clusterAttrFeatures struct {
+	c *cluster.Client
+	d int
+}
+
+func (f *clusterAttrFeatures) Dim() int { return f.d }
+
+func (f *clusterAttrFeatures) Rows(t *nn.Tape, vs []ID) *nn.Node {
+	m := tensor.New(len(vs), f.d)
+	if attrs, err := f.c.Attrs(vs); err == nil {
+		for i, a := range attrs {
+			row := m.Row(i)
+			for j := 0; j < len(a) && j < f.d; j++ {
+				row[j] = a[j]
+			}
+		}
+	}
+	return t.Input(m)
+}
+
+func (f *clusterAttrFeatures) Params() []*nn.Param { return nil }
+
+// NewGraphSAGE assembles the same GraphSAGE-style model as
+// Platform.NewGraphSAGE, trained end to end against the shards: TRAVERSE
+// batches via per-server edge draws, negatives from merged per-server
+// destination counts, neighbor expansion via SampleNeighbors RPCs, and
+// (with UseAttrs) hop-0 features via batched Attrs RPCs.
+func (p *ClusterPlatform) NewGraphSAGE(cfg TrainConfig) (*Trainer, error) {
+	rng := p.newRng()
+	var feat core.FeatureSource = core.NewTableFeatures("emb", p.NumVertices(), cfg.Dim, rng)
+	if cfg.UseAttrs {
+		ad := cfg.AttrDim
+		if ad == 0 {
+			ad = 16
+		}
+		feat = &core.ConcatFeatures{Srcs: []core.FeatureSource{&clusterAttrFeatures{c: p.Client, d: ad}, feat}}
+	}
+	enc := newSAGEEncoder(feat, cfg, rng)
+	tc := core.TrainerConfig{EdgeType: cfg.EdgeType, HopNums: cfg.HopNums, Batch: cfg.Batch, NegK: cfg.NegK, LR: cfg.LR}
+	p.mu.Lock()
+	envSeed := p.rng.Int63()
+	p.mu.Unlock()
+	inner, err := core.NewLinkTrainerOver(cluster.NewEnv(p.Client, envSeed), p.Client, enc, tc, rng)
+	if err != nil {
+		return nil, fmt.Errorf("aligraph: cluster trainer: %w", err)
+	}
+	return &Trainer{inner: inner}, nil
 }
 
 // Train runs steps mini-batches and returns the per-step losses.

@@ -1,9 +1,13 @@
 package aligraph
 
 import (
+	"sync"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/partition"
+	"repro/internal/storage"
 )
 
 func TestPlatformEndToEnd(t *testing.T) {
@@ -54,6 +58,95 @@ func TestPlatformEndToEnd(t *testing.T) {
 	}
 	if _, err := tr.Score(batch[0], batch[1]); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPlatformSamplersConcurrent hands out samplers from one Platform to
+// many goroutines; each sampler owns an independently seeded rng, so this
+// must be race-free (run with -race).
+func TestPlatformSamplersConcurrent(t *testing.T) {
+	g := dataset.Taobao(dataset.TaobaoSmallConfig(0.03))
+	p, err := NewPlatform(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			trav := p.Traverse()
+			nbr := p.Neighborhood()
+			neg := p.Negative(0)
+			for i := 0; i < 20; i++ {
+				batch := trav.SampleVertices(0, 8)
+				if len(batch) != 8 {
+					t.Error("traverse batch")
+					return
+				}
+				if _, err := nbr.Sample(0, batch, []int{3, 2}); err != nil {
+					t.Errorf("neighborhood: %v", err)
+					return
+				}
+				if negs := neg.Sample(batch, 2); len(negs) != 16 {
+					t.Error("negative batch")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestClusterPlatformTrains runs the full distributed training path over
+// in-process shards: TRAVERSE / NEGATIVE / NEIGHBORHOOD all served by
+// server RPCs through the batched client, loss decreasing.
+func TestClusterPlatformTrains(t *testing.T) {
+	g := dataset.Taobao(dataset.TaobaoSmallConfig(0.03))
+	assign, err := (partition.HashPartitioner{}).Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := cluster.FromGraph(g, assign)
+	tr := cluster.NewLocalTransport(servers, 0, 0)
+	cp := NewClusterPlatform(assign, tr, storage.NewImportanceCacheTopFraction(g, 2, 0.2), 1)
+
+	if cp.NumVertices() != g.NumVertices() {
+		t.Fatalf("universe %d, want %d", cp.NumVertices(), g.NumVertices())
+	}
+	if cp.CacheRate() <= 0 {
+		t.Fatal("importance cache empty")
+	}
+	ctx, err := cp.Neighborhood().Sample(0, []ID{0, 1, 2}, []int{3})
+	if err != nil || len(ctx.Layers[1]) != 9 {
+		t.Fatalf("cluster neighborhood: %v", err)
+	}
+
+	tc := DefaultTrainConfig()
+	tc.HopNums = []int{3, 2}
+	tc.Batch = 16
+	tc.UseAttrs = true
+	trainer, err := cp.NewGraphSAGE(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses, err := trainer.Train(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := 0.0, 0.0
+	for _, l := range losses[:10] {
+		first += l
+	}
+	for _, l := range losses[len(losses)-10:] {
+		last += l
+	}
+	if last >= first {
+		t.Fatalf("distributed loss did not decrease: %f -> %f", first/10, last/10)
+	}
+	emb, err := trainer.Embed([]ID{0, 1})
+	if err != nil || emb.Rows != 2 || emb.Cols != tc.Dim {
+		t.Fatalf("embed: %v", err)
 	}
 }
 

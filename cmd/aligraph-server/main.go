@@ -1,9 +1,12 @@
 // Command aligraph-server runs one graph-server partition over net/rpc.
 // It loads a TSV graph (or generates Taobao-sim with -demo), partitions it,
-// keeps the shard selected by -part, and serves batched Neighbors/Attrs
-// RPCs until interrupted. A full cluster is one aligraph-server process per
-// partition; clients dial all of them (see examples/distributed for the
-// in-process equivalent).
+// keeps the shard selected by -part, and serves the batched RPC surface —
+// Neighbors/Attrs fetches plus the sampling RPCs behind distributed
+// training (SampleNeighbors fixed-width draws with server-side weighted
+// alias tables, SampleEdges, NegativePool, Stats) — until interrupted. A
+// full cluster is one aligraph-server process per partition; clients dial
+// all of them (`aligraph-train -cluster`, or see examples/distributed for
+// the in-process equivalent).
 //
 // Usage:
 //

@@ -2,11 +2,18 @@
 // (or a generated Taobao-sim with -demo) through the public API and writes
 // the learned embeddings as TSV (id \t v1,v2,...).
 //
+// With -cluster the trainer runs against live aligraph-server shards: all
+// sampling (TRAVERSE edge batches, NEGATIVE pools, NEIGHBORHOOD expansion
+// via the batched SampleNeighbors RPC) and attribute fetches go over the
+// wire. The local graph is loaded only to reproduce the deterministic
+// partition assignment; -partitioner must match the servers'.
+//
 // Usage:
 //
 //	aligraph-train -demo -steps 300 -out embeddings.tsv
 //	aligraph-train -vertices v.tsv -edges e.tsv \
 //	    -vertex-types user,item -edge-types click,buy -dim 64 -out emb.tsv
+//	aligraph-train -demo -cluster 127.0.0.1:7701,127.0.0.1:7702 -steps 300
 package main
 
 import (
@@ -18,8 +25,11 @@ import (
 	"time"
 
 	aligraph "repro"
+	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/graphio"
+	"repro/internal/partition"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -37,6 +47,9 @@ func main() {
 		edgeType     = flag.Int("edge-type", 0, "edge type to train on")
 		useAttrs     = flag.Bool("attrs", true, "feed vertex attributes to the encoder")
 		out          = flag.String("out", "embeddings.tsv", "output embeddings TSV")
+		clusterAddrs = flag.String("cluster", "", "comma-separated graph-server addresses; train against live RPC shards")
+		partitioner  = flag.String("partitioner", "hash", "partitioner used by the servers (cluster mode)")
+		cacheFrac    = flag.Float64("cache", 0.2, "importance-cached vertex fraction (cluster mode)")
 	)
 	flag.Parse()
 
@@ -72,16 +85,45 @@ func main() {
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
-	platform, err := aligraph.NewPlatform(g, aligraph.DefaultConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
 	cfg := aligraph.DefaultTrainConfig()
 	cfg.Dim = *dim
 	cfg.LR = *lr
 	cfg.EdgeType = aligraph.EdgeType(*edgeType)
 	cfg.UseAttrs = *useAttrs
-	trainer := platform.NewGraphSAGE(cfg)
+
+	var trainer *aligraph.Trainer
+	if *clusterAddrs != "" {
+		addrs := strings.Split(*clusterAddrs, ",")
+		pt, err := partition.ByName(*partitioner)
+		if err != nil {
+			log.Fatal(err)
+		}
+		assign, err := pt.Partition(g, len(addrs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := cluster.DialRPC(addrs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tr.Close()
+		var cache storage.NeighborCache
+		if *cacheFrac > 0 {
+			cache = storage.NewImportanceCacheTopFraction(g, 2, *cacheFrac)
+		}
+		cp := aligraph.NewClusterPlatform(assign, tr, cache, 1)
+		fmt.Printf("cluster: %d shards, cache rate %.1f%%\n", len(addrs), 100*cp.CacheRate())
+		trainer, err = cp.NewGraphSAGE(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		platform, err := aligraph.NewPlatform(g, aligraph.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		trainer = platform.NewGraphSAGE(cfg)
+	}
 
 	start := time.Now()
 	losses, err := trainer.Train(*steps)

@@ -49,7 +49,7 @@ func Table5(scale float64) []Table5Result {
 		}
 
 		trav := sampling.NewTraverse(g, rng)
-		nbr := sampling.NewNeighborhood(sampling.GraphSource{G: g}, rng)
+		nbr := sampling.NewNeighborhood(sampling.NewGraphSource(g), rng)
 		batch := trav.SampleVertices(0, 64)
 		ctx, err := nbr.Sample(0, batch, []int{10, 5})
 		if err != nil {

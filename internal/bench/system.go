@@ -229,7 +229,7 @@ func Table4(scale float64) []Table4Row {
 
 		// NEIGHBORHOOD runs through the steady-state engine: a reused
 		// Context and a per-worker Rng, as a training loop would.
-		nbr := sampling.NewNeighborhood(sampling.GraphSource{G: g}, rng)
+		nbr := sampling.NewNeighborhood(sampling.NewGraphSource(g), rng)
 		hopNums := []int{5, 3}
 		var ctx sampling.Context
 		srng := sampling.NewRng(1)

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/sampling"
+	"repro/internal/storage"
+)
+
+// BenchmarkClusterSample measures one NEIGHBORHOOD mini-batch hop sequence
+// (batch 256, hops 5x3) over the batched cluster client on the in-memory
+// transport, across shard counts and with/without the importance cache.
+// The rpc/op metric is the deterministic transport call count per
+// mini-batch; before/after numbers live in CHANGES.md.
+func BenchmarkClusterSample(b *testing.B) {
+	g := powerLawTestGraph(2000)
+	batch := make([]graph.ID, 256)
+	rnd := rand.New(rand.NewSource(3))
+	for i := range batch {
+		batch[i] = graph.ID(rnd.Intn(g.NumVertices()))
+	}
+	hops := []int{5, 3}
+
+	for _, shards := range []int{2, 4} {
+		a, err := (partition.HashPartitioner{}).Partition(g, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers := FromGraph(g, a)
+		for _, cached := range []bool{false, true} {
+			name := fmt.Sprintf("shards=%d/cache=none", shards)
+			var cache storage.NeighborCache = storage.NoCache{}
+			if cached {
+				name = fmt.Sprintf("shards=%d/cache=importance", shards)
+				cache = storage.NewImportanceCacheTopFraction(g, 2, 0.2)
+			}
+			b.Run(name, func(b *testing.B) {
+				tr := NewLocalTransport(servers, 0, 0)
+				c := NewClient(a, tr, cache)
+				nbr := sampling.NewNeighborhood(c, rand.New(rand.NewSource(1)))
+				var ctx sampling.Context
+				rng := sampling.NewRng(1)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := nbr.SampleInto(&ctx, 0, batch, hops, rng); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				local, remote := tr.Calls()
+				b.ReportMetric(float64(local+remote)/float64(b.N), "rpc/op")
+			})
+		}
+	}
+}

@@ -1,21 +1,41 @@
 package cluster
 
 import (
+	"fmt"
+	"sort"
+	"sync"
+
 	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/sampling"
 	"repro/internal/storage"
 )
 
-// Client is a worker's view of the distributed graph: it routes vertex
-// requests to the owning server via the partition assignment, consults a
-// pluggable NeighborCache before paying for a remote hop (Section 3.2), and
-// stitches batched requests per server exactly as Section 3.3 describes
-// ("we first partition the vertices into sub-batches, and the context of
-// each sub-batch will be stitched together after being returned").
+// Client is a worker's view of the distributed graph: it implements the
+// batch-first sampling.Source seam (plus the BatchSampler capability) over
+// live graph servers. Every hop of a mini-batch is served by deduplicating
+// hub vertices (power-law batches repeat the same hot vertices), answering
+// what it can from the pluggable NeighborCache (Section 3.2), and stitching
+// the cache misses into one sub-batch per owning server exactly as Section
+// 3.3 describes ("we first partition the vertices into sub-batches, and the
+// context of each sub-batch will be stitched together after being
+// returned"). Fixed-width draws additionally move the sampling to the
+// server (SampleNeighbors RPC), so hub adjacency lists never cross the
+// network.
+//
+// A Client is safe for concurrent use as long as its cache is (the static
+// importance cache and the locked LRU both are).
 type Client struct {
 	Assign *partition.Assignment
 	T      Transport
 	Cache  storage.NeighborCache
+
+	// cacheAdmits records whether Cache.Observe can admit entries; when it
+	// cannot (static caches), SampleBatch skips requesting admission lists.
+	cacheAdmits bool
+
+	statsMu sync.Mutex
+	stats   []StatsReply // nil until a full fetch succeeds
 }
 
 // NewClient creates a client. A nil cache disables caching.
@@ -23,13 +43,17 @@ func NewClient(a *partition.Assignment, t Transport, cache storage.NeighborCache
 	if cache == nil {
 		cache = storage.NoCache{}
 	}
-	return &Client{Assign: a, T: t, Cache: cache}
+	admits := true
+	if ad, ok := cache.(storage.Admitter); ok {
+		admits = ad.Admits()
+	}
+	return &Client{Assign: a, T: t, Cache: cache, cacheAdmits: admits}
 }
 
 // Neighbors returns the out-neighbors of v under edge type t, from cache if
 // possible.
 func (c *Client) Neighbors(v graph.ID, t graph.EdgeType) ([]graph.ID, error) {
-	if ns, ok := c.Cache.Get(v, 1); ok {
+	if ns, ok := c.Cache.Get(v, t, 1); ok {
 		return ns, nil
 	}
 	var reply NeighborsReply
@@ -38,62 +62,297 @@ func (c *Client) Neighbors(v graph.ID, t graph.EdgeType) ([]graph.ID, error) {
 		return nil, err
 	}
 	ns := reply.Neighbors[0]
-	c.Cache.Observe(v, 1, ns)
+	c.Cache.Observe(v, t, 1, ns)
 	return ns, nil
 }
 
-// BatchNeighbors fetches out-neighbor lists for a batch of vertices,
-// grouping cache misses into one sub-batch per owning server and stitching
-// the replies back into request order.
-func (c *Client) BatchNeighbors(vs []graph.ID, t graph.EdgeType) ([][]graph.ID, error) {
-	out := make([][]graph.ID, len(vs))
-
-	// Pass 1: cache hits and sub-batch formation.
-	subBatch := make(map[int][]graph.ID) // part -> vertices
-	subIdx := make(map[int][]int)        // part -> indices into out
-	for i, v := range vs {
-		if ns, ok := c.Cache.Get(v, 1); ok {
-			out[i] = ns
+// NeighborsBatch implements sampling.Source: dst[i] receives the
+// out-neighbor list of vs[i]. Duplicate vertices are fetched once, cache
+// hits skip the network entirely, and the misses cost at most one RPC per
+// owning server.
+func (c *Client) NeighborsBatch(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType) error {
+	if len(dst) != len(vs) {
+		return fmt.Errorf("cluster: NeighborsBatch dst length %d, want %d", len(dst), len(vs))
+	}
+	// Pass 1: dedup, cache lookups, sub-batch formation.
+	res := make(map[graph.ID][]graph.ID, len(vs))
+	subBatch := make(map[int][]graph.ID) // part -> unique missed vertices
+	for _, v := range vs {
+		if _, seen := res[v]; seen {
 			continue
 		}
+		if ns, ok := c.Cache.Get(v, t, 1); ok {
+			res[v] = ns
+			continue
+		}
+		res[v] = nil
 		p := c.Assign.Part(v)
 		subBatch[p] = append(subBatch[p], v)
-		subIdx[p] = append(subIdx[p], i)
 	}
-
-	// Pass 2: one request per server, stitched back.
+	// Pass 2: one request per server, stitched back through the dedup map.
 	for p, batch := range subBatch {
 		var reply NeighborsReply
 		if err := c.T.Neighbors(p, NeighborsRequest{Vertices: batch, EdgeType: t}, &reply); err != nil {
-			return nil, err
+			return err
 		}
-		for j, i := range subIdx[p] {
-			out[i] = reply.Neighbors[j]
-			c.Cache.Observe(batch[j], 1, reply.Neighbors[j])
+		for j, v := range batch {
+			res[v] = reply.Neighbors[j]
+			c.Cache.Observe(v, t, 1, reply.Neighbors[j])
 		}
+	}
+	for i, v := range vs {
+		dst[i] = res[v]
+	}
+	return nil
+}
+
+// BatchNeighbors fetches out-neighbor lists for a batch of vertices; it is
+// NeighborsBatch with allocated results, kept for the multi-hop path.
+func (c *Client) BatchNeighbors(vs []graph.ID, t graph.EdgeType) ([][]graph.ID, error) {
+	out := make([][]graph.ID, len(vs))
+	if err := c.NeighborsBatch(out, vs, t); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// SampleBatch implements sampling.BatchSampler: width neighbor draws per
+// vertex of vs, executed where the adjacency lives. Unique vertices with a
+// cached hop-1 list are drawn client-side (uniform only: caches hold no
+// weights); the rest are grouped into one SampleNeighbors RPC per owning
+// server — visited in partition order so a fixed seed yields fixed draws —
+// carrying each unique vertex once with its multiplicity so repeated hubs
+// get independent draws without being re-sent. Low-degree uniform vertices
+// come back as full (short) lists, which are drawn locally and admitted to
+// the cache, so replacing caches warm up under a pure training workload.
+func (c *Client) SampleBatch(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64) error {
+	if len(dst) != len(vs)*width {
+		return fmt.Errorf("cluster: SampleBatch dst length %d, want %d", len(dst), len(vs)*width)
+	}
+	// Dedup in first-appearance order, tracking every occurrence position.
+	idx := make(map[graph.ID]int, len(vs))
+	var uniq []graph.ID
+	var occs [][]int
+	for i, v := range vs {
+		j, ok := idx[v]
+		if !ok {
+			j = len(uniq)
+			idx[v] = j
+			uniq = append(uniq, v)
+			occs = append(occs, nil)
+		}
+		occs[j] = append(occs[j], i)
+	}
+
+	rng := sampling.NewRng(seed)
+	subUniq := make(map[int][]int) // part -> indices into uniq
+	var parts []int
+	for j, v := range uniq {
+		if !byWeight {
+			if ns, ok := c.Cache.Get(v, t, 1); ok {
+				for _, pos := range occs[j] {
+					drawInto(dst[pos*width:(pos+1)*width], v, ns, rng)
+				}
+				continue
+			}
+		}
+		p := c.Assign.Part(v)
+		if _, ok := subUniq[p]; !ok {
+			parts = append(parts, p)
+		}
+		subUniq[p] = append(subUniq[p], j)
+	}
+	sort.Ints(parts)
+
+	for _, p := range parts {
+		js := subUniq[p]
+		req := SampleRequest{
+			Vertices:  make([]graph.ID, 0, len(js)),
+			Counts:    make([]int, 0, len(js)),
+			EdgeType:  t,
+			Width:     width,
+			ByWeight:  byWeight,
+			WantLists: c.cacheAdmits,
+			Seed:      rng.Uint64(),
+		}
+		for _, j := range js {
+			req.Vertices = append(req.Vertices, uniq[j])
+			req.Counts = append(req.Counts, len(occs[j]))
+		}
+		var reply SampleReply
+		if err := c.T.SampleNeighbors(p, req, &reply); err != nil {
+			return err
+		}
+		if len(reply.Lists) != 0 && len(reply.Lists) != len(js) {
+			return fmt.Errorf("cluster: server %d returned %d lists for %d vertices", p, len(reply.Lists), len(js))
+		}
+		want := 0
+		for i, j := range js {
+			if len(reply.Lists) > 0 && reply.Lists[i] != nil {
+				continue
+			}
+			want += len(occs[j]) * width
+		}
+		if len(reply.Samples) != want {
+			return fmt.Errorf("cluster: server %d returned %d samples, want %d", p, len(reply.Samples), want)
+		}
+		k := 0
+		for i, j := range js {
+			v := uniq[j]
+			if len(reply.Lists) > 0 && reply.Lists[i] != nil {
+				ns := reply.Lists[i]
+				c.Cache.Observe(v, t, 1, ns)
+				for _, pos := range occs[j] {
+					drawInto(dst[pos*width:(pos+1)*width], v, ns, rng)
+				}
+				continue
+			}
+			for _, pos := range occs[j] {
+				copy(dst[pos*width:(pos+1)*width], reply.Samples[k:k+width])
+				k += width
+			}
+		}
+	}
+	return nil
+}
+
+// drawInto fills dst with uniform draws from ns, padding with v when ns is
+// empty (mirroring the server- and graph-side contract).
+func drawInto(dst []graph.ID, v graph.ID, ns []graph.ID, rng *sampling.Rng) {
+	if len(ns) == 0 {
+		for i := range dst {
+			dst[i] = v
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = ns[rng.Intn(len(ns))]
+	}
+}
+
+// clusterStats returns the per-server size counters, fetching them on first
+// use or when refresh is set. Errors are never cached (a transient shard
+// outage must not poison the client), and only a complete fetch is.
+func (c *Client) clusterStats(refresh bool) ([]StatsReply, error) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if c.stats != nil && !refresh {
+		return c.stats, nil
+	}
+	stats := make([]StatsReply, c.Assign.P)
+	for p := 0; p < c.Assign.P; p++ {
+		if err := c.T.Stats(p, StatsRequest{}, &stats[p]); err != nil {
+			return nil, err
+		}
+	}
+	c.stats = stats
+	return stats, nil
+}
+
+// SampleEdges draws n edges of type t uniformly over the cluster's global
+// edge set: the batch is split across servers proportionally to their local
+// type-t edge counts, then each contributing server answers one SampleEdges
+// RPC. This is the distributed TRAVERSE sampler.
+func (c *Client) SampleEdges(t graph.EdgeType, n int, seed uint64) ([]graph.Edge, error) {
+	stats, err := c.clusterStats(false)
+	if err != nil {
+		return nil, err
+	}
+	tally := func(stats []StatsReply) ([]float64, int64) {
+		ws := make([]float64, len(stats))
+		total := int64(0)
+		for p, st := range stats {
+			if int(t) < len(st.EdgesByType) {
+				ws[p] = float64(st.EdgesByType[t])
+				total += st.EdgesByType[t]
+			}
+		}
+		return ws, total
+	}
+	ws, total := tally(stats)
+	if total == 0 {
+		// The cached counters may predate dynamic edge insertions; confirm
+		// emptiness against the live servers before giving up.
+		if stats, err = c.clusterStats(true); err != nil {
+			return nil, err
+		}
+		if ws, total = tally(stats); total == 0 {
+			return nil, nil
+		}
+	}
+	rng := sampling.NewRng(seed)
+	al := sampling.NewAlias(ws)
+	counts := make([]int, len(stats))
+	for i := 0; i < n; i++ {
+		counts[al.DrawRng(rng)]++
+	}
+	edges := make([]graph.Edge, 0, n)
+	for p, k := range counts {
+		if k == 0 {
+			continue
+		}
+		var reply EdgesReply
+		if err := c.T.SampleEdges(p, EdgesRequest{EdgeType: t, Count: k, Seed: rng.Uint64()}, &reply); err != nil {
+			return nil, err
+		}
+		for i := range reply.Src {
+			edges = append(edges, graph.Edge{Src: reply.Src[i], Dst: reply.Dst[i], Type: t, Weight: reply.Weight[i]})
+		}
+	}
+	return edges, nil
+}
+
+// NegativePool merges every server's local destination counts for edge type
+// t into one candidate pool; the counts are exactly the global in-degrees.
+func (c *Client) NegativePool(t graph.EdgeType) ([]graph.ID, []float64, error) {
+	counts := make(map[graph.ID]int64)
+	for p := 0; p < c.Assign.P; p++ {
+		var reply NegPoolReply
+		if err := c.T.NegativePool(p, NegPoolRequest{EdgeType: t}, &reply); err != nil {
+			return nil, nil, err
+		}
+		for i, v := range reply.Vertices {
+			counts[v] += reply.Counts[i]
+		}
+	}
+	// Deterministic (sorted) order so pools are reproducible across runs.
+	cands := make([]graph.ID, 0, len(counts))
+	for v := range counts {
+		cands = append(cands, v)
+	}
+	sortIDs(cands)
+	ws := make([]float64, len(cands))
+	for i, v := range cands {
+		ws[i] = float64(counts[v])
+	}
+	return cands, ws, nil
+}
+
 // Attrs fetches attribute vectors for a batch of vertices with per-server
-// sub-batching.
+// sub-batching and duplicate elimination.
 func (c *Client) Attrs(vs []graph.ID) ([][]float64, error) {
 	out := make([][]float64, len(vs))
+	res := make(map[graph.ID][]float64, len(vs))
 	subBatch := make(map[int][]graph.ID)
-	subIdx := make(map[int][]int)
-	for i, v := range vs {
+	for _, v := range vs {
+		if _, seen := res[v]; seen {
+			continue
+		}
+		res[v] = nil
 		p := c.Assign.Part(v)
 		subBatch[p] = append(subBatch[p], v)
-		subIdx[p] = append(subIdx[p], i)
 	}
 	for p, batch := range subBatch {
 		var reply AttrsReply
 		if err := c.T.Attrs(p, AttrsRequest{Vertices: batch}, &reply); err != nil {
 			return nil, err
 		}
-		for j, i := range subIdx[p] {
-			out[i] = reply.Attrs[j]
+		for j, v := range batch {
+			res[v] = reply.Attrs[j]
 		}
+	}
+	for i, v := range vs {
+		out[i] = res[v]
 	}
 	return out, nil
 }
@@ -106,7 +365,7 @@ func (c *Client) MultiHop(v graph.ID, t graph.EdgeType, k int) ([][]graph.ID, er
 	// Fast path: the whole 1..k expansion is cached.
 	allCached := true
 	for h := 1; h <= k; h++ {
-		if ns, ok := c.Cache.Get(v, h); ok {
+		if ns, ok := c.Cache.Get(v, t, h); ok {
 			frontiers[h-1] = ns
 		} else {
 			allCached = false
@@ -141,4 +400,9 @@ func (c *Client) MultiHop(v graph.ID, t graph.EdgeType, k int) ([][]graph.ID, er
 		}
 	}
 	return frontiers, nil
+}
+
+// sortIDs sorts vertex IDs ascending.
+func sortIDs(ids []graph.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/graph"
@@ -9,6 +10,26 @@ import (
 	"repro/internal/sampling"
 	"repro/internal/storage"
 )
+
+// powerLawTestGraph builds a small preferential-attachment graph whose hubs
+// dominate traffic, the regime the importance cache targets.
+func powerLawTestGraph(n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(9))
+	b := graph.NewBuilder(graph.SimpleSchema(), true)
+	b.AddVertices(0, n)
+	targets := []graph.ID{0, 1}
+	b.AddEdge(1, 0, 0, 1)
+	for v := graph.ID(2); v < graph.ID(n); v++ {
+		for e := 0; e < 3; e++ {
+			dst := targets[rng.Intn(len(targets))]
+			if dst != v {
+				b.AddEdge(v, dst, 0, 1+rng.Float64())
+				targets = append(targets, dst, v)
+			}
+		}
+	}
+	return b.Finalize()
+}
 
 func testGraph(t *testing.T) *graph.Graph {
 	t.Helper()
@@ -274,22 +295,7 @@ func TestLocalTransportErrors(t *testing.T) {
 func TestImportanceCacheCutsRemoteTraffic(t *testing.T) {
 	// Power-law-ish graph split across 4 partitions: the importance cache
 	// should cut remote calls versus no cache for multi-hop expansion.
-	rng := rand.New(rand.NewSource(9))
-	b := graph.NewBuilder(graph.SimpleSchema(), true)
-	const n = 300
-	b.AddVertices(0, n)
-	targets := []graph.ID{0, 1}
-	b.AddEdge(1, 0, 0, 1)
-	for v := graph.ID(2); v < n; v++ {
-		for e := 0; e < 3; e++ {
-			dst := targets[rng.Intn(len(targets))]
-			if dst != v {
-				b.AddEdge(v, dst, 0, 1)
-				targets = append(targets, dst, v)
-			}
-		}
-	}
-	g := b.Finalize()
+	g := powerLawTestGraph(300)
 	a, _ := partition.HashPartitioner{}.Partition(g, 4)
 	servers := FromGraph(g, a)
 
@@ -312,17 +318,18 @@ func TestImportanceCacheCutsRemoteTraffic(t *testing.T) {
 	}
 }
 
-func TestClientSourceDistributedSampling(t *testing.T) {
+func TestClientBatchedDistributedSampling(t *testing.T) {
 	// NEIGHBORHOOD sampling over a live distributed client must produce
-	// the same aligned context shape as the local path and populate it
-	// with genuine neighbors.
+	// the same aligned context shape as the local path, populate it with
+	// genuine neighbors, and — the point of the batch-first Source — cost
+	// O(servers x hops) RPCs per mini-batch, not O(vertices).
 	g := testGraph(t)
 	a, _ := partition.HashPartitioner{}.Partition(g, 2)
 	servers := FromGraph(g, a)
 	tr := NewLocalTransport(servers, 0, 0)
 	client := NewClient(a, tr, storage.NewLRUNeighborCache(32))
 
-	nbr := sampling.NewNeighborhood(ClientSource{C: client}, rand.New(rand.NewSource(1)))
+	nbr := sampling.NewNeighborhood(client, rand.New(rand.NewSource(1)))
 	ctx, err := nbr.Sample(0, []graph.ID{0, 1, 2}, []int{3, 2})
 	if err != nil {
 		t.Fatal(err)
@@ -337,4 +344,274 @@ func TestClientSourceDistributedSampling(t *testing.T) {
 			}
 		}
 	}
+	// 3 + 9 = 12 sampled vertices over 2 hops: the per-vertex path paid one
+	// RPC each (minus cache hits); the batched path pays at most one
+	// SampleNeighbors RPC per owning server per hop.
+	local, remote := tr.Calls()
+	if calls := local + remote; calls > int64(len(servers)*len(ctx.HopNums)) {
+		t.Fatalf("mini-batch cost %d RPCs, want <= servers*hops = %d", calls, len(servers)*len(ctx.HopNums))
+	}
+}
+
+// weightedStarGraph builds a graph whose vertex 0 has out-neighbors 1..n
+// with the given weights.
+func weightedStarGraph(weights []float64) *graph.Graph {
+	b := graph.NewBuilder(graph.SimpleSchema(), true)
+	b.AddVertices(0, len(weights)+1)
+	for i, w := range weights {
+		b.AddEdge(0, graph.ID(i+1), 0, w)
+	}
+	return b.Finalize()
+}
+
+// TestRemoteWeightedSampleChiSquare verifies that server-side weighted
+// draws (SampleNeighbors RPC through the per-server AliasIndex) follow the
+// edge weights with the same statistics as the local engine: chi-square
+// goodness-of-fit on 60k draws, p=0.001 critical value, deterministic
+// seeds. The weights and bound match TestAliasIndexChiSquare in
+// internal/sampling.
+func TestRemoteWeightedSampleChiSquare(t *testing.T) {
+	weights := []float64{1, 2, 3, 4, 10}
+	g := weightedStarGraph(weights)
+	a, _ := partition.HashPartitioner{}.Partition(g, 2)
+	servers := FromGraph(g, a)
+	tr := NewLocalTransport(servers, 0, 0)
+	client := NewClient(a, tr, nil)
+
+	nbr := sampling.NewNeighborhood(client, rand.New(rand.NewSource(1)))
+	nbr.ByWeight = true
+	const draws = 60000
+	var ctx sampling.Context
+	if err := nbr.SampleInto(&ctx, 0, []graph.ID{0}, []int{draws}, sampling.NewRng(12345)); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(weights))
+	for _, u := range ctx.Layers[1] {
+		if u < 1 || int(u) > len(weights) {
+			t.Fatalf("draw out of range: %d", u)
+		}
+		counts[u-1]++
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	chi2 := 0.0
+	for i, c := range counts {
+		exp := float64(draws) * weights[i] / total
+		chi2 += (float64(c) - exp) * (float64(c) - exp) / exp
+	}
+	// Critical value of chi-square with df=4 at p=0.001.
+	if chi2 > 18.47 {
+		t.Fatalf("chi-square = %.2f > 18.47; counts = %v", chi2, counts)
+	}
+	// The star fits on one server: the whole batch must cost one RPC.
+	if local, remote := tr.Calls(); local+remote != 1 {
+		t.Fatalf("weighted draw cost %d RPCs, want 1", local+remote)
+	}
+}
+
+func TestClientNegativePoolMatchesInDegrees(t *testing.T) {
+	g := testGraph(t)
+	a, _ := partition.HashPartitioner{}.Partition(g, 2)
+	servers := FromGraph(g, a)
+	client := NewClient(a, NewLocalTransport(servers, 0, 0), nil)
+
+	cands, counts, err := client.NegativePool(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[graph.ID]float64)
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.InDegree(graph.ID(v), 0); d > 0 {
+			want[graph.ID(v)] = float64(d)
+		}
+	}
+	if len(cands) != len(want) {
+		t.Fatalf("pool size %d, want %d", len(cands), len(want))
+	}
+	for i, v := range cands {
+		if counts[i] != want[v] {
+			t.Fatalf("count(%d) = %v, want %v", v, counts[i], want[v])
+		}
+	}
+}
+
+func TestClientSampleEdges(t *testing.T) {
+	g := testGraph(t)
+	a, _ := partition.HashPartitioner{}.Partition(g, 2)
+	servers := FromGraph(g, a)
+	tr := NewLocalTransport(servers, 0, 0)
+	client := NewClient(a, tr, nil)
+
+	edges, err := client.SampleEdges(0, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 64 {
+		t.Fatalf("got %d edges, want 64", len(edges))
+	}
+	for _, e := range edges {
+		if !g.HasEdge(e.Src, e.Dst, 0) {
+			t.Fatalf("sampled non-edge (%d,%d)", e.Src, e.Dst)
+		}
+	}
+	// Cost: one Stats RPC per server (first call only) plus at most one
+	// SampleEdges RPC per contributing server.
+	local, remote := tr.Calls()
+	if calls := local + remote; calls > 2*int64(len(servers)) {
+		t.Fatalf("edge batch cost %d RPCs, want <= %d", calls, 2*len(servers))
+	}
+	// The sparser "buy" type still fills a batch from its 4 edges.
+	if buys, err := client.SampleEdges(1, 8, 7); err != nil || len(buys) != 8 {
+		t.Fatalf("buy edges: %d err %v", len(buys), err)
+	}
+}
+
+// TestSampleBatchWarmsReplacingCache: low-degree uniform vertices come back
+// from SampleNeighbors as full short lists, so an LRU cache fills up under a
+// pure training workload and the next identical hop costs zero RPCs.
+func TestSampleBatchWarmsReplacingCache(t *testing.T) {
+	g := testGraph(t) // every user has click-degree 2 <= width 3
+	a, _ := partition.HashPartitioner{}.Partition(g, 2)
+	servers := FromGraph(g, a)
+	tr := NewLocalTransport(servers, 0, 0)
+	cache := storage.NewLRUNeighborCache(64)
+	client := NewClient(a, tr, cache)
+
+	dst := make([]graph.ID, 4*3)
+	batch := []graph.ID{0, 1, 2, 3}
+	if err := client.SampleBatch(dst, batch, 0, 3, false, 7); err != nil {
+		t.Fatal(err)
+	}
+	if cache.CachedVertices() == 0 {
+		t.Fatal("training hop did not warm the LRU cache")
+	}
+	tr.ResetCalls()
+	if err := client.SampleBatch(dst, batch, 0, 3, false, 8); err != nil {
+		t.Fatal(err)
+	}
+	if local, remote := tr.Calls(); local+remote != 0 {
+		t.Fatalf("fully cached hop cost %d RPCs", local+remote)
+	}
+	for i, v := range batch {
+		for _, u := range dst[i*3 : (i+1)*3] {
+			if !g.HasEdge(v, u, 0) {
+				t.Fatalf("%d -> %d is not an edge", v, u)
+			}
+		}
+	}
+}
+
+// TestCacheKeyedByEdgeType: warming the cache with one edge type's
+// neighbor lists must never serve them to a query about another type
+// (regression: cache keys once omitted the edge type).
+func TestCacheKeyedByEdgeType(t *testing.T) {
+	g := testGraph(t) // click (0) and buy (1) edges from every user
+	a, _ := partition.HashPartitioner{}.Partition(g, 2)
+	servers := FromGraph(g, a)
+	client := NewClient(a, NewLocalTransport(servers, 0, 0), storage.NewLRUNeighborCache(64))
+
+	dst := make([]graph.ID, 4)
+	if err := client.SampleBatch(dst, []graph.ID{0}, 0, 4, false, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SampleBatch(dst, []graph.ID{0}, 1, 4, false, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range dst {
+		if !g.HasEdge(0, u, 1) {
+			t.Fatalf("0 -> %d is not a buy edge (cross-type cache pollution)", u)
+		}
+	}
+	// The static importance cache must be type-keyed too.
+	imp := storage.NewImportanceCacheTopFraction(g, 2, 1.0)
+	for v := graph.ID(0); v < 4; v++ {
+		for et := graph.EdgeType(0); et < 2; et++ {
+			ns, ok := imp.Get(v, et, 1)
+			if !ok {
+				t.Fatalf("vertex %d type %d not cached", v, et)
+			}
+			want := g.OutNeighbors(v, et)
+			if len(ns) != len(want) {
+				t.Fatalf("cached hop1(%d, type %d) = %v, want %v", v, et, ns, want)
+			}
+		}
+	}
+}
+
+// TestSampleEdgesSeesDynamicInserts: cached zero edge counters are
+// re-confirmed against live servers, so edges streamed in after the first
+// (empty) TRAVERSE become visible without rebuilding the client.
+func TestSampleEdgesSeesDynamicInserts(t *testing.T) {
+	s := graph.MustSchema([]string{"v"}, []string{"click", "late"})
+	b := graph.NewBuilder(s, true)
+	b.AddVertices(0, 4)
+	b.AddEdge(0, 1, 0, 1) // type "late" (1) starts empty
+	g := b.Finalize()
+	a, _ := partition.HashPartitioner{}.Partition(g, 2)
+	servers := FromGraph(g, a)
+	client := NewClient(a, NewLocalTransport(servers, 0, 0), nil)
+
+	if edges, err := client.SampleEdges(1, 4, 3); err != nil || len(edges) != 0 {
+		t.Fatalf("empty type: %d edges, err %v", len(edges), err)
+	}
+	var reply UpdateReply
+	if err := servers[0].ServeUpdate(UpdateRequest{Add: []RawEdge{{Src: 0, Dst: 2, Type: 1, Weight: 1}}}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	edges, err := client.SampleEdges(1, 4, 3)
+	if err != nil || len(edges) != 4 {
+		t.Fatalf("after insert: %d edges, err %v", len(edges), err)
+	}
+	for _, e := range edges {
+		if e.Src != 0 || e.Dst != 2 {
+			t.Fatalf("unexpected edge (%d,%d)", e.Src, e.Dst)
+		}
+	}
+}
+
+// TestClientConcurrentSharedCache shares one Client (and one static
+// importance cache) across goroutines mixing batched sampling, neighbor
+// fetches and multi-hop expansion; run with -race to validate the
+// concurrency contract of the batched client.
+func TestClientConcurrentSharedCache(t *testing.T) {
+	g := powerLawTestGraph(300)
+	a, _ := partition.HashPartitioner{}.Partition(g, 4)
+	servers := FromGraph(g, a)
+	tr := NewLocalTransport(servers, 0, 0)
+	client := NewClient(a, tr, storage.NewImportanceCacheTopFraction(g, 2, 0.3))
+	nbr := sampling.NewNeighborhood(client, rand.New(rand.NewSource(1)))
+	wNbr := sampling.NewNeighborhood(client, rand.New(rand.NewSource(2)))
+	wNbr.ByWeight = true
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			var ctx sampling.Context
+			rng := sampling.NewRng(seed)
+			batch := []graph.ID{0, 1, graph.ID(seed % 300), graph.ID((seed * 7) % 300)}
+			for i := 0; i < 30; i++ {
+				if err := nbr.SampleInto(&ctx, 0, batch, []int{4, 2}, rng); err != nil {
+					t.Errorf("SampleInto: %v", err)
+					return
+				}
+				if err := wNbr.SampleInto(&ctx, 0, batch, []int{3}, rng); err != nil {
+					t.Errorf("weighted SampleInto: %v", err)
+					return
+				}
+				if _, err := client.MultiHop(batch[2], 0, 2); err != nil {
+					t.Errorf("MultiHop: %v", err)
+					return
+				}
+				if _, err := client.SampleEdges(0, 16, rng.Uint64()); err != nil {
+					t.Errorf("SampleEdges: %v", err)
+					return
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
 }

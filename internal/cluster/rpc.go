@@ -23,6 +23,28 @@ func (g *GraphService) Neighbors(req NeighborsRequest, reply *NeighborsReply) er
 	return g.S.ServeNeighbors(req, reply)
 }
 
+// SampleNeighbors is the RPC method for server-side fixed-width neighbor
+// draws (width IDs per slot instead of full hub adjacency lists).
+func (g *GraphService) SampleNeighbors(req SampleRequest, reply *SampleReply) error {
+	return g.S.ServeSampleNeighbors(req, reply)
+}
+
+// SampleEdges is the RPC method for uniform local edge draws (the
+// distributed TRAVERSE).
+func (g *GraphService) SampleEdges(req EdgesRequest, reply *EdgesReply) error {
+	return g.S.ServeSampleEdges(req, reply)
+}
+
+// NegativePool is the RPC method for local negative-candidate counts.
+func (g *GraphService) NegativePool(req NegPoolRequest, reply *NegPoolReply) error {
+	return g.S.ServeNegativePool(req, reply)
+}
+
+// Stats is the RPC method for local size counters.
+func (g *GraphService) Stats(req StatsRequest, reply *StatsReply) error {
+	return g.S.ServeStats(req, reply)
+}
+
 // Attrs is the RPC method for batched attribute fetches.
 func (g *GraphService) Attrs(req AttrsRequest, reply *AttrsReply) error {
 	return g.S.ServeAttrs(req, reply)
@@ -97,20 +119,41 @@ func DialRPC(addrs []string) (*RPCTransport, error) {
 	return t, nil
 }
 
-// Neighbors implements Transport.
-func (t *RPCTransport) Neighbors(part int, req NeighborsRequest, reply *NeighborsReply) error {
+func (t *RPCTransport) call(part int, method string, req, reply any) error {
 	if part < 0 || part >= len(t.clients) {
 		return fmt.Errorf("cluster: no client for partition %d", part)
 	}
-	return t.clients[part].Call("Graph.Neighbors", req, reply)
+	return t.clients[part].Call(method, req, reply)
+}
+
+// Neighbors implements Transport.
+func (t *RPCTransport) Neighbors(part int, req NeighborsRequest, reply *NeighborsReply) error {
+	return t.call(part, "Graph.Neighbors", req, reply)
+}
+
+// SampleNeighbors implements Transport.
+func (t *RPCTransport) SampleNeighbors(part int, req SampleRequest, reply *SampleReply) error {
+	return t.call(part, "Graph.SampleNeighbors", req, reply)
+}
+
+// SampleEdges implements Transport.
+func (t *RPCTransport) SampleEdges(part int, req EdgesRequest, reply *EdgesReply) error {
+	return t.call(part, "Graph.SampleEdges", req, reply)
+}
+
+// NegativePool implements Transport.
+func (t *RPCTransport) NegativePool(part int, req NegPoolRequest, reply *NegPoolReply) error {
+	return t.call(part, "Graph.NegativePool", req, reply)
+}
+
+// Stats implements Transport.
+func (t *RPCTransport) Stats(part int, req StatsRequest, reply *StatsReply) error {
+	return t.call(part, "Graph.Stats", req, reply)
 }
 
 // Attrs implements Transport.
 func (t *RPCTransport) Attrs(part int, req AttrsRequest, reply *AttrsReply) error {
-	if part < 0 || part >= len(t.clients) {
-		return fmt.Errorf("cluster: no client for partition %d", part)
-	}
-	return t.clients[part].Call("Graph.Attrs", req, reply)
+	return t.call(part, "Graph.Attrs", req, reply)
 }
 
 // Close implements Transport.

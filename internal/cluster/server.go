@@ -1,9 +1,11 @@
 // Package cluster implements AliGraph's distributed runtime: graph servers
 // each holding one partition (edges live with their source vertex, Section
-// 3.3), a routing client with a pluggable neighbor cache (Section 3.2), a
-// Transport abstraction with an in-memory implementation (with simulated
-// network latency, for deterministic benchmarks) and a real net/rpc
-// implementation over TCP, and the parallel graph-building pipeline
+// 3.3), a routing client that implements the batch-first sampling.Source
+// seam (hub dedup, one stitched sub-batch per owning server, pluggable
+// neighbor cache per Section 3.2, server-side fixed-width SampleNeighbors
+// draws), a Transport abstraction with an in-memory implementation (with
+// simulated network latency, for deterministic benchmarks) and a real
+// net/rpc implementation over TCP, and the parallel graph-building pipeline
 // evaluated in Figure 7.
 package cluster
 
@@ -13,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/sampling"
 )
 
 // Server is one graph server: it stores the adjacency lists of the vertices
@@ -26,16 +29,27 @@ type Server struct {
 	wts   []map[graph.ID][]float64
 	attrs map[graph.ID][]float64
 	local []graph.ID // sorted local vertex IDs
+
+	// Lazily built sampling indexes over the local adjacency, invalidated
+	// by structural updates. localPos maps a local vertex to its slot in
+	// wtAlias/degAlias, which are ordered like local at build time.
+	localPos map[graph.ID]int
+	wtAlias  []*sampling.AliasIndex // per edge type: weight-proportional neighbor draws
+	degAlias []*sampling.Alias      // per edge type: degree-proportional vertex draws
+	degPool  [][]graph.ID           // per edge type: vertex order backing degAlias
 }
 
 // NewServer creates an empty server for the given partition id and number of
 // edge types.
 func NewServer(id, numEdgeTypes int) *Server {
 	s := &Server{
-		ID:    id,
-		adj:   make([]map[graph.ID][]graph.ID, numEdgeTypes),
-		wts:   make([]map[graph.ID][]float64, numEdgeTypes),
-		attrs: make(map[graph.ID][]float64),
+		ID:       id,
+		adj:      make([]map[graph.ID][]graph.ID, numEdgeTypes),
+		wts:      make([]map[graph.ID][]float64, numEdgeTypes),
+		attrs:    make(map[graph.ID][]float64),
+		wtAlias:  make([]*sampling.AliasIndex, numEdgeTypes),
+		degAlias: make([]*sampling.Alias, numEdgeTypes),
+		degPool:  make([][]graph.ID, numEdgeTypes),
 	}
 	for t := range s.adj {
 		s.adj[t] = make(map[graph.ID][]graph.ID)
@@ -50,6 +64,10 @@ func (s *Server) AddVertex(v graph.ID, attr []float64) {
 	defer s.mu.Unlock()
 	if _, ok := s.attrs[v]; !ok {
 		s.local = append(s.local, v)
+		s.localPos = nil // slot numbering changed; indexes keyed by it follow
+		for t := range s.wtAlias {
+			s.invalidateLocked(graph.EdgeType(t))
+		}
 	}
 	s.attrs[v] = attr
 }
@@ -60,6 +78,15 @@ func (s *Server) AddEdge(src, dst graph.ID, t graph.EdgeType, w float64) {
 	defer s.mu.Unlock()
 	s.adj[t][src] = append(s.adj[t][src], dst)
 	s.wts[t][src] = append(s.wts[t][src], w)
+	s.invalidateLocked(t)
+}
+
+// invalidateLocked drops the cached sampling indexes of edge type t; the
+// caller holds the write lock.
+func (s *Server) invalidateLocked(t graph.EdgeType) {
+	s.wtAlias[t] = nil
+	s.degAlias[t] = nil
+	s.degPool[t] = nil
 }
 
 // Seal sorts local vertex IDs; call once loading completes.
@@ -67,6 +94,10 @@ func (s *Server) Seal() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sort.Slice(s.local, func(i, j int) bool { return s.local[i] < s.local[j] })
+	s.localPos = nil // slot numbering changed; indexes keyed by it follow
+	for t := range s.wtAlias {
+		s.invalidateLocked(graph.EdgeType(t))
+	}
 }
 
 // NumLocalVertices reports how many vertices this server owns.
@@ -167,6 +198,286 @@ func (s *Server) ServeAttrs(req AttrsRequest, reply *AttrsReply) error {
 			return fmt.Errorf("cluster: server %d does not own vertex %d", s.ID, v)
 		}
 		reply.Attrs[i] = a
+	}
+	return nil
+}
+
+// SampleRequest asks for fixed-width neighbor draws executed server-side:
+// instead of shipping a hub's full adjacency list, the server returns Width
+// sampled IDs per requested slot. Vertices are deduplicated by the client;
+// Counts[i] (1 when nil) is how many independent Width-wide draw groups
+// vertex i needs, so repeated batch entries stay uncorrelated without being
+// re-sent.
+type SampleRequest struct {
+	Vertices []graph.ID
+	Counts   []int
+	EdgeType graph.EdgeType
+	Width    int
+	ByWeight bool
+	// WantLists lets the server answer low-degree uniform vertices with
+	// their full (short) adjacency list instead of draws; clients set it
+	// when their cache can admit the lists.
+	WantLists bool
+	Seed      uint64
+}
+
+// SampleReply carries the drawn neighbor IDs: for each request vertex in
+// order, Counts[i]*Width draws, flattened. Vertices with no out-edges of
+// the requested type are padded with themselves. As an optimization, a
+// uniform-draw vertex whose degree does not exceed Width ships its full
+// (short) adjacency list in Lists[i] instead of contributing to Samples:
+// that is never more bytes than Counts[i]*Width draws and lets the client
+// draw locally and warm replacing caches.
+type SampleReply struct {
+	Samples []graph.ID
+	Lists   [][]graph.ID
+}
+
+// StatsRequest asks for the server's local size counters.
+type StatsRequest struct{}
+
+// StatsReply reports local vertex and per-edge-type edge counts; clients
+// use the edge counts to spread TRAVERSE batches across servers.
+type StatsReply struct {
+	NumVertices int
+	EdgesByType []int64
+}
+
+// NegPoolRequest asks for the server's negative-sampling candidate counts
+// under one edge type.
+type NegPoolRequest struct {
+	EdgeType graph.EdgeType
+}
+
+// NegPoolReply carries the distinct destinations of the server's local
+// type-t out-edges with their occurrence counts. Summed across servers the
+// counts are exactly the global in-degrees (every edge lives with its
+// source), so a client can rebuild the paper's unigram^0.75 NEGATIVE
+// distribution without any server holding the whole graph.
+type NegPoolReply struct {
+	Vertices []graph.ID
+	Counts   []int64
+}
+
+// EdgesRequest asks for Count edges of one type drawn uniformly from the
+// server's local edge set.
+type EdgesRequest struct {
+	EdgeType graph.EdgeType
+	Count    int
+	Seed     uint64
+}
+
+// EdgesReply carries sampled edges as parallel arrays (gob-friendly).
+type EdgesReply struct {
+	Src, Dst []graph.ID
+	Weight   []float64
+}
+
+// ensureLocalPosLocked (re)builds the vertex -> slot map; caller holds the
+// write lock.
+func (s *Server) ensureLocalPosLocked() {
+	if s.localPos != nil {
+		return
+	}
+	s.localPos = make(map[graph.ID]int, len(s.local))
+	for i, v := range s.local {
+		s.localPos[v] = i
+	}
+}
+
+// weightIndex returns (building lazily) the per-server AliasIndex for
+// weighted neighbor draws of edge type t, plus the vertex -> slot map it is
+// ordered by.
+func (s *Server) weightIndex(t graph.EdgeType) (*sampling.AliasIndex, map[graph.ID]int) {
+	s.mu.RLock()
+	ai, pos := s.wtAlias[t], s.localPos
+	s.mu.RUnlock()
+	if ai != nil && pos != nil {
+		return ai, pos
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureLocalPosLocked()
+	if s.wtAlias[t] == nil {
+		ws := make([][]float64, len(s.local))
+		for i, v := range s.local {
+			ws[i] = s.wts[t][v]
+		}
+		s.wtAlias[t] = sampling.NewAliasIndexFromWeights(ws)
+	}
+	return s.wtAlias[t], s.localPos
+}
+
+// degreeAlias returns (building lazily) the degree-proportional vertex
+// table for edge type t and the vertex order backing it; drawing a vertex
+// from it and then a uniform adjacency entry yields a uniform draw over the
+// server's local type-t edges.
+func (s *Server) degreeAlias(t graph.EdgeType) (*sampling.Alias, []graph.ID) {
+	s.mu.RLock()
+	al, pool := s.degAlias[t], s.degPool[t]
+	s.mu.RUnlock()
+	if al != nil {
+		return al, pool
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.degAlias[t] == nil {
+		pool = pool[:0]
+		var ws []float64
+		for _, v := range s.local {
+			if d := len(s.adj[t][v]); d > 0 {
+				pool = append(pool, v)
+				ws = append(ws, float64(d))
+			}
+		}
+		s.degAlias[t] = sampling.NewAlias(ws)
+		s.degPool[t] = pool
+	}
+	return s.degAlias[t], s.degPool[t]
+}
+
+// ServeSampleNeighbors handles a server-side fixed-width draw request: the
+// RPC that keeps hub adjacency lists from crossing the network.
+func (s *Server) ServeSampleNeighbors(req SampleRequest, reply *SampleReply) error {
+	if req.Width <= 0 {
+		return fmt.Errorf("cluster: non-positive sample width %d", req.Width)
+	}
+	if len(req.Counts) > 0 && len(req.Counts) != len(req.Vertices) {
+		return fmt.Errorf("cluster: %d counts for %d vertices", len(req.Counts), len(req.Vertices))
+	}
+	total := 0
+	for i := range req.Vertices {
+		c := 1
+		if len(req.Counts) > 0 {
+			c = req.Counts[i]
+		}
+		total += c * req.Width
+	}
+	var ai *sampling.AliasIndex
+	var pos map[graph.ID]int
+	if req.ByWeight {
+		ai, pos = s.weightIndex(req.EdgeType)
+	}
+	out := make([]graph.ID, 0, total)
+	var lists [][]graph.ID
+	if req.WantLists {
+		lists = make([][]graph.ID, len(req.Vertices))
+	}
+	rng := sampling.NewRng(req.Seed)
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, v := range req.Vertices {
+		if _, here := s.attrs[v]; !here {
+			return fmt.Errorf("cluster: server %d does not own vertex %d", s.ID, v)
+		}
+		c := 1
+		if len(req.Counts) > 0 {
+			c = req.Counts[i]
+		}
+		draws := c * req.Width
+		ns := s.adj[req.EdgeType][v]
+		switch {
+		case len(ns) == 0:
+			for k := 0; k < draws; k++ {
+				out = append(out, v)
+			}
+		case req.ByWeight:
+			// The alias snapshot can be stale relative to the live
+			// adjacency under concurrent updates (slot missing, or degree
+			// changed since the index was built); degrade those draws to
+			// uniform instead of indexing out of range.
+			slot, ok := pos[v]
+			for k := 0; k < draws; k++ {
+				d := -1
+				if ok {
+					d = ai.Draw(graph.ID(slot), rng)
+				}
+				if d < 0 || d >= len(ns) {
+					d = rng.Intn(len(ns))
+				}
+				out = append(out, ns[d])
+			}
+		case req.WantLists && len(ns) <= req.Width:
+			lists[i] = append([]graph.ID(nil), ns...)
+		default:
+			for k := 0; k < draws; k++ {
+				out = append(out, ns[rng.Intn(len(ns))])
+			}
+		}
+	}
+	reply.Samples = out
+	reply.Lists = lists
+	return nil
+}
+
+// ServeStats handles a size-counter request.
+func (s *Server) ServeStats(_ StatsRequest, reply *StatsReply) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	reply.NumVertices = len(s.local)
+	reply.EdgesByType = make([]int64, len(s.adj))
+	for t := range s.adj {
+		for _, ns := range s.adj[t] {
+			reply.EdgesByType[t] += int64(len(ns))
+		}
+	}
+	return nil
+}
+
+// ServeNegativePool handles a negative-pool request: distinct local
+// out-edge destinations of type t with occurrence counts, in sorted order.
+func (s *Server) ServeNegativePool(req NegPoolRequest, reply *NegPoolReply) error {
+	s.mu.RLock()
+	counts := make(map[graph.ID]int64)
+	for _, ns := range s.adj[req.EdgeType] {
+		for _, u := range ns {
+			counts[u]++
+		}
+	}
+	s.mu.RUnlock()
+	ids := make([]graph.ID, 0, len(counts))
+	for v := range counts {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	reply.Vertices = ids
+	reply.Counts = make([]int64, len(ids))
+	for i, v := range ids {
+		reply.Counts[i] = counts[v]
+	}
+	return nil
+}
+
+// ServeSampleEdges handles a TRAVERSE edge-sampling request: Count edges of
+// the given type, uniform over the server's local edge set (a vertex drawn
+// proportionally to its out-degree, then a uniform adjacency entry).
+func (s *Server) ServeSampleEdges(req EdgesRequest, reply *EdgesReply) error {
+	if req.Count <= 0 {
+		return nil
+	}
+	al, pool := s.degreeAlias(req.EdgeType)
+	rng := sampling.NewRng(req.Seed)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if al.Len() == 0 {
+		return nil
+	}
+	reply.Src = make([]graph.ID, 0, req.Count)
+	reply.Dst = make([]graph.ID, 0, req.Count)
+	reply.Weight = make([]float64, 0, req.Count)
+	for k := 0; k < req.Count; k++ {
+		v := pool[al.DrawRng(rng)]
+		ns := s.adj[req.EdgeType][v]
+		if len(ns) == 0 {
+			// Stale pool entry: a concurrent update removed this vertex's
+			// last type-t edge after the alias was built. Skip the draw.
+			continue
+		}
+		i := rng.Intn(len(ns))
+		reply.Src = append(reply.Src, v)
+		reply.Dst = append(reply.Dst, ns[i])
+		reply.Weight = append(reply.Weight, s.wts[req.EdgeType][v][i])
 	}
 	return nil
 }

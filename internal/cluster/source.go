@@ -1,20 +1,49 @@
 package cluster
 
 import (
+	"math/rand"
+	"sync"
+
 	"repro/internal/graph"
 )
 
-// ClientSource adapts a distributed Client to the sampling.Source interface
-// so NEIGHBORHOOD sampling (and therefore the whole GNN training loop) can
-// run against a live cluster instead of a local graph. Weights are not
-// shipped over the wire on this path; neighbor selection is uniform, which
-// matches the node-wise samplers of Section 4.1.
-type ClientSource struct {
+// The per-vertex ClientSource adapter (one RPC per vertex per hop) is gone:
+// Client itself implements the batch-first sampling.Source and
+// sampling.BatchSampler contracts, so NEIGHBORHOOD sampling pays at most
+// one SampleNeighbors RPC per owning server per hop. This file holds the
+// remaining adapter: the trainer environment (core.TrainEnv) that lets
+// core.LinkTrainer run its TRAVERSE and NEGATIVE stages against live
+// shards.
+
+// Env adapts a Client to the trainer environment seam: positive edges come
+// from the distributed TRAVERSE (SampleEdges RPCs), the negative pool is
+// merged from per-server destination counts, and the vertex universe is the
+// partition assignment's domain. Env is safe for concurrent use.
+type Env struct {
 	C *Client
+
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
-// SampleNeighbors implements sampling.Source.
-func (s ClientSource) SampleNeighbors(v graph.ID, t graph.EdgeType) ([]graph.ID, []float64, error) {
-	ns, err := s.C.Neighbors(v, t)
-	return ns, nil, err
+// NewEnv creates a trainer environment over c; seed drives edge-batch
+// randomness.
+func NewEnv(c *Client, seed int64) *Env {
+	return &Env{C: c, rng: rand.New(rand.NewSource(seed))}
 }
+
+// SampleEdges draws n positive edges of type t uniformly over the cluster.
+func (e *Env) SampleEdges(t graph.EdgeType, n int) ([]graph.Edge, error) {
+	e.mu.Lock()
+	seed := uint64(e.rng.Int63())
+	e.mu.Unlock()
+	return e.C.SampleEdges(t, n, seed)
+}
+
+// NegativePool returns global negative candidates with in-degree counts.
+func (e *Env) NegativePool(t graph.EdgeType) ([]graph.ID, []float64, error) {
+	return e.C.NegativePool(t)
+}
+
+// NumVertices reports the size of the vertex universe.
+func (e *Env) NumVertices() int { return len(e.C.Assign.Of) }

@@ -12,6 +12,16 @@ import (
 type Transport interface {
 	// Neighbors fetches out-neighbor lists from the server owning part.
 	Neighbors(part int, req NeighborsRequest, reply *NeighborsReply) error
+	// SampleNeighbors draws fixed-width neighbor samples on the server
+	// owning part, returning width IDs per requested slot instead of full
+	// adjacency lists.
+	SampleNeighbors(part int, req SampleRequest, reply *SampleReply) error
+	// SampleEdges draws uniform local edges from the server owning part.
+	SampleEdges(part int, req EdgesRequest, reply *EdgesReply) error
+	// NegativePool fetches local negative-candidate counts from part.
+	NegativePool(part int, req NegPoolRequest, reply *NegPoolReply) error
+	// Stats fetches the local size counters of part.
+	Stats(part int, req StatsRequest, reply *StatsReply) error
 	// Attrs fetches attribute vectors from the server owning part.
 	Attrs(part int, req AttrsRequest, reply *AttrsReply) error
 	// Close releases transport resources.
@@ -59,6 +69,38 @@ func (t *LocalTransport) Neighbors(part int, req NeighborsRequest, reply *Neighb
 		return err
 	}
 	return t.Servers[part].ServeNeighbors(req, reply)
+}
+
+// SampleNeighbors implements Transport.
+func (t *LocalTransport) SampleNeighbors(part int, req SampleRequest, reply *SampleReply) error {
+	if err := t.pay(part); err != nil {
+		return err
+	}
+	return t.Servers[part].ServeSampleNeighbors(req, reply)
+}
+
+// SampleEdges implements Transport.
+func (t *LocalTransport) SampleEdges(part int, req EdgesRequest, reply *EdgesReply) error {
+	if err := t.pay(part); err != nil {
+		return err
+	}
+	return t.Servers[part].ServeSampleEdges(req, reply)
+}
+
+// NegativePool implements Transport.
+func (t *LocalTransport) NegativePool(part int, req NegPoolRequest, reply *NegPoolReply) error {
+	if err := t.pay(part); err != nil {
+		return err
+	}
+	return t.Servers[part].ServeNegativePool(req, reply)
+}
+
+// Stats implements Transport.
+func (t *LocalTransport) Stats(part int, req StatsRequest, reply *StatsReply) error {
+	if err := t.pay(part); err != nil {
+		return err
+	}
+	return t.Servers[part].ServeStats(req, reply)
 }
 
 // Attrs implements Transport.

@@ -36,6 +36,7 @@ func (s *Server) ServeUpdate(req UpdateRequest, reply *UpdateReply) error {
 		}
 		s.adj[e.Type][e.Src] = append(s.adj[e.Type][e.Src], e.Dst)
 		s.wts[e.Type][e.Src] = append(s.wts[e.Type][e.Src], e.Weight)
+		s.invalidateLocked(e.Type)
 		reply.Added++
 	}
 	for _, e := range req.Remove {
@@ -45,6 +46,7 @@ func (s *Server) ServeUpdate(req UpdateRequest, reply *UpdateReply) error {
 			if u == e.Dst {
 				s.adj[e.Type][e.Src] = append(ns[:i], ns[i+1:]...)
 				s.wts[e.Type][e.Src] = append(ws[:i], ws[i+1:]...)
+				s.invalidateLocked(e.Type)
 				reply.Removed++
 				break
 			}

@@ -101,7 +101,7 @@ func TestEncoderShapes(t *testing.T) {
 	if enc.OutDim() != 6 {
 		t.Fatalf("out dim = %d", enc.OutDim())
 	}
-	nbr := sampling.NewNeighborhood(sampling.GraphSource{G: g}, rng)
+	nbr := sampling.NewNeighborhood(sampling.NewGraphSource(g), rng)
 	ctx, err := nbr.Sample(0, []graph.ID{0, 3, 7}, []int{2, 2})
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +132,7 @@ func TestMaterializedMatchesPositional(t *testing.T) {
 	feat := NewTableFeatures("emb", 8, 4, rng)
 	enc := newEncoder(g, feat, []int{5, 5}, false, rng)
 
-	nbr := sampling.NewNeighborhood(sampling.GraphSource{G: g}, rng)
+	nbr := sampling.NewNeighborhood(sampling.NewGraphSource(g), rng)
 	ctx, err := nbr.Sample(0, []graph.ID{0, 4}, []int{1, 1})
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +159,7 @@ func TestMaterializedBackward(t *testing.T) {
 	g := cycleGraph(6)
 	feat := NewTableFeatures("emb", 6, 4, rng)
 	enc := newEncoder(g, feat, []int{4}, true, rng)
-	nbr := sampling.NewNeighborhood(sampling.GraphSource{G: g}, rng)
+	nbr := sampling.NewNeighborhood(sampling.NewGraphSource(g), rng)
 	ctx, _ := nbr.Sample(0, []graph.ID{0, 1, 2}, []int{2})
 
 	tp := nn.NewTape()

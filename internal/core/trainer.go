@@ -9,14 +9,60 @@ import (
 	"repro/internal/tensor"
 )
 
+// TrainEnv supplies the training-loop inputs that are not neighbor
+// expansions: positive edge batches (TRAVERSE), the negative candidate pool
+// with raw positive-occurrence counts (NEGATIVE applies the unigram^0.75
+// smoothing itself), and the size of the vertex universe. A local graph and
+// a distributed cluster client both satisfy it, which is what decouples the
+// trainer from *graph.Graph.
+type TrainEnv interface {
+	// SampleEdges draws n edges of type t uniformly over the edge set.
+	SampleEdges(t graph.EdgeType, n int) ([]graph.Edge, error)
+	// NegativePool returns negative candidates for edge type t with their
+	// unnormalized positive counts (in-degrees).
+	NegativePool(t graph.EdgeType) (cands []graph.ID, counts []float64, err error)
+	// NumVertices reports the vertex universe size (IDs are dense).
+	NumVertices() int
+}
+
+// LocalEnv adapts an in-memory graph to TrainEnv.
+type LocalEnv struct {
+	G    *graph.Graph
+	trav *sampling.Traverse
+}
+
+// NewLocalEnv creates the local-graph trainer environment.
+func NewLocalEnv(g *graph.Graph, rng *rand.Rand) *LocalEnv {
+	return &LocalEnv{G: g, trav: sampling.NewTraverse(g, rng)}
+}
+
+// SampleEdges implements TrainEnv.
+func (e *LocalEnv) SampleEdges(t graph.EdgeType, n int) ([]graph.Edge, error) {
+	return e.trav.SampleEdges(t, n), nil
+}
+
+// NegativePool implements TrainEnv.
+func (e *LocalEnv) NegativePool(t graph.EdgeType) ([]graph.ID, []float64, error) {
+	cands, counts := sampling.NegativePoolOf(e.G, t)
+	return cands, counts, nil
+}
+
+// NumVertices implements TrainEnv.
+func (e *LocalEnv) NumVertices() int { return e.G.NumVertices() }
+
 // LinkTrainer trains an Encoder on unsupervised link prediction with
 // negative sampling: edges of the target type are positives, NEGATIVE
 // sampling provides negatives, and the score of a pair is the dot product
 // of their encoded embeddings. This is the training loop that Sections 3.3
 // and 4.1 sketch (TRAVERSE batch -> NEIGHBORHOOD context -> NEGATIVE
 // samples -> AGGREGATE/COMBINE forward -> backward).
+//
+// The trainer never touches a graph directly: neighbor expansion goes
+// through the batch-first sampling.Source seam and everything else through
+// TrainEnv, so the same loop drives a local graph or live RPC shards.
 type LinkTrainer struct {
-	G        *graph.Graph
+	Env      TrainEnv
+	Src      sampling.Source
 	Enc      *Encoder
 	EdgeType graph.EdgeType
 	HopNums  []int
@@ -29,9 +75,8 @@ type LinkTrainer struct {
 	// layer-wise sampling swaps the SAMPLE strategy this way).
 	ContextFn func(vs []graph.ID) (*sampling.Context, error)
 
-	trav *sampling.Traverse
-	nbr  *sampling.Neighborhood
-	neg  *sampling.Negative
+	nbr *sampling.Neighborhood
+	neg *sampling.Negative
 
 	// Steady-state sampling state: Step encodes three batches (src, dst,
 	// negatives) on one tape, and the tape's backward pass still references
@@ -57,21 +102,39 @@ func DefaultTrainerConfig() TrainerConfig {
 	return TrainerConfig{HopNums: []int{5, 3}, Batch: 64, NegK: 4, LR: 0.01}
 }
 
-// NewLinkTrainer assembles the three samplers and optimizer around enc.
+// NewLinkTrainer assembles the trainer over a local in-memory graph.
 func NewLinkTrainer(g *graph.Graph, enc *Encoder, cfg TrainerConfig, rng *rand.Rand) *LinkTrainer {
+	tr, err := NewLinkTrainerOver(NewLocalEnv(g, rng), sampling.NewGraphSource(g), enc, cfg, rng)
+	if err != nil {
+		// LocalEnv never fails; keep the historical infallible signature.
+		panic(err)
+	}
+	return tr
+}
+
+// NewLinkTrainerOver assembles the trainer over any neighbor Source and
+// TrainEnv pair — the seam that lets distributed GraphSAGE training run on
+// live RPC shards.
+func NewLinkTrainerOver(env TrainEnv, src sampling.Source, enc *Encoder, cfg TrainerConfig, rng *rand.Rand) (*LinkTrainer, error) {
+	cands, counts, err := env.NegativePool(cfg.EdgeType)
+	if err != nil {
+		return nil, err
+	}
 	return &LinkTrainer{
-		G: g, Enc: enc, EdgeType: cfg.EdgeType, HopNums: cfg.HopNums,
+		Env: env, Src: src, Enc: enc, EdgeType: cfg.EdgeType, HopNums: cfg.HopNums,
 		Batch: cfg.Batch, NegK: cfg.NegK,
 		Opt: nn.NewAdam(cfg.LR), Rng: rng,
-		trav: sampling.NewTraverse(g, rng),
-		nbr:  sampling.NewNeighborhood(sampling.GraphSource{G: g}, rng),
-		neg:  sampling.NewNegative(g, cfg.EdgeType, rng),
-	}
+		nbr: sampling.NewNeighborhood(src, rng),
+		neg: sampling.NewNegativeFromPool(cands, sampling.UnigramWeights(counts), rng),
+	}, nil
 }
 
 // Step runs one mini-batch and returns the loss.
 func (tr *LinkTrainer) Step() (float64, error) {
-	edges := tr.trav.SampleEdges(tr.EdgeType, tr.Batch)
+	edges, err := tr.Env.SampleEdges(tr.EdgeType, tr.Batch)
+	if err != nil {
+		return 0, err
+	}
 	src := make([]graph.ID, len(edges))
 	dst := make([]graph.ID, len(edges))
 	for i, e := range edges {
@@ -172,7 +235,7 @@ func (tr *LinkTrainer) Score(u, v graph.ID) (float64, error) {
 // EmbedAll encodes every vertex in id order (n x d); used by evaluation and
 // by the export tooling.
 func (tr *LinkTrainer) EmbedAll() (*tensor.Matrix, error) {
-	n := tr.G.NumVertices()
+	n := tr.Env.NumVertices()
 	out := tensor.New(n, tr.Enc.OutDim())
 	const chunk = 256
 	for lo := 0; lo < n; lo += chunk {

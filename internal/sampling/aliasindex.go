@@ -40,6 +40,30 @@ func NewAliasIndex(g *graph.Graph, t graph.EdgeType) *AliasIndex {
 	return ai
 }
 
+// NewAliasIndexFromWeights builds an AliasIndex over explicit per-slot
+// weight vectors: slot i covers weights[i], and Draw(graph.ID(i), rng)
+// samples within it. Graph servers use this to answer weighted
+// SampleNeighbors RPCs over their local adjacency, which lives in maps
+// rather than a CSR graph.
+func NewAliasIndexFromWeights(weights [][]float64) *AliasIndex {
+	n := len(weights)
+	offs := make([]int64, n+1)
+	for i, ws := range weights {
+		offs[i+1] = offs[i] + int64(len(ws))
+	}
+	m := offs[n]
+	ai := &AliasIndex{offs: offs, prob: make([]float64, m), alias: make([]int32, m)}
+	var scratch aliasScratch
+	for i, ws := range weights {
+		lo, hi := offs[i], offs[i+1]
+		if lo == hi {
+			continue
+		}
+		fillAlias(ai.prob[lo:hi], ai.alias[lo:hi], ws, &scratch)
+	}
+	return ai
+}
+
 // Draw samples an out-edge slot of v proportionally to edge weight and
 // returns its local index (0..deg-1), or -1 when v has no out-edges of this
 // type. The caller indexes its neighbor slice with the result.

@@ -35,7 +35,7 @@ func BenchmarkNeighborhoodSample(b *testing.B) {
 			name = "weighted"
 		}
 		b.Run(name, func(b *testing.B) {
-			s := NewNeighborhood(GraphSource{g}, rand.New(rand.NewSource(1)))
+			s := NewNeighborhood(NewGraphSource(g), rand.New(rand.NewSource(1)))
 			s.ByWeight = w
 			var ctx Context
 			rng := NewRng(1)

@@ -80,7 +80,7 @@ func TestAliasIndexEmptyAndUniform(t *testing.T) {
 
 func TestSampleIntoMatchesSampleSemantics(t *testing.T) {
 	g := userItemGraph()
-	s := NewNeighborhood(GraphSource{g}, rand.New(rand.NewSource(1)))
+	s := NewNeighborhood(NewGraphSource(g), rand.New(rand.NewSource(1)))
 	var ctx Context
 	rng := NewRng(9)
 	batch := []graph.ID{0, 1, 2}
@@ -115,7 +115,7 @@ func TestSampleIntoMatchesSampleSemantics(t *testing.T) {
 
 func TestSampleIntoWeighted(t *testing.T) {
 	g := weightedStar([]float64{1, 99})
-	s := NewNeighborhood(GraphSource{g}, rand.New(rand.NewSource(1)))
+	s := NewNeighborhood(NewGraphSource(g), rand.New(rand.NewSource(1)))
 	s.ByWeight = true
 	var ctx Context
 	if err := s.SampleInto(&ctx, 0, []graph.ID{0}, []int{400}, NewRng(3)); err != nil {
@@ -137,7 +137,7 @@ func TestSampleIntoWeighted(t *testing.T) {
 // with -race to validate the sharing contract.
 func TestSampleIntoConcurrent(t *testing.T) {
 	g := userItemGraph()
-	s := NewNeighborhood(GraphSource{g}, rand.New(rand.NewSource(1)))
+	s := NewNeighborhood(NewGraphSource(g), rand.New(rand.NewSource(1)))
 	s.ByWeight = true // exercises the concurrent lazy index build
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
@@ -164,7 +164,7 @@ func TestSampleIntoConcurrent(t *testing.T) {
 
 func TestSampleIntoSteadyStateAllocFree(t *testing.T) {
 	g := weightedStar([]float64{1, 2, 3, 4})
-	s := NewNeighborhood(GraphSource{g}, rand.New(rand.NewSource(1)))
+	s := NewNeighborhood(NewGraphSource(g), rand.New(rand.NewSource(1)))
 	s.ByWeight = true
 	var ctx Context
 	rng := NewRng(7)
@@ -183,6 +183,53 @@ func TestSampleIntoSteadyStateAllocFree(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Fatalf("steady-state SampleInto allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// listSource is a minimal Source without the BatchSampler capability,
+// standing in for exotic backends that only serve neighbor lists.
+type listSource struct {
+	g *graph.Graph
+}
+
+func (s listSource) NeighborsBatch(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType) error {
+	for i, v := range vs {
+		dst[i] = s.g.OutNeighbors(v, t)
+	}
+	return nil
+}
+
+// TestSampleIntoGenericSource exercises the NeighborsBatch fallback path:
+// uniform sampling works (and pads isolated vertices), weighted sampling is
+// an explicit error since weights never leave a batch source.
+func TestSampleIntoGenericSource(t *testing.T) {
+	g := userItemGraph()
+	s := NewNeighborhood(listSource{g}, rand.New(rand.NewSource(1)))
+	var ctx Context
+	rng := NewRng(5)
+	batch := []graph.ID{0, 1, 6}
+	if err := s.SampleInto(&ctx, 0, batch, []int{3, 2}, rng); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.Layers[1]) != 9 || len(ctx.Layers[2]) != 18 {
+		t.Fatalf("layer sizes %d %d", len(ctx.Layers[1]), len(ctx.Layers[2]))
+	}
+	for i, v := range batch {
+		for _, u := range ctx.NeighborsOf(0, i) {
+			if u != v && !g.HasEdge(v, u, 0) {
+				t.Fatalf("%d -> %d is not an edge", v, u)
+			}
+		}
+	}
+	// Vertex 6 is isolated: its draws must be itself.
+	for _, u := range ctx.NeighborsOf(0, 2) {
+		if u != 6 {
+			t.Fatalf("isolated vertex padded with %d", u)
+		}
+	}
+	s.ByWeight = true
+	if err := s.SampleInto(&ctx, 0, batch, []int{2}, rng); err != ErrWeightedUnsupported {
+		t.Fatalf("weighted over generic source: %v, want ErrWeightedUnsupported", err)
 	}
 }
 

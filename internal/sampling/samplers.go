@@ -3,27 +3,9 @@ package sampling
 import (
 	"math"
 	"math/rand"
-	"sync"
 
 	"repro/internal/graph"
 )
-
-// Source abstracts where neighbor lists come from: a local graph, a graph
-// server partition, or a distributed client with caching. Weights may be nil
-// (uniform).
-type Source interface {
-	SampleNeighbors(v graph.ID, t graph.EdgeType) (ns []graph.ID, ws []float64, err error)
-}
-
-// GraphSource serves neighbors from an in-memory graph.
-type GraphSource struct {
-	G *graph.Graph
-}
-
-// SampleNeighbors implements Source.
-func (s GraphSource) SampleNeighbors(v graph.ID, t graph.EdgeType) ([]graph.ID, []float64, error) {
-	return s.G.OutNeighbors(v, t), s.G.OutWeights(v, t), nil
-}
 
 // ---------------------------------------------------------------------------
 // TRAVERSE sampler
@@ -152,6 +134,10 @@ func (s *Traverse) EpochVertices(t graph.EdgeType) []graph.ID {
 type Context struct {
 	HopNums []int
 	Layers  [][]graph.ID
+
+	// nbrs is scratch for the generic (non-BatchSampler) source path: one
+	// neighbor-list slot per current-layer vertex, reused across hops.
+	nbrs [][]graph.ID
 }
 
 // NeighborsOf returns the sampled neighbors of the i-th vertex of layer h
@@ -165,44 +151,20 @@ func (c *Context) NeighborsOf(h, i int) []graph.ID {
 // (Figure 5: context = s2.sample(edge_type, vertex, hop_nums)).
 //
 // A Neighborhood is safe for concurrent SampleInto calls as long as each
-// goroutine supplies its own Context and Rng; the lazily built per-edge-type
-// AliasIndex is shared and immutable.
+// goroutine supplies its own Context and Rng; per-source shared state (like
+// GraphSource's lazily built AliasIndex) carries its own synchronization.
 type Neighborhood struct {
 	Src Source
 	Rng *rand.Rand
 	// ByWeight selects neighbors proportionally to edge weight instead of
-	// uniformly.
+	// uniformly; it requires Src to implement BatchSampler (weights never
+	// leave the source).
 	ByWeight bool
-
-	mu      sync.RWMutex
-	indexes map[graph.EdgeType]*AliasIndex
 }
 
 // NewNeighborhood creates a NEIGHBORHOOD sampler over src.
 func NewNeighborhood(src Source, rng *rand.Rand) *Neighborhood {
 	return &Neighborhood{Src: src, Rng: rng}
-}
-
-// aliasIndex returns the shared alias index for edge type t, building it on
-// first use. Safe for concurrent callers.
-func (s *Neighborhood) aliasIndex(g *graph.Graph, t graph.EdgeType) *AliasIndex {
-	s.mu.RLock()
-	ai := s.indexes[t]
-	s.mu.RUnlock()
-	if ai != nil {
-		return ai
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ai = s.indexes[t]; ai != nil {
-		return ai
-	}
-	ai = NewAliasIndex(g, t)
-	if s.indexes == nil {
-		s.indexes = make(map[graph.EdgeType]*AliasIndex)
-	}
-	s.indexes[t] = ai
-	return ai
 }
 
 // Sample expands the batch hop by hop. Vertices with no neighbors under t
@@ -223,6 +185,11 @@ func (s *Neighborhood) Sample(t graph.EdgeType, batch []graph.ID, hopNums []int)
 // from ctx (growing only until steady state) and randomness comes from rng,
 // so a warm call performs zero allocations. ctx and rng must not be shared
 // between goroutines; s itself may be.
+//
+// Each hop is one SampleBatch call when the source has the capability
+// (local graphs draw in place; distributed clients dedup hubs and pay at
+// most one RPC per owning server), and one NeighborsBatch call plus
+// client-side uniform draws otherwise.
 func (s *Neighborhood) SampleInto(ctx *Context, t graph.EdgeType, batch []graph.ID, hopNums []int, rng *Rng) error {
 	ctx.HopNums = append(ctx.HopNums[:0], hopNums...)
 	for len(ctx.Layers) < len(hopNums)+1 {
@@ -231,60 +198,57 @@ func (s *Neighborhood) SampleInto(ctx *Context, t graph.EdgeType, batch []graph.
 	ctx.Layers = ctx.Layers[:len(hopNums)+1]
 	ctx.Layers[0] = append(ctx.Layers[0][:0], batch...)
 
-	gs, isGraph := s.Src.(GraphSource)
-	var ai *AliasIndex
-	if isGraph && s.ByWeight {
-		ai = s.aliasIndex(gs.G, t)
-	}
-
+	sampler, batched := s.Src.(BatchSampler)
 	cur := ctx.Layers[0]
 	for h, width := range hopNums {
-		next := ctx.Layers[h+1][:0]
-		if isGraph {
-			g := gs.G
-			for _, v := range cur {
-				ns := g.OutNeighbors(v, t)
-				switch {
-				case len(ns) == 0:
-					for i := 0; i < width; i++ {
-						next = append(next, v)
-					}
-				case ai != nil:
-					for i := 0; i < width; i++ {
-						next = append(next, ns[ai.Draw(v, rng)])
-					}
-				default:
-					for i := 0; i < width; i++ {
-						next = append(next, ns[rng.Intn(len(ns))])
-					}
-				}
-			}
+		need := len(cur) * width
+		next := ctx.Layers[h+1]
+		if cap(next) < need {
+			next = make([]graph.ID, need)
 		} else {
-			for _, v := range cur {
-				ns, ws, err := s.Src.SampleNeighbors(v, t)
-				if err != nil {
-					return err
-				}
-				if len(ns) == 0 {
-					for i := 0; i < width; i++ {
-						next = append(next, v)
-					}
-					continue
-				}
-				if s.ByWeight && ws != nil {
-					alias := NewAlias(ws)
-					for i := 0; i < width; i++ {
-						next = append(next, ns[alias.drawRng(rng)])
-					}
-				} else {
-					for i := 0; i < width; i++ {
-						next = append(next, ns[rng.Intn(len(ns))])
-					}
-				}
+			next = next[:need]
+		}
+		if batched {
+			if err := sampler.SampleBatch(next, cur, t, width, s.ByWeight, rng.Uint64()); err != nil {
+				return err
 			}
+		} else if err := s.sampleGeneric(ctx, next, cur, t, width, rng); err != nil {
+			return err
 		}
 		ctx.Layers[h+1] = next
 		cur = next
+	}
+	return nil
+}
+
+// sampleGeneric draws client-side from full neighbor lists fetched with one
+// NeighborsBatch call per hop; it is the fallback for sources without the
+// BatchSampler capability. dst must hold len(cur)*width entries.
+func (s *Neighborhood) sampleGeneric(ctx *Context, dst, cur []graph.ID, t graph.EdgeType, width int, rng *Rng) error {
+	if s.ByWeight {
+		return ErrWeightedUnsupported
+	}
+	if cap(ctx.nbrs) < len(cur) {
+		ctx.nbrs = make([][]graph.ID, len(cur))
+	}
+	nbrs := ctx.nbrs[:len(cur)]
+	if err := s.Src.NeighborsBatch(nbrs, cur, t); err != nil {
+		return err
+	}
+	o := 0
+	for i, v := range cur {
+		ns := nbrs[i]
+		if len(ns) == 0 {
+			for k := 0; k < width; k++ {
+				dst[o] = v
+				o++
+			}
+			continue
+		}
+		for k := 0; k < width; k++ {
+			dst[o] = ns[rng.Intn(len(ns))]
+			o++
+		}
 	}
 	return nil
 }
@@ -305,19 +269,44 @@ type Negative struct {
 // which the paper's negative samplers inherit.
 const NegativePower = 0.75
 
+// NegativePoolOf scans g for the negative candidates of edge type t: every
+// vertex with at least one in-edge of that type, with its raw in-degree as
+// the count. This is the single source of candidate eligibility for both
+// the local sampler and the local trainer environment (the distributed
+// equivalent merges per-server destination counts).
+func NegativePoolOf(g *graph.Graph, t graph.EdgeType) (cands []graph.ID, counts []float64) {
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.InDegree(graph.ID(v), t); d > 0 {
+			cands = append(cands, graph.ID(v))
+			counts = append(counts, float64(d))
+		}
+	}
+	return cands, counts
+}
+
+// UnigramWeights applies the word2vec unigram smoothing count^NegativePower
+// to raw positive counts, in place-free form.
+func UnigramWeights(counts []float64) []float64 {
+	ws := make([]float64, len(counts))
+	for i, c := range counts {
+		ws[i] = math.Pow(c, NegativePower)
+	}
+	return ws
+}
+
 // NewNegative builds a negative sampler for edge type t of g: candidates are
 // all vertices with at least one in-edge of type t, weighted by
 // in-degree^power.
 func NewNegative(g *graph.Graph, t graph.EdgeType, rng *rand.Rand) *Negative {
-	var cands []graph.ID
-	var ws []float64
-	for v := 0; v < g.NumVertices(); v++ {
-		d := g.InDegree(graph.ID(v), t)
-		if d > 0 {
-			cands = append(cands, graph.ID(v))
-			ws = append(ws, math.Pow(float64(d), NegativePower))
-		}
-	}
+	cands, counts := NegativePoolOf(g, t)
+	return NewNegativeFromPool(cands, UnigramWeights(counts), rng)
+}
+
+// NewNegativeFromPool builds a negative sampler over an explicit candidate
+// pool with unnormalized weights. Distributed trainers merge per-server
+// destination counts into such a pool (the counts summed across servers are
+// exactly the global in-degrees, since every edge lives with its source).
+func NewNegativeFromPool(cands []graph.ID, ws []float64, rng *rand.Rand) *Negative {
 	return &Negative{Rng: rng, candidates: cands, table: NewAlias(ws)}
 }
 

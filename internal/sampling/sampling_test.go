@@ -159,7 +159,7 @@ func TestTraverseEpoch(t *testing.T) {
 
 func TestNeighborhoodAlignment(t *testing.T) {
 	g := userItemGraph()
-	s := NewNeighborhood(GraphSource{g}, rand.New(rand.NewSource(1)))
+	s := NewNeighborhood(NewGraphSource(g), rand.New(rand.NewSource(1)))
 	batch := []graph.ID{0, 1, 2}
 	ctx, err := s.Sample(0, batch, []int{4, 2})
 	if err != nil {
@@ -180,7 +180,7 @@ func TestNeighborhoodAlignment(t *testing.T) {
 
 func TestNeighborhoodPadsIsolated(t *testing.T) {
 	g := userItemGraph()
-	s := NewNeighborhood(GraphSource{g}, rand.New(rand.NewSource(1)))
+	s := NewNeighborhood(NewGraphSource(g), rand.New(rand.NewSource(1)))
 	// Items have no out-edges: their samples must be themselves.
 	ctx, err := s.Sample(0, []graph.ID{6}, []int{3})
 	if err != nil {
@@ -201,7 +201,7 @@ func TestNeighborhoodByWeight(t *testing.T) {
 	b.AddEdge(0, 1, 0, 1)
 	b.AddEdge(0, 2, 0, 99)
 	g := b.Finalize()
-	s := NewNeighborhood(GraphSource{g}, rand.New(rand.NewSource(1)))
+	s := NewNeighborhood(NewGraphSource(g), rand.New(rand.NewSource(1)))
 	s.ByWeight = true
 	ctx, _ := s.Sample(0, []graph.ID{0}, []int{200})
 	heavy := 0

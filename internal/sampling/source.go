@@ -1,0 +1,124 @@
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Source is the batch-first contract between NEIGHBORHOOD sampling and
+// whatever holds the adjacency: an in-memory graph, a graph-server
+// partition, or a distributed client stitching per-server sub-batches
+// (Section 3.3). One call covers one whole hop of a mini-batch, which is
+// what lets remote implementations dedup hub vertices and pay one round
+// trip per owning server instead of one per vertex.
+type Source interface {
+	// NeighborsBatch fills dst[i] with the out-neighbor list of vs[i] under
+	// edge type t; len(dst) must equal len(vs). The returned slices may
+	// alias source-owned (or cache-owned) memory and must be treated as
+	// read-only by the caller.
+	NeighborsBatch(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType) error
+}
+
+// BatchSampler is an optional Source capability: fixed-width neighbor draws
+// executed where the adjacency lives, so a remote source ships width
+// sampled IDs per vertex instead of full hub adjacency lists. Weighted
+// draws (edge-weight proportional) are part of the capability; sources
+// without it only serve uniform selection through NeighborsBatch.
+type BatchSampler interface {
+	// SampleBatch fills dst (len(vs)*width entries, batch-major) with width
+	// neighbor draws per vertex of vs under edge type t. Vertices with no
+	// type-t out-edges are padded with themselves, keeping the output
+	// aligned. seed makes the draw deterministic for a given source state;
+	// callers advance their own Rng to produce per-hop seeds.
+	SampleBatch(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64) error
+}
+
+// ErrWeightedUnsupported is returned when weighted neighborhood sampling is
+// requested from a Source that does not implement BatchSampler.
+var ErrWeightedUnsupported = errors.New("sampling: weighted draws require a Source implementing BatchSampler")
+
+// GraphSource serves neighbors from an in-memory graph. It implements both
+// Source and BatchSampler; weighted draws go through a lazily built
+// per-edge-type AliasIndex that is shared, immutable once built, and safe
+// for concurrent use.
+type GraphSource struct {
+	G *graph.Graph
+
+	mu      sync.RWMutex
+	indexes map[graph.EdgeType]*AliasIndex
+}
+
+// NewGraphSource wraps an in-memory graph as a batch Source.
+func NewGraphSource(g *graph.Graph) *GraphSource { return &GraphSource{G: g} }
+
+// NeighborsBatch implements Source; the filled slices alias the graph's CSR
+// storage.
+func (s *GraphSource) NeighborsBatch(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType) error {
+	if len(dst) != len(vs) {
+		return fmt.Errorf("sampling: NeighborsBatch dst length %d, want %d", len(dst), len(vs))
+	}
+	for i, v := range vs {
+		dst[i] = s.G.OutNeighbors(v, t)
+	}
+	return nil
+}
+
+// SampleBatch implements BatchSampler. Warm calls perform zero allocations:
+// the Rng lives on the stack and the alias index is reused across calls.
+func (s *GraphSource) SampleBatch(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64) error {
+	if len(dst) != len(vs)*width {
+		return fmt.Errorf("sampling: SampleBatch dst length %d, want %d", len(dst), len(vs)*width)
+	}
+	var ai *AliasIndex
+	if byWeight {
+		ai = s.aliasIndex(t)
+	}
+	rng := Rng{state: seed}
+	o := 0
+	for _, v := range vs {
+		ns := s.G.OutNeighbors(v, t)
+		switch {
+		case len(ns) == 0:
+			for i := 0; i < width; i++ {
+				dst[o] = v
+				o++
+			}
+		case ai != nil:
+			for i := 0; i < width; i++ {
+				dst[o] = ns[ai.Draw(v, &rng)]
+				o++
+			}
+		default:
+			for i := 0; i < width; i++ {
+				dst[o] = ns[rng.Intn(len(ns))]
+				o++
+			}
+		}
+	}
+	return nil
+}
+
+// aliasIndex returns the shared alias index for edge type t, building it on
+// first use. Safe for concurrent callers.
+func (s *GraphSource) aliasIndex(t graph.EdgeType) *AliasIndex {
+	s.mu.RLock()
+	ai := s.indexes[t]
+	s.mu.RUnlock()
+	if ai != nil {
+		return ai
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ai = s.indexes[t]; ai != nil {
+		return ai
+	}
+	ai = NewAliasIndex(s.G, t)
+	if s.indexes == nil {
+		s.indexes = make(map[graph.EdgeType]*AliasIndex)
+	}
+	s.indexes[t] = ai
+	return ai
+}

@@ -1,8 +1,10 @@
 package storage
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -10,15 +12,17 @@ import (
 // NeighborCache is the pluggable neighbor-caching strategy evaluated in
 // Figure 9 of the paper: the importance-based cache (AliGraph's strategy),
 // a random static cache, and an LRU replacing cache. A cache answers
-// "do I hold the hop-h out-neighbors of v locally?"; on a miss the caller
-// pays a remote fetch.
+// "do I hold the hop-h out-neighbors of v under edge type t locally?"; on
+// a miss the caller pays a remote fetch. Entries are keyed by
+// (vertex, edge type, hop) — heterogeneous graphs must never serve one
+// type's neighbor list to a query about another.
 type NeighborCache interface {
-	// Get returns the cached hop-h out-neighbor list of v (h is 1-based)
-	// and whether it was present.
-	Get(v graph.ID, h int) ([]graph.ID, bool)
+	// Get returns the cached hop-h type-t out-neighbor list of v (h is
+	// 1-based) and whether it was present.
+	Get(v graph.ID, t graph.EdgeType, h int) ([]graph.ID, bool)
 	// Observe notifies the cache of a fetch result so replacing strategies
 	// can admit it.
-	Observe(v graph.ID, h int, nbrs []graph.ID)
+	Observe(v graph.ID, t graph.EdgeType, h int, nbrs []graph.ID)
 	// Name identifies the strategy in reports.
 	Name() string
 	// CachedVertices reports how many vertices currently have hop-1
@@ -26,17 +30,40 @@ type NeighborCache interface {
 	CachedVertices() int
 }
 
-// hopKey packs (vertex, hop) into an int64 LRU key. Hops are tiny (h <= 7).
-func hopKey(v graph.ID, h int) int64 { return v<<3 | int64(h&0x7) }
+// Admitter is an optional NeighborCache capability reporting whether
+// Observe can ever admit new entries. Static caches (importance, random,
+// none) return false, letting data producers skip preparing admission
+// payloads for consumers that will drop them.
+type Admitter interface {
+	Admits() bool
+}
+
+// hopKey packs (vertex, edge type, hop) into an int64 cache key. Hops are
+// tiny (h <= 7); edge types get 13 bits, so schemas are bounded to
+// MaxCacheEdgeTypes — checkEdgeTypes enforces it at cache construction
+// rather than letting oversized schemas silently collide keys.
+func hopKey(v graph.ID, t graph.EdgeType, h int) int64 {
+	return int64(v)<<16 | int64(t&0x1fff)<<3 | int64(h&0x7)
+}
+
+// MaxCacheEdgeTypes is the largest edge-type count the cache key can
+// distinguish.
+const MaxCacheEdgeTypes = 1 << 13
+
+func checkEdgeTypes(n int) {
+	if n >= MaxCacheEdgeTypes {
+		panic(fmt.Sprintf("storage: %d edge types exceed the neighbor-cache key space (%d)", n, MaxCacheEdgeTypes))
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Importance-based cache (Algorithm 2 lines 5-9)
 
 // ImportanceCache statically caches the 1..k-hop out-neighborhoods of
 // vertices whose importance Imp^(k)(v) = D_i^(k)(v)/D_o^(k)(v) meets the
-// per-depth thresholds tau[k-1]. Theorem 2 shows importance is power-law
-// distributed, so a small threshold already restricts the cache to a small
-// vertex fraction.
+// per-depth thresholds tau[k-1], one frontier per edge type. Theorem 2
+// shows importance is power-law distributed, so a small threshold already
+// restricts the cache to a small vertex fraction.
 type ImportanceCache struct {
 	entries map[int64][]graph.ID
 	hop1    int
@@ -63,17 +90,25 @@ func NewImportanceCache(g *graph.Graph, tau []float64) *ImportanceCache {
 	c := &ImportanceCache{entries: make(map[int64][]graph.ID)}
 	s := g.AcquireScratch()
 	defer g.ReleaseScratch(s)
+	nt := g.Schema().NumEdgeTypes()
+	checkEdgeTypes(nt)
 	for k := 1; k <= len(tau); k++ {
 		for _, v := range SelectImportant(g, k, tau[k-1]) {
+			counted := false
 			for h := 1; h <= k; h++ {
-				key := hopKey(v, h)
-				if _, ok := c.entries[key]; ok {
-					continue
+				for t := 0; t < nt; t++ {
+					key := hopKey(v, graph.EdgeType(t), h)
+					if _, ok := c.entries[key]; ok {
+						if h == 1 {
+							counted = true
+						}
+						continue
+					}
+					c.entries[key] = append([]graph.ID(nil), g.KHopFrontierType(v, graph.EdgeType(t), h, s)...)
 				}
-				c.entries[key] = append([]graph.ID(nil), g.KHopFrontier(v, h, s)...)
-				if h == 1 {
-					c.hop1++
-				}
+			}
+			if !counted {
+				c.hop1++
 			}
 		}
 	}
@@ -94,22 +129,28 @@ func NewImportanceCacheTopFraction(g *graph.Graph, h int, frac float64) *Importa
 	c := &ImportanceCache{entries: make(map[int64][]graph.ID)}
 	s := g.AcquireScratch()
 	defer g.ReleaseScratch(s)
+	nt := g.Schema().NumEdgeTypes()
+	checkEdgeTypes(nt)
 	for _, vi := range order[:k] {
 		v := graph.ID(vi)
 		for hh := 1; hh <= h; hh++ {
-			c.entries[hopKey(v, hh)] = append([]graph.ID(nil), g.KHopFrontier(v, hh, s)...)
+			for t := 0; t < nt; t++ {
+				c.entries[hopKey(v, graph.EdgeType(t), hh)] = append([]graph.ID(nil), g.KHopFrontierType(v, graph.EdgeType(t), hh, s)...)
+			}
 		}
 		c.hop1++
 	}
 	return c
 }
 
-func (c *ImportanceCache) Get(v graph.ID, h int) ([]graph.ID, bool) {
-	ns, ok := c.entries[hopKey(v, h)]
+func (c *ImportanceCache) Get(v graph.ID, t graph.EdgeType, h int) ([]graph.ID, bool) {
+	ns, ok := c.entries[hopKey(v, t, h)]
 	return ns, ok
 }
 
-func (c *ImportanceCache) Observe(graph.ID, int, []graph.ID) {} // static
+func (c *ImportanceCache) Observe(graph.ID, graph.EdgeType, int, []graph.ID) {} // static
+
+func (c *ImportanceCache) Admits() bool { return false }
 
 func (c *ImportanceCache) Name() string { return "importance" }
 
@@ -135,22 +176,28 @@ func NewRandomCache(g *graph.Graph, h int, frac float64, rng *rand.Rand) *Random
 	perm := rng.Perm(n)
 	s := g.AcquireScratch()
 	defer g.ReleaseScratch(s)
+	nt := g.Schema().NumEdgeTypes()
+	checkEdgeTypes(nt)
 	for _, vi := range perm[:k] {
 		v := graph.ID(vi)
 		for hh := 1; hh <= h; hh++ {
-			c.entries[hopKey(v, hh)] = append([]graph.ID(nil), g.KHopFrontier(v, hh, s)...)
+			for t := 0; t < nt; t++ {
+				c.entries[hopKey(v, graph.EdgeType(t), hh)] = append([]graph.ID(nil), g.KHopFrontierType(v, graph.EdgeType(t), hh, s)...)
+			}
 		}
 		c.hop1++
 	}
 	return c
 }
 
-func (c *RandomCache) Get(v graph.ID, h int) ([]graph.ID, bool) {
-	ns, ok := c.entries[hopKey(v, h)]
+func (c *RandomCache) Get(v graph.ID, t graph.EdgeType, h int) ([]graph.ID, bool) {
+	ns, ok := c.entries[hopKey(v, t, h)]
 	return ns, ok
 }
 
-func (c *RandomCache) Observe(graph.ID, int, []graph.ID) {}
+func (c *RandomCache) Observe(graph.ID, graph.EdgeType, int, []graph.ID) {}
+
+func (c *RandomCache) Admits() bool { return false }
 
 func (c *RandomCache) Name() string { return "random" }
 
@@ -162,7 +209,11 @@ func (c *RandomCache) CachedVertices() int { return c.hop1 }
 // LRUNeighborCache admits every fetched neighborhood and evicts the least
 // recently used, holding at most capacity (vertex, hop) entries. Frequent
 // replacement churn is its cost relative to the static importance cache.
+// Unlike the static caches (which are immutable after construction), every
+// LRU access mutates recency state, so operations are serialized by a
+// mutex; this keeps a shared cluster.Client safe for concurrent samplers.
 type LRUNeighborCache struct {
+	mu   sync.Mutex
 	lru  *LRU
 	hop1 map[graph.ID]struct{}
 }
@@ -173,15 +224,19 @@ func NewLRUNeighborCache(capacity int) *LRUNeighborCache {
 	return &LRUNeighborCache{lru: NewLRU(capacity), hop1: make(map[graph.ID]struct{})}
 }
 
-func (c *LRUNeighborCache) Get(v graph.ID, h int) ([]graph.ID, bool) {
-	if x, ok := c.lru.Get(hopKey(v, h)); ok {
+func (c *LRUNeighborCache) Get(v graph.ID, t graph.EdgeType, h int) ([]graph.ID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if x, ok := c.lru.Get(hopKey(v, t, h)); ok {
 		return x.([]graph.ID), true
 	}
 	return nil, false
 }
 
-func (c *LRUNeighborCache) Observe(v graph.ID, h int, nbrs []graph.ID) {
-	c.lru.Put(hopKey(v, h), nbrs)
+func (c *LRUNeighborCache) Observe(v graph.ID, t graph.EdgeType, h int, nbrs []graph.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Put(hopKey(v, t, h), nbrs)
 	if h == 1 {
 		c.hop1[v] = struct{}{}
 	}
@@ -189,13 +244,18 @@ func (c *LRUNeighborCache) Observe(v graph.ID, h int, nbrs []graph.ID) {
 
 func (c *LRUNeighborCache) Name() string { return "lru" }
 
-func (c *LRUNeighborCache) CachedVertices() int { return c.lru.Len() }
+func (c *LRUNeighborCache) CachedVertices() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
 
 // NoCache disables neighbor caching; every access is remote.
 type NoCache struct{}
 
-func (NoCache) Get(graph.ID, int) ([]graph.ID, bool) { return nil, false }
-func (NoCache) Observe(graph.ID, int, []graph.ID)    {}
+func (NoCache) Get(graph.ID, graph.EdgeType, int) ([]graph.ID, bool) { return nil, false }
+func (NoCache) Observe(graph.ID, graph.EdgeType, int, []graph.ID)    {}
+func (NoCache) Admits() bool                         { return false }
 func (NoCache) Name() string                         { return "none" }
 func (NoCache) CachedVertices() int                  { return 0 }
 

@@ -185,16 +185,16 @@ func TestImportanceCache(t *testing.T) {
 	if c.CachedVertices() != 1 {
 		t.Fatalf("cached = %d", c.CachedVertices())
 	}
-	ns, ok := c.Get(0, 1)
+	ns, ok := c.Get(0, 0, 1)
 	if !ok || len(ns) != 1 || ns[0] != 1 {
 		t.Fatalf("hop1(hub) = %v,%v", ns, ok)
 	}
 	// Hop 2 of the hub is empty (sink has no out-edges) but must be cached.
-	ns2, ok2 := c.Get(0, 2)
+	ns2, ok2 := c.Get(0, 0, 2)
 	if !ok2 || len(ns2) != 0 {
 		t.Fatalf("hop2(hub) = %v,%v", ns2, ok2)
 	}
-	if _, ok := c.Get(2, 1); ok {
+	if _, ok := c.Get(2, 0, 1); ok {
 		t.Fatal("spoke should not be cached")
 	}
 	if CacheRate(c, g.NumVertices()) <= 0 {
@@ -210,7 +210,7 @@ func TestImportanceCacheTopFraction(t *testing.T) {
 		t.Fatalf("cached = %d want %d", c.CachedVertices(), want)
 	}
 	// The hub must rank first.
-	if _, ok := c.Get(0, 1); !ok {
+	if _, ok := c.Get(0, 0, 1); !ok {
 		t.Fatal("hub should be among the top fraction")
 	}
 }
@@ -227,26 +227,30 @@ func TestRandomCache(t *testing.T) {
 
 func TestLRUNeighborCache(t *testing.T) {
 	c := NewLRUNeighborCache(2)
-	if _, ok := c.Get(1, 1); ok {
+	if _, ok := c.Get(1, 0, 1); ok {
 		t.Fatal("empty cache hit")
 	}
-	c.Observe(1, 1, []graph.ID{2})
-	c.Observe(2, 1, []graph.ID{3})
-	c.Observe(3, 1, []graph.ID{4}) // evicts (1,1)
-	if _, ok := c.Get(1, 1); ok {
+	c.Observe(1, 0, 1, []graph.ID{2})
+	c.Observe(2, 0, 1, []graph.ID{3})
+	c.Observe(3, 0, 1, []graph.ID{4}) // evicts (1,0,1)
+	if _, ok := c.Get(1, 0, 1); ok {
 		t.Fatal("expected eviction of oldest entry")
 	}
-	if ns, ok := c.Get(3, 1); !ok || ns[0] != 4 {
+	if ns, ok := c.Get(3, 0, 1); !ok || ns[0] != 4 {
 		t.Fatalf("get(3) = %v,%v", ns, ok)
+	}
+	// Entries are keyed by edge type: type 1 of vertex 3 is a miss.
+	if _, ok := c.Get(3, 1, 1); ok {
+		t.Fatal("cross-type cache hit")
 	}
 }
 
 func TestNoCache(t *testing.T) {
 	var c NoCache
-	if _, ok := c.Get(1, 1); ok {
+	if _, ok := c.Get(1, 0, 1); ok {
 		t.Fatal("NoCache must always miss")
 	}
-	c.Observe(1, 1, nil)
+	c.Observe(1, 0, 1, nil)
 	if c.CachedVertices() != 0 || c.Name() != "none" {
 		t.Fatal("NoCache identity")
 	}
