@@ -24,6 +24,20 @@
 //     internal/algo), fed aligned contexts regardless of where the
 //     neighbors came from.
 //
+// Between the sampling and operator layers sits the mini-batch pipeline
+// seam: batches (positives, negatives, sampled contexts, prefetched
+// attributes) are produced by a core.BatchSource and consumed by the
+// trainer's compute step. TrainConfig.Pipeline enables the prefetching
+// implementation, which assembles Depth batches ahead on Workers goroutines
+// so graph-service latency hides behind the forward/backward pass (Section
+// 4.1) — without perturbing a single random draw relative to synchronous
+// training. Cluster workers start graph-free: the partition assignment and
+// schema come from the servers' Bootstrap RPC, hot neighbor lists from the
+// pluggable neighbor cache, and hot attribute rows from a client-side LRU
+// (TrainConfig.AttrCache). Every sampling reply carries the shard's update
+// epoch, and each mini-batch records the span it observed, so batches that
+// straddle a dynamic update are detectable.
+//
 // See examples/ for runnable end-to-end programs; examples/distributed
 // trains GraphSAGE against net/rpc shards.
 package aligraph
@@ -169,6 +183,15 @@ func (p *Platform) CacheRate() float64 {
 	return storage.CacheRate(p.Cache, p.G.NumVertices())
 }
 
+// PipelineConfig tunes the prefetching mini-batch pipeline: Depth batches
+// are assembled ahead of the consumer by Workers goroutines, overlapping
+// TRAVERSE/NEGATIVE/NEIGHBORHOOD sampling (and, on clusters, the batched
+// attribute prefetch) with the GNN forward/backward pass. Depth 0 keeps
+// the synchronous depth-0 source, which reproduces pre-pipeline training
+// losses bit for bit for a fixed seed — as does any Depth/Workers setting,
+// because batch assembly draws its randomness in sequence order.
+type PipelineConfig = core.PipelineConfig
+
 // TrainConfig tunes Platform.NewGraphSAGE training.
 type TrainConfig struct {
 	Dim      int
@@ -180,17 +203,41 @@ type TrainConfig struct {
 	// UseAttrs concatenates raw vertex attributes with the learnable table.
 	UseAttrs bool
 	AttrDim  int
+	// Pipeline enables asynchronous batch prefetching when Depth > 0.
+	Pipeline PipelineConfig
+	// AttrCache caps the client-side attribute LRU (cluster training with
+	// UseAttrs); 0 disables it and every encode fetches over RPC.
+	AttrCache int
 }
 
 // DefaultTrainConfig returns laptop-scale defaults.
 func DefaultTrainConfig() TrainConfig {
-	return TrainConfig{Dim: 32, HopNums: []int{5, 3}, Batch: 64, NegK: 4, LR: 0.02}
+	return TrainConfig{Dim: 32, HopNums: []int{5, 3}, Batch: 64, NegK: 4, LR: 0.02, AttrCache: 4096}
 }
 
 // Trainer wraps the Algorithm 1 encoder with the unsupervised
 // link-prediction objective.
 type Trainer struct {
 	inner *core.LinkTrainer
+	pl    *core.Pipeline // non-nil when prefetching is enabled
+}
+
+// Close stops the prefetch pipeline, if one is running. Idempotent; safe on
+// trainers without a pipeline.
+func (t *Trainer) Close() error {
+	if t.pl != nil {
+		return t.pl.Close()
+	}
+	return nil
+}
+
+// withPipeline installs a prefetching source when cfg asks for one.
+func withPipeline(tr *Trainer, cfg TrainConfig) *Trainer {
+	if cfg.Pipeline.Depth > 0 {
+		tr.pl = core.NewPipeline(tr.inner, cfg.Pipeline)
+		tr.inner.SetSource(tr.pl)
+	}
+	return tr
 }
 
 // newSAGEEncoder assembles the GraphSAGE-style encoder shared by both
@@ -228,7 +275,7 @@ func (p *Platform) NewGraphSAGE(cfg TrainConfig) *Trainer {
 	if err != nil {
 		panic(err) // local env never fails
 	}
-	return &Trainer{inner: inner}
+	return withPipeline(&Trainer{inner: inner}, cfg)
 }
 
 // ---------------------------------------------------------------------------
@@ -280,24 +327,51 @@ func (p *ClusterPlatform) CacheRate() float64 {
 }
 
 // clusterAttrFeatures serves hop-0 attribute rows through batched Attrs
-// RPCs (with per-server sub-batching and dedup in the client). A fetch
-// failure yields zero rows for the batch — the feature interface has no
-// error path — so transient shard outages degrade the features instead of
-// crashing training.
+// RPCs (with per-server sub-batching and dedup in the client), optionally
+// behind a client-side LRU over hot vertices (TrainConfig.AttrCache). A
+// fetch failure yields zero rows for the batch — the feature interface has
+// no error path — so transient shard outages degrade the features instead
+// of crashing training.
+//
+// It implements core.PrefetchingFeatures: the prefetch pipeline fetches a
+// future batch's rows on its worker goroutines and the trainer serves them
+// at encode time, so attribute RPC latency hides behind compute.
 type clusterAttrFeatures struct {
-	c *cluster.Client
-	d int
+	fetch cluster.AttrFetcher
+	d     int
+
+	// prefetched, when set, answers Rows without touching the network
+	// (installed around one batch's encodes by the consuming goroutine).
+	prefetched map[ID][]float64
 }
 
 func (f *clusterAttrFeatures) Dim() int { return f.d }
 
 func (f *clusterAttrFeatures) Rows(t *nn.Tape, vs []ID) *nn.Node {
 	m := tensor.New(len(vs), f.d)
-	if attrs, err := f.c.Attrs(vs); err == nil {
-		for i, a := range attrs {
-			row := m.Row(i)
-			for j := 0; j < len(a) && j < f.d; j++ {
-				row[j] = a[j]
+	fill := func(i int, a []float64) {
+		row := m.Row(i)
+		for j := 0; j < len(a) && j < f.d; j++ {
+			row[j] = a[j]
+		}
+	}
+	// Serve what the batch prefetched; anything missing (contexts sampled
+	// outside the pipeline, e.g. by a ContextFn) falls through to one
+	// batched fetch.
+	var missing []ID
+	var missingIdx []int
+	for i, v := range vs {
+		if a, ok := f.prefetched[v]; ok {
+			fill(i, a)
+			continue
+		}
+		missing = append(missing, v)
+		missingIdx = append(missingIdx, i)
+	}
+	if len(missing) > 0 {
+		if attrs, err := f.fetch.Attrs(missing); err == nil {
+			for k, a := range attrs {
+				fill(missingIdx[k], a)
 			}
 		}
 	}
@@ -305,6 +379,22 @@ func (f *clusterAttrFeatures) Rows(t *nn.Tape, vs []ID) *nn.Node {
 }
 
 func (f *clusterAttrFeatures) Params() []*nn.Param { return nil }
+
+// PrefetchAttrs implements core.PrefetchingFeatures; safe for concurrent
+// use (the fetcher is).
+func (f *clusterAttrFeatures) PrefetchAttrs(vs []ID, into map[ID][]float64) error {
+	attrs, err := f.fetch.Attrs(vs)
+	if err != nil {
+		return err
+	}
+	for i, v := range vs {
+		into[v] = attrs[i]
+	}
+	return nil
+}
+
+// ServePrefetched implements core.PrefetchingFeatures.
+func (f *clusterAttrFeatures) ServePrefetched(rows map[ID][]float64) { f.prefetched = rows }
 
 // NewGraphSAGE assembles the same GraphSAGE-style model as
 // Platform.NewGraphSAGE, trained end to end against the shards: TRAVERSE
@@ -319,7 +409,11 @@ func (p *ClusterPlatform) NewGraphSAGE(cfg TrainConfig) (*Trainer, error) {
 		if ad == 0 {
 			ad = 16
 		}
-		feat = &core.ConcatFeatures{Srcs: []core.FeatureSource{&clusterAttrFeatures{c: p.Client, d: ad}, feat}}
+		var fetch cluster.AttrFetcher = p.Client
+		if cfg.AttrCache > 0 {
+			fetch = cluster.NewAttrCache(p.Client, cfg.AttrCache)
+		}
+		feat = &core.ConcatFeatures{Srcs: []core.FeatureSource{&clusterAttrFeatures{fetch: fetch, d: ad}, feat}}
 	}
 	enc := newSAGEEncoder(feat, cfg, rng)
 	tc := core.TrainerConfig{EdgeType: cfg.EdgeType, HopNums: cfg.HopNums, Batch: cfg.Batch, NegK: cfg.NegK, LR: cfg.LR}
@@ -330,7 +424,7 @@ func (p *ClusterPlatform) NewGraphSAGE(cfg TrainConfig) (*Trainer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("aligraph: cluster trainer: %w", err)
 	}
-	return &Trainer{inner: inner}, nil
+	return withPipeline(&Trainer{inner: inner}, cfg), nil
 }
 
 // Train runs steps mini-batches and returns the per-step losses.

@@ -150,6 +150,83 @@ func TestClusterPlatformTrains(t *testing.T) {
 	}
 }
 
+// TestClusterPipelineMatchesSyncTraining trains the same sharded GraphSAGE
+// twice — synchronous depth 0 and a prefetching pipeline — and requires
+// bit-identical loss curves: the pipeline overlaps sampling with compute
+// without perturbing a single draw, including the prefetched-attribute path.
+// The neighbor cache is static (importance); a replacing LRU would make
+// draws depend on cache warm-up timing and only match statistically.
+func TestClusterPipelineMatchesSyncTraining(t *testing.T) {
+	g := dataset.Taobao(dataset.TaobaoSmallConfig(0.03))
+	assign, err := (partition.HashPartitioner{}).Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := cluster.FromGraph(g, assign)
+
+	train := func(pl PipelineConfig) []float64 {
+		t.Helper()
+		tr := cluster.NewLocalTransport(servers, 0, 0)
+		cp := NewClusterPlatform(assign, tr, storage.NewImportanceCacheTopFraction(g, 2, 0.2), 1)
+		tc := DefaultTrainConfig()
+		tc.HopNums = []int{3, 2}
+		tc.Batch = 16
+		tc.UseAttrs = true
+		tc.Pipeline = pl
+		trainer, err := cp.NewGraphSAGE(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer trainer.Close()
+		losses, err := trainer.Train(25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return losses
+	}
+
+	want := train(PipelineConfig{})
+	got := train(PipelineConfig{Depth: 4, Workers: 3})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: pipeline loss %g, sync %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestClusterPipelineRace exercises the full concurrent stack under -race:
+// pipeline workers sharing one client, LRU neighbor and attribute caches,
+// the consuming trainer, inference mid-flight and Close.
+func TestClusterPipelineRace(t *testing.T) {
+	g := dataset.Taobao(dataset.TaobaoSmallConfig(0.03))
+	assign, err := (partition.HashPartitioner{}).Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := cluster.FromGraph(g, assign)
+	tr := cluster.NewLocalTransport(servers, 0, 0)
+	cp := NewClusterPlatform(assign, tr, storage.NewLRUNeighborCache(g.NumVertices()/5), 1)
+	tc := DefaultTrainConfig()
+	tc.HopNums = []int{3, 2}
+	tc.Batch = 16
+	tc.UseAttrs = true
+	tc.Pipeline = PipelineConfig{Depth: 3, Workers: 4}
+	trainer, err := cp.NewGraphSAGE(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trainer.Train(15); err != nil {
+		t.Fatal(err)
+	}
+	// Inference while the producers are still prefetching ahead.
+	if _, err := trainer.Embed([]ID{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := trainer.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	g := dataset.Taobao(dataset.TaobaoSmallConfig(0.02))
 	if _, err := NewPlatform(g, Config{Partitioner: "bogus", Partitions: 2}); err == nil {

@@ -10,11 +10,17 @@ package aligraph
 // cluster; these runs preserve the comparison shapes.
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/partition"
+	"repro/internal/storage"
 )
 
 func benchScale() float64 {
@@ -166,6 +172,63 @@ func BenchmarkFigure1_Summary(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + bench.FormatFigure1(rows))
 		}
+	}
+}
+
+// BenchmarkTrainStep measures one GraphSAGE training step with and without
+// the prefetching mini-batch pipeline, locally and against sharded servers
+// behind a latency-injecting transport (200µs per call, simulating a
+// network round trip). The cluster/prefetch=4 case is the paper's Section
+// 4.1 overlap: per-step wall clock should approach pure compute because
+// sampling RPCs for future batches run while the optimizer consumes the
+// current one.
+func BenchmarkTrainStep(b *testing.B) {
+	g := dataset.Taobao(dataset.TaobaoSmallConfig(0.05))
+	trainCfg := func(depth int) TrainConfig {
+		cfg := DefaultTrainConfig()
+		cfg.HopNums = []int{3, 2}
+		cfg.Batch = 32
+		cfg.UseAttrs = true
+		cfg.Pipeline = PipelineConfig{Depth: depth, Workers: 4}
+		return cfg
+	}
+	run := func(b *testing.B, trainer *Trainer) {
+		b.Helper()
+		defer trainer.Close()
+		if _, err := trainer.Train(2); err != nil { // warm lazy pools and caches
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		if _, err := trainer.Train(b.N); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	for _, depth := range []int{0, 4} {
+		b.Run(fmt.Sprintf("local/prefetch=%d", depth), func(b *testing.B) {
+			p, err := NewPlatform(g, DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, p.NewGraphSAGE(trainCfg(depth)))
+		})
+	}
+
+	assign, err := (partition.HashPartitioner{}).Partition(g, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	servers := cluster.FromGraph(g, assign)
+	for _, depth := range []int{0, 4} {
+		b.Run(fmt.Sprintf("cluster/prefetch=%d", depth), func(b *testing.B) {
+			tr := cluster.NewLatencyTransport(cluster.NewLocalTransport(servers, -1, 0), 200*time.Microsecond)
+			cp := NewClusterPlatform(assign, tr, storage.NewImportanceCacheTopFraction(g, 2, 0.2), 1)
+			trainer, err := cp.NewGraphSAGE(trainCfg(depth))
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, trainer)
+		})
 	}
 }
 

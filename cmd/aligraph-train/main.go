@@ -2,18 +2,21 @@
 // (or a generated Taobao-sim with -demo) through the public API and writes
 // the learned embeddings as TSV (id \t v1,v2,...).
 //
-// With -cluster the trainer runs against live aligraph-server shards: all
-// sampling (TRAVERSE edge batches, NEGATIVE pools, NEIGHBORHOOD expansion
-// via the batched SampleNeighbors RPC) and attribute fetches go over the
-// wire. The local graph is loaded only to reproduce the deterministic
-// partition assignment; -partitioner must match the servers'.
+// With -cluster the trainer runs against live aligraph-server shards: the
+// worker starts graph-free — the partition assignment and schema come from
+// the cluster's Bootstrap RPC — and all sampling (TRAVERSE edge batches,
+// NEGATIVE pools, NEIGHBORHOOD expansion via the batched SampleNeighbors
+// RPC) and attribute fetches go over the wire, with hot-vertex neighbor and
+// attribute LRUs client-side. -prefetch N assembles N mini-batches ahead of
+// the optimizer on parallel workers, overlapping graph-service latency with
+// the forward/backward pass.
 //
 // Usage:
 //
 //	aligraph-train -demo -steps 300 -out embeddings.tsv
 //	aligraph-train -vertices v.tsv -edges e.tsv \
 //	    -vertex-types user,item -edge-types click,buy -dim 64 -out emb.tsv
-//	aligraph-train -demo -cluster 127.0.0.1:7701,127.0.0.1:7702 -steps 300
+//	aligraph-train -cluster 127.0.0.1:7701,127.0.0.1:7702 -prefetch 4 -steps 300
 package main
 
 import (
@@ -28,7 +31,6 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/graphio"
-	"repro/internal/partition"
 	"repro/internal/storage"
 )
 
@@ -48,81 +50,88 @@ func main() {
 		useAttrs     = flag.Bool("attrs", true, "feed vertex attributes to the encoder")
 		out          = flag.String("out", "embeddings.tsv", "output embeddings TSV")
 		clusterAddrs = flag.String("cluster", "", "comma-separated graph-server addresses; train against live RPC shards")
-		partitioner  = flag.String("partitioner", "hash", "partitioner used by the servers (cluster mode)")
-		cacheFrac    = flag.Float64("cache", 0.2, "importance-cached vertex fraction (cluster mode)")
+		cacheFrac    = flag.Float64("cache", 0.2, "LRU neighbor-cached vertex fraction (cluster mode)")
+		prefetch     = flag.Int("prefetch", 0, "mini-batches assembled ahead of the optimizer (0 = synchronous)")
+		prefetchWrk  = flag.Int("prefetch-workers", 2, "parallel batch-assembly goroutines when -prefetch > 0")
 	)
 	flag.Parse()
-
-	var g *aligraph.Graph
-	switch {
-	case *demo:
-		g = dataset.Taobao(dataset.TaobaoSmallConfig(*scale))
-	case *verticesPath != "" && *edgesPath != "":
-		schema, err := aligraph.NewSchema(strings.Split(*vertexTypes, ","), strings.Split(*edgeTypes, ","))
-		if err != nil {
-			log.Fatal(err)
-		}
-		l := graphio.NewLoader(schema, *directed)
-		vf, err := os.Open(*verticesPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := l.ReadVertices(vf); err != nil {
-			log.Fatal(err)
-		}
-		vf.Close()
-		ef, err := os.Open(*edgesPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := l.ReadEdges(ef); err != nil {
-			log.Fatal(err)
-		}
-		ef.Close()
-		g, _ = l.Finalize()
-	default:
-		log.Fatal("need -vertices and -edges, or -demo")
-	}
-	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
 	cfg := aligraph.DefaultTrainConfig()
 	cfg.Dim = *dim
 	cfg.LR = *lr
 	cfg.EdgeType = aligraph.EdgeType(*edgeType)
 	cfg.UseAttrs = *useAttrs
+	cfg.Pipeline = aligraph.PipelineConfig{Depth: *prefetch, Workers: *prefetchWrk}
 
 	var trainer *aligraph.Trainer
 	if *clusterAddrs != "" {
+		// Graph-free worker: the assignment and schema come from the shards.
 		addrs := strings.Split(*clusterAddrs, ",")
-		pt, err := partition.ByName(*partitioner)
-		if err != nil {
-			log.Fatal(err)
-		}
-		assign, err := pt.Partition(g, len(addrs))
-		if err != nil {
-			log.Fatal(err)
-		}
 		tr, err := cluster.DialRPC(addrs)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer tr.Close()
+		assign, schema, err := cluster.Bootstrap(tr, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if assign.P != len(addrs) {
+			log.Fatalf("cluster reports %d partitions, dialed %d servers", assign.P, len(addrs))
+		}
+		numVertices := len(assign.Of)
 		var cache storage.NeighborCache
 		if *cacheFrac > 0 {
-			cache = storage.NewImportanceCacheTopFraction(g, 2, *cacheFrac)
+			cache = storage.NewLRUNeighborCache(int(*cacheFrac * float64(numVertices)))
 		}
 		cp := aligraph.NewClusterPlatform(assign, tr, cache, 1)
-		fmt.Printf("cluster: %d shards, cache rate %.1f%%\n", len(addrs), 100*cp.CacheRate())
+		fmt.Printf("cluster: %d shards, %d vertices, %d vertex / %d edge types (bootstrapped)\n",
+			assign.P, numVertices, schema.NumVertexTypes(), schema.NumEdgeTypes())
 		trainer, err = cp.NewGraphSAGE(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 	} else {
+		var g *aligraph.Graph
+		switch {
+		case *demo:
+			g = dataset.Taobao(dataset.TaobaoSmallConfig(*scale))
+		case *verticesPath != "" && *edgesPath != "":
+			schema, err := aligraph.NewSchema(strings.Split(*vertexTypes, ","), strings.Split(*edgeTypes, ","))
+			if err != nil {
+				log.Fatal(err)
+			}
+			l := graphio.NewLoader(schema, *directed)
+			vf, err := os.Open(*verticesPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := l.ReadVertices(vf); err != nil {
+				log.Fatal(err)
+			}
+			vf.Close()
+			ef, err := os.Open(*edgesPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := l.ReadEdges(ef); err != nil {
+				log.Fatal(err)
+			}
+			ef.Close()
+			g, _ = l.Finalize()
+		default:
+			log.Fatal("need -vertices and -edges, -demo, or -cluster")
+		}
+		fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 		platform, err := aligraph.NewPlatform(g, aligraph.DefaultConfig())
 		if err != nil {
 			log.Fatal(err)
 		}
 		trainer = platform.NewGraphSAGE(cfg)
+	}
+	defer trainer.Close()
+	if *prefetch > 0 {
+		fmt.Printf("prefetch: %d batches ahead, %d workers\n", *prefetch, *prefetchWrk)
 	}
 
 	start := time.Now()

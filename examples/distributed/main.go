@@ -2,10 +2,13 @@
 // Taobao-sim graph with METIS, serve each partition from a graph server
 // over real net/rpc on loopback TCP, compare multi-hop neighborhood access
 // with and without importance-based caching (the Figure 9 experiment on a
-// live cluster), then train GraphSAGE end to end against the shards: every
-// TRAVERSE edge batch, NEGATIVE pool, NEIGHBORHOOD expansion (batched
-// SampleNeighbors RPCs, at most one per owning server per hop) and
-// attribute fetch crosses the wire.
+// live cluster), then train GraphSAGE end to end against the shards: the
+// training worker bootstraps graph-free (assignment and schema from the
+// Bootstrap RPC), every TRAVERSE edge batch, NEGATIVE pool, NEIGHBORHOOD
+// expansion (batched SampleNeighbors RPCs, at most one per owning server
+// per hop) and attribute fetch crosses the wire, and a prefetch pipeline
+// assembles mini-batches ahead of the optimizer so RPC latency overlaps
+// the forward/backward pass.
 //
 // Run with: go run ./examples/distributed [-parts 2] [-scale 0.05] [-steps 60]
 package main
@@ -87,19 +90,29 @@ func main() {
 	fmt.Println("\nCaching the out-neighborhoods of high-Imp^(k) vertices removes the")
 	fmt.Println("most-travelled remote hops — the paper's Figure 9 on a live cluster.")
 
-	// End-to-end distributed GraphSAGE: the trainer never touches the local
-	// graph; it runs on the batch-first Source seam over the shards.
-	cp := aligraph.NewClusterPlatform(assign, tr, storage.NewImportanceCacheTopFraction(g, 2, 0.2), 1)
+	// End-to-end distributed GraphSAGE: the worker never touches the local
+	// graph — its partition assignment and schema come from the cluster's
+	// Bootstrap RPC — and a depth-4 pipeline assembles batches ahead of the
+	// optimizer over the batch-first Source seam.
+	bassign, schema, err := cluster.Bootstrap(tr, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbootstrap: %d partitions, %d vertices, %d vertex / %d edge types — no local graph needed\n",
+		bassign.P, len(bassign.Of), schema.NumVertexTypes(), schema.NumEdgeTypes())
+	cp := aligraph.NewClusterPlatform(bassign, tr, storage.NewLRUNeighborCache(len(bassign.Of)/5), 1)
 	cfg := aligraph.DefaultTrainConfig()
 	cfg.HopNums = []int{3, 2}
 	cfg.Batch = 32
 	cfg.UseAttrs = true
+	cfg.Pipeline = aligraph.PipelineConfig{Depth: 4, Workers: 2}
 	trainer, err := cp.NewGraphSAGE(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ntraining GraphSAGE over %d RPC shards (%d steps, batch %d)...\n",
-		*parts, *steps, cfg.Batch)
+	defer trainer.Close()
+	fmt.Printf("training GraphSAGE over %d RPC shards (%d steps, batch %d, prefetch depth %d)...\n",
+		*parts, *steps, cfg.Batch, cfg.Pipeline.Depth)
 	start := time.Now()
 	losses, err := trainer.Train(*steps)
 	if err != nil {

@@ -41,7 +41,7 @@ func (m *ASGCN) Fit(g *graph.Graph) error {
 	tr := core.NewLinkTrainer(g, enc, tcfg, rng)
 	tr.ContextFn = adaptiveContext(g, m.Cfg.EdgeType, m.Cfg.HopNums, featureNorms(g), rng)
 	for i := 0; i < m.Cfg.Steps; i++ {
-		if _, err := tr.Step(); err != nil {
+		if _, err := tr.StepNext(); err != nil {
 			return err
 		}
 	}

@@ -147,7 +147,7 @@ func (m *FastGCN) Fit(g *graph.Graph) error {
 	}, rng)
 	tr := newLayerwiseTrainer(g, enc, m.Cfg, rng)
 	for i := 0; i < m.Cfg.Steps; i++ {
-		if _, err := tr.Step(); err != nil {
+		if _, err := tr.StepNext(); err != nil {
 			return err
 		}
 	}

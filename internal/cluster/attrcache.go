@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+// AttrFetcher fetches attribute rows for a batch of vertices; Client
+// implements it over Attrs RPCs and AttrCache decorates it with a
+// client-side LRU.
+type AttrFetcher interface {
+	Attrs(vs []graph.ID) ([][]float64, error)
+}
+
+// AttrCache fronts a Client's attribute fetches with a mutex-guarded LRU
+// over hot vertices. Mini-batches over power-law graphs repeat the same hub
+// vertices in every hop-0 feature lookup, so without a cache each encode
+// pays a full Attrs RPC round; with it only cold vertices cross the wire.
+// Attribute rows are treated as immutable once fetched (servers do not
+// mutate attributes in place today); a future attribute-update path must
+// invalidate by epoch.
+//
+// AttrCache is safe for concurrent use — the prefetching pipeline's
+// workers share one.
+type AttrCache struct {
+	C *Client
+
+	mu  sync.Mutex
+	lru *storage.LRU
+}
+
+// NewAttrCache creates an attribute LRU over c holding at most capacity
+// rows.
+func NewAttrCache(c *Client, capacity int) *AttrCache {
+	return &AttrCache{C: c, lru: storage.NewLRU(capacity)}
+}
+
+// Attrs implements AttrFetcher: cached rows are served locally, the misses
+// are deduplicated and fetched through the client (one Attrs RPC per owning
+// server), then admitted.
+func (a *AttrCache) Attrs(vs []graph.ID) ([][]float64, error) {
+	out := make([][]float64, len(vs))
+	var missing []graph.ID
+	missIdx := make(map[graph.ID][]int)
+	a.mu.Lock()
+	for i, v := range vs {
+		if idxs, seen := missIdx[v]; seen {
+			missIdx[v] = append(idxs, i)
+			continue
+		}
+		if row, ok := a.lru.Get(int64(v)); ok {
+			out[i] = row.([]float64)
+			continue
+		}
+		missIdx[v] = []int{i}
+		missing = append(missing, v)
+	}
+	a.mu.Unlock()
+	if len(missing) == 0 {
+		return out, nil
+	}
+	rows, err := a.C.Attrs(missing)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	for j, v := range missing {
+		a.lru.Put(int64(v), rows[j])
+	}
+	a.mu.Unlock()
+	for j, v := range missing {
+		for _, i := range missIdx[v] {
+			out[i] = rows[j]
+		}
+	}
+	return out, nil
+}
+
+// HitRate reports the cache's cumulative hit rate.
+func (a *AttrCache) HitRate() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lru.HitRate()
+}
+
+// Len reports how many rows are cached.
+func (a *AttrCache) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lru.Len()
+}

@@ -35,6 +35,9 @@ type BuildConfig struct {
 	NumEdgeTypes  int
 	// Assign maps a source vertex to its partition (the ASSIGN function).
 	Assign func(src graph.ID) int
+	// Schema, when set, is served to bootstrapping workers; nil serves
+	// generated type names.
+	Schema *graph.Schema
 }
 
 // BuildServers runs the load pipeline: vertices and edges are sharded by
@@ -104,7 +107,11 @@ func BuildServers(vertices []RawVertex, edges []RawEdge, cfg BuildConfig) ([]*Se
 	for _, v := range vertices {
 		of[v.ID] = cfg.Assign(v.ID)
 	}
-	return servers, &partition.Assignment{P: p, Of: of}
+	assign := &partition.Assignment{P: p, Of: of}
+	for _, s := range servers {
+		s.SetBootstrap(assign, cfg.Schema)
+	}
+	return servers, assign
 }
 
 // Extract flattens a finalized graph into raw vertex and edge records, as a
@@ -146,6 +153,7 @@ func FromGraph(g *graph.Graph, a *partition.Assignment) []*Server {
 	}
 	for _, s := range servers {
 		s.Seal()
+		s.SetBootstrap(a, g.Schema())
 	}
 	return servers
 }

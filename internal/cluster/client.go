@@ -71,6 +71,10 @@ func (c *Client) Neighbors(v graph.ID, t graph.EdgeType) ([]graph.ID, error) {
 // hits skip the network entirely, and the misses cost at most one RPC per
 // owning server.
 func (c *Client) NeighborsBatch(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType) error {
+	return c.neighborsBatchSpan(dst, vs, t, nil)
+}
+
+func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType, span *sampling.EpochSpan) error {
 	if len(dst) != len(vs) {
 		return fmt.Errorf("cluster: NeighborsBatch dst length %d, want %d", len(dst), len(vs))
 	}
@@ -94,6 +98,9 @@ func (c *Client) NeighborsBatch(dst [][]graph.ID, vs []graph.ID, t graph.EdgeTyp
 		var reply NeighborsReply
 		if err := c.T.Neighbors(p, NeighborsRequest{Vertices: batch, EdgeType: t}, &reply); err != nil {
 			return err
+		}
+		if span != nil {
+			span.Observe(reply.Epoch)
 		}
 		for j, v := range batch {
 			res[v] = reply.Neighbors[j]
@@ -126,6 +133,10 @@ func (c *Client) BatchNeighbors(vs []graph.ID, t graph.EdgeType) ([][]graph.ID, 
 // come back as full (short) lists, which are drawn locally and admitted to
 // the cache, so replacing caches warm up under a pure training workload.
 func (c *Client) SampleBatch(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64) error {
+	return c.sampleBatchSpan(dst, vs, t, width, byWeight, seed, nil)
+}
+
+func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64, span *sampling.EpochSpan) error {
 	if len(dst) != len(vs)*width {
 		return fmt.Errorf("cluster: SampleBatch dst length %d, want %d", len(dst), len(vs)*width)
 	}
@@ -182,6 +193,9 @@ func (c *Client) SampleBatch(dst []graph.ID, vs []graph.ID, t graph.EdgeType, wi
 		var reply SampleReply
 		if err := c.T.SampleNeighbors(p, req, &reply); err != nil {
 			return err
+		}
+		if span != nil {
+			span.Observe(reply.Epoch)
 		}
 		if len(reply.Lists) != 0 && len(reply.Lists) != len(js) {
 			return fmt.Errorf("cluster: server %d returned %d lists for %d vertices", p, len(reply.Lists), len(js))
@@ -254,6 +268,14 @@ func (c *Client) clusterStats(refresh bool) ([]StatsReply, error) {
 // type-t edge counts, then each contributing server answers one SampleEdges
 // RPC. This is the distributed TRAVERSE sampler.
 func (c *Client) SampleEdges(t graph.EdgeType, n int, seed uint64) ([]graph.Edge, error) {
+	return c.AppendSampleEdges(nil, t, n, seed, nil)
+}
+
+// AppendSampleEdges is SampleEdges into a caller-owned buffer, recording
+// the update epoch of every contributing server's reply into span (nil to
+// skip). Batch sources use it to stamp MiniBatches with the epochs their
+// TRAVERSE stage observed.
+func (c *Client) AppendSampleEdges(dst []graph.Edge, t graph.EdgeType, n int, seed uint64, span *sampling.EpochSpan) ([]graph.Edge, error) {
 	stats, err := c.clusterStats(false)
 	if err != nil {
 		return nil, err
@@ -277,7 +299,7 @@ func (c *Client) SampleEdges(t graph.EdgeType, n int, seed uint64) ([]graph.Edge
 			return nil, err
 		}
 		if ws, total = tally(stats); total == 0 {
-			return nil, nil
+			return dst, nil
 		}
 	}
 	rng := sampling.NewRng(seed)
@@ -286,7 +308,7 @@ func (c *Client) SampleEdges(t graph.EdgeType, n int, seed uint64) ([]graph.Edge
 	for i := 0; i < n; i++ {
 		counts[al.DrawRng(rng)]++
 	}
-	edges := make([]graph.Edge, 0, n)
+	edges := dst
 	for p, k := range counts {
 		if k == 0 {
 			continue
@@ -294,6 +316,9 @@ func (c *Client) SampleEdges(t graph.EdgeType, n int, seed uint64) ([]graph.Edge
 		var reply EdgesReply
 		if err := c.T.SampleEdges(p, EdgesRequest{EdgeType: t, Count: k, Seed: rng.Uint64()}, &reply); err != nil {
 			return nil, err
+		}
+		if span != nil {
+			span.Observe(reply.Epoch)
 		}
 		for i := range reply.Src {
 			edges = append(edges, graph.Edge{Src: reply.Src[i], Dst: reply.Dst[i], Type: t, Weight: reply.Weight[i]})
@@ -401,6 +426,34 @@ func (c *Client) MultiHop(v graph.ID, t graph.EdgeType, k int) ([][]graph.ID, er
 	}
 	return frontiers, nil
 }
+
+// epochView is a single-consumer view of a shared Client that records the
+// update epochs stamped on the replies it triggers. Pipeline workers each
+// hold one, so a MiniBatch's epoch span costs no synchronization.
+type epochView struct {
+	c    *Client
+	span sampling.EpochSpan
+}
+
+// EpochView implements sampling.EpochedSource.
+func (c *Client) EpochView() sampling.EpochView { return &epochView{c: c} }
+
+// NeighborsBatch implements sampling.Source.
+func (v *epochView) NeighborsBatch(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType) error {
+	return v.c.neighborsBatchSpan(dst, vs, t, &v.span)
+}
+
+// SampleBatch implements sampling.BatchSampler, preserving the server-side
+// fixed-width draw path through the view.
+func (v *epochView) SampleBatch(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64) error {
+	return v.c.sampleBatchSpan(dst, vs, t, width, byWeight, seed, &v.span)
+}
+
+// Span implements sampling.EpochView.
+func (v *epochView) Span() sampling.EpochSpan { return v.span }
+
+// ResetSpan implements sampling.EpochView.
+func (v *epochView) ResetSpan() { v.span.Reset() }
 
 // sortIDs sorts vertex IDs ascending.
 func sortIDs(ids []graph.ID) {

@@ -50,6 +50,12 @@ func (g *GraphService) Attrs(req AttrsRequest, reply *AttrsReply) error {
 	return g.S.ServeAttrs(req, reply)
 }
 
+// Bootstrap is the RPC method serving the partition assignment and schema,
+// so workers start graph-free.
+func (g *GraphService) Bootstrap(req BootstrapRequest, reply *BootstrapReply) error {
+	return g.S.ServeBootstrap(req, reply)
+}
+
 // RPCServer serves one graph server over TCP.
 type RPCServer struct {
 	lis net.Listener
@@ -154,6 +160,11 @@ func (t *RPCTransport) Stats(part int, req StatsRequest, reply *StatsReply) erro
 // Attrs implements Transport.
 func (t *RPCTransport) Attrs(part int, req AttrsRequest, reply *AttrsReply) error {
 	return t.call(part, "Graph.Attrs", req, reply)
+}
+
+// Bootstrap implements Transport.
+func (t *RPCTransport) Bootstrap(part int, req BootstrapRequest, reply *BootstrapReply) error {
+	return t.call(part, "Graph.Bootstrap", req, reply)
 }
 
 // Close implements Transport.

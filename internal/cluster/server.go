@@ -30,6 +30,18 @@ type Server struct {
 	attrs map[graph.ID][]float64
 	local []graph.ID // sorted local vertex IDs
 
+	// epoch counts the update batches applied since the server was sealed
+	// (ServeUpdate increments it). Every sampling reply is stamped with it,
+	// so clients can tell when a mini-batch straddled an update: servers of
+	// a freshly built cluster all answer epoch 0, and a batch whose observed
+	// epochs span more than one value is not snapshot-consistent.
+	epoch uint64
+
+	// boot, when set, answers the Bootstrap RPC: the global partition
+	// assignment and schema a worker needs to start without loading the
+	// graph locally.
+	boot *BootstrapReply
+
 	// Lazily built sampling indexes over the local adjacency, invalidated
 	// by structural updates. localPos maps a local vertex to its slot in
 	// wtAlias/degAlias, which are ordered like local at build time.
@@ -138,6 +150,13 @@ func (s *Server) Neighbors(v graph.ID, t graph.EdgeType) (ns []graph.ID, ws []fl
 	return s.adj[t][v], s.wts[t][v], true
 }
 
+// UpdateEpoch reports how many update batches the server has applied.
+func (s *Server) UpdateEpoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
 // Attr returns the attribute vector of local vertex v.
 func (s *Server) Attr(v graph.ID) ([]float64, bool) {
 	s.mu.RLock()
@@ -158,10 +177,11 @@ type NeighborsRequest struct {
 }
 
 // NeighborsReply carries per-vertex neighbor and weight lists aligned with
-// the request order.
+// the request order, stamped with the server's update epoch.
 type NeighborsReply struct {
 	Neighbors [][]graph.ID
 	Weights   [][]float64
+	Epoch     uint64
 }
 
 // AttrsRequest asks for the attribute vectors of a batch of vertices.
@@ -174,17 +194,22 @@ type AttrsReply struct {
 	Attrs [][]float64
 }
 
-// ServeNeighbors handles a batched neighbor request.
+// ServeNeighbors handles a batched neighbor request. The epoch stamp and
+// every adjacency read happen under one lock acquisition, so a reply is a
+// consistent snapshot of a single update generation (a concurrent update
+// lands either wholly before or wholly after it).
 func (s *Server) ServeNeighbors(req NeighborsRequest, reply *NeighborsReply) error {
 	reply.Neighbors = make([][]graph.ID, len(req.Vertices))
 	reply.Weights = make([][]float64, len(req.Vertices))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	reply.Epoch = s.epoch
 	for i, v := range req.Vertices {
-		ns, ws, ok := s.Neighbors(v, req.EdgeType)
-		if !ok {
+		if _, here := s.attrs[v]; !here {
 			return fmt.Errorf("cluster: server %d does not own vertex %d", s.ID, v)
 		}
-		reply.Neighbors[i] = ns
-		reply.Weights[i] = ws
+		reply.Neighbors[i] = s.adj[req.EdgeType][v]
+		reply.Weights[i] = s.wts[req.EdgeType][v]
 	}
 	return nil
 }
@@ -227,10 +252,12 @@ type SampleRequest struct {
 // uniform-draw vertex whose degree does not exceed Width ships its full
 // (short) adjacency list in Lists[i] instead of contributing to Samples:
 // that is never more bytes than Counts[i]*Width draws and lets the client
-// draw locally and warm replacing caches.
+// draw locally and warm replacing caches. Epoch stamps the reply with the
+// server's update generation.
 type SampleReply struct {
 	Samples []graph.ID
 	Lists   [][]graph.ID
+	Epoch   uint64
 }
 
 // StatsRequest asks for the server's local size counters.
@@ -267,10 +294,12 @@ type EdgesRequest struct {
 	Seed     uint64
 }
 
-// EdgesReply carries sampled edges as parallel arrays (gob-friendly).
+// EdgesReply carries sampled edges as parallel arrays (gob-friendly),
+// stamped with the server's update epoch.
 type EdgesReply struct {
 	Src, Dst []graph.ID
 	Weight   []float64
+	Epoch    uint64
 }
 
 // ensureLocalPosLocked (re)builds the vertex -> slot map; caller holds the
@@ -367,6 +396,7 @@ func (s *Server) ServeSampleNeighbors(req SampleRequest, reply *SampleReply) err
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	reply.Epoch = s.epoch
 	for i, v := range req.Vertices {
 		if _, here := s.attrs[v]; !here {
 			return fmt.Errorf("cluster: server %d does not own vertex %d", s.ID, v)
@@ -460,6 +490,7 @@ func (s *Server) ServeSampleEdges(req EdgesRequest, reply *EdgesReply) error {
 	rng := sampling.NewRng(req.Seed)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	reply.Epoch = s.epoch
 	if al.Len() == 0 {
 		return nil
 	}

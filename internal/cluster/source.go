@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/sampling"
 )
 
 // The per-vertex ClientSource adapter (one RPC per vertex per hop) is gone:
@@ -38,6 +39,17 @@ func (e *Env) SampleEdges(t graph.EdgeType, n int) ([]graph.Edge, error) {
 	seed := uint64(e.rng.Int63())
 	e.mu.Unlock()
 	return e.C.SampleEdges(t, n, seed)
+}
+
+// AppendEdges implements the trainer's batch-environment capability
+// (core.BatchEnv): the same distributed TRAVERSE draw appended into a
+// recycled buffer, with each contributing server's update epoch recorded
+// into span so mini-batches are stamped with what their edge batch saw.
+func (e *Env) AppendEdges(dst []graph.Edge, t graph.EdgeType, n int, span *sampling.EpochSpan) ([]graph.Edge, error) {
+	e.mu.Lock()
+	seed := uint64(e.rng.Int63())
+	e.mu.Unlock()
+	return e.C.AppendSampleEdges(dst, t, n, seed, span)
 }
 
 // NegativePool returns global negative candidates with in-degree counts.

@@ -24,6 +24,9 @@ type Transport interface {
 	Stats(part int, req StatsRequest, reply *StatsReply) error
 	// Attrs fetches attribute vectors from the server owning part.
 	Attrs(part int, req AttrsRequest, reply *AttrsReply) error
+	// Bootstrap fetches the cluster bootstrap information (partition
+	// assignment, schema) from the server owning part.
+	Bootstrap(part int, req BootstrapRequest, reply *BootstrapReply) error
 	// Close releases transport resources.
 	Close() error
 }
@@ -111,6 +114,14 @@ func (t *LocalTransport) Attrs(part int, req AttrsRequest, reply *AttrsReply) er
 	return t.Servers[part].ServeAttrs(req, reply)
 }
 
+// Bootstrap implements Transport.
+func (t *LocalTransport) Bootstrap(part int, req BootstrapRequest, reply *BootstrapReply) error {
+	if err := t.pay(part); err != nil {
+		return err
+	}
+	return t.Servers[part].ServeBootstrap(req, reply)
+}
+
 // Close implements Transport.
 func (t *LocalTransport) Close() error { return nil }
 
@@ -124,3 +135,74 @@ func (t *LocalTransport) ResetCalls() {
 	atomic.StoreInt64(&t.localCalls, 0)
 	atomic.StoreInt64(&t.remoteCalls, 0)
 }
+
+// LatencyTransport injects a fixed delay before every call on any inner
+// transport, simulating a network round trip to every partition (including
+// the caller's own). Benchmarks use it to measure how much graph-service
+// latency a prefetching pipeline hides behind compute.
+type LatencyTransport struct {
+	Inner Transport
+	Delay time.Duration
+
+	calls int64
+}
+
+// NewLatencyTransport wraps inner with a per-call delay.
+func NewLatencyTransport(inner Transport, d time.Duration) *LatencyTransport {
+	return &LatencyTransport{Inner: inner, Delay: d}
+}
+
+func (t *LatencyTransport) pay() {
+	atomic.AddInt64(&t.calls, 1)
+	if t.Delay > 0 {
+		time.Sleep(t.Delay)
+	}
+}
+
+// Calls reports how many calls paid the delay.
+func (t *LatencyTransport) Calls() int64 { return atomic.LoadInt64(&t.calls) }
+
+// Neighbors implements Transport.
+func (t *LatencyTransport) Neighbors(part int, req NeighborsRequest, reply *NeighborsReply) error {
+	t.pay()
+	return t.Inner.Neighbors(part, req, reply)
+}
+
+// SampleNeighbors implements Transport.
+func (t *LatencyTransport) SampleNeighbors(part int, req SampleRequest, reply *SampleReply) error {
+	t.pay()
+	return t.Inner.SampleNeighbors(part, req, reply)
+}
+
+// SampleEdges implements Transport.
+func (t *LatencyTransport) SampleEdges(part int, req EdgesRequest, reply *EdgesReply) error {
+	t.pay()
+	return t.Inner.SampleEdges(part, req, reply)
+}
+
+// NegativePool implements Transport.
+func (t *LatencyTransport) NegativePool(part int, req NegPoolRequest, reply *NegPoolReply) error {
+	t.pay()
+	return t.Inner.NegativePool(part, req, reply)
+}
+
+// Stats implements Transport.
+func (t *LatencyTransport) Stats(part int, req StatsRequest, reply *StatsReply) error {
+	t.pay()
+	return t.Inner.Stats(part, req, reply)
+}
+
+// Attrs implements Transport.
+func (t *LatencyTransport) Attrs(part int, req AttrsRequest, reply *AttrsReply) error {
+	t.pay()
+	return t.Inner.Attrs(part, req, reply)
+}
+
+// Bootstrap implements Transport.
+func (t *LatencyTransport) Bootstrap(part int, req BootstrapRequest, reply *BootstrapReply) error {
+	t.pay()
+	return t.Inner.Bootstrap(part, req, reply)
+}
+
+// Close implements Transport.
+func (t *LatencyTransport) Close() error { return t.Inner.Close() }

@@ -30,6 +30,14 @@ type UpdateReply struct {
 func (s *Server) ServeUpdate(req UpdateRequest, reply *UpdateReply) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Every applied update batch advances the server's epoch, so sampling
+	// replies issued before and after it are distinguishable (the bump also
+	// covers partially applied batches that error out midway).
+	defer func() {
+		if reply.Added+reply.Removed > 0 {
+			s.epoch++
+		}
+	}()
 	for _, e := range req.Add {
 		if _, ok := s.attrs[e.Src]; !ok {
 			return fmt.Errorf("cluster: server %d does not own vertex %d", s.ID, e.Src)

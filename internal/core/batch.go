@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+	"repro/internal/sampling"
+)
+
+// MiniBatch is one fully assembled training batch: the positive edge
+// endpoints from TRAVERSE, the aligned negatives, the three sampled
+// NEIGHBORHOOD contexts, and (on clusters) prefetched hop-0 attribute rows.
+// Decoupling its production from its consumption is what lets a Pipeline
+// overlap graph-service latency with the GNN forward/backward pass
+// (Section 4.1's sampling/training overlap).
+//
+// MiniBatches are recycled: sources hand them out from Next and take them
+// back through Recycle, reusing every internal buffer, so steady-state
+// batch assembly over a local graph performs no per-batch allocation.
+type MiniBatch struct {
+	// Src and Dst are the endpoints of the TRAVERSE edge batch; Negs holds
+	// NegK negatives per source vertex, flattened batch-major.
+	Src, Dst, Negs []graph.ID
+	// Ctxs are the sampled multi-hop contexts of Src, Dst and Negs, in that
+	// order, valid when HasCtxs. Trainers with a ContextFn (layer-wise
+	// samplers) leave them empty and sample at encode time instead.
+	Ctxs    [3]sampling.Context
+	HasCtxs bool
+	// Attrs maps every vertex appearing in the contexts to its prefetched
+	// hop-0 attribute row; nil when the feature source is local (attributes
+	// are then read at encode time, as before).
+	Attrs map[graph.ID][]float64
+	// Epochs spans the server update epochs observed while assembling the
+	// batch. Epochs.Mixed() flags a batch that straddles a dynamic update
+	// (or shards at different update generations) — the detection half of
+	// snapshot-consistent training.
+	Epochs sampling.EpochSpan
+
+	seq    uint64
+	err    error
+	loaned bool // checked out to the consumer by Pipeline.Next
+	edges  []graph.Edge
+	seeds  [3]sampling.Rng
+	pvs    []graph.ID // prefetch vertex-list scratch
+}
+
+// reset clears the batch for reuse, keeping every buffer.
+func (mb *MiniBatch) reset() {
+	mb.Src = mb.Src[:0]
+	mb.Dst = mb.Dst[:0]
+	mb.Negs = mb.Negs[:0]
+	mb.HasCtxs = false
+	mb.Epochs.Reset()
+	mb.err = nil
+	mb.edges = mb.edges[:0]
+}
+
+// BatchSource produces MiniBatches for a LinkTrainer. It is the seam
+// between batch production and consumption: SyncSource assembles each batch
+// inline on the calling goroutine (depth 0 — draw-for-draw identical to the
+// pre-pipeline trainer), while Pipeline assembles batches ahead of the
+// consumer on worker goroutines. Every future asynchronous training feature
+// (epoch pinning, streaming ingest) plugs in behind this interface.
+//
+// The contract is strict alternation per consumer: call Next, consume the
+// batch, hand it back with Recycle, repeat. A recycled batch's buffers are
+// reused; the consumer must not retain references past Recycle.
+type BatchSource interface {
+	// Next returns the next assembled batch.
+	Next() (*MiniBatch, error)
+	// Recycle returns a batch obtained from Next to the source's free list.
+	Recycle(*MiniBatch)
+}
+
+// BatchEnv is an optional TrainEnv capability used by batch sources:
+// TRAVERSE batches appended into a caller-owned buffer (allocation-free in
+// steady state) with the update epochs of the serving shards recorded into
+// span. Environments without it fall back to SampleEdges, unstamped.
+type BatchEnv interface {
+	AppendEdges(dst []graph.Edge, t graph.EdgeType, n int, span *sampling.EpochSpan) ([]graph.Edge, error)
+}
+
+// errNoContexts is returned when a trainer without a ContextFn receives a
+// batch whose contexts were never sampled.
+var errNoContexts = errors.New("core: mini-batch carries no sampled contexts")
+
+// assembleEdges fills mb.Src/Dst/Negs from one TRAVERSE batch plus aligned
+// negatives, recording reply epochs into mb.Epochs when the environment
+// stamps them. It draws from tr.Rng (via the environment and the negative
+// sampler) and must therefore run on the goroutine that owns that stream:
+// the caller for SyncSource, the scheduler for Pipeline.
+func (tr *LinkTrainer) assembleEdges(mb *MiniBatch) error {
+	var edges []graph.Edge
+	var err error
+	if be, ok := tr.Env.(BatchEnv); ok {
+		edges, err = be.AppendEdges(mb.edges[:0], tr.EdgeType, tr.Batch, &mb.Epochs)
+	} else {
+		edges, err = tr.Env.SampleEdges(tr.EdgeType, tr.Batch)
+	}
+	if err != nil {
+		return err
+	}
+	mb.edges = edges
+	for _, e := range edges {
+		mb.Src = append(mb.Src, e.Src)
+		mb.Dst = append(mb.Dst, e.Dst)
+	}
+	mb.Negs = tr.neg.AppendSample(mb.Negs[:0], mb.Src, tr.NegK)
+	return nil
+}
+
+// SyncSource is the depth-0 BatchSource: one batch assembled inline per
+// Next call, on the caller's goroutine, using the trainer's own samplers
+// and random streams. For a fixed seed it reproduces the pre-pipeline
+// trainer's training losses bit for bit — the reference implementation the
+// Pipeline is validated against.
+type SyncSource struct {
+	tr   *LinkTrainer
+	mb   MiniBatch
+	nbr  *sampling.Neighborhood
+	view sampling.EpochView
+}
+
+// NewSyncSource creates the synchronous batch source for tr. A trainer
+// installs one automatically on first use; constructing one explicitly is
+// only needed to drive Step by hand. Epoch-stamped sources are sampled
+// through an epoch view, so depth-0 batches record the epochs of their hop
+// expansions exactly like pipelined ones.
+func NewSyncSource(tr *LinkTrainer) *SyncSource {
+	s := &SyncSource{tr: tr}
+	src := tr.Src
+	if es, ok := src.(sampling.EpochedSource); ok {
+		s.view = es.EpochView()
+		src = s.view
+	}
+	s.nbr = &sampling.Neighborhood{Src: src, ByWeight: tr.nbr.ByWeight}
+	return s
+}
+
+// Next implements BatchSource. The batch is owned by the source and reused
+// across calls; it is valid until the next Next call.
+func (s *SyncSource) Next() (*MiniBatch, error) {
+	tr := s.tr
+	mb := &s.mb
+	mb.reset()
+	if s.view != nil {
+		s.view.ResetSpan()
+	}
+	if err := tr.assembleEdges(mb); err != nil {
+		return nil, err
+	}
+	if tr.ContextFn == nil {
+		tr.ensureSrng()
+		for i, vs := range [3][]graph.ID{mb.Src, mb.Dst, mb.Negs} {
+			if err := s.nbr.SampleInto(&mb.Ctxs[i], tr.EdgeType, vs, tr.HopNums, tr.srng); err != nil {
+				return nil, err
+			}
+		}
+		mb.HasCtxs = true
+	}
+	if s.view != nil {
+		mb.Epochs.Merge(s.view.Span())
+	}
+	return mb, nil
+}
+
+// Recycle implements BatchSource; the sync source reuses its single batch
+// in place, so there is nothing to return.
+func (s *SyncSource) Recycle(*MiniBatch) {}

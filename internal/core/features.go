@@ -25,6 +25,39 @@ type FeatureSource interface {
 	Params() []*nn.Param
 }
 
+// PrefetchingFeatures is an optional FeatureSource capability for sources
+// whose hop-0 rows live behind a network fetch (cluster attribute RPCs).
+// A batch pipeline fetches the rows of a future batch on its worker
+// goroutines (PrefetchAttrs, concurrent-safe) and the trainer installs them
+// for the duration of the batch's encodes (ServePrefetched, called from the
+// consuming goroutine only), so attribute latency overlaps compute instead
+// of stalling Rows.
+type PrefetchingFeatures interface {
+	FeatureSource
+	// PrefetchAttrs fetches the attribute rows of vs into the map (duplicate
+	// vertices fetched once). Safe for concurrent use.
+	PrefetchAttrs(vs []graph.ID, into map[graph.ID][]float64) error
+	// ServePrefetched installs rows for subsequent Rows calls; nil reverts
+	// to direct fetching. Not concurrent-safe.
+	ServePrefetched(rows map[graph.ID][]float64)
+}
+
+// FindPrefetcher returns the prefetching capability inside f, unwrapping
+// ConcatFeatures compositions; nil when features are purely local.
+func FindPrefetcher(f FeatureSource) PrefetchingFeatures {
+	if p, ok := f.(PrefetchingFeatures); ok {
+		return p
+	}
+	if c, ok := f.(*ConcatFeatures); ok {
+		for _, s := range c.Srcs {
+			if p := FindPrefetcher(s); p != nil {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
 // AttrFeatures serves raw vertex attributes, padded or truncated to a fixed
 // dimension (heterogeneous vertex types have different attribute lengths).
 type AttrFeatures struct {

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/sampling"
+)
+
+// PipelineConfig tunes a prefetching Pipeline.
+type PipelineConfig struct {
+	// Depth is how many assembled batches may wait ahead of the consumer
+	// (minimum 1). Depth 0 means "no pipeline" to the layers above; they
+	// keep the trainer's synchronous source instead of building one.
+	Depth int
+	// Workers is the number of parallel assembly goroutines (default 2).
+	// Each worker drives its own NEIGHBORHOOD expansion — on a cluster
+	// source that means independent in-flight SampleNeighbors/Attrs RPC
+	// windows per worker, bounded by Workers.
+	Workers int
+}
+
+// ErrPipelineClosed is returned by Next after Close.
+var ErrPipelineClosed = errors.New("core: pipeline closed")
+
+// Pipeline is the prefetching BatchSource: it assembles up to Depth
+// MiniBatches ahead of the consumer so that TRAVERSE, NEGATIVE and
+// NEIGHBORHOOD sampling (and, on clusters, the batched Attrs prefetch) of
+// future batches overlap the forward/backward pass of the current one —
+// the produce/consume split of Section 4.1 that hides graph-service
+// latency behind GNN compute.
+//
+// Determinism: a single scheduler goroutine performs every draw from the
+// trainer's sequential random streams in batch order — the TRAVERSE batch,
+// the negatives, and a snapshot of the NEIGHBORHOOD seed stream per encode
+// (each hop of a batched source consumes exactly one seed, so the scheduler
+// advances the stream without sampling anything). Workers then execute the
+// expensive expansions from those snapshots, and a collector releases
+// batches in sequence order. For sources with the BatchSampler capability
+// (local graphs, cluster clients) the training losses are therefore
+// bit-identical to the depth-0 SyncSource at every Depth and Workers
+// setting; generic sources stay correct but draw from independently seeded
+// per-encode forks of the stream (their expansions consume data-dependent
+// draw counts, which a fixed skip cannot budget). One caveat: a replacing neighbor cache (LRU) makes cluster
+// draws depend on cache warm-up timing, so bit-identity there requires a
+// static cache (importance/random/none); with an LRU the curves match only
+// statistically.
+//
+// Buffers: MiniBatches circulate through a fixed free list of
+// Depth+Workers+1 batches, so steady-state production allocates nothing on
+// the local path and the PR 1 zero-allocation sampling property survives
+// the goroutine hop. Close stops all goroutines and waits for them; the
+// consumer must not call Next concurrently with itself, and inference on
+// the trainer must wait until the pipeline is closed or idle.
+type Pipeline struct {
+	tr       *LinkTrainer
+	cfg      PipelineConfig
+	prefetch PrefetchingFeatures
+
+	free  chan *MiniBatch // recycled batches -> scheduler
+	plans chan *MiniBatch // scheduler -> workers (edges+negs+seeds filled)
+	done  chan *MiniBatch // workers -> collector (contexts+attrs filled)
+	out   chan *MiniBatch // collector -> Next, in sequence order
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewPipeline builds and starts a prefetching source over tr's environment
+// and sampler stack. The trainer must not have trained yet (the pipeline
+// takes over its random streams) and must not use a ContextFn — layer-wise
+// sampling closures are not goroutine-safe and would race the scheduler on
+// the trainer's rand.Rand; NewPipeline panics rather than letting that
+// misuse surface as a data race far from its cause. Install the pipeline
+// with tr.SetSource.
+func NewPipeline(tr *LinkTrainer, cfg PipelineConfig) *Pipeline {
+	if tr.ContextFn != nil {
+		panic("core: Pipeline is incompatible with a ContextFn trainer (layer-wise samplers draw from the trainer's rand.Rand at encode time)")
+	}
+	if cfg.Depth < 1 {
+		cfg.Depth = 1
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 2
+	}
+	total := cfg.Depth + cfg.Workers + 1
+	p := &Pipeline{
+		tr:       tr,
+		cfg:      cfg,
+		prefetch: tr.prefetcher(),
+		free:     make(chan *MiniBatch, total),
+		plans:    make(chan *MiniBatch, total),
+		done:     make(chan *MiniBatch, total),
+		out:      make(chan *MiniBatch, total),
+		stop:     make(chan struct{}),
+	}
+	for i := 0; i < total; i++ {
+		p.free <- &MiniBatch{}
+	}
+	p.wg.Add(cfg.Workers + 2)
+	go p.scheduler()
+	for w := 0; w < cfg.Workers; w++ {
+		go p.worker()
+	}
+	go p.collector()
+	return p
+}
+
+// scheduler owns the trainer's sequential random streams: it assembles the
+// cheap, order-sensitive stages (TRAVERSE, NEGATIVE, per-encode seed
+// snapshots) in batch order and hands the expensive rest to the workers.
+// Exactly `total` batches circulate and every channel holds that many, so
+// channel sends never block; only receives watch the stop signal.
+func (p *Pipeline) scheduler() {
+	defer p.wg.Done()
+	tr := p.tr
+	hops := len(tr.HopNums)
+	_, batched := tr.Src.(sampling.BatchSampler)
+	var srng *sampling.Rng
+	seq := uint64(0)
+	for {
+		select {
+		case <-p.stop:
+			return
+		case mb := <-p.free:
+			mb.reset()
+			mb.seq = seq
+			seq++
+			if err := tr.assembleEdges(mb); err != nil {
+				mb.err = err
+				p.plans <- mb
+				continue
+			}
+			if srng == nil {
+				// Created lazily after the first batch's edge and negative
+				// draws, mirroring the synchronous trainer, so the seed
+				// stream matches depth 0 draw for draw.
+				srng = sampling.NewRng(uint64(tr.Rng.Int63()))
+			}
+			if batched {
+				// A batched source consumes exactly one seed per hop, so a
+				// snapshot plus a fixed skip hands the worker precisely the
+				// draws the synchronous source would have made.
+				for e := range mb.seeds {
+					mb.seeds[e] = srng.Snapshot()
+					srng.Skip(hops)
+				}
+			} else {
+				// Generic sources consume a data-dependent number of draws
+				// per expansion; give each encode an independently seeded
+				// fork so concurrent batches never replay overlapping
+				// stream segments.
+				for e := range mb.seeds {
+					mb.seeds[e] = *sampling.NewRng(srng.Uint64())
+				}
+			}
+			p.plans <- mb
+		}
+	}
+}
+
+// worker executes the deterministic heavy stages of planned batches: the
+// three NEIGHBORHOOD expansions from their scheduled seed snapshots, then
+// the hop-0 attribute prefetch. Each worker samples through its own epoch
+// view when the source has one, so the epochs a batch observed are recorded
+// without cross-worker synchronization.
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	tr := p.tr
+	src := tr.Src
+	var view sampling.EpochView
+	if es, ok := src.(sampling.EpochedSource); ok {
+		view = es.EpochView()
+		src = view
+	}
+	nbr := &sampling.Neighborhood{Src: src, ByWeight: tr.nbr.ByWeight}
+	for {
+		select {
+		case <-p.stop:
+			return
+		case mb := <-p.plans:
+			p.assemble(mb, nbr, view)
+			p.done <- mb
+		}
+	}
+}
+
+func (p *Pipeline) assemble(mb *MiniBatch, nbr *sampling.Neighborhood, view sampling.EpochView) {
+	if mb.err != nil {
+		return
+	}
+	tr := p.tr
+	if view != nil {
+		view.ResetSpan()
+	}
+	for e, vs := range [3][]graph.ID{mb.Src, mb.Dst, mb.Negs} {
+		rng := mb.seeds[e]
+		if err := nbr.SampleInto(&mb.Ctxs[e], tr.EdgeType, vs, tr.HopNums, &rng); err != nil {
+			mb.err = err
+			return
+		}
+	}
+	mb.HasCtxs = true
+	if p.prefetch != nil {
+		mb.pvs = mb.pvs[:0]
+		for e := range mb.Ctxs {
+			for _, layer := range mb.Ctxs[e].Layers {
+				mb.pvs = append(mb.pvs, layer...)
+			}
+		}
+		if mb.Attrs == nil {
+			mb.Attrs = make(map[graph.ID][]float64)
+		} else {
+			for k := range mb.Attrs {
+				delete(mb.Attrs, k)
+			}
+		}
+		if err := p.prefetch.PrefetchAttrs(mb.pvs, mb.Attrs); err != nil {
+			mb.err = err
+			return
+		}
+	}
+	if view != nil {
+		mb.Epochs.Merge(view.Span())
+	}
+}
+
+// collector restores sequence order: workers finish out of order, the
+// consumer must see batches exactly as the scheduler drew them.
+func (p *Pipeline) collector() {
+	defer p.wg.Done()
+	next := uint64(0)
+	pending := make(map[uint64]*MiniBatch, cap(p.out))
+	for {
+		select {
+		case <-p.stop:
+			return
+		case mb := <-p.done:
+			pending[mb.seq] = mb
+			for {
+				m, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				p.out <- m
+				next++
+			}
+		}
+	}
+}
+
+// Next implements BatchSource. Errors are sticky: the first assembly error
+// is returned (in sequence position) and every later call repeats it.
+func (p *Pipeline) Next() (*MiniBatch, error) {
+	p.mu.Lock()
+	err := p.err
+	p.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-p.stop:
+		// Checked eagerly so a Close that has already returned wins over
+		// batches still sitting in the output buffer.
+		return nil, ErrPipelineClosed
+	default:
+	}
+	select {
+	case <-p.stop:
+		return nil, ErrPipelineClosed
+	case mb := <-p.out:
+		if mb.err != nil {
+			err := mb.err
+			p.mu.Lock()
+			p.err = err
+			p.mu.Unlock()
+			mb.err = nil
+			p.free <- mb // ring member, never handed out: direct return
+			return nil, err
+		}
+		mb.loaned = true
+		return mb, nil
+	}
+}
+
+// Recycle implements BatchSource, returning the batch to the free list for
+// the scheduler to refill. Only batches currently checked out by Next are
+// accepted: a double Recycle or a batch from another source is dropped,
+// since admitting either would put a pointer into circulation twice (or
+// grow the ring past its channel capacities) and corrupt the pipeline.
+func (p *Pipeline) Recycle(mb *MiniBatch) {
+	if mb == nil || !mb.loaned {
+		return
+	}
+	mb.loaned = false
+	p.free <- mb // loaned ring members always have a free slot reserved
+}
+
+// Close stops the producer goroutines and waits for them to exit. Batches
+// already handed out stay valid; Next returns ErrPipelineClosed afterwards.
+// Close is idempotent.
+func (p *Pipeline) Close() error {
+	p.closeOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+	return nil
+}

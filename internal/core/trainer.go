@@ -41,6 +41,13 @@ func (e *LocalEnv) SampleEdges(t graph.EdgeType, n int) ([]graph.Edge, error) {
 	return e.trav.SampleEdges(t, n), nil
 }
 
+// AppendEdges implements BatchEnv: draw-for-draw identical to SampleEdges
+// but into a recycled buffer. Local graphs have no update epochs, so span
+// is left untouched.
+func (e *LocalEnv) AppendEdges(dst []graph.Edge, t graph.EdgeType, n int, _ *sampling.EpochSpan) ([]graph.Edge, error) {
+	return e.trav.AppendEdges(dst, t, n), nil
+}
+
 // NegativePool implements TrainEnv.
 func (e *LocalEnv) NegativePool(t graph.EdgeType) ([]graph.ID, []float64, error) {
 	cands, counts := sampling.NegativePoolOf(e.G, t)
@@ -60,6 +67,12 @@ func (e *LocalEnv) NumVertices() int { return e.G.NumVertices() }
 // The trainer never touches a graph directly: neighbor expansion goes
 // through the batch-first sampling.Source seam and everything else through
 // TrainEnv, so the same loop drives a local graph or live RPC shards.
+//
+// Batch production and consumption are decoupled: a BatchSource assembles
+// MiniBatches (SyncSource inline, Pipeline ahead of the consumer on worker
+// goroutines) and Step consumes one — forward, loss, backward, optimizer —
+// without doing any sampling of its own. Train and StepNext tie the two
+// together.
 type LinkTrainer struct {
 	Env      TrainEnv
 	Src      sampling.Source
@@ -72,20 +85,38 @@ type LinkTrainer struct {
 	Rng      *rand.Rand
 
 	// ContextFn, when non-nil, overrides NEIGHBORHOOD sampling (FastGCN's
-	// layer-wise sampling swaps the SAMPLE strategy this way).
+	// layer-wise sampling swaps the SAMPLE strategy this way). Batches then
+	// carry no contexts and Step samples at encode time; ContextFn closures
+	// are not required to be goroutine-safe, so they are incompatible with
+	// a Pipeline source.
 	ContextFn func(vs []graph.ID) (*sampling.Context, error)
 
 	nbr *sampling.Neighborhood
 	neg *sampling.Negative
 
-	// Steady-state sampling state: Step encodes three batches (src, dst,
-	// negatives) on one tape, and the tape's backward pass still references
-	// each context's layers, so the reusable contexts rotate with period 3;
-	// the layers of one encode are never overwritten before Backward runs.
-	sctx [3]sampling.Context
-	nenc int
-	srng *sampling.Rng
+	// source produces the trainer's batches; nil until first use, when the
+	// depth-0 SyncSource is installed. external marks a source installed by
+	// SetSource, whose producer goroutines own the training random streams.
+	source   BatchSource
+	external bool
+
+	// srng seeds NEIGHBORHOOD expansion in sync mode and inference; created
+	// lazily from Rng on first use (after the first batch's edge and
+	// negative draws, which keeps the historical draw order). infSrng
+	// replaces it for inference in external-source mode, where the
+	// producers own Rng; infCtx is the inference context buffer.
+	srng    *sampling.Rng
+	infSrng *sampling.Rng
+	infCtx  sampling.Context
+
+	prefetch    PrefetchingFeatures
+	prefetchSet bool
 }
+
+// inferenceSeed seeds the dedicated inference sampling stream used while an
+// external BatchSource owns the training streams (any fixed constant works;
+// inference must simply be deterministic and race-free).
+const inferenceSeed = 0xA1160A1160A11601
 
 // TrainerConfig bundles LinkTrainer construction options.
 type TrainerConfig struct {
@@ -129,36 +160,85 @@ func NewLinkTrainerOver(env TrainEnv, src sampling.Source, enc *Encoder, cfg Tra
 	}, nil
 }
 
-// Step runs one mini-batch and returns the loss.
-func (tr *LinkTrainer) Step() (float64, error) {
-	edges, err := tr.Env.SampleEdges(tr.EdgeType, tr.Batch)
-	if err != nil {
-		return 0, err
+// Source returns the trainer's batch producer, installing the depth-0
+// SyncSource on first use.
+func (tr *LinkTrainer) Source() BatchSource {
+	if tr.source == nil {
+		tr.source = NewSyncSource(tr)
 	}
-	src := make([]graph.ID, len(edges))
-	dst := make([]graph.ID, len(edges))
-	for i, e := range edges {
-		src[i] = e.Src
-		dst[i] = e.Dst
+	return tr.source
+}
+
+// SetSource installs an external batch producer (a Pipeline). Call it
+// before the first training step — the producer takes over the trainer's
+// sequential random streams — and manage the source's lifecycle yourself
+// (Close a Pipeline when training ends).
+func (tr *LinkTrainer) SetSource(s BatchSource) {
+	tr.source = s
+	tr.external = true
+}
+
+// ensureSrng lazily creates the NEIGHBORHOOD seed stream; the draw from Rng
+// happens at the historical point (after the first batch's edge and
+// negative draws), keeping fixed-seed runs bit-identical across the
+// refactor to batch sources.
+func (tr *LinkTrainer) ensureSrng() {
+	if tr.srng == nil {
+		tr.srng = sampling.NewRng(uint64(tr.Rng.Int63()))
 	}
-	negs := tr.neg.Sample(src, tr.NegK)
+}
+
+// inferenceRng returns the sampling stream for Embed/Score/EmbedAll. In
+// sync mode it is the training stream (matching the historical shared
+// stream); with an external source the producers own that stream, so
+// inference draws from its own fixed-seed stream and never races them.
+func (tr *LinkTrainer) inferenceRng() *sampling.Rng {
+	if tr.external {
+		if tr.infSrng == nil {
+			tr.infSrng = sampling.NewRng(inferenceSeed)
+		}
+		return tr.infSrng
+	}
+	tr.ensureSrng()
+	return tr.srng
+}
+
+// prefetcher returns the feature source's prefetching capability, if any.
+func (tr *LinkTrainer) prefetcher() PrefetchingFeatures {
+	if !tr.prefetchSet {
+		tr.prefetch = FindPrefetcher(tr.Enc.Features)
+		tr.prefetchSet = true
+	}
+	return tr.prefetch
+}
+
+// Step consumes one assembled MiniBatch: three encodes on one tape, the
+// negative-sampling loss, backward, gradient clip and optimizer step. All
+// sampling happened at batch-assembly time (or happens via ContextFn);
+// Step itself performs pure compute, which is exactly what a prefetching
+// source overlaps with the next batches' sampling.
+func (tr *LinkTrainer) Step(mb *MiniBatch) (float64, error) {
+	if pf := tr.prefetcher(); pf != nil && mb.Attrs != nil {
+		pf.ServePrefetched(mb.Attrs)
+		defer pf.ServePrefetched(nil)
+	}
 
 	t := nn.NewTape()
-	hs, err := tr.encode(t, src)
+	hs, err := tr.encodeTrain(t, mb, 0, mb.Src)
 	if err != nil {
 		return 0, err
 	}
-	hd, err := tr.encode(t, dst)
+	hd, err := tr.encodeTrain(t, mb, 1, mb.Dst)
 	if err != nil {
 		return 0, err
 	}
-	hn, err := tr.encode(t, negs)
+	hn, err := tr.encodeTrain(t, mb, 2, mb.Negs)
 	if err != nil {
 		return 0, err
 	}
 
 	// Repeat each source NegK times to align with its negatives.
-	rep := make([]int, len(negs))
+	rep := make([]int, len(mb.Negs))
 	for i := range rep {
 		rep[i] = i / tr.NegK
 	}
@@ -175,11 +255,24 @@ func (tr *LinkTrainer) Step() (float64, error) {
 	return loss.Val.Data[0], nil
 }
 
+// StepNext pulls one batch from the trainer's source, steps on it and
+// recycles it.
+func (tr *LinkTrainer) StepNext() (float64, error) {
+	src := tr.Source()
+	mb, err := src.Next()
+	if err != nil {
+		return 0, err
+	}
+	l, err := tr.Step(mb)
+	src.Recycle(mb)
+	return l, err
+}
+
 // Train runs n steps and returns per-step losses.
 func (tr *LinkTrainer) Train(steps int) ([]float64, error) {
 	losses := make([]float64, steps)
 	for i := range losses {
-		l, err := tr.Step()
+		l, err := tr.StepNext()
 		if err != nil {
 			return nil, err
 		}
@@ -188,31 +281,42 @@ func (tr *LinkTrainer) Train(steps int) ([]float64, error) {
 	return losses, nil
 }
 
-func (tr *LinkTrainer) encode(t *nn.Tape, vs []graph.ID) (*nn.Node, error) {
-	var ctx *sampling.Context
+// encodeTrain encodes one of the batch's three vertex lists using its
+// pre-sampled context (or ContextFn when the SAMPLE strategy is overridden).
+func (tr *LinkTrainer) encodeTrain(t *nn.Tape, mb *MiniBatch, i int, vs []graph.ID) (*nn.Node, error) {
 	if tr.ContextFn != nil {
-		c, err := tr.ContextFn(vs)
+		ctx, err := tr.ContextFn(vs)
 		if err != nil {
 			return nil, err
 		}
-		ctx = c
-	} else {
-		if tr.srng == nil {
-			tr.srng = sampling.NewRng(uint64(tr.Rng.Int63()))
-		}
-		ctx = &tr.sctx[tr.nenc%len(tr.sctx)]
-		tr.nenc++
-		if err := tr.nbr.SampleInto(ctx, tr.EdgeType, vs, tr.HopNums, tr.srng); err != nil {
+		return tr.Enc.Encode(t, ctx), nil
+	}
+	if !mb.HasCtxs {
+		return nil, errNoContexts
+	}
+	return tr.Enc.Encode(t, &mb.Ctxs[i]), nil
+}
+
+// encodeInference samples a context for vs (ContextFn or the inference
+// stream) and encodes it; used by Embed/Score/EmbedAll.
+func (tr *LinkTrainer) encodeInference(t *nn.Tape, vs []graph.ID) (*nn.Node, error) {
+	if tr.ContextFn != nil {
+		ctx, err := tr.ContextFn(vs)
+		if err != nil {
 			return nil, err
 		}
+		return tr.Enc.Encode(t, ctx), nil
 	}
-	return tr.Enc.Encode(t, ctx), nil
+	if err := tr.nbr.SampleInto(&tr.infCtx, tr.EdgeType, vs, tr.HopNums, tr.inferenceRng()); err != nil {
+		return nil, err
+	}
+	return tr.Enc.Encode(t, &tr.infCtx), nil
 }
 
 // Embed encodes vertices for inference (no gradient is consumed).
 func (tr *LinkTrainer) Embed(vs []graph.ID) (*tensor.Matrix, error) {
 	t := nn.NewTape()
-	h, err := tr.encode(t, vs)
+	h, err := tr.encodeInference(t, vs)
 	if err != nil {
 		return nil, err
 	}

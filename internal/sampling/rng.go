@@ -43,3 +43,15 @@ func (r *Rng) Intn(n int) int {
 func (r *Rng) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
+
+// Snapshot returns a copy of the generator that will produce exactly the
+// draws r would produce next, advancing independently. Combined with Skip it
+// lets a sequential scheduler hand each parallel worker the precise slice of
+// the stream it would have consumed inline — the mechanism behind the
+// prefetch pipeline's bit-reproducible batches.
+func (r *Rng) Snapshot() Rng { return *r }
+
+// Skip advances the generator by n draws without producing output.
+func (r *Rng) Skip(n int) {
+	r.state += 0x9E3779B97F4A7C15 * uint64(n)
+}

@@ -84,7 +84,15 @@ func (s *Traverse) SampleVerticesOfType(vt graph.VertexType, batch int) []graph.
 // source vertex proportional to its type-t out-degree (via the cached
 // degree alias table), then a uniform entry of that vertex.
 func (s *Traverse) SampleEdges(t graph.EdgeType, batch int) []graph.Edge {
-	out := make([]graph.Edge, 0, batch)
+	return s.AppendEdges(make([]graph.Edge, 0, batch), t, batch)
+}
+
+// AppendEdges is SampleEdges into a caller-owned buffer: batch draws are
+// appended to dst and the grown slice returned, so a steady-state training
+// loop recycling its MiniBatch buffers performs no per-batch allocation.
+// The draw sequence is identical to SampleEdges'.
+func (s *Traverse) AppendEdges(dst []graph.Edge, t graph.EdgeType, batch int) []graph.Edge {
+	out := dst
 	if s.G.NumEdgesOfType(t) == 0 {
 		return out
 	}
@@ -101,7 +109,8 @@ func (s *Traverse) SampleEdges(t graph.EdgeType, batch int) []graph.Edge {
 		}
 		s.edgeAlias[t] = al
 	}
-	for len(out) < batch {
+	want := len(out) + batch
+	for len(out) < want {
 		v := pool[al.Draw(s.Rng)]
 		i := s.Rng.Intn(s.G.OutDegree(v, t))
 		out = append(out, graph.Edge{
@@ -313,13 +322,19 @@ func NewNegativeFromPool(cands []graph.ID, ws []float64, rng *rand.Rand) *Negati
 // Sample draws n negatives for each vertex of batch, avoiding the trivial
 // collision with the vertex itself. Results are flattened batch-major.
 func (s *Negative) Sample(batch []graph.ID, n int) []graph.ID {
-	out := make([]graph.ID, 0, len(batch)*n)
+	return s.AppendSample(make([]graph.ID, 0, len(batch)*n), batch, n)
+}
+
+// AppendSample is Sample into a caller-owned buffer (appended and returned),
+// with a draw sequence identical to Sample's; recycled mini-batch buffers
+// make steady-state negative sampling allocation-free.
+func (s *Negative) AppendSample(dst []graph.ID, batch []graph.ID, n int) []graph.ID {
 	for _, v := range batch {
 		for i := 0; i < n; i++ {
-			out = append(out, s.drawAvoiding(v))
+			dst = append(dst, s.drawAvoiding(v))
 		}
 	}
-	return out
+	return dst
 }
 
 // SampleAvoiding draws n negatives avoiding every vertex in the exclusion

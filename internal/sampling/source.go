@@ -40,6 +40,70 @@ type BatchSampler interface {
 // requested from a Source that does not implement BatchSampler.
 var ErrWeightedUnsupported = errors.New("sampling: weighted draws require a Source implementing BatchSampler")
 
+// EpochSpan accumulates the min/max update epochs observed in the replies
+// that served a unit of work (one mini-batch). Distributed sources stamp
+// every sampling reply with the serving shard's update epoch; a span whose
+// bounds differ saw shards at different update generations — the
+// mixed-epoch condition that snapshot-consistent training must detect.
+// The zero EpochSpan is empty.
+type EpochSpan struct {
+	Min, Max uint64
+	Seen     bool
+}
+
+// Observe folds one reply epoch into the span.
+func (s *EpochSpan) Observe(e uint64) {
+	if !s.Seen {
+		s.Min, s.Max, s.Seen = e, e, true
+		return
+	}
+	if e < s.Min {
+		s.Min = e
+	}
+	if e > s.Max {
+		s.Max = e
+	}
+}
+
+// Merge folds another span into s.
+func (s *EpochSpan) Merge(o EpochSpan) {
+	if !o.Seen {
+		return
+	}
+	s.Observe(o.Min)
+	s.Observe(o.Max)
+}
+
+// Reset empties the span.
+func (s *EpochSpan) Reset() { *s = EpochSpan{} }
+
+// Mixed reports whether the span saw more than one update epoch: the batch
+// mixes pre- and post-update draws (or shards at different generations) and
+// is not snapshot-consistent.
+func (s EpochSpan) Mixed() bool { return s.Seen && s.Min != s.Max }
+
+// EpochedSource is an optional Source capability for backends whose replies
+// are stamped with update epochs. EpochView returns a private view of the
+// source for one consumer (e.g. one pipeline worker): the view serves the
+// same data but records the epochs it observes, so concurrent consumers of
+// a shared source each get a per-batch span without synchronization.
+type EpochedSource interface {
+	Source
+	EpochView() EpochView
+}
+
+// EpochView is a single-consumer Source view that records observed reply
+// epochs. Views are not safe for concurrent use; the source behind them is.
+// Views of epoched sources that also implement BatchSampler implement it
+// too, preserving the server-side fixed-width draw path.
+type EpochView interface {
+	Source
+	// Span returns the epochs observed since the last ResetSpan.
+	Span() EpochSpan
+	// ResetSpan empties the view's span (called between mini-batches).
+	ResetSpan()
+}
+
 // GraphSource serves neighbors from an in-memory graph. It implements both
 // Source and BatchSampler; weighted draws go through a lazily built
 // per-edge-type AliasIndex that is shared, immutable once built, and safe
