@@ -34,12 +34,23 @@
 // training. Cluster workers start graph-free: the partition assignment and
 // schema come from the servers' Bootstrap RPC, hot neighbor lists from the
 // pluggable neighbor cache, and hot attribute rows from a client-side LRU
-// (TrainConfig.AttrCache). Every sampling reply carries the shard's update
-// epoch, and each mini-batch records the span it observed, so batches that
-// straddle a dynamic update are detectable.
+// (TrainConfig.AttrCache, invalidated by attribute epoch).
+//
+// Underneath the cluster storage layer sits internal/version, a
+// multi-version snapshot store: each server holds an immutable base
+// adjacency plus per-epoch delta overlays in a bounded ring with
+// lease-based GC, so ServeUpdate batches apply atomically as new epochs
+// while in-flight readers keep their snapshots. Batch producers pin the
+// snapshot current at schedule time (Lease/Release RPCs behind
+// sampling.PinSource) and every stage of a mini-batch reads it, which
+// makes MiniBatch.Epochs.Mixed() an invariant violation rather than a
+// detector — training on a live, streaming graph stays
+// snapshot-consistent. Trainer.StreamUpdates (and aligraph-train -stream)
+// interleaves a live UpdateFeed with training batches on that machinery.
 //
 // See examples/ for runnable end-to-end programs; examples/distributed
-// trains GraphSAGE against net/rpc shards.
+// trains GraphSAGE against net/rpc shards while streaming updates into
+// them.
 package aligraph
 
 import (
@@ -218,17 +229,30 @@ func DefaultTrainConfig() TrainConfig {
 // Trainer wraps the Algorithm 1 encoder with the unsupervised
 // link-prediction objective.
 type Trainer struct {
-	inner *core.LinkTrainer
-	pl    *core.Pipeline // non-nil when prefetching is enabled
+	inner  *core.LinkTrainer
+	pl     *core.Pipeline     // non-nil when prefetching is enabled
+	stream *core.StreamSource // non-nil when StreamUpdates installed a feed
+	// releasePins, set on cluster trainers, drops the client's idle
+	// snapshot leases so a finished training session does not pin an epoch
+	// on long-running servers forever.
+	releasePins func()
 }
 
-// Close stops the prefetch pipeline, if one is running. Idempotent; safe on
-// trainers without a pipeline.
+// Close stops the batch producers (the stream source's inner pipeline, or
+// the bare pipeline) and releases the session's idle snapshot leases.
+// Idempotent; safe on trainers without either.
 func (t *Trainer) Close() error {
-	if t.pl != nil {
-		return t.pl.Close()
+	var err error
+	switch {
+	case t.stream != nil:
+		err = t.stream.Close()
+	case t.pl != nil:
+		err = t.pl.Close()
 	}
-	return nil
+	if t.releasePins != nil {
+		t.releasePins()
+	}
+	return err
 }
 
 // withPipeline installs a prefetching source when cfg asks for one.
@@ -381,9 +405,10 @@ func (f *clusterAttrFeatures) Rows(t *nn.Tape, vs []ID) *nn.Node {
 func (f *clusterAttrFeatures) Params() []*nn.Param { return nil }
 
 // PrefetchAttrs implements core.PrefetchingFeatures; safe for concurrent
-// use (the fetcher is).
-func (f *clusterAttrFeatures) PrefetchAttrs(vs []ID, into map[ID][]float64) error {
-	attrs, err := f.fetch.Attrs(vs)
+// use (the fetcher is). Pinned batches read their snapshot's attribute
+// rows.
+func (f *clusterAttrFeatures) PrefetchAttrs(vs []ID, pin *sampling.Pin, into map[ID][]float64) error {
+	attrs, err := f.fetch.AttrsAt(vs, pin)
 	if err != nil {
 		return err
 	}
@@ -424,7 +449,35 @@ func (p *ClusterPlatform) NewGraphSAGE(cfg TrainConfig) (*Trainer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("aligraph: cluster trainer: %w", err)
 	}
-	return withPipeline(&Trainer{inner: inner}, cfg), nil
+	return withPipeline(&Trainer{inner: inner, releasePins: p.Client.ReleaseIdlePins}, cfg), nil
+}
+
+// UpdateFeed supplies live graph mutations to a streaming trainer; see
+// core.UpdateFeed and cluster.UpdateStream.
+type UpdateFeed = core.UpdateFeed
+
+// StreamConfig tunes how a streaming trainer interleaves updates with
+// training batches.
+type StreamConfig = core.StreamConfig
+
+// NewUpdateStream creates the platform's live-update feed: Push (or
+// PushEdges) mutation batches onto it from any goroutine, and a trainer
+// with StreamUpdates installed applies them between training batches.
+func (p *ClusterPlatform) NewUpdateStream() *cluster.UpdateStream {
+	return cluster.NewUpdateStream(p.Client.T)
+}
+
+// StreamUpdates turns the trainer into a live-graph trainer: pending update
+// batches from feed are applied between training batches (cfg controls the
+// cadence), training reads keep their per-batch snapshot pins, and every
+// completed batch remains snapshot-consistent while the graph changes
+// underneath. Call before training starts. Returns the installed stream
+// source (its Applied counter reports ingest progress).
+func (t *Trainer) StreamUpdates(feed UpdateFeed, cfg StreamConfig) *core.StreamSource {
+	ss := core.NewStreamSource(t.inner.Source(), feed, cfg)
+	t.inner.SetSource(ss)
+	t.stream = ss
+	return ss
 }
 
 // Train runs steps mini-batches and returns the per-step losses.

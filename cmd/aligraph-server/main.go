@@ -3,10 +3,13 @@
 // keeps the shard selected by -part, and serves the batched RPC surface —
 // Neighbors/Attrs fetches plus the sampling RPCs behind distributed
 // training (SampleNeighbors fixed-width draws with server-side weighted
-// alias tables, SampleEdges, NegativePool, Stats) — until interrupted. A
-// full cluster is one aligraph-server process per partition; clients dial
-// all of them (`aligraph-train -cluster`, or see examples/distributed for
-// the in-process equivalent).
+// alias tables, SampleEdges, NegativePool, Stats), the Update RPC applying
+// atomic live mutation batches onto the shard's multi-version snapshot
+// store, and the Lease/Release RPCs that let training clients pin a
+// consistent epoch while updates stream in — until interrupted. A full
+// cluster is one aligraph-server process per partition; clients dial all
+// of them (`aligraph-train -cluster [-stream]`, or see
+// examples/distributed for the in-process equivalent).
 //
 // Usage:
 //

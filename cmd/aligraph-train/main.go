@@ -11,18 +11,26 @@
 // the optimizer on parallel workers, overlapping graph-service latency with
 // the forward/backward pass.
 //
+// With -stream (cluster mode only) the trainer trains on a live, changing
+// graph: synthetic edge-update batches are interleaved with training
+// batches through the streaming BatchSource, each applied batch advances
+// the owning shard's epoch, and every training batch stays pinned to one
+// consistent snapshot while the updates land.
+//
 // Usage:
 //
 //	aligraph-train -demo -steps 300 -out embeddings.tsv
 //	aligraph-train -vertices v.tsv -edges e.tsv \
 //	    -vertex-types user,item -edge-types click,buy -dim 64 -out emb.tsv
 //	aligraph-train -cluster 127.0.0.1:7701,127.0.0.1:7702 -prefetch 4 -steps 300
+//	aligraph-train -cluster 127.0.0.1:7701,127.0.0.1:7702 -stream -prefetch 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"strings"
 	"time"
@@ -53,8 +61,14 @@ func main() {
 		cacheFrac    = flag.Float64("cache", 0.2, "LRU neighbor-cached vertex fraction (cluster mode)")
 		prefetch     = flag.Int("prefetch", 0, "mini-batches assembled ahead of the optimizer (0 = synchronous)")
 		prefetchWrk  = flag.Int("prefetch-workers", 2, "parallel batch-assembly goroutines when -prefetch > 0")
+		stream       = flag.Bool("stream", false, "interleave synthetic live edge updates with training (cluster mode)")
+		streamBatch  = flag.Int("stream-batch", 8, "edges per synthetic update batch with -stream")
+		streamSeed   = flag.Int64("stream-seed", 7, "randomness seed for -stream update generation")
 	)
 	flag.Parse()
+	if *stream && *clusterAddrs == "" {
+		log.Fatal("-stream requires -cluster (live updates need graph servers)")
+	}
 
 	cfg := aligraph.DefaultTrainConfig()
 	cfg.Dim = *dim
@@ -90,6 +104,33 @@ func main() {
 		trainer, err = cp.NewGraphSAGE(cfg)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *stream {
+			// Live training: queue one synthetic edge-update batch per
+			// training step (random edges of the trained type between
+			// random vertices, routed to their owning shards) and drain
+			// them between batches. Every applied batch advances its
+			// shard's epoch; the trainer's per-batch snapshot pins keep
+			// each mini-batch consistent regardless.
+			feed := cp.NewUpdateStream()
+			srng := rand.New(rand.NewSource(*streamSeed))
+			for i := 0; i < *steps; i++ {
+				add := make([]cluster.RawEdge, 0, *streamBatch)
+				for j := 0; j < *streamBatch; j++ {
+					add = append(add, cluster.RawEdge{
+						Src:    aligraph.ID(srng.Intn(numVertices)),
+						Dst:    aligraph.ID(srng.Intn(numVertices)),
+						Type:   aligraph.EdgeType(*edgeType),
+						Weight: 1,
+					})
+				}
+				feed.PushEdges(assign, add, nil, nil)
+			}
+			ss := trainer.StreamUpdates(feed, aligraph.StreamConfig{MaxPerTick: assign.P})
+			fmt.Printf("stream: queued %d update batches (%d edges per step)\n", feed.Pending(), *streamBatch)
+			defer func() {
+				fmt.Printf("stream: applied %d update batches during training\n", ss.Applied())
+			}()
 		}
 	} else {
 		var g *aligraph.Graph

@@ -2,13 +2,16 @@
 // Taobao-sim graph with METIS, serve each partition from a graph server
 // over real net/rpc on loopback TCP, compare multi-hop neighborhood access
 // with and without importance-based caching (the Figure 9 experiment on a
-// live cluster), then train GraphSAGE end to end against the shards: the
+// live cluster), then train GraphSAGE on a LIVE, CHANGING graph: the
 // training worker bootstraps graph-free (assignment and schema from the
-// Bootstrap RPC), every TRAVERSE edge batch, NEGATIVE pool, NEIGHBORHOOD
-// expansion (batched SampleNeighbors RPCs, at most one per owning server
-// per hop) and attribute fetch crosses the wire, and a prefetch pipeline
-// assembles mini-batches ahead of the optimizer so RPC latency overlaps
-// the forward/backward pass.
+// Bootstrap RPC), a prefetch pipeline assembles mini-batches ahead of the
+// optimizer, and a feeder goroutine streams edge insertions, deletions and
+// attribute rewrites into the shards the whole time. Each applied update
+// batch becomes a new epoch of the servers' multi-version snapshot store;
+// every training batch pins the snapshot current when it was scheduled, so
+// its TRAVERSE draw, all three neighborhood expansions and the attribute
+// prefetch read one consistent graph even mid-update — the training loop
+// never sees a mixed-epoch batch.
 //
 // Run with: go run ./examples/distributed [-parts 2] [-scale 0.05] [-steps 60]
 package main
@@ -18,11 +21,13 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
 	"time"
 
 	aligraph "repro"
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/storage"
 )
@@ -90,10 +95,10 @@ func main() {
 	fmt.Println("\nCaching the out-neighborhoods of high-Imp^(k) vertices removes the")
 	fmt.Println("most-travelled remote hops — the paper's Figure 9 on a live cluster.")
 
-	// End-to-end distributed GraphSAGE: the worker never touches the local
-	// graph — its partition assignment and schema come from the cluster's
-	// Bootstrap RPC — and a depth-4 pipeline assembles batches ahead of the
-	// optimizer over the batch-first Source seam.
+	// Live-training demo: the worker never touches the local graph — its
+	// partition assignment and schema come from the cluster's Bootstrap RPC
+	// — a depth-4 pipeline assembles pinned batches ahead of the optimizer,
+	// and a feeder goroutine streams updates into the shards throughout.
 	bassign, schema, err := cluster.Bootstrap(tr, 0)
 	if err != nil {
 		log.Fatal(err)
@@ -111,10 +116,65 @@ func main() {
 		log.Fatal(err)
 	}
 	defer trainer.Close()
-	fmt.Printf("training GraphSAGE over %d RPC shards (%d steps, batch %d, prefetch depth %d)...\n",
+
+	// The live feed: a producer goroutine pushes update batches — new click
+	// edges between random users and items, deletions of edges it added
+	// earlier, and attribute rewrites — while training consumes them
+	// between batches.
+	feed := cp.NewUpdateStream()
+	stop := make(chan struct{})
+	var feederWG sync.WaitGroup
+	n := len(bassign.Of)
+	feederWG.Add(1)
+	go func() {
+		defer feederWG.Done()
+		frng := rand.New(rand.NewSource(42))
+		var recent []cluster.RawEdge
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			add := make([]cluster.RawEdge, 0, 4)
+			for j := 0; j < 4; j++ {
+				e := cluster.RawEdge{
+					Src:    graph.ID(frng.Intn(n)),
+					Dst:    graph.ID(frng.Intn(n)),
+					Type:   0,
+					Weight: 1 + frng.Float64(),
+				}
+				add = append(add, e)
+				recent = append(recent, e)
+			}
+			var remove []cluster.RawEdge
+			if len(recent) > 64 { // retire old insertions: deletions stream too
+				remove = append(remove, recent[0])
+				recent = recent[1:]
+			}
+			var attrs []cluster.AttrUpdate
+			if frng.Intn(4) == 0 { // occasional attribute rewrite
+				// Rewrite a perturbed copy of the vertex's real row so the
+				// replacement keeps the schema's attribute dimensionality.
+				v := graph.ID(frng.Intn(n))
+				row := append([]float64(nil), g.VertexAttr(v)...)
+				if len(row) > 0 {
+					row[frng.Intn(len(row))] = frng.Float64()
+				}
+				attrs = append(attrs, cluster.AttrUpdate{V: v, Attr: row})
+			}
+			feed.PushEdges(bassign, add, remove, attrs)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	ss := trainer.StreamUpdates(feed, aligraph.StreamConfig{MaxPerTick: bassign.P})
+
+	fmt.Printf("training GraphSAGE over %d RPC shards on a LIVE graph (%d steps, batch %d, prefetch depth %d)...\n",
 		*parts, *steps, cfg.Batch, cfg.Pipeline.Depth)
 	start := time.Now()
 	losses, err := trainer.Train(*steps)
+	close(stop)
+	feederWG.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -130,10 +190,19 @@ func main() {
 	last := avg(losses[len(losses)-window:])
 	fmt.Printf("trained in %v: loss %.4f -> %.4f\n",
 		time.Since(start).Round(time.Millisecond), first, last)
-	if last >= first {
-		log.Fatalf("distributed training did not reduce the loss (%.4f -> %.4f)", first, last)
+	fmt.Printf("live updates applied during training: %d batches; server epochs now:", ss.Applied())
+	for i, s := range servers {
+		fmt.Printf(" shard%d=%d", i, s.UpdateEpoch())
 	}
-	fmt.Println("distributed GraphSAGE converges against live RPC shards.")
+	fmt.Println()
+	if last >= first {
+		log.Fatalf("live distributed training did not reduce the loss (%.4f -> %.4f)", first, last)
+	}
+	if ss.Applied() == 0 {
+		log.Fatal("the update feed applied nothing: the demo was not live")
+	}
+	fmt.Println("distributed GraphSAGE converges while the graph changes underneath —")
+	fmt.Println("every mini-batch reads one pinned snapshot epoch, updates land between batches.")
 }
 
 func avg(xs []float64) float64 {

@@ -44,7 +44,7 @@ func (s *Server) SetBootstrap(a *partition.Assignment, schema *graph.Schema) {
 			reply.EdgeTypes = append(reply.EdgeTypes, schema.EdgeTypeName(graph.EdgeType(t)))
 		}
 	} else {
-		for t := 0; t < len(s.adj); t++ {
+		for t := 0; t < s.store.NumEdgeTypes(); t++ {
 			reply.EdgeTypes = append(reply.EdgeTypes, fmt.Sprintf("edge%d", t))
 		}
 		reply.VertexTypes = []string{"vertex"}

@@ -34,6 +34,10 @@ type Client struct {
 	// cannot (static caches), SampleBatch skips requesting admission lists.
 	cacheAdmits bool
 
+	// pins manages the shared, reference-counted epoch pin (see pin.go);
+	// Client implements sampling.PinSource with it.
+	pins *pinManager
+
 	statsMu sync.Mutex
 	stats   []StatsReply // nil until a full fetch succeeds
 }
@@ -47,7 +51,7 @@ func NewClient(a *partition.Assignment, t Transport, cache storage.NeighborCache
 	if ad, ok := cache.(storage.Admitter); ok {
 		admits = ad.Admits()
 	}
-	return &Client{Assign: a, T: t, Cache: cache, cacheAdmits: admits}
+	return &Client{Assign: a, T: t, Cache: cache, cacheAdmits: admits, pins: newPinManager(a.P)}
 }
 
 // Neighbors returns the out-neighbors of v under edge type t, from cache if
@@ -71,10 +75,36 @@ func (c *Client) Neighbors(v graph.ID, t graph.EdgeType) ([]graph.ID, error) {
 // hits skip the network entirely, and the misses cost at most one RPC per
 // owning server.
 func (c *Client) NeighborsBatch(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType) error {
-	return c.neighborsBatchSpan(dst, vs, t, nil)
+	return c.neighborsBatchSpan(dst, vs, t, nil, nil)
 }
 
-func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType, span *sampling.EpochSpan) error {
+// observe folds one reply's epoch bookkeeping: the head feeds the pin
+// manager's staleness detection, the attr head feeds attribute-cache
+// invalidation, and the span records either the pin's stamp (pinned reads:
+// single-valued by construction, so Mixed() stays an invariant) or the
+// epoch the shard served.
+func (c *Client) observe(part int, span *sampling.EpochSpan, pin *sampling.Pin, epoch, head, attrHead uint64) {
+	c.pins.noteHead(part, head, attrHead)
+	if span == nil {
+		return
+	}
+	if pin != nil {
+		span.Observe(pin.Stamp)
+	} else {
+		span.Observe(epoch)
+	}
+}
+
+// pinFields returns the request pin fields for an optionally pinned call to
+// part.
+func pinFields(pin *sampling.Pin, part int) (epoch uint64, pinned bool) {
+	if pin == nil {
+		return 0, false
+	}
+	return pin.Epochs[part], true
+}
+
+func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType, pin *sampling.Pin, span *sampling.EpochSpan) error {
 	if len(dst) != len(vs) {
 		return fmt.Errorf("cluster: NeighborsBatch dst length %d, want %d", len(dst), len(vs))
 	}
@@ -96,12 +126,12 @@ func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.Edg
 	// Pass 2: one request per server, stitched back through the dedup map.
 	for p, batch := range subBatch {
 		var reply NeighborsReply
-		if err := c.T.Neighbors(p, NeighborsRequest{Vertices: batch, EdgeType: t}, &reply); err != nil {
+		req := NeighborsRequest{Vertices: batch, EdgeType: t}
+		req.Pin, req.Pinned = pinFields(pin, p)
+		if err := c.T.Neighbors(p, req, &reply); err != nil {
 			return err
 		}
-		if span != nil {
-			span.Observe(reply.Epoch)
-		}
+		c.observe(p, span, pin, reply.Epoch, reply.Head, reply.AttrHead)
 		for j, v := range batch {
 			res[v] = reply.Neighbors[j]
 			c.Cache.Observe(v, t, 1, reply.Neighbors[j])
@@ -133,10 +163,10 @@ func (c *Client) BatchNeighbors(vs []graph.ID, t graph.EdgeType) ([][]graph.ID, 
 // come back as full (short) lists, which are drawn locally and admitted to
 // the cache, so replacing caches warm up under a pure training workload.
 func (c *Client) SampleBatch(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64) error {
-	return c.sampleBatchSpan(dst, vs, t, width, byWeight, seed, nil)
+	return c.sampleBatchSpan(dst, vs, t, width, byWeight, seed, nil, nil)
 }
 
-func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64, span *sampling.EpochSpan) error {
+func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64, pin *sampling.Pin, span *sampling.EpochSpan) error {
 	if len(dst) != len(vs)*width {
 		return fmt.Errorf("cluster: SampleBatch dst length %d, want %d", len(dst), len(vs)*width)
 	}
@@ -186,6 +216,7 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 			WantLists: c.cacheAdmits,
 			Seed:      rng.Uint64(),
 		}
+		req.Pin, req.Pinned = pinFields(pin, p)
 		for _, j := range js {
 			req.Vertices = append(req.Vertices, uniq[j])
 			req.Counts = append(req.Counts, len(occs[j]))
@@ -194,9 +225,7 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 		if err := c.T.SampleNeighbors(p, req, &reply); err != nil {
 			return err
 		}
-		if span != nil {
-			span.Observe(reply.Epoch)
-		}
+		c.observe(p, span, pin, reply.Epoch, reply.Head, reply.AttrHead)
 		if len(reply.Lists) != 0 && len(reply.Lists) != len(js) {
 			return fmt.Errorf("cluster: server %d returned %d lists for %d vertices", p, len(reply.Lists), len(js))
 		}
@@ -268,14 +297,17 @@ func (c *Client) clusterStats(refresh bool) ([]StatsReply, error) {
 // type-t edge counts, then each contributing server answers one SampleEdges
 // RPC. This is the distributed TRAVERSE sampler.
 func (c *Client) SampleEdges(t graph.EdgeType, n int, seed uint64) ([]graph.Edge, error) {
-	return c.AppendSampleEdges(nil, t, n, seed, nil)
+	return c.AppendSampleEdges(nil, t, n, seed, nil, nil)
 }
 
-// AppendSampleEdges is SampleEdges into a caller-owned buffer, recording
-// the update epoch of every contributing server's reply into span (nil to
-// skip). Batch sources use it to stamp MiniBatches with the epochs their
-// TRAVERSE stage observed.
-func (c *Client) AppendSampleEdges(dst []graph.Edge, t graph.EdgeType, n int, seed uint64, span *sampling.EpochSpan) ([]graph.Edge, error) {
+// AppendSampleEdges is SampleEdges into a caller-owned buffer, reading the
+// pinned snapshot when pin is non-nil and recording what each contributing
+// server's reply observed into span (nil to skip). Batch sources use it to
+// stamp MiniBatches with the epochs their TRAVERSE stage saw. The
+// cross-server batch split uses the (head-epoch) stats counters even under
+// a pin — a load-spreading heuristic; each server's own draw is exactly
+// uniform over its pinned edge set.
+func (c *Client) AppendSampleEdges(dst []graph.Edge, t graph.EdgeType, n int, seed uint64, pin *sampling.Pin, span *sampling.EpochSpan) ([]graph.Edge, error) {
 	stats, err := c.clusterStats(false)
 	if err != nil {
 		return nil, err
@@ -313,13 +345,13 @@ func (c *Client) AppendSampleEdges(dst []graph.Edge, t graph.EdgeType, n int, se
 		if k == 0 {
 			continue
 		}
+		req := EdgesRequest{EdgeType: t, Count: k, Seed: rng.Uint64()}
+		req.Pin, req.Pinned = pinFields(pin, p)
 		var reply EdgesReply
-		if err := c.T.SampleEdges(p, EdgesRequest{EdgeType: t, Count: k, Seed: rng.Uint64()}, &reply); err != nil {
+		if err := c.T.SampleEdges(p, req, &reply); err != nil {
 			return nil, err
 		}
-		if span != nil {
-			span.Observe(reply.Epoch)
-		}
+		c.observe(p, span, pin, reply.Epoch, reply.Head, reply.AttrHead)
 		for i := range reply.Src {
 			edges = append(edges, graph.Edge{Src: reply.Src[i], Dst: reply.Dst[i], Type: t, Weight: reply.Weight[i]})
 		}
@@ -354,8 +386,20 @@ func (c *Client) NegativePool(t graph.EdgeType) ([]graph.ID, []float64, error) {
 }
 
 // Attrs fetches attribute vectors for a batch of vertices with per-server
-// sub-batching and duplicate elimination.
+// sub-batching and duplicate elimination, at the head epoch.
 func (c *Client) Attrs(vs []graph.ID) ([][]float64, error) {
+	return c.AttrsAt(vs, nil)
+}
+
+// AttrsAt is Attrs reading the pinned snapshot when pin is non-nil.
+func (c *Client) AttrsAt(vs []graph.ID, pin *sampling.Pin) ([][]float64, error) {
+	return c.attrsObserve(vs, pin, nil)
+}
+
+// attrsObserve is the attrs fetch core: note (nil to skip) receives each
+// contributing server's partition and attribute epoch, which AttrCache uses
+// for epoch-based invalidation.
+func (c *Client) attrsObserve(vs []graph.ID, pin *sampling.Pin, note func(part int, attrEpoch uint64)) ([][]float64, error) {
 	out := make([][]float64, len(vs))
 	res := make(map[graph.ID][]float64, len(vs))
 	subBatch := make(map[int][]graph.ID)
@@ -369,8 +413,14 @@ func (c *Client) Attrs(vs []graph.ID) ([][]float64, error) {
 	}
 	for p, batch := range subBatch {
 		var reply AttrsReply
-		if err := c.T.Attrs(p, AttrsRequest{Vertices: batch}, &reply); err != nil {
+		req := AttrsRequest{Vertices: batch}
+		req.Pin, req.Pinned = pinFields(pin, p)
+		if err := c.T.Attrs(p, req, &reply); err != nil {
 			return nil, err
+		}
+		c.observe(p, nil, pin, reply.Epoch, reply.Head, reply.AttrHead)
+		if note != nil {
+			note(p, reply.AttrEpoch)
 		}
 		for j, v := range batch {
 			res[v] = reply.Attrs[j]
@@ -429,9 +479,12 @@ func (c *Client) MultiHop(v graph.ID, t graph.EdgeType, k int) ([][]graph.ID, er
 
 // epochView is a single-consumer view of a shared Client that records the
 // update epochs stamped on the replies it triggers. Pipeline workers each
-// hold one, so a MiniBatch's epoch span costs no synchronization.
+// hold one, so a MiniBatch's epoch span costs no synchronization. With a
+// pin set, every request through the view reads the pinned snapshot and
+// the span records the pin's stamp.
 type epochView struct {
 	c    *Client
+	pin  *sampling.Pin
 	span sampling.EpochSpan
 }
 
@@ -440,13 +493,13 @@ func (c *Client) EpochView() sampling.EpochView { return &epochView{c: c} }
 
 // NeighborsBatch implements sampling.Source.
 func (v *epochView) NeighborsBatch(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType) error {
-	return v.c.neighborsBatchSpan(dst, vs, t, &v.span)
+	return v.c.neighborsBatchSpan(dst, vs, t, v.pin, &v.span)
 }
 
 // SampleBatch implements sampling.BatchSampler, preserving the server-side
 // fixed-width draw path through the view.
 func (v *epochView) SampleBatch(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64) error {
-	return v.c.sampleBatchSpan(dst, vs, t, width, byWeight, seed, &v.span)
+	return v.c.sampleBatchSpan(dst, vs, t, width, byWeight, seed, v.pin, &v.span)
 }
 
 // Span implements sampling.EpochView.
@@ -454,6 +507,9 @@ func (v *epochView) Span() sampling.EpochSpan { return v.span }
 
 // ResetSpan implements sampling.EpochView.
 func (v *epochView) ResetSpan() { v.span.Reset() }
+
+// SetPin implements sampling.EpochView.
+func (v *epochView) SetPin(p *sampling.Pin) { v.pin = p }
 
 // sortIDs sorts vertex IDs ascending.
 func sortIDs(ids []graph.ID) {

@@ -77,9 +77,11 @@ func TestEpochViewDetectsMixedEpochs(t *testing.T) {
 	_ = g
 }
 
-// MiniBatches assembled over a cluster environment carry the epoch span of
-// everything they observed — the TRAVERSE edge draw and every NEIGHBORHOOD
-// hop — so mixed-epoch batches are detectable at the training loop.
+// MiniBatches assembled over a cluster environment are pinned to one
+// snapshot at assembly time: every batch — even one whose assembly
+// straddles an update landing on one shard — reports a single-valued epoch
+// span (Mixed() is an invariant violation now, not a detector), and the
+// pin advances once the update is observed.
 func TestMiniBatchEpochStamping(t *testing.T) {
 	_, a, servers := splitServers(t, 200)
 	tr := NewLocalTransport(servers, 0, 0)
@@ -98,23 +100,48 @@ func TestMiniBatchEpochStamping(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !mb.Epochs.Seen || mb.Epochs.Mixed() {
-		t.Fatalf("fresh-cluster batch span = %+v, want unmixed epoch 0", mb.Epochs)
+		t.Fatalf("fresh-cluster batch span = %+v, want single-valued", mb.Epochs)
+	}
+	if mb.Pin == nil || len(mb.Pin.Epochs) != a.P {
+		t.Fatalf("batch not pinned: %+v", mb.Pin)
+	}
+	firstStamp := mb.Epochs.Min
+	if mb.Pin.Epochs[0] != 0 || mb.Pin.Epochs[1] != 0 {
+		t.Fatalf("fresh cluster pin epochs = %v, want [0 0]", mb.Pin.Epochs)
 	}
 	src.Recycle(mb)
 
+	// An update lands on shard 1 only: the shards now sit at different
+	// update generations — the regime that used to produce mixed batches.
 	src1 := servers[1].LocalVertices()[0]
 	var reply UpdateReply
 	if err := servers[1].ServeUpdate(UpdateRequest{Add: []RawEdge{{Src: src1, Dst: 0, Type: 0, Weight: 1}}}, &reply); err != nil {
 		t.Fatal(err)
 	}
-	mb, err = src.Next()
-	if err != nil {
-		t.Fatal(err)
+	// The first post-update batch may still read the old pin (the update is
+	// only observable through reply heads); drive a couple of batches and
+	// require every one single-valued, with the pin eventually advancing to
+	// the new snapshot.
+	sawNewPin := false
+	for i := 0; i < 3; i++ {
+		mb, err = src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mb.Epochs.Seen || mb.Epochs.Mixed() {
+			t.Fatalf("post-update batch %d span = %+v, want single-valued", i, mb.Epochs)
+		}
+		if mb.Pin.Epochs[1] == 1 {
+			sawNewPin = true
+			if mb.Epochs.Min == firstStamp {
+				t.Fatalf("re-pinned batch kept the old stamp %d", firstStamp)
+			}
+		}
+		src.Recycle(mb)
 	}
-	if !mb.Epochs.Mixed() {
-		t.Fatalf("post-update batch span = %+v, want mixed", mb.Epochs)
+	if !sawNewPin {
+		t.Fatal("pin never advanced to the post-update snapshot")
 	}
-	src.Recycle(mb)
 }
 
 // The Bootstrap RPC serves everything a graph-free worker needs: the

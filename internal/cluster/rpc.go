@@ -167,6 +167,21 @@ func (t *RPCTransport) Bootstrap(part int, req BootstrapRequest, reply *Bootstra
 	return t.call(part, "Graph.Bootstrap", req, reply)
 }
 
+// Update implements Transport.
+func (t *RPCTransport) Update(part int, req UpdateRequest, reply *UpdateReply) error {
+	return t.call(part, "Graph.Update", req, reply)
+}
+
+// Lease implements Transport.
+func (t *RPCTransport) Lease(part int, req LeaseRequest, reply *LeaseReply) error {
+	return t.call(part, "Graph.Lease", req, reply)
+}
+
+// Release implements Transport.
+func (t *RPCTransport) Release(part int, req ReleaseRequest, reply *ReleaseReply) error {
+	return t.call(part, "Graph.Release", req, reply)
+}
+
 // Close implements Transport.
 func (t *RPCTransport) Close() error {
 	var first error

@@ -1,11 +1,14 @@
 // Package cluster implements AliGraph's distributed runtime: graph servers
 // each holding one partition (edges live with their source vertex, Section
-// 3.3), a routing client that implements the batch-first sampling.Source
-// seam (hub dedup, one stitched sub-batch per owning server, pluggable
-// neighbor cache per Section 3.2, server-side fixed-width SampleNeighbors
-// draws), a Transport abstraction with an in-memory implementation (with
-// simulated network latency, for deterministic benchmarks) and a real
-// net/rpc implementation over TCP, and the parallel graph-building pipeline
+// 3.3) on a multi-version snapshot store (internal/version), a routing
+// client that implements the batch-first sampling.Source seam (hub dedup,
+// one stitched sub-batch per owning server, pluggable neighbor cache per
+// Section 3.2, server-side fixed-width SampleNeighbors draws) and its
+// epoch-pinning capability (Lease/Release RPCs let a training batch read
+// one consistent snapshot across every shard while updates stream in), a
+// Transport abstraction with an in-memory implementation (with simulated
+// network latency, for deterministic benchmarks) and a real net/rpc
+// implementation over TCP, and the parallel graph-building pipeline
 // evaluated in Figure 7.
 package cluster
 
@@ -16,153 +19,110 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/sampling"
+	"repro/internal/version"
 )
 
-// Server is one graph server: it stores the adjacency lists of the vertices
-// assigned to it, plus their attributes. Neighbor lists reference global
-// vertex IDs; a destination may live on another server.
+// Server is one graph server: it stores the adjacency lists and attributes
+// of the vertices assigned to it in a multi-version snapshot store.
+// Neighbor lists reference global vertex IDs; a destination may live on
+// another server.
+//
+// Every sampling RPC either reads the head epoch (stamping the reply with
+// it) or, when the request carries a pin, the exact epoch the client
+// leased — so a mini-batch whose requests all pin one epoch observes one
+// consistent snapshot no matter how many ServeUpdate batches land
+// mid-flight. Updates never rewrite shared backing arrays in place: the
+// store is copy-on-write per touched vertex, and replies built from a view
+// stay valid after any number of concurrent updates.
 type Server struct {
 	ID int
 
-	mu    sync.RWMutex
-	adj   []map[graph.ID][]graph.ID // per edge type: local vertex -> out-neighbors
-	wts   []map[graph.ID][]float64
-	attrs map[graph.ID][]float64
-	local []graph.ID // sorted local vertex IDs
+	store *version.Store
 
-	// epoch counts the update batches applied since the server was sealed
-	// (ServeUpdate increments it). Every sampling reply is stamped with it,
-	// so clients can tell when a mini-batch straddled an update: servers of
-	// a freshly built cluster all answer epoch 0, and a batch whose observed
-	// epochs span more than one value is not snapshot-consistent.
-	epoch uint64
-
+	mu sync.RWMutex
 	// boot, when set, answers the Bootstrap RPC: the global partition
 	// assignment and schema a worker needs to start without loading the
 	// graph locally.
 	boot *BootstrapReply
-
-	// Lazily built sampling indexes over the local adjacency, invalidated
-	// by structural updates. localPos maps a local vertex to its slot in
-	// wtAlias/degAlias, which are ordered like local at build time.
-	localPos map[graph.ID]int
-	wtAlias  []*sampling.AliasIndex // per edge type: weight-proportional neighbor draws
-	degAlias []*sampling.Alias      // per edge type: degree-proportional vertex draws
-	degPool  [][]graph.ID           // per edge type: vertex order backing degAlias
 }
 
 // NewServer creates an empty server for the given partition id and number of
-// edge types.
+// edge types, retaining version.DefaultRetain update epochs.
 func NewServer(id, numEdgeTypes int) *Server {
-	s := &Server{
-		ID:       id,
-		adj:      make([]map[graph.ID][]graph.ID, numEdgeTypes),
-		wts:      make([]map[graph.ID][]float64, numEdgeTypes),
-		attrs:    make(map[graph.ID][]float64),
-		wtAlias:  make([]*sampling.AliasIndex, numEdgeTypes),
-		degAlias: make([]*sampling.Alias, numEdgeTypes),
-		degPool:  make([][]graph.ID, numEdgeTypes),
-	}
-	for t := range s.adj {
-		s.adj[t] = make(map[graph.ID][]graph.ID)
-		s.wts[t] = make(map[graph.ID][]float64)
-	}
-	return s
+	return &Server{ID: id, store: version.NewStore(numEdgeTypes)}
 }
 
-// AddVertex registers a local vertex with its attributes.
-func (s *Server) AddVertex(v graph.ID, attr []float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.attrs[v]; !ok {
-		s.local = append(s.local, v)
-		s.localPos = nil // slot numbering changed; indexes keyed by it follow
-		for t := range s.wtAlias {
-			s.invalidateLocked(graph.EdgeType(t))
-		}
-	}
-	s.attrs[v] = attr
+// NewServerRetain is NewServer with an explicit epoch-retention window.
+func NewServerRetain(id, numEdgeTypes, retain int) *Server {
+	return &Server{ID: id, store: version.NewStoreRetain(numEdgeTypes, retain)}
 }
 
-// AddEdge appends an out-edge for local vertex src.
+// Store exposes the server's snapshot store (tests and tooling).
+func (s *Server) Store() *version.Store { return s.store }
+
+// AddVertex registers a local vertex with its attributes (loading phase,
+// before Seal).
+func (s *Server) AddVertex(v graph.ID, attr []float64) { s.store.AddVertex(v, attr) }
+
+// AddEdge appends an out-edge for local vertex src (loading phase, before
+// Seal).
 func (s *Server) AddEdge(src, dst graph.ID, t graph.EdgeType, w float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.adj[t][src] = append(s.adj[t][src], dst)
-	s.wts[t][src] = append(s.wts[t][src], w)
-	s.invalidateLocked(t)
+	s.store.AddEdge(src, dst, t, w)
 }
 
-// invalidateLocked drops the cached sampling indexes of edge type t; the
-// caller holds the write lock.
-func (s *Server) invalidateLocked(t graph.EdgeType) {
-	s.wtAlias[t] = nil
-	s.degAlias[t] = nil
-	s.degPool[t] = nil
-}
-
-// Seal sorts local vertex IDs; call once loading completes.
-func (s *Server) Seal() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sort.Slice(s.local, func(i, j int) bool { return s.local[i] < s.local[j] })
-	s.localPos = nil // slot numbering changed; indexes keyed by it follow
-	for t := range s.wtAlias {
-		s.invalidateLocked(graph.EdgeType(t))
-	}
-}
+// Seal freezes the loaded data as the immutable epoch-0 base; call once
+// loading completes. Subsequent mutation goes through ServeUpdate.
+func (s *Server) Seal() { s.store.Seal() }
 
 // NumLocalVertices reports how many vertices this server owns.
-func (s *Server) NumLocalVertices() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.local)
-}
+func (s *Server) NumLocalVertices() int { return s.store.NumVertices() }
 
-// NumLocalEdges reports how many out-edges this server stores.
+// NumLocalEdges reports how many out-edges this server stores at the head
+// epoch.
 func (s *Server) NumLocalEdges() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n := 0
-	for t := range s.adj {
-		for _, ns := range s.adj[t] {
-			n += len(ns)
-		}
+	view := s.store.HeadView()
+	n := int64(0)
+	for t := 0; t < s.store.NumEdgeTypes(); t++ {
+		n += view.EdgeCount(graph.EdgeType(t))
 	}
-	return n
+	return int(n)
 }
 
 // LocalVertices returns the sorted local vertex IDs (shared slice).
-func (s *Server) LocalVertices() []graph.ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.local
-}
+func (s *Server) LocalVertices() []graph.ID { return s.store.LocalVertices() }
 
 // Neighbors returns the out-neighbors and weights of local vertex v under
-// edge type t. ok is false when v is not local to this server.
+// edge type t at the head epoch. ok is false when v is not local.
 func (s *Server) Neighbors(v graph.ID, t graph.EdgeType) (ns []graph.ID, ws []float64, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, here := s.attrs[v]; !here {
-		return nil, nil, false
-	}
-	return s.adj[t][v], s.wts[t][v], true
+	return s.store.HeadView().Neighbors(v, t)
 }
 
-// UpdateEpoch reports how many update batches the server has applied.
-func (s *Server) UpdateEpoch() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.epoch
-}
+// UpdateEpoch reports how many update batches the server has applied (the
+// head epoch of its snapshot store).
+func (s *Server) UpdateEpoch() uint64 { return s.store.Head() }
 
-// Attr returns the attribute vector of local vertex v.
+// Attr returns the attribute vector of local vertex v at the head epoch.
 func (s *Server) Attr(v graph.ID) ([]float64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, ok := s.attrs[v]
-	return a, ok
+	return s.store.HeadView().Attr(v)
+}
+
+// view resolves the snapshot a request reads — the pinned epoch when the
+// request carries one (failing with the store's evicted/future error when
+// it is gone, which clients translate into a re-pin-and-retry), the head
+// otherwise — plus the head/attr-head stamps every reply carries. The
+// stamps come from one head view, so they are a consistent pair, and an
+// unpinned request costs a single lock acquisition total.
+func (s *Server) view(pinned bool, pin uint64) (view version.View, head, attrHead uint64, err error) {
+	hv := s.store.HeadView()
+	head, attrHead = hv.Epoch(), hv.AttrEpoch()
+	if !pinned {
+		return hv, head, attrHead, nil
+	}
+	view, err = s.store.At(pin)
+	if err != nil {
+		return version.View{}, 0, 0, fmt.Errorf("cluster: server %d: %w", s.ID, err)
+	}
+	return view, head, attrHead, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -170,55 +130,88 @@ func (s *Server) Attr(v graph.ID) ([]float64, bool) {
 
 // NeighborsRequest asks for the out-neighbors of a batch of vertices under
 // one edge type. Batching amortizes the per-call network cost; the client's
-// sub-batch stitching (Section 3.3) builds these.
+// sub-batch stitching (Section 3.3) builds these. Pinned requests read the
+// leased epoch Pin instead of the head.
 type NeighborsRequest struct {
 	Vertices []graph.ID
 	EdgeType graph.EdgeType
+	Pin      uint64
+	Pinned   bool
 }
 
 // NeighborsReply carries per-vertex neighbor and weight lists aligned with
-// the request order, stamped with the server's update epoch.
+// the request order. Epoch is the epoch served (the pin for pinned
+// requests); Head is the server's current head epoch, which clients use to
+// notice that their pin went stale; AttrHead is the newest epoch on this
+// server that rewrote any attribute row, which attribute caches use to
+// invalidate without ever issuing an extra RPC — the signal rides on every
+// sampling reply, so even a fully-hot attribute cache observes it.
 type NeighborsReply struct {
 	Neighbors [][]graph.ID
 	Weights   [][]float64
 	Epoch     uint64
+	Head      uint64
+	AttrHead  uint64
 }
 
-// AttrsRequest asks for the attribute vectors of a batch of vertices.
+// AttrsRequest asks for the attribute vectors of a batch of vertices,
+// optionally at a pinned epoch.
 type AttrsRequest struct {
 	Vertices []graph.ID
+	Pin      uint64
+	Pinned   bool
 }
 
-// AttrsReply carries attribute vectors aligned with the request.
+// AttrsReply carries attribute vectors aligned with the request. AttrEpoch
+// is the latest epoch <= the SERVED one that rewrote any attribute row
+// (the version of the returned rows); AttrHead is the server's newest
+// attribute-rewriting epoch regardless of pin. Client attribute caches
+// flush when AttrHead advances and version-gate admissions on AttrEpoch.
 type AttrsReply struct {
-	Attrs [][]float64
+	Attrs     [][]float64
+	Epoch     uint64
+	AttrEpoch uint64
+	Head      uint64
+	AttrHead  uint64
 }
 
-// ServeNeighbors handles a batched neighbor request. The epoch stamp and
-// every adjacency read happen under one lock acquisition, so a reply is a
-// consistent snapshot of a single update generation (a concurrent update
-// lands either wholly before or wholly after it).
+// ServeNeighbors handles a batched neighbor request. The reply is built
+// from one immutable snapshot view, so it is consistent with a single
+// update generation even while ServeUpdate batches land concurrently.
 func (s *Server) ServeNeighbors(req NeighborsRequest, reply *NeighborsReply) error {
+	view, head, attrHead, err := s.view(req.Pinned, req.Pin)
+	if err != nil {
+		return err
+	}
 	reply.Neighbors = make([][]graph.ID, len(req.Vertices))
 	reply.Weights = make([][]float64, len(req.Vertices))
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	reply.Epoch = s.epoch
+	reply.Epoch = view.Epoch()
+	reply.Head = head
+	reply.AttrHead = attrHead
 	for i, v := range req.Vertices {
-		if _, here := s.attrs[v]; !here {
+		ns, ws, ok := view.Neighbors(v, req.EdgeType)
+		if !ok {
 			return fmt.Errorf("cluster: server %d does not own vertex %d", s.ID, v)
 		}
-		reply.Neighbors[i] = s.adj[req.EdgeType][v]
-		reply.Weights[i] = s.wts[req.EdgeType][v]
+		reply.Neighbors[i] = ns
+		reply.Weights[i] = ws
 	}
 	return nil
 }
 
 // ServeAttrs handles a batched attribute request.
 func (s *Server) ServeAttrs(req AttrsRequest, reply *AttrsReply) error {
+	view, head, attrHead, err := s.view(req.Pinned, req.Pin)
+	if err != nil {
+		return err
+	}
 	reply.Attrs = make([][]float64, len(req.Vertices))
+	reply.Epoch = view.Epoch()
+	reply.AttrEpoch = view.AttrEpoch()
+	reply.Head = head
+	reply.AttrHead = attrHead
 	for i, v := range req.Vertices {
-		a, ok := s.Attr(v)
+		a, ok := view.Attr(v)
 		if !ok {
 			return fmt.Errorf("cluster: server %d does not own vertex %d", s.ID, v)
 		}
@@ -244,6 +237,8 @@ type SampleRequest struct {
 	// when their cache can admit the lists.
 	WantLists bool
 	Seed      uint64
+	Pin       uint64
+	Pinned    bool
 }
 
 // SampleReply carries the drawn neighbor IDs: for each request vertex in
@@ -253,18 +248,21 @@ type SampleRequest struct {
 // (short) adjacency list in Lists[i] instead of contributing to Samples:
 // that is never more bytes than Counts[i]*Width draws and lets the client
 // draw locally and warm replacing caches. Epoch stamps the reply with the
-// server's update generation.
+// epoch served; Head with the server's current head.
 type SampleReply struct {
-	Samples []graph.ID
-	Lists   [][]graph.ID
-	Epoch   uint64
+	Samples  []graph.ID
+	Lists    [][]graph.ID
+	Epoch    uint64
+	Head     uint64
+	AttrHead uint64
 }
 
 // StatsRequest asks for the server's local size counters.
 type StatsRequest struct{}
 
-// StatsReply reports local vertex and per-edge-type edge counts; clients
-// use the edge counts to spread TRAVERSE batches across servers.
+// StatsReply reports local vertex and per-edge-type edge counts (at the
+// head epoch); clients use the edge counts to spread TRAVERSE batches
+// across servers.
 type StatsReply struct {
 	NumVertices int
 	EdgesByType []int64
@@ -287,92 +285,80 @@ type NegPoolReply struct {
 }
 
 // EdgesRequest asks for Count edges of one type drawn uniformly from the
-// server's local edge set.
+// server's local edge set, optionally at a pinned epoch.
 type EdgesRequest struct {
 	EdgeType graph.EdgeType
 	Count    int
 	Seed     uint64
+	Pin      uint64
+	Pinned   bool
 }
 
 // EdgesReply carries sampled edges as parallel arrays (gob-friendly),
-// stamped with the server's update epoch.
+// stamped with the epoch served and the server's head.
 type EdgesReply struct {
 	Src, Dst []graph.ID
 	Weight   []float64
 	Epoch    uint64
+	Head     uint64
+	AttrHead uint64
 }
 
-// ensureLocalPosLocked (re)builds the vertex -> slot map; caller holds the
-// write lock.
-func (s *Server) ensureLocalPosLocked() {
-	if s.localPos != nil {
-		return
-	}
-	s.localPos = make(map[graph.ID]int, len(s.local))
-	for i, v := range s.local {
-		s.localPos[v] = i
-	}
+// LeaseRequest pins the server's current head epoch against eviction.
+// (In-process users that need to pin an explicit historical epoch use
+// version.Store.Lease directly.)
+type LeaseRequest struct{}
+
+// LeaseReply reports the epoch actually leased, the server's head, and its
+// newest attribute-rewriting epoch.
+type LeaseReply struct {
+	Epoch    uint64
+	Head     uint64
+	AttrHead uint64
 }
 
-// weightIndex returns (building lazily) the per-server AliasIndex for
-// weighted neighbor draws of edge type t, plus the vertex -> slot map it is
-// ordered by.
-func (s *Server) weightIndex(t graph.EdgeType) (*sampling.AliasIndex, map[graph.ID]int) {
-	s.mu.RLock()
-	ai, pos := s.wtAlias[t], s.localPos
-	s.mu.RUnlock()
-	if ai != nil && pos != nil {
-		return ai, pos
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ensureLocalPosLocked()
-	if s.wtAlias[t] == nil {
-		ws := make([][]float64, len(s.local))
-		for i, v := range s.local {
-			ws[i] = s.wts[t][v]
-		}
-		s.wtAlias[t] = sampling.NewAliasIndexFromWeights(ws)
-	}
-	return s.wtAlias[t], s.localPos
+// ReleaseRequest drops one lease on Epoch.
+type ReleaseRequest struct {
+	Epoch uint64
 }
 
-// degreeAlias returns (building lazily) the degree-proportional vertex
-// table for edge type t and the vertex order backing it; drawing a vertex
-// from it and then a uniform adjacency entry yields a uniform draw over the
-// server's local type-t edges.
-func (s *Server) degreeAlias(t graph.EdgeType) (*sampling.Alias, []graph.ID) {
-	s.mu.RLock()
-	al, pool := s.degAlias[t], s.degPool[t]
-	s.mu.RUnlock()
-	if al != nil {
-		return al, pool
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.degAlias[t] == nil {
-		pool = pool[:0]
-		var ws []float64
-		for _, v := range s.local {
-			if d := len(s.adj[t][v]); d > 0 {
-				pool = append(pool, v)
-				ws = append(ws, float64(d))
-			}
-		}
-		s.degAlias[t] = sampling.NewAlias(ws)
-		s.degPool[t] = pool
-	}
-	return s.degAlias[t], s.degPool[t]
+// ReleaseReply is empty; releases are best-effort acknowledgements.
+type ReleaseReply struct{}
+
+// ServeLease pins the current head epoch of the snapshot store. The epoch,
+// head and attr-head come from one lock acquisition, so a reply never
+// reports a head newer than the epoch it leased (which would make the
+// client's fresh pin look stale at birth).
+func (s *Server) ServeLease(_ LeaseRequest, reply *LeaseReply) error {
+	epoch, attrEpoch := s.store.LeaseHeadInfo()
+	reply.Epoch = epoch
+	reply.Head = epoch
+	reply.AttrHead = attrEpoch
+	return nil
+}
+
+// ServeRelease drops one lease; unknown epochs are ignored.
+func (s *Server) ServeRelease(req ReleaseRequest, reply *ReleaseReply) error {
+	s.store.Release(req.Epoch)
+	return nil
 }
 
 // ServeSampleNeighbors handles a server-side fixed-width draw request: the
-// RPC that keeps hub adjacency lists from crossing the network.
+// RPC that keeps hub adjacency lists from crossing the network. All draws
+// read one snapshot view; weighted draws go through the epoch-stable base
+// AliasIndex for untouched vertices and a per-vertex weighted scan for
+// vertices an update rewrote — invalidation scoped to touched vertices, not
+// whole edge types.
 func (s *Server) ServeSampleNeighbors(req SampleRequest, reply *SampleReply) error {
 	if req.Width <= 0 {
 		return fmt.Errorf("cluster: non-positive sample width %d", req.Width)
 	}
 	if len(req.Counts) > 0 && len(req.Counts) != len(req.Vertices) {
 		return fmt.Errorf("cluster: %d counts for %d vertices", len(req.Counts), len(req.Vertices))
+	}
+	view, head, attrHead, err := s.view(req.Pinned, req.Pin)
+	if err != nil {
+		return err
 	}
 	total := 0
 	for i := range req.Vertices {
@@ -383,9 +369,8 @@ func (s *Server) ServeSampleNeighbors(req SampleRequest, reply *SampleReply) err
 		total += c * req.Width
 	}
 	var ai *sampling.AliasIndex
-	var pos map[graph.ID]int
 	if req.ByWeight {
-		ai, pos = s.weightIndex(req.EdgeType)
+		ai = s.store.BaseAlias(req.EdgeType)
 	}
 	out := make([]graph.ID, 0, total)
 	var lists [][]graph.ID
@@ -394,11 +379,12 @@ func (s *Server) ServeSampleNeighbors(req SampleRequest, reply *SampleReply) err
 	}
 	rng := sampling.NewRng(req.Seed)
 
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	reply.Epoch = s.epoch
+	reply.Epoch = view.Epoch()
+	reply.Head = head
+	reply.AttrHead = attrHead
 	for i, v := range req.Vertices {
-		if _, here := s.attrs[v]; !here {
+		ns, ws, slot, touched, ok := view.NeighborsSlot(v, req.EdgeType)
+		if !ok {
 			return fmt.Errorf("cluster: server %d does not own vertex %d", s.ID, v)
 		}
 		c := 1
@@ -406,21 +392,17 @@ func (s *Server) ServeSampleNeighbors(req SampleRequest, reply *SampleReply) err
 			c = req.Counts[i]
 		}
 		draws := c * req.Width
-		ns := s.adj[req.EdgeType][v]
 		switch {
 		case len(ns) == 0:
 			for k := 0; k < draws; k++ {
 				out = append(out, v)
 			}
 		case req.ByWeight:
-			// The alias snapshot can be stale relative to the live
-			// adjacency under concurrent updates (slot missing, or degree
-			// changed since the index was built); degrade those draws to
-			// uniform instead of indexing out of range.
-			slot, ok := pos[v]
 			for k := 0; k < draws; k++ {
 				d := -1
-				if ok {
+				if touched {
+					d = version.WeightedDraw(ws, rng)
+				} else {
 					d = ai.Draw(graph.ID(slot), rng)
 				}
 				if d < 0 || d >= len(ns) {
@@ -441,31 +423,27 @@ func (s *Server) ServeSampleNeighbors(req SampleRequest, reply *SampleReply) err
 	return nil
 }
 
-// ServeStats handles a size-counter request.
+// ServeStats handles a size-counter request, reporting the head epoch's
+// totals.
 func (s *Server) ServeStats(_ StatsRequest, reply *StatsReply) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	reply.NumVertices = len(s.local)
-	reply.EdgesByType = make([]int64, len(s.adj))
-	for t := range s.adj {
-		for _, ns := range s.adj[t] {
-			reply.EdgesByType[t] += int64(len(ns))
-		}
-	}
+	view := s.store.HeadView()
+	reply.NumVertices = s.store.NumVertices()
+	reply.EdgesByType = view.EdgeCounts(reply.EdgesByType[:0])
 	return nil
 }
 
 // ServeNegativePool handles a negative-pool request: distinct local
-// out-edge destinations of type t with occurrence counts, in sorted order.
+// out-edge destinations of type t with occurrence counts, in sorted order,
+// at the head epoch.
 func (s *Server) ServeNegativePool(req NegPoolRequest, reply *NegPoolReply) error {
-	s.mu.RLock()
+	view := s.store.HeadView()
 	counts := make(map[graph.ID]int64)
-	for _, ns := range s.adj[req.EdgeType] {
+	for _, v := range s.store.LocalVertices() {
+		ns, _, _ := view.Neighbors(v, req.EdgeType)
 		for _, u := range ns {
 			counts[u]++
 		}
 	}
-	s.mu.RUnlock()
 	ids := make([]graph.ID, 0, len(counts))
 	for v := range counts {
 		ids = append(ids, v)
@@ -480,35 +458,32 @@ func (s *Server) ServeNegativePool(req NegPoolRequest, reply *NegPoolReply) erro
 }
 
 // ServeSampleEdges handles a TRAVERSE edge-sampling request: Count edges of
-// the given type, uniform over the server's local edge set (a vertex drawn
-// proportionally to its out-degree, then a uniform adjacency entry).
+// the given type, uniform over the local edge set of the epoch served (a
+// vertex drawn proportionally to its out-degree, then a uniform adjacency
+// entry; vertices an update touched are mixed in exactly).
 func (s *Server) ServeSampleEdges(req EdgesRequest, reply *EdgesReply) error {
+	view, head, attrHead, err := s.view(req.Pinned, req.Pin)
+	if err != nil {
+		return err
+	}
+	reply.Epoch = view.Epoch()
+	reply.Head = head
+	reply.AttrHead = attrHead
 	if req.Count <= 0 {
 		return nil
 	}
-	al, pool := s.degreeAlias(req.EdgeType)
 	rng := sampling.NewRng(req.Seed)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	reply.Epoch = s.epoch
-	if al.Len() == 0 {
-		return nil
-	}
 	reply.Src = make([]graph.ID, 0, req.Count)
 	reply.Dst = make([]graph.ID, 0, req.Count)
 	reply.Weight = make([]float64, 0, req.Count)
 	for k := 0; k < req.Count; k++ {
-		v := pool[al.DrawRng(rng)]
-		ns := s.adj[req.EdgeType][v]
-		if len(ns) == 0 {
-			// Stale pool entry: a concurrent update removed this vertex's
-			// last type-t edge after the alias was built. Skip the draw.
-			continue
+		src, dst, w, ok := view.SampleEdge(req.EdgeType, rng)
+		if !ok {
+			break // no type-t edges at this epoch
 		}
-		i := rng.Intn(len(ns))
-		reply.Src = append(reply.Src, v)
-		reply.Dst = append(reply.Dst, ns[i])
-		reply.Weight = append(reply.Weight, s.wts[req.EdgeType][v][i])
+		reply.Src = append(reply.Src, src)
+		reply.Dst = append(reply.Dst, dst)
+		reply.Weight = append(reply.Weight, w)
 	}
 	return nil
 }

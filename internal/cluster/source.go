@@ -43,13 +43,14 @@ func (e *Env) SampleEdges(t graph.EdgeType, n int) ([]graph.Edge, error) {
 
 // AppendEdges implements the trainer's batch-environment capability
 // (core.BatchEnv): the same distributed TRAVERSE draw appended into a
-// recycled buffer, with each contributing server's update epoch recorded
-// into span so mini-batches are stamped with what their edge batch saw.
-func (e *Env) AppendEdges(dst []graph.Edge, t graph.EdgeType, n int, span *sampling.EpochSpan) ([]graph.Edge, error) {
+// recycled buffer, reading the pinned snapshot when the batch carries one,
+// with each contributing server's reply recorded into span so mini-batches
+// are stamped with what their edge batch saw.
+func (e *Env) AppendEdges(dst []graph.Edge, t graph.EdgeType, n int, pin *sampling.Pin, span *sampling.EpochSpan) ([]graph.Edge, error) {
 	e.mu.Lock()
 	seed := uint64(e.rng.Int63())
 	e.mu.Unlock()
-	return e.C.AppendSampleEdges(dst, t, n, seed, span)
+	return e.C.AppendSampleEdges(dst, t, n, seed, pin, span)
 }
 
 // NegativePool returns global negative candidates with in-degree counts.

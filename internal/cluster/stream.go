@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/partition"
+)
+
+// UpdateStream is the cluster implementation of core.UpdateFeed: a
+// concurrent queue of per-server update batches, drained between training
+// batches and delivered through the transport's Update RPC. Producers
+// (ingest goroutines, connectors, tests) Push batches at any rate; the
+// training loop applies them at its own cadence. Each batch applies
+// atomically on its shard and advances that shard's epoch, which the
+// client's pin manager observes on the next sampling reply — so training
+// batches scheduled after an applied update pin the new snapshot
+// automatically.
+type UpdateStream struct {
+	T Transport
+
+	mu      sync.Mutex
+	queue   []streamBatch
+	applied int
+}
+
+type streamBatch struct {
+	part int
+	req  UpdateRequest
+}
+
+// NewUpdateStream creates a feed delivering through t.
+func NewUpdateStream(t Transport) *UpdateStream {
+	return &UpdateStream{T: t}
+}
+
+// Push enqueues one update batch for the server owning part. Safe for
+// concurrent use.
+func (s *UpdateStream) Push(part int, req UpdateRequest) {
+	s.mu.Lock()
+	s.queue = append(s.queue, streamBatch{part: part, req: req})
+	s.mu.Unlock()
+}
+
+// PushEdges groups raw edges by owning partition (edges live with their
+// source) and enqueues one batch per touched server: adds, removes and
+// attribute rewrites keep the all-or-nothing per-server contract.
+func (s *UpdateStream) PushEdges(assign *partition.Assignment, add, remove []RawEdge, attrs []AttrUpdate) {
+	reqs := groupByPartition(assign.Part, add, remove, attrs)
+	s.mu.Lock()
+	for p, r := range reqs {
+		s.queue = append(s.queue, streamBatch{part: p, req: *r})
+	}
+	s.mu.Unlock()
+}
+
+// Pending reports how many update batches are queued.
+func (s *UpdateStream) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Applied reports how many update batches have been delivered.
+func (s *UpdateStream) Applied() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Apply implements core.UpdateFeed: deliver up to max queued batches to
+// their owning servers. A delivery error leaves the failed batch at the
+// front of the queue and surfaces the error.
+func (s *UpdateStream) Apply(max int) (int, error) {
+	n := 0
+	for n < max {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return n, nil
+		}
+		b := s.queue[0]
+		s.mu.Unlock()
+
+		var reply UpdateReply
+		if err := s.T.Update(b.part, b.req, &reply); err != nil {
+			return n, err
+		}
+
+		s.mu.Lock()
+		// Producers only append; the head we delivered is still index 0.
+		s.queue = s.queue[1:]
+		s.applied++
+		s.mu.Unlock()
+		n++
+	}
+	return n, nil
+}

@@ -27,6 +27,12 @@ type Transport interface {
 	// Bootstrap fetches the cluster bootstrap information (partition
 	// assignment, schema) from the server owning part.
 	Bootstrap(part int, req BootstrapRequest, reply *BootstrapReply) error
+	// Update applies an atomic mutation batch on the server owning part.
+	Update(part int, req UpdateRequest, reply *UpdateReply) error
+	// Lease pins a snapshot epoch on the server owning part.
+	Lease(part int, req LeaseRequest, reply *LeaseReply) error
+	// Release drops a snapshot lease on the server owning part.
+	Release(part int, req ReleaseRequest, reply *ReleaseReply) error
 	// Close releases transport resources.
 	Close() error
 }
@@ -122,6 +128,30 @@ func (t *LocalTransport) Bootstrap(part int, req BootstrapRequest, reply *Bootst
 	return t.Servers[part].ServeBootstrap(req, reply)
 }
 
+// Update implements Transport.
+func (t *LocalTransport) Update(part int, req UpdateRequest, reply *UpdateReply) error {
+	if err := t.pay(part); err != nil {
+		return err
+	}
+	return t.Servers[part].ServeUpdate(req, reply)
+}
+
+// Lease implements Transport.
+func (t *LocalTransport) Lease(part int, req LeaseRequest, reply *LeaseReply) error {
+	if err := t.pay(part); err != nil {
+		return err
+	}
+	return t.Servers[part].ServeLease(req, reply)
+}
+
+// Release implements Transport.
+func (t *LocalTransport) Release(part int, req ReleaseRequest, reply *ReleaseReply) error {
+	if err := t.pay(part); err != nil {
+		return err
+	}
+	return t.Servers[part].ServeRelease(req, reply)
+}
+
 // Close implements Transport.
 func (t *LocalTransport) Close() error { return nil }
 
@@ -202,6 +232,24 @@ func (t *LatencyTransport) Attrs(part int, req AttrsRequest, reply *AttrsReply) 
 func (t *LatencyTransport) Bootstrap(part int, req BootstrapRequest, reply *BootstrapReply) error {
 	t.pay()
 	return t.Inner.Bootstrap(part, req, reply)
+}
+
+// Update implements Transport.
+func (t *LatencyTransport) Update(part int, req UpdateRequest, reply *UpdateReply) error {
+	t.pay()
+	return t.Inner.Update(part, req, reply)
+}
+
+// Lease implements Transport.
+func (t *LatencyTransport) Lease(part int, req LeaseRequest, reply *LeaseReply) error {
+	t.pay()
+	return t.Inner.Lease(part, req, reply)
+}
+
+// Release implements Transport.
+func (t *LatencyTransport) Release(part int, req ReleaseRequest, reply *ReleaseReply) error {
+	t.pay()
+	return t.Inner.Release(part, req, reply)
 }
 
 // Close implements Transport.

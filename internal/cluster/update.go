@@ -1,78 +1,88 @@
 package cluster
 
 import (
-	"fmt"
-
 	"repro/internal/graph"
+	"repro/internal/version"
 )
 
 // This file implements incremental maintenance on live graph servers: the
 // paper's fourth challenge (dynamic graphs) requires applying structural
-// updates without rebuilding the store. Streaming partitioners
+// updates without rebuilding the store. Updates land as atomic delta
+// batches on the server's multi-version snapshot store: each applied batch
+// becomes a new epoch, readers keep answering from the epochs they pinned,
+// and partially invalid batches are rejected wholesale (all-or-nothing)
+// instead of leaving earlier operations applied. Streaming partitioners
 // (internal/partition) are the recommended companions because their
 // placement decisions need only local state.
 
-// UpdateRequest carries a batch of edge insertions and deletions for one
-// server. Exported fields for encoding/gob.
+// AttrUpdate replaces the attribute row of one local vertex — the
+// vertex-attribute op of an update batch. Exported fields for encoding/gob.
+type AttrUpdate struct {
+	V    graph.ID
+	Attr []float64
+}
+
+// UpdateRequest carries a batch of edge insertions, edge deletions and
+// attribute rewrites for one server. The batch applies atomically: either
+// every operation lands (as one new epoch) or none do.
 type UpdateRequest struct {
-	Add    []RawEdge
-	Remove []RawEdge
+	Add     []RawEdge
+	Remove  []RawEdge
+	SetAttr []AttrUpdate
 }
 
-// UpdateReply reports how many operations were applied.
+// UpdateReply reports how many operations were applied and the epoch the
+// batch became. A rejected batch reports zeros and the unchanged epoch.
 type UpdateReply struct {
-	Added, Removed int
+	Added, Removed, AttrsSet int
+	Epoch                    uint64
 }
 
-// ServeUpdate applies a batch of edge mutations. Additions whose source is
-// not local are rejected; removals of absent edges are ignored (idempotent
-// deletes, the common stream semantics).
+// ServeUpdate applies a batch of mutations all-or-nothing. Additions and
+// attribute rewrites whose vertex is not local reject the whole batch;
+// removals of absent edges are ignored (idempotent deletes, the common
+// stream semantics). Each applied batch advances the server's epoch by
+// exactly one; in-flight readers are unaffected (their views are immutable
+// snapshots) and pinned epochs stay readable until released.
 func (s *Server) ServeUpdate(req UpdateRequest, reply *UpdateReply) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Every applied update batch advances the server's epoch, so sampling
-	// replies issued before and after it are distinguishable (the bump also
-	// covers partially applied batches that error out midway).
-	defer func() {
-		if reply.Added+reply.Removed > 0 {
-			s.epoch++
-		}
-	}()
+	d := version.Delta{}
 	for _, e := range req.Add {
-		if _, ok := s.attrs[e.Src]; !ok {
-			return fmt.Errorf("cluster: server %d does not own vertex %d", s.ID, e.Src)
-		}
-		s.adj[e.Type][e.Src] = append(s.adj[e.Type][e.Src], e.Dst)
-		s.wts[e.Type][e.Src] = append(s.wts[e.Type][e.Src], e.Weight)
-		s.invalidateLocked(e.Type)
-		reply.Added++
+		d.Add = append(d.Add, version.EdgeOp{Src: e.Src, Dst: e.Dst, Type: e.Type, Weight: e.Weight})
 	}
 	for _, e := range req.Remove {
-		ns := s.adj[e.Type][e.Src]
-		ws := s.wts[e.Type][e.Src]
-		for i, u := range ns {
-			if u == e.Dst {
-				s.adj[e.Type][e.Src] = append(ns[:i], ns[i+1:]...)
-				s.wts[e.Type][e.Src] = append(ws[:i], ws[i+1:]...)
-				s.invalidateLocked(e.Type)
-				reply.Removed++
-				break
-			}
-		}
+		d.Remove = append(d.Remove, version.EdgeOp{Src: e.Src, Dst: e.Dst, Type: e.Type, Weight: e.Weight})
 	}
-	return nil
+	for _, a := range req.SetAttr {
+		d.SetAttr = append(d.SetAttr, version.AttrOp{V: a.V, Attr: a.Attr})
+	}
+	epoch, added, removed, set, err := s.store.Append(d)
+	reply.Added, reply.Removed, reply.AttrsSet, reply.Epoch = added, removed, set, epoch
+	return err
 }
 
-// Update is the RPC method for incremental edge maintenance.
+// Update is the RPC method for incremental graph maintenance.
 func (g *GraphService) Update(req UpdateRequest, reply *UpdateReply) error {
 	return g.S.ServeUpdate(req, reply)
 }
 
-// ApplyDelta routes a snapshot delta (graph.Dynamic.Delta) to the owning
-// servers, grouping mutations per partition.
-func ApplyDelta(servers []*Server, assign func(graph.ID) int, delta graph.EdgeDelta) (added, removed int, err error) {
+// Lease is the RPC method pinning a snapshot epoch.
+func (g *GraphService) Lease(req LeaseRequest, reply *LeaseReply) error {
+	return g.S.ServeLease(req, reply)
+}
+
+// Release is the RPC method dropping a snapshot lease.
+func (g *GraphService) Release(req ReleaseRequest, reply *ReleaseReply) error {
+	return g.S.ServeRelease(req, reply)
+}
+
+// groupByPartition routes raw mutations to their owning partitions (edges
+// and attribute rewrites live with their source/subject vertex), building
+// one atomic UpdateRequest per touched server. Shared by ApplyDelta and
+// UpdateStream.PushEdges so the routing rule exists once.
+func groupByPartition(part func(graph.ID) int, add, remove []RawEdge, attrs []AttrUpdate) map[int]*UpdateRequest {
 	reqs := make(map[int]*UpdateRequest)
-	get := func(p int) *UpdateRequest {
+	get := func(v graph.ID) *UpdateRequest {
+		p := part(v)
 		r, ok := reqs[p]
 		if !ok {
 			r = &UpdateRequest{}
@@ -80,13 +90,35 @@ func ApplyDelta(servers []*Server, assign func(graph.ID) int, delta graph.EdgeDe
 		}
 		return r
 	}
-	for _, e := range delta.Added {
-		get(assign(e.Src)).Add = append(get(assign(e.Src)).Add, RawEdge{Src: e.Src, Dst: e.Dst, Type: e.Type, Weight: e.Weight})
+	for _, e := range add {
+		r := get(e.Src)
+		r.Add = append(r.Add, e)
 	}
-	for _, e := range delta.Removed {
-		get(assign(e.Src)).Remove = append(get(assign(e.Src)).Remove, RawEdge{Src: e.Src, Dst: e.Dst, Type: e.Type, Weight: e.Weight})
+	for _, e := range remove {
+		r := get(e.Src)
+		r.Remove = append(r.Remove, e)
 	}
-	for p, req := range reqs {
+	for _, a := range attrs {
+		r := get(a.V)
+		r.SetAttr = append(r.SetAttr, a)
+	}
+	return reqs
+}
+
+// rawEdges converts graph edges to wire records.
+func rawEdges(es []graph.Edge) []RawEdge {
+	out := make([]RawEdge, len(es))
+	for i, e := range es {
+		out[i] = RawEdge{Src: e.Src, Dst: e.Dst, Type: e.Type, Weight: e.Weight}
+	}
+	return out
+}
+
+// ApplyDelta routes a snapshot delta (graph.Dynamic.Delta) to the owning
+// servers, grouping mutations per partition. Each per-server batch applies
+// atomically.
+func ApplyDelta(servers []*Server, assign func(graph.ID) int, delta graph.EdgeDelta) (added, removed int, err error) {
+	for p, req := range groupByPartition(assign, rawEdges(delta.Added), rawEdges(delta.Removed), nil) {
 		var reply UpdateReply
 		if err := servers[p].ServeUpdate(*req, &reply); err != nil {
 			return added, removed, err

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/sampling"
+	"repro/internal/version"
 )
 
 // MiniBatch is one fully assembled training batch: the positive edge
@@ -32,9 +33,15 @@ type MiniBatch struct {
 	Attrs map[graph.ID][]float64
 	// Epochs spans the server update epochs observed while assembling the
 	// batch. Epochs.Mixed() flags a batch that straddles a dynamic update
-	// (or shards at different update generations) — the detection half of
-	// snapshot-consistent training.
+	// (or shards at different update generations). Batches assembled under
+	// a Pin record the pin's single stamp, making Mixed() an invariant
+	// rather than a detector: a completed pinned batch is
+	// snapshot-consistent by construction.
 	Epochs sampling.EpochSpan
+	// Pin is the snapshot the batch was assembled against, stamped by the
+	// producer at schedule time when the source supports pinning (cluster
+	// clients); nil on local graphs. The source releases it on Recycle.
+	Pin *sampling.Pin
 
 	seq    uint64
 	err    error
@@ -44,13 +51,15 @@ type MiniBatch struct {
 	pvs    []graph.ID // prefetch vertex-list scratch
 }
 
-// reset clears the batch for reuse, keeping every buffer.
+// reset clears the batch for reuse, keeping every buffer. The caller is
+// responsible for releasing mb.Pin first.
 func (mb *MiniBatch) reset() {
 	mb.Src = mb.Src[:0]
 	mb.Dst = mb.Dst[:0]
 	mb.Negs = mb.Negs[:0]
 	mb.HasCtxs = false
 	mb.Epochs.Reset()
+	mb.Pin = nil
 	mb.err = nil
 	mb.edges = mb.edges[:0]
 }
@@ -74,10 +83,11 @@ type BatchSource interface {
 
 // BatchEnv is an optional TrainEnv capability used by batch sources:
 // TRAVERSE batches appended into a caller-owned buffer (allocation-free in
-// steady state) with the update epochs of the serving shards recorded into
-// span. Environments without it fall back to SampleEdges, unstamped.
+// steady state), read from the pinned snapshot when the batch carries one,
+// with what the serving shards observed recorded into span. Environments
+// without it fall back to SampleEdges, unstamped and unpinned.
 type BatchEnv interface {
-	AppendEdges(dst []graph.Edge, t graph.EdgeType, n int, span *sampling.EpochSpan) ([]graph.Edge, error)
+	AppendEdges(dst []graph.Edge, t graph.EdgeType, n int, pin *sampling.Pin, span *sampling.EpochSpan) ([]graph.Edge, error)
 }
 
 // errNoContexts is returned when a trainer without a ContextFn receives a
@@ -85,15 +95,16 @@ type BatchEnv interface {
 var errNoContexts = errors.New("core: mini-batch carries no sampled contexts")
 
 // assembleEdges fills mb.Src/Dst/Negs from one TRAVERSE batch plus aligned
-// negatives, recording reply epochs into mb.Epochs when the environment
-// stamps them. It draws from tr.Rng (via the environment and the negative
-// sampler) and must therefore run on the goroutine that owns that stream:
-// the caller for SyncSource, the scheduler for Pipeline.
+// negatives, reading mb.Pin's snapshot when set and recording what the
+// environment observed into mb.Epochs. It draws from tr.Rng (via the
+// environment and the negative sampler) and must therefore run on the
+// goroutine that owns that stream: the caller for SyncSource, the
+// scheduler for Pipeline.
 func (tr *LinkTrainer) assembleEdges(mb *MiniBatch) error {
 	var edges []graph.Edge
 	var err error
 	if be, ok := tr.Env.(BatchEnv); ok {
-		edges, err = be.AppendEdges(mb.edges[:0], tr.EdgeType, tr.Batch, &mb.Epochs)
+		edges, err = be.AppendEdges(mb.edges[:0], tr.EdgeType, tr.Batch, mb.Pin, &mb.Epochs)
 	} else {
 		edges, err = tr.Env.SampleEdges(tr.EdgeType, tr.Batch)
 	}
@@ -109,16 +120,28 @@ func (tr *LinkTrainer) assembleEdges(mb *MiniBatch) error {
 	return nil
 }
 
+// pinRetries bounds how many times a batch is re-pinned and re-read after
+// its leased epoch turns out evicted (a shard lost its lease table, e.g. a
+// restart) before the error surfaces.
+const pinRetries = 3
+
 // SyncSource is the depth-0 BatchSource: one batch assembled inline per
 // Next call, on the caller's goroutine, using the trainer's own samplers
 // and random streams. For a fixed seed it reproduces the pre-pipeline
 // trainer's training losses bit for bit — the reference implementation the
 // Pipeline is validated against.
+//
+// Over a pinning source (cluster clients) every batch is stamped with the
+// snapshot current when its assembly starts and reads it end to end, so
+// depth-0 batches carry a single-valued epoch span exactly like pipelined
+// ones.
 type SyncSource struct {
-	tr   *LinkTrainer
-	mb   MiniBatch
-	nbr  *sampling.Neighborhood
-	view sampling.EpochView
+	tr       *LinkTrainer
+	mb       MiniBatch
+	nbr      *sampling.Neighborhood
+	view     sampling.EpochView
+	ps       sampling.PinSource
+	prefetch PrefetchingFeatures
 }
 
 // NewSyncSource creates the synchronous batch source for tr. A trainer
@@ -127,8 +150,9 @@ type SyncSource struct {
 // through an epoch view, so depth-0 batches record the epochs of their hop
 // expansions exactly like pipelined ones.
 func NewSyncSource(tr *LinkTrainer) *SyncSource {
-	s := &SyncSource{tr: tr}
+	s := &SyncSource{tr: tr, prefetch: tr.prefetcher()}
 	src := tr.Src
+	s.ps, _ = src.(sampling.PinSource)
 	if es, ok := src.(sampling.EpochedSource); ok {
 		s.view = es.EpochView()
 		src = s.view
@@ -142,20 +166,49 @@ func NewSyncSource(tr *LinkTrainer) *SyncSource {
 func (s *SyncSource) Next() (*MiniBatch, error) {
 	tr := s.tr
 	mb := &s.mb
+	s.release(mb) // in case the consumer skipped Recycle
 	mb.reset()
+	if s.ps != nil {
+		pin, err := s.ps.Pin()
+		if err != nil {
+			return nil, err
+		}
+		mb.Pin = pin
+	}
 	if s.view != nil {
+		s.view.SetPin(mb.Pin)
 		s.view.ResetSpan()
 	}
-	if err := tr.assembleEdges(mb); err != nil {
-		return nil, err
+	// One attempt assembles the whole batch against mb.Pin's snapshot. A
+	// lost lease (eviction) re-pins the current snapshot and re-assembles
+	// everything — TRAVERSE included, which is legal here because the
+	// caller owns the sequential streams — so a completed depth-0 batch is
+	// always consistent at one epoch, even across retries.
+	for attempt := 0; ; attempt++ {
+		err := tr.assembleEdges(mb)
+		if err == nil && tr.ContextFn == nil {
+			tr.ensureSrng()
+			err = s.expand(mb)
+		}
+		if err == nil && tr.ContextFn == nil && s.prefetch != nil && mb.Pin != nil {
+			// Remote feature rows are fetched here, at the batch's pinned
+			// epoch, so the encode reads the same snapshot as every other
+			// stage (unpinned sources keep fetching lazily at encode time).
+			err = s.prefetchAttrs(mb)
+		}
+		if err == nil {
+			break
+		}
+		if s.ps == nil || attempt >= pinRetries || !version.IsUnavailable(err) {
+			s.release(mb)
+			return nil, err
+		}
+		if err := s.repin(mb); err != nil {
+			return nil, err
+		}
+		mb.Src, mb.Dst, mb.Negs = mb.Src[:0], mb.Dst[:0], mb.Negs[:0]
 	}
 	if tr.ContextFn == nil {
-		tr.ensureSrng()
-		for i, vs := range [3][]graph.ID{mb.Src, mb.Dst, mb.Negs} {
-			if err := s.nbr.SampleInto(&mb.Ctxs[i], tr.EdgeType, vs, tr.HopNums, tr.srng); err != nil {
-				return nil, err
-			}
-		}
 		mb.HasCtxs = true
 	}
 	if s.view != nil {
@@ -164,6 +217,87 @@ func (s *SyncSource) Next() (*MiniBatch, error) {
 	return mb, nil
 }
 
+// expand runs the three NEIGHBORHOOD expansions. Batched sources (one seed
+// consumed per hop) draw from a snapshot of the seed stream and advance the
+// real stream by exactly the consumed seeds only on success, so a failed
+// attempt leaves the stream untouched for the retry; generic sources use
+// the stream directly, since their consumption is data-dependent and
+// cannot be replayed seed-exactly anyway.
+func (s *SyncSource) expand(mb *MiniBatch) error {
+	tr := s.tr
+	if _, batched := s.nbr.Src.(sampling.BatchSampler); !batched {
+		for i, vs := range [3][]graph.ID{mb.Src, mb.Dst, mb.Negs} {
+			if err := s.nbr.SampleInto(&mb.Ctxs[i], tr.EdgeType, vs, tr.HopNums, tr.srng); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rng := tr.srng.Snapshot()
+	for i, vs := range [3][]graph.ID{mb.Src, mb.Dst, mb.Negs} {
+		if err := s.nbr.SampleInto(&mb.Ctxs[i], tr.EdgeType, vs, tr.HopNums, &rng); err != nil {
+			return err
+		}
+	}
+	tr.srng.Skip(3 * len(tr.HopNums))
+	return nil
+}
+
+// prefetchAttrs fetches the hop-0 attribute rows of every context vertex at
+// the batch's pinned epoch (mirroring the pipeline worker's prefetch).
+func (s *SyncSource) prefetchAttrs(mb *MiniBatch) error {
+	mb.pvs = mb.pvs[:0]
+	for e := range mb.Ctxs {
+		for _, layer := range mb.Ctxs[e].Layers {
+			mb.pvs = append(mb.pvs, layer...)
+		}
+	}
+	if mb.Attrs == nil {
+		mb.Attrs = make(map[graph.ID][]float64)
+	} else {
+		for k := range mb.Attrs {
+			delete(mb.Attrs, k)
+		}
+	}
+	return s.prefetch.PrefetchAttrs(mb.pvs, mb.Pin, mb.Attrs)
+}
+
+// repinBatch swaps a batch's dead pin for a lease of the backend's current
+// snapshot: the shared step of every eviction-retry path.
+func repinBatch(ps sampling.PinSource, mb *MiniBatch) error {
+	ps.Discard(mb.Pin)
+	pin, err := ps.Pin()
+	ps.Unpin(mb.Pin)
+	mb.Pin = pin
+	return err
+}
+
+// repin is repinBatch plus the sync source's span bookkeeping; the caller
+// replays the batch's reads afterwards.
+func (s *SyncSource) repin(mb *MiniBatch) error {
+	if err := repinBatch(s.ps, mb); err != nil {
+		return err
+	}
+	mb.Epochs.Reset()
+	if s.view != nil {
+		s.view.SetPin(mb.Pin)
+		s.view.ResetSpan()
+	}
+	return nil
+}
+
+// release drops the batch's pin reference, if any.
+func (s *SyncSource) release(mb *MiniBatch) {
+	if mb.Pin != nil && s.ps != nil {
+		s.ps.Unpin(mb.Pin)
+	}
+	mb.Pin = nil
+}
+
 // Recycle implements BatchSource; the sync source reuses its single batch
-// in place, so there is nothing to return.
-func (s *SyncSource) Recycle(*MiniBatch) {}
+// in place, releasing only its snapshot pin.
+func (s *SyncSource) Recycle(mb *MiniBatch) {
+	if mb == &s.mb {
+		s.release(mb)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/nn"
+	"repro/internal/sampling"
 	"repro/internal/tensor"
 )
 
@@ -35,8 +36,9 @@ type FeatureSource interface {
 type PrefetchingFeatures interface {
 	FeatureSource
 	// PrefetchAttrs fetches the attribute rows of vs into the map (duplicate
-	// vertices fetched once). Safe for concurrent use.
-	PrefetchAttrs(vs []graph.ID, into map[graph.ID][]float64) error
+	// vertices fetched once), reading the pinned snapshot when pin is
+	// non-nil. Safe for concurrent use.
+	PrefetchAttrs(vs []graph.ID, pin *sampling.Pin, into map[graph.ID][]float64) error
 	// ServePrefetched installs rows for subsequent Rows calls; nil reverts
 	// to direct fetching. Not concurrent-safe.
 	ServePrefetched(rows map[graph.ID][]float64)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/sampling"
+	"repro/internal/version"
 )
 
 // PipelineConfig tunes a prefetching Pipeline.
@@ -57,6 +58,11 @@ type Pipeline struct {
 	tr       *LinkTrainer
 	cfg      PipelineConfig
 	prefetch PrefetchingFeatures
+	// ps is the source's pinning capability (cluster clients). When
+	// present, the scheduler stamps every batch with a pin of the snapshot
+	// current at schedule time, every stage reads it, and eviction of a
+	// leased epoch triggers a bounded re-pin-and-retry in the worker.
+	ps sampling.PinSource
 
 	free  chan *MiniBatch // recycled batches -> scheduler
 	plans chan *MiniBatch // scheduler -> workers (edges+negs+seeds filled)
@@ -99,6 +105,7 @@ func NewPipeline(tr *LinkTrainer, cfg PipelineConfig) *Pipeline {
 		out:      make(chan *MiniBatch, total),
 		stop:     make(chan struct{}),
 	}
+	p.ps, _ = tr.Src.(sampling.PinSource)
 	for i := 0; i < total; i++ {
 		p.free <- &MiniBatch{}
 	}
@@ -128,11 +135,44 @@ func (p *Pipeline) scheduler() {
 		case <-p.stop:
 			return
 		case mb := <-p.free:
+			p.unpin(mb) // error batches returned directly may still hold one
 			mb.reset()
 			mb.seq = seq
 			seq++
-			if err := tr.assembleEdges(mb); err != nil {
-				mb.err = err
+			if p.ps != nil {
+				// Stamp the batch with the snapshot current at schedule
+				// time: in steady state a refcount bump, after an observed
+				// update one Lease round. Every stage of the batch — the
+				// TRAVERSE below, the worker's expansions, the attribute
+				// prefetch — reads this pin.
+				pin, err := p.ps.Pin()
+				if err != nil {
+					mb.err = err
+					p.plans <- mb
+					continue
+				}
+				mb.Pin = pin
+			}
+			// The TRAVERSE stage reads the pin too; if the leased epoch was
+			// lost server-side, re-pin and redraw (legal here: the scheduler
+			// owns the sequential streams, so the redraws stay ordered).
+			for attempt := 0; ; attempt++ {
+				err := tr.assembleEdges(mb)
+				if err == nil {
+					break
+				}
+				if p.ps == nil || attempt >= pinRetries || !version.IsUnavailable(err) {
+					mb.err = err
+					break
+				}
+				if perr := repinBatch(p.ps, mb); perr != nil {
+					mb.err = perr
+					break
+				}
+				mb.Src, mb.Dst, mb.Negs = mb.Src[:0], mb.Dst[:0], mb.Negs[:0]
+				mb.Epochs.Reset()
+			}
+			if mb.err != nil {
 				p.plans <- mb
 				continue
 			}
@@ -190,19 +230,49 @@ func (p *Pipeline) worker() {
 	}
 }
 
+// assemble runs the heavy stages, re-pinning and replaying the batch's
+// reads (the scheduled seed snapshots make the draws exact) when a leased
+// epoch turns out evicted — bounded, so a persistently failing shard still
+// surfaces its error in sequence position.
 func (p *Pipeline) assemble(mb *MiniBatch, nbr *sampling.Neighborhood, view sampling.EpochView) {
 	if mb.err != nil {
 		return
 	}
+	for attempt := 0; ; attempt++ {
+		err := p.assembleOnce(mb, nbr, view)
+		if err == nil {
+			return
+		}
+		if p.ps == nil || attempt >= pinRetries || !version.IsUnavailable(err) {
+			mb.err = err
+			return
+		}
+		// The pin's lease was lost server-side (restart, forced eviction):
+		// lease the current snapshot and replay the expansions and the
+		// attribute prefetch from the scheduled seed snapshots. The
+		// TRAVERSE positives were drawn at the dead epoch and cannot be
+		// redrawn here (the scheduler owns that stream), so the batch's
+		// span keeps the old stamp and gains the new one — it truthfully
+		// reports Mixed(), and consumers that require strict snapshot
+		// consistency can drop it. Only lost leases pay this; ordinary
+		// churn never evicts a leased epoch.
+		if perr := repinBatch(p.ps, mb); perr != nil {
+			mb.err = perr
+			return
+		}
+	}
+}
+
+func (p *Pipeline) assembleOnce(mb *MiniBatch, nbr *sampling.Neighborhood, view sampling.EpochView) error {
 	tr := p.tr
 	if view != nil {
+		view.SetPin(mb.Pin)
 		view.ResetSpan()
 	}
 	for e, vs := range [3][]graph.ID{mb.Src, mb.Dst, mb.Negs} {
 		rng := mb.seeds[e]
 		if err := nbr.SampleInto(&mb.Ctxs[e], tr.EdgeType, vs, tr.HopNums, &rng); err != nil {
-			mb.err = err
-			return
+			return err
 		}
 	}
 	mb.HasCtxs = true
@@ -220,14 +290,22 @@ func (p *Pipeline) assemble(mb *MiniBatch, nbr *sampling.Neighborhood, view samp
 				delete(mb.Attrs, k)
 			}
 		}
-		if err := p.prefetch.PrefetchAttrs(mb.pvs, mb.Attrs); err != nil {
-			mb.err = err
-			return
+		if err := p.prefetch.PrefetchAttrs(mb.pvs, mb.Pin, mb.Attrs); err != nil {
+			return err
 		}
 	}
 	if view != nil {
 		mb.Epochs.Merge(view.Span())
 	}
+	return nil
+}
+
+// unpin releases mb's snapshot pin, if any.
+func (p *Pipeline) unpin(mb *MiniBatch) {
+	if mb.Pin != nil && p.ps != nil {
+		p.ps.Unpin(mb.Pin)
+	}
+	mb.Pin = nil
 }
 
 // collector restores sequence order: workers finish out of order, the
@@ -239,6 +317,12 @@ func (p *Pipeline) collector() {
 	for {
 		select {
 		case <-p.stop:
+			// Park out-of-order batches back in a channel so Close's drain
+			// can release their snapshot pins; every channel holds `total`
+			// batches, so the sends cannot block.
+			for _, m := range pending {
+				p.out <- m
+			}
 			return
 		case mb := <-p.done:
 			pending[mb.seq] = mb
@@ -281,6 +365,7 @@ func (p *Pipeline) Next() (*MiniBatch, error) {
 			p.err = err
 			p.mu.Unlock()
 			mb.err = nil
+			p.unpin(mb)
 			p.free <- mb // ring member, never handed out: direct return
 			return nil, err
 		}
@@ -298,15 +383,38 @@ func (p *Pipeline) Recycle(mb *MiniBatch) {
 	if mb == nil || !mb.loaned {
 		return
 	}
+	p.unpin(mb)
 	mb.loaned = false
 	p.free <- mb // loaned ring members always have a free slot reserved
 }
 
-// Close stops the producer goroutines and waits for them to exit. Batches
-// already handed out stay valid; Next returns ErrPipelineClosed afterwards.
-// Close is idempotent.
+// Close stops the producer goroutines, waits for them to exit, and releases
+// the snapshot pins of every batch still in flight inside the pipeline.
+// Batches already handed out stay valid (their pins release on Recycle);
+// Next returns ErrPipelineClosed afterwards. Close is idempotent.
 func (p *Pipeline) Close() error {
 	p.closeOnce.Do(func() { close(p.stop) })
 	p.wg.Wait()
+	if p.ps != nil {
+		// All goroutines are stopped: every non-loaned batch sits in one of
+		// the channels. Drain them, release pins, and put the batches back.
+		var held []*MiniBatch
+		for _, ch := range []chan *MiniBatch{p.free, p.plans, p.done, p.out} {
+			for {
+				select {
+				case mb := <-ch:
+					p.unpin(mb)
+					held = append(held, mb)
+				default:
+				}
+				if len(ch) == 0 {
+					break
+				}
+			}
+		}
+		for _, mb := range held {
+			p.free <- mb
+		}
+	}
 	return nil
 }

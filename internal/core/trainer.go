@@ -42,9 +42,9 @@ func (e *LocalEnv) SampleEdges(t graph.EdgeType, n int) ([]graph.Edge, error) {
 }
 
 // AppendEdges implements BatchEnv: draw-for-draw identical to SampleEdges
-// but into a recycled buffer. Local graphs have no update epochs, so span
-// is left untouched.
-func (e *LocalEnv) AppendEdges(dst []graph.Edge, t graph.EdgeType, n int, _ *sampling.EpochSpan) ([]graph.Edge, error) {
+// but into a recycled buffer. Local graphs have no update epochs or
+// snapshot pins, so both are ignored.
+func (e *LocalEnv) AppendEdges(dst []graph.Edge, t graph.EdgeType, n int, _ *sampling.Pin, _ *sampling.EpochSpan) ([]graph.Edge, error) {
 	return e.trav.AppendEdges(dst, t, n), nil
 }
 

@@ -82,6 +82,40 @@ func (s *EpochSpan) Reset() { *s = EpochSpan{} }
 // is not snapshot-consistent.
 func (s EpochSpan) Mixed() bool { return s.Seen && s.Min != s.Max }
 
+// Pin identifies one leased, consistent snapshot of an epoched backend: a
+// logical stamp plus the per-shard epochs the backend leased for it. While
+// a batch samples under a pin, every read answers from the pinned epoch of
+// the serving shard and the batch's span records Stamp — one value, so
+// Mixed() holds as an invariant (a pinned batch that completes is
+// snapshot-consistent by construction, never merely by luck).
+//
+// Pins are shared and reference-counted by the issuing PinSource: Pin
+// returns the current pin (leasing a fresh snapshot only when updates made
+// the previous one stale), Unpin drops one reference, and the backend
+// leases are released when the last reference to a superseded pin goes.
+type Pin struct {
+	// Stamp is the pin's logical identity, strictly increasing per source.
+	Stamp uint64
+	// Epochs holds the leased epoch of each backend shard, by partition.
+	Epochs []uint64
+}
+
+// PinSource is an optional Source capability for backends that can lease
+// snapshot epochs. The scheduler of a batch pipeline pins the snapshot
+// current at schedule time and stamps the batch with it; every stage of the
+// batch then reads that snapshot.
+type PinSource interface {
+	Source
+	// Pin acquires a reference to a pin of the backend's current snapshot.
+	Pin() (*Pin, error)
+	// Unpin releases one reference to p.
+	Unpin(p *Pin)
+	// Discard marks p unusable — its lease was observed lost (eviction on a
+	// shard), so the next Pin call must lease a fresh snapshot. References
+	// still held must be released with Unpin as usual.
+	Discard(p *Pin)
+}
+
 // EpochedSource is an optional Source capability for backends whose replies
 // are stamped with update epochs. EpochView returns a private view of the
 // source for one consumer (e.g. one pipeline worker): the view serves the
@@ -102,6 +136,10 @@ type EpochView interface {
 	Span() EpochSpan
 	// ResetSpan empties the view's span (called between mini-batches).
 	ResetSpan()
+	// SetPin makes subsequent reads answer from p's snapshot (nil reverts
+	// to head reads). While pinned the span records p.Stamp, so a completed
+	// batch's span is single-valued — Mixed() becomes an invariant.
+	SetPin(p *Pin)
 }
 
 // GraphSource serves neighbors from an in-memory graph. It implements both

@@ -67,6 +67,13 @@ func (c *LRU) Put(key int64, val interface{}) {
 // Len reports the number of cached entries.
 func (c *LRU) Len() int { return c.ll.Len() }
 
+// Flush drops every cached entry, keeping the cumulative counters; used for
+// generation-style invalidation (e.g. an attribute-epoch advance).
+func (c *LRU) Flush() {
+	c.ll.Init()
+	c.items = make(map[int64]*list.Element)
+}
+
 // Stats returns cumulative hit/miss/eviction counters.
 func (c *LRU) Stats() (hits, misses, evictions int64) {
 	return c.hits, c.misses, c.evictions

@@ -1,0 +1,163 @@
+package version
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sampling"
+)
+
+// benchGraph builds the same preferential-attachment graph shape the
+// cluster benchmarks use, plus a version store holding it.
+func benchGraph(n int) (*graph.Graph, *Store) {
+	rng := rand.New(rand.NewSource(9))
+	b := graph.NewBuilder(graph.SimpleSchema(), true)
+	b.AddVertices(0, n)
+	targets := []graph.ID{0, 1}
+	b.AddEdge(1, 0, 0, 1)
+	for v := graph.ID(2); v < graph.ID(n); v++ {
+		for e := 0; e < 3; e++ {
+			dst := targets[rng.Intn(len(targets))]
+			if dst != v {
+				b.AddEdge(v, dst, 0, 1+rng.Float64())
+				targets = append(targets, dst, v)
+			}
+		}
+	}
+	g := b.Finalize()
+	s := NewStore(1)
+	for v := 0; v < n; v++ {
+		s.AddVertex(graph.ID(v), g.VertexAttr(graph.ID(v)))
+	}
+	for v := 0; v < n; v++ {
+		ns := g.OutNeighbors(graph.ID(v), 0)
+		ws := g.OutWeights(graph.ID(v), 0)
+		for i, u := range ns {
+			s.AddEdge(graph.ID(v), u, 0, ws[i])
+		}
+	}
+	s.Seal()
+	return g, s
+}
+
+// BenchmarkVersionedSample compares one fixed-width uniform sampling sweep
+// (batch 256, width 5, the shape of a mini-batch hop) through a head-epoch
+// version.View against the PR 1 unversioned path (raw CSR slices via
+// graph.OutNeighbors). Both must be 0 allocs/op; the versioned head read
+// adds one overlay map probe per vertex once any update epoch exists, and
+// nothing at all on a store with no updates. /weighted compares the
+// epoch-stable base AliasIndex draw against the unversioned AliasIndex.
+func BenchmarkVersionedSample(b *testing.B) {
+	const n, width = 2000, 5
+	g, s := benchGraph(n)
+	batch := make([]graph.ID, 256)
+	brng := rand.New(rand.NewSource(3))
+	for i := range batch {
+		batch[i] = graph.ID(brng.Intn(n))
+	}
+	dst := make([]graph.ID, len(batch)*width)
+
+	b.Run("unversioned", func(b *testing.B) {
+		rng := sampling.NewRng(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := 0
+			for _, x := range batch {
+				ns := g.OutNeighbors(x, 0)
+				if len(ns) == 0 {
+					for k := 0; k < width; k++ {
+						dst[o] = x
+						o++
+					}
+					continue
+				}
+				for k := 0; k < width; k++ {
+					dst[o] = ns[rng.Intn(len(ns))]
+					o++
+				}
+			}
+		}
+	})
+	sampleView := func(b *testing.B, view View) {
+		rng := sampling.NewRng(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := 0
+			for _, x := range batch {
+				ns, _, _ := view.Neighbors(x, 0)
+				if len(ns) == 0 {
+					for k := 0; k < width; k++ {
+						dst[o] = x
+						o++
+					}
+					continue
+				}
+				for k := 0; k < width; k++ {
+					dst[o] = ns[rng.Intn(len(ns))]
+					o++
+				}
+			}
+		}
+	}
+	b.Run("head/no-updates", func(b *testing.B) {
+		sampleView(b, s.HeadView())
+	})
+	b.Run("head/after-updates", func(b *testing.B) {
+		// 32 update epochs touching a few vertices each: the head view now
+		// carries an overlay, costing one map probe per untouched vertex.
+		for e := 0; e < 32; e++ {
+			if _, _, _, _, err := s.Append(Delta{Add: []EdgeOp{{Src: graph.ID(e), Dst: graph.ID(e + 1), Type: 0, Weight: 1}}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sampleView(b, s.HeadView())
+	})
+	b.Run("weighted/unversioned", func(b *testing.B) {
+		ai := sampling.NewAliasIndex(g, 0)
+		rng := sampling.NewRng(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := 0
+			for _, x := range batch {
+				ns := g.OutNeighbors(x, 0)
+				for k := 0; k < width; k++ {
+					if d := ai.Draw(x, rng); d >= 0 {
+						dst[o] = ns[d]
+					} else {
+						dst[o] = x
+					}
+					o++
+				}
+			}
+		}
+	})
+	b.Run("weighted/head", func(b *testing.B) {
+		rng := sampling.NewRng(1)
+		view := s.HeadView()
+		ai := s.BaseAlias(0) // resolved once per request, like the server
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := 0
+			for _, x := range batch {
+				ns, ws, slot, touched, _ := view.NeighborsSlot(x, 0)
+				for k := 0; k < width; k++ {
+					d := -1
+					if touched {
+						d = WeightedDraw(ws, rng)
+					} else {
+						d = ai.Draw(graph.ID(slot), rng)
+					}
+					if d >= 0 {
+						dst[o] = ns[d]
+					} else {
+						dst[o] = x
+					}
+					o++
+				}
+			}
+		}
+	})
+}

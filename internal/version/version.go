@@ -1,0 +1,680 @@
+// Package version implements the multi-version adjacency and attribute
+// store behind dynamic graph serving: an immutable base snapshot (CSR
+// adjacency flattened at Seal time) plus per-epoch delta overlays kept in a
+// bounded ring of the last K epochs. It is the snapshot-isolation split an
+// HTAP-style graph service needs between its update path and its analytical
+// readers: ServeUpdate-style writers append whole delta batches (advancing
+// the head epoch), while samplers read through At(epoch) views that never
+// observe a torn or in-progress mutation.
+//
+// Design:
+//
+//   - The base is immutable once Seal runs. An overlay is immutable once
+//     Append installs it. A View therefore reads entirely lock-free after
+//     the single lock acquisition that resolved it — and it stays valid
+//     even if its epoch is later evicted from the ring, because eviction
+//     only drops the ring's reference.
+//   - Overlays are cumulative: the overlay of epoch e maps every vertex
+//     touched since the base to its full post-update adjacency (and every
+//     re-written attribute row to its value), so resolving a read is one
+//     map probe plus a base fallback regardless of how many epochs back
+//     the base is. Append clones the head overlay's index maps (cost
+//     proportional to the total touched set, not the graph) and installs a
+//     new one; removal copies the touched vertex's slices instead of
+//     rewriting shared backing arrays in place.
+//   - Append applies a Delta all-or-nothing: the batch is staged into the
+//     candidate overlay and validated as it goes; any error (for example a
+//     non-local source vertex) discards the whole overlay, leaves the head
+//     epoch unchanged and reports zero applied operations.
+//   - The ring retains the last Retain epochs. Older epochs are evicted —
+//     unless leased: Lease(epoch)/Release(epoch) reference-count readers
+//     that pinned a snapshot, and an epoch with live leases survives any
+//     number of Appends. Reads of an evicted epoch fail with ErrEvicted,
+//     which IsEvicted recognizes even after an error crosses an net/rpc
+//     boundary as a flattened string; clients react by re-pinning the
+//     current head and retrying.
+//   - Weighted neighbor draws stay O(1) on untouched vertices at every
+//     epoch: the base AliasIndex (built lazily, slot-indexed, immutable) is
+//     valid for any vertex whose adjacency a view resolves from the base,
+//     which is exactly the per-vertex invalidation scope an update has.
+//     Touched vertices take a linear-scan weighted draw over their overlay
+//     list. Uniform edge draws (TRAVERSE) mix a per-overlay sampler over
+//     the touched vertices with the immutable base degree alias.
+package version
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/sampling"
+)
+
+// DefaultRetain is the default ring bound: how many update epochs stay
+// readable without a lease.
+const DefaultRetain = 8
+
+// evictedMarker and futureMarker are the substrings the Is* helpers match
+// on; they must appear in every corresponding error, including those
+// flattened to strings by net/rpc.
+const (
+	evictedMarker = "epoch evicted"
+	futureMarker  = "epoch not reached"
+)
+
+// ErrEvicted reports a read of an epoch that fell out of the retention ring
+// with no lease holding it.
+var ErrEvicted = errors.New("version: " + evictedMarker)
+
+// ErrFuture reports a read of an epoch the store has not reached yet — on a
+// live cluster typically a pin outliving a server restart (the fresh store
+// restarts at epoch 0).
+var ErrFuture = errors.New("version: " + futureMarker)
+
+// IsEvicted reports whether err marks an evicted epoch. It matches both the
+// in-process sentinel and errors that crossed an RPC boundary as strings.
+func IsEvicted(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrEvicted) || strings.Contains(err.Error(), evictedMarker)
+}
+
+// IsFuture reports whether err marks an epoch the serving store has not
+// reached, RPC-flattened or not.
+func IsFuture(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrFuture) || strings.Contains(err.Error(), futureMarker)
+}
+
+// IsUnavailable reports whether err means the requested snapshot epoch
+// cannot be served at all — evicted from the ring, or never reached (a
+// restarted server). Both are recoverable the same way: discard the pin,
+// lease the current snapshot, retry.
+func IsUnavailable(err error) bool {
+	return IsEvicted(err) || IsFuture(err)
+}
+
+// EdgeOp is one edge mutation of a Delta.
+type EdgeOp struct {
+	Src, Dst graph.ID
+	Type     graph.EdgeType
+	Weight   float64
+}
+
+// AttrOp replaces the attribute row of one vertex.
+type AttrOp struct {
+	V    graph.ID
+	Attr []float64
+}
+
+// Delta is one atomic update batch: edge insertions, edge removals
+// (idempotent: removing an absent edge is a no-op) and attribute rewrites.
+type Delta struct {
+	Add     []EdgeOp
+	Remove  []EdgeOp
+	SetAttr []AttrOp
+}
+
+// akey addresses one vertex's adjacency under one edge type.
+type akey struct {
+	v graph.ID
+	t graph.EdgeType
+}
+
+// adjList is one vertex's overlay adjacency: a full replacement of its
+// base list, immutable once installed.
+type adjList struct {
+	nbr []graph.ID
+	wts []float64
+}
+
+// baseCSR is the sealed adjacency of one edge type: slot-aligned offsets
+// into flat neighbor/weight arrays.
+type baseCSR struct {
+	offs []int64
+	nbr  []graph.ID
+	wts  []float64
+}
+
+// overlay is the cumulative diff-versus-base at one epoch. All fields
+// except the lazily built edge samplers are immutable after Append.
+type overlay struct {
+	epoch uint64
+	adj   map[akey]adjList
+	attrs map[graph.ID][]float64
+	// attrEpoch is the most recent epoch <= this one that rewrote any
+	// attribute row; attribute caches invalidate on its advance.
+	attrEpoch uint64
+	// edgeCount is the per-type total of local edges at this epoch.
+	edgeCount []int64
+
+	smu      sync.Mutex
+	samplers []*edgeSampler // per edge type, built lazily
+}
+
+// Store is the multi-version store. Build it like a plain server shard:
+// AddVertex/AddEdge during loading, then Seal exactly once; afterwards all
+// mutation goes through Append.
+type Store struct {
+	numTypes int
+	retain   int
+
+	mu     sync.RWMutex
+	sealed bool
+
+	// Pre-Seal building state.
+	bAdj []map[graph.ID][]graph.ID
+	bWts []map[graph.ID][]float64
+
+	// Immutable base (built by Seal).
+	local     []graph.ID
+	pos       map[graph.ID]int
+	dense     bool // local[i] == i for all i: slot lookup is arithmetic
+	base      []baseCSR
+	baseAttrs map[graph.ID][]float64
+	baseEdges []int64
+
+	head     uint64
+	overlays map[uint64]*overlay
+	leases   map[uint64]int
+
+	aliasMu      sync.Mutex
+	baseAlias    []atomic.Pointer[sampling.AliasIndex] // per type; slot-indexed, immutable
+	baseDegAlias []atomic.Pointer[baseDegree]          // per type
+}
+
+// baseDegree pairs the degree-proportional slot alias of one edge type with
+// the slot order backing it (slots with base degree > 0).
+type baseDegree struct {
+	al   *sampling.Alias
+	pool []int32
+}
+
+// NewStore creates an empty store for numEdgeTypes edge types with the
+// default retention window.
+func NewStore(numEdgeTypes int) *Store {
+	return NewStoreRetain(numEdgeTypes, DefaultRetain)
+}
+
+// NewStoreRetain creates a store retaining the last retain epochs (minimum
+// 1: the head is always readable).
+func NewStoreRetain(numEdgeTypes, retain int) *Store {
+	if retain < 1 {
+		retain = 1
+	}
+	s := &Store{
+		numTypes:     numEdgeTypes,
+		retain:       retain,
+		bAdj:         make([]map[graph.ID][]graph.ID, numEdgeTypes),
+		bWts:         make([]map[graph.ID][]float64, numEdgeTypes),
+		baseAttrs:    make(map[graph.ID][]float64),
+		overlays:     make(map[uint64]*overlay),
+		leases:       make(map[uint64]int),
+		baseAlias:    make([]atomic.Pointer[sampling.AliasIndex], numEdgeTypes),
+		baseDegAlias: make([]atomic.Pointer[baseDegree], numEdgeTypes),
+	}
+	for t := range s.bAdj {
+		s.bAdj[t] = make(map[graph.ID][]graph.ID)
+		s.bWts[t] = make(map[graph.ID][]float64)
+	}
+	return s
+}
+
+// NumEdgeTypes reports the schema width the store was built for.
+func (s *Store) NumEdgeTypes() int { return s.numTypes }
+
+// Retain reports the ring bound K.
+func (s *Store) Retain() int { return s.retain }
+
+// AddVertex registers a local vertex with its attribute row. Only legal
+// before Seal; post-Seal attribute changes go through Append.
+func (s *Store) AddVertex(v graph.ID, attr []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		panic("version: AddVertex after Seal")
+	}
+	if _, ok := s.baseAttrs[v]; !ok {
+		s.local = append(s.local, v)
+	}
+	s.baseAttrs[v] = attr
+}
+
+// AddEdge appends an out-edge during loading. Only legal before Seal.
+func (s *Store) AddEdge(src, dst graph.ID, t graph.EdgeType, w float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		panic("version: AddEdge after Seal")
+	}
+	s.bAdj[t][src] = append(s.bAdj[t][src], dst)
+	s.bWts[t][src] = append(s.bWts[t][src], w)
+}
+
+// Seal freezes the loaded data as the immutable epoch-0 base: local IDs are
+// sorted, adjacency is flattened into per-type CSR arrays and the building
+// maps are dropped. Idempotent.
+func (s *Store) Seal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return
+	}
+	sort.Slice(s.local, func(i, j int) bool { return s.local[i] < s.local[j] })
+	s.pos = make(map[graph.ID]int, len(s.local))
+	s.dense = true
+	for i, v := range s.local {
+		s.pos[v] = i
+		if v != graph.ID(i) {
+			s.dense = false
+		}
+	}
+	s.base = make([]baseCSR, s.numTypes)
+	s.baseEdges = make([]int64, s.numTypes)
+	for t := 0; t < s.numTypes; t++ {
+		c := baseCSR{offs: make([]int64, len(s.local)+1)}
+		for i, v := range s.local {
+			c.offs[i+1] = c.offs[i] + int64(len(s.bAdj[t][v]))
+		}
+		m := c.offs[len(s.local)]
+		c.nbr = make([]graph.ID, 0, m)
+		c.wts = make([]float64, 0, m)
+		for _, v := range s.local {
+			c.nbr = append(c.nbr, s.bAdj[t][v]...)
+			c.wts = append(c.wts, s.bWts[t][v]...)
+		}
+		s.base[t] = c
+		s.baseEdges[t] = m
+	}
+	s.bAdj, s.bWts = nil, nil
+	s.sealed = true
+}
+
+// Sealed reports whether the base has been frozen.
+func (s *Store) Sealed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sealed
+}
+
+// LocalVertices returns the sorted local vertex IDs (shared slice; do not
+// mutate). Before Seal the order is insertion order.
+func (s *Store) LocalVertices() []graph.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.local
+}
+
+// NumVertices reports how many vertices the store owns.
+func (s *Store) NumVertices() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.local)
+}
+
+// Head reports the current (newest) epoch.
+func (s *Store) Head() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.head
+}
+
+// Floor reports the oldest epoch readable without a lease.
+func (s *Store) Floor() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.floorLocked()
+}
+
+func (s *Store) floorLocked() uint64 {
+	if s.head+1 <= uint64(s.retain) {
+		return 0
+	}
+	return s.head + 1 - uint64(s.retain)
+}
+
+// slot returns the base slot of v, or -1 when v is not local. Stores whose
+// local IDs are dense (0..n-1, the single-shard and benchmark case) resolve
+// by arithmetic instead of a map probe.
+func (s *Store) slot(v graph.ID) int {
+	if s.dense {
+		if v < 0 || int(v) >= len(s.local) {
+			return -1
+		}
+		return int(v)
+	}
+	if i, ok := s.pos[v]; ok {
+		return i
+	}
+	return -1
+}
+
+// BaseAlias returns the immutable slot-indexed weighted-draw index over the
+// base adjacency of type t (built lazily on first use). It is valid at
+// every epoch for any vertex whose NeighborsSlot reports touched == false;
+// fetch it once per request and draw without further synchronization.
+func (s *Store) BaseAlias(t graph.EdgeType) *sampling.AliasIndex {
+	return s.baseAliasIndex(t)
+}
+
+// At resolves a read view of the given epoch. The returned View reads
+// lock-free and stays consistent even if the epoch is evicted afterwards;
+// At itself fails with ErrEvicted (or ErrFuture) when the epoch is already
+// outside the readable window.
+func (s *Store) At(epoch uint64) (View, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.sealed {
+		return View{}, errors.New("version: read before Seal")
+	}
+	if epoch > s.head {
+		return View{}, fmt.Errorf("version: epoch %d not reached (head %d): %w", epoch, s.head, ErrFuture)
+	}
+	if epoch == 0 {
+		if s.floorLocked() > 0 && s.leases[0] == 0 {
+			return View{}, fmt.Errorf("version: %w: epoch 0 (floor %d, head %d)", ErrEvicted, s.floorLocked(), s.head)
+		}
+		return View{s: s, epoch: 0}, nil
+	}
+	ov, ok := s.overlays[epoch]
+	if !ok {
+		return View{}, fmt.Errorf("version: %w: epoch %d (floor %d, head %d)", ErrEvicted, epoch, s.floorLocked(), s.head)
+	}
+	return View{s: s, epoch: epoch, ov: ov}, nil
+}
+
+// HeadView resolves the newest epoch's view.
+func (s *Store) HeadView() View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return View{s: s, epoch: s.head, ov: s.overlays[s.head]}
+}
+
+// Lease pins epoch against eviction until a matching Release. It fails if
+// the epoch is already unreadable.
+func (s *Store) Lease(epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch > s.head {
+		return fmt.Errorf("version: lease of epoch %d not reached (head %d): %w", epoch, s.head, ErrFuture)
+	}
+	// The epoch must still be readable — overlay present for epochs >= 1
+	// (wherever they sit relative to the floor: a force-evicted in-window
+	// epoch is just as gone), base retained for epoch 0.
+	if epoch != 0 {
+		if _, ok := s.overlays[epoch]; !ok {
+			return fmt.Errorf("version: %w: lease of epoch %d (floor %d)", ErrEvicted, epoch, s.floorLocked())
+		}
+	} else if s.floorLocked() > 0 && s.leases[0] == 0 {
+		return fmt.Errorf("version: %w: lease of epoch 0 (floor %d)", ErrEvicted, s.floorLocked())
+	}
+	s.leases[epoch]++
+	return nil
+}
+
+// LeaseHead pins the current head epoch and returns it.
+func (s *Store) LeaseHead() uint64 {
+	e, _ := s.LeaseHeadInfo()
+	return e
+}
+
+// LeaseHeadInfo pins the current head epoch and returns it together with
+// the head's attribute epoch, read under one lock acquisition so the pair
+// is consistent even under concurrent Appends.
+func (s *Store) LeaseHeadInfo() (epoch, attrEpoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.leases[s.head]++
+	if ov := s.overlays[s.head]; ov != nil {
+		attrEpoch = ov.attrEpoch
+	}
+	return s.head, attrEpoch
+}
+
+// Release drops one lease on epoch; when the last lease on an epoch behind
+// the retention floor goes, the epoch is evicted. Releasing an unleased
+// epoch is a no-op.
+func (s *Store) Release(epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.leases[epoch] == 0 {
+		return
+	}
+	s.leases[epoch]--
+	if s.leases[epoch] == 0 {
+		delete(s.leases, epoch)
+		if epoch != 0 && epoch < s.floorLocked() {
+			delete(s.overlays, epoch)
+		}
+	}
+}
+
+// Leases reports the live lease count of epoch.
+func (s *Store) Leases(epoch uint64) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.leases[epoch]
+}
+
+// Evict force-drops epoch from the ring regardless of leases, simulating a
+// server that lost its lease table (restart, operator intervention). Reads
+// of the epoch then fail with ErrEvicted; clients holding pins on it must
+// re-pin and retry. The head epoch cannot be evicted.
+func (s *Store) Evict(epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch == s.head {
+		return
+	}
+	delete(s.leases, epoch)
+	if epoch != 0 {
+		delete(s.overlays, epoch)
+	} else {
+		// Epoch 0 has no overlay; mark it unreadable by ensuring the floor
+		// check fails. Nothing to do when the floor is still 0 — within the
+		// ring the base stays readable by construction.
+		_ = epoch
+	}
+}
+
+// Append stages delta against the head state, validates it, and — only if
+// every operation is legal — installs it as the next epoch, all-or-nothing.
+// Removals of absent edges are idempotent no-ops. An effectively empty
+// delta (nothing added, removed or rewritten) does not advance the epoch.
+func (s *Store) Append(delta Delta) (epoch uint64, added, removed, attrsSet int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.sealed {
+		return s.head, 0, 0, 0, errors.New("version: Append before Seal")
+	}
+	prev := s.overlays[s.head]
+
+	// Stage the candidate overlay. Maps are cloned from the head overlay
+	// (cumulative diff-versus-base); entry slices are copied on first touch
+	// this round so installed overlays and the base stay immutable.
+	adj := make(map[akey]adjList, mapLen(prev))
+	attrs := make(map[graph.ID][]float64, attrLen(prev))
+	counts := make([]int64, s.numTypes)
+	if prev != nil {
+		for k, l := range prev.adj {
+			adj[k] = l
+		}
+		for v, a := range prev.attrs {
+			attrs[v] = a
+		}
+		copy(counts, prev.edgeCount)
+	} else {
+		copy(counts, s.baseEdges)
+	}
+	fresh := make(map[akey]struct{})
+
+	cur := func(k akey) adjList {
+		if l, ok := adj[k]; ok {
+			return l
+		}
+		slot := s.slot(k.v)
+		c := &s.base[k.t]
+		lo, hi := c.offs[slot], c.offs[slot+1]
+		return adjList{nbr: c.nbr[lo:hi], wts: c.wts[lo:hi]}
+	}
+	// own returns k's staged list with this-round-private backing arrays.
+	own := func(k akey) adjList {
+		l := cur(k)
+		if _, ok := fresh[k]; !ok {
+			l = adjList{
+				nbr: append(make([]graph.ID, 0, len(l.nbr)+1), l.nbr...),
+				wts: append(make([]float64, 0, len(l.wts)+1), l.wts...),
+			}
+			fresh[k] = struct{}{}
+		}
+		return l
+	}
+
+	for _, e := range delta.Add {
+		if s.slot(e.Src) < 0 {
+			return s.head, 0, 0, 0, fmt.Errorf("version: source vertex %d is not local", e.Src)
+		}
+		if int(e.Type) < 0 || int(e.Type) >= s.numTypes {
+			return s.head, 0, 0, 0, fmt.Errorf("version: edge type %d out of range", e.Type)
+		}
+		k := akey{e.Src, e.Type}
+		l := own(k)
+		l.nbr = append(l.nbr, e.Dst)
+		l.wts = append(l.wts, e.Weight)
+		adj[k] = l
+		counts[e.Type]++
+		added++
+	}
+	for _, e := range delta.Remove {
+		if int(e.Type) < 0 || int(e.Type) >= s.numTypes {
+			return s.head, 0, 0, 0, fmt.Errorf("version: edge type %d out of range", e.Type)
+		}
+		if s.slot(e.Src) < 0 {
+			continue // idempotent: nothing of this source here
+		}
+		k := akey{e.Src, e.Type}
+		l := cur(k)
+		hit := -1
+		for i, u := range l.nbr {
+			if u == e.Dst {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			continue
+		}
+		l = own(k)
+		l.nbr = append(l.nbr[:hit], l.nbr[hit+1:]...)
+		l.wts = append(l.wts[:hit], l.wts[hit+1:]...)
+		adj[k] = l
+		counts[e.Type]--
+		removed++
+	}
+	for _, a := range delta.SetAttr {
+		if s.slot(a.V) < 0 {
+			return s.head, 0, 0, 0, fmt.Errorf("version: vertex %d is not local", a.V)
+		}
+		attrs[a.V] = append([]float64(nil), a.Attr...)
+		attrsSet++
+	}
+
+	if added+removed+attrsSet == 0 {
+		return s.head, 0, 0, 0, nil
+	}
+
+	next := s.head + 1
+	ov := &overlay{
+		epoch:     next,
+		adj:       adj,
+		attrs:     attrs,
+		edgeCount: counts,
+		samplers:  make([]*edgeSampler, s.numTypes),
+	}
+	if attrsSet > 0 {
+		ov.attrEpoch = next
+	} else if prev != nil {
+		ov.attrEpoch = prev.attrEpoch
+	}
+	s.head = next
+	s.overlays[next] = ov
+
+	// Ring GC: epochs behind the floor are evicted unless leased.
+	floor := s.floorLocked()
+	for e := range s.overlays {
+		if e < floor && s.leases[e] == 0 {
+			delete(s.overlays, e)
+		}
+	}
+	return next, added, removed, attrsSet, nil
+}
+
+func mapLen(ov *overlay) int {
+	if ov == nil {
+		return 0
+	}
+	return len(ov.adj) + 1
+}
+
+func attrLen(ov *overlay) int {
+	if ov == nil {
+		return 0
+	}
+	return len(ov.attrs) + 1
+}
+
+// baseAliasIndex lazily builds (once; immutable afterwards) the slot-indexed
+// weighted-draw alias tables over the base adjacency of type t. It is valid
+// at every epoch for vertices the view resolves from the base, and the hot
+// read path is a single atomic load.
+func (s *Store) baseAliasIndex(t graph.EdgeType) *sampling.AliasIndex {
+	if ai := s.baseAlias[t].Load(); ai != nil {
+		return ai
+	}
+	s.aliasMu.Lock()
+	defer s.aliasMu.Unlock()
+	if ai := s.baseAlias[t].Load(); ai != nil {
+		return ai
+	}
+	c := &s.base[t]
+	ws := make([][]float64, len(s.local))
+	for i := range s.local {
+		ws[i] = c.wts[c.offs[i]:c.offs[i+1]]
+	}
+	ai := sampling.NewAliasIndexFromWeights(ws)
+	s.baseAlias[t].Store(ai)
+	return ai
+}
+
+// degreeTable lazily builds the degree-proportional vertex table over base
+// slots with at least one type-t out-edge; drawing a slot from it and then
+// a uniform adjacency entry is a uniform draw over the base edge set.
+func (s *Store) degreeTable(t graph.EdgeType) *baseDegree {
+	if d := s.baseDegAlias[t].Load(); d != nil {
+		return d
+	}
+	s.aliasMu.Lock()
+	defer s.aliasMu.Unlock()
+	if d := s.baseDegAlias[t].Load(); d != nil {
+		return d
+	}
+	c := &s.base[t]
+	var pool []int32
+	var ws []float64
+	for i := range s.local {
+		if d := c.offs[i+1] - c.offs[i]; d > 0 {
+			pool = append(pool, int32(i))
+			ws = append(ws, float64(d))
+		}
+	}
+	d := &baseDegree{al: sampling.NewAlias(ws), pool: pool}
+	s.baseDegAlias[t].Store(d)
+	return d
+}

@@ -1,0 +1,289 @@
+package version
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sampling"
+)
+
+// View is a read handle on one epoch of a Store. It is a value (no
+// allocation to create) and reads lock-free: the base and every installed
+// overlay are immutable, so a View resolved by At stays consistent forever,
+// even across concurrent Appends and ring evictions. Views are safe for
+// concurrent use.
+type View struct {
+	s     *Store
+	epoch uint64
+	ov    *overlay
+}
+
+// Epoch reports which epoch the view reads.
+func (v View) Epoch() uint64 { return v.epoch }
+
+// AttrEpoch reports the most recent epoch <= the view's that rewrote any
+// attribute row (0 when attributes are still the base's). Attribute caches
+// invalidate when it advances.
+func (v View) AttrEpoch() uint64 {
+	if v.ov == nil {
+		return 0
+	}
+	return v.ov.attrEpoch
+}
+
+// Owns reports whether the store holds vertex x.
+func (v View) Owns(x graph.ID) bool { return v.s.slot(x) >= 0 }
+
+// Neighbors returns x's out-neighbors and weights under edge type t at the
+// view's epoch. The slices alias immutable storage (base CSR or an overlay
+// entry) and must be treated as read-only. ok is false when x is not local.
+func (v View) Neighbors(x graph.ID, t graph.EdgeType) (ns []graph.ID, ws []float64, ok bool) {
+	slot := v.s.slot(x)
+	if slot < 0 {
+		return nil, nil, false
+	}
+	if v.ov != nil {
+		if l, touched := v.ov.adj[akey{x, t}]; touched {
+			return l.nbr, l.wts, true
+		}
+	}
+	c := &v.s.base[t]
+	lo, hi := c.offs[slot], c.offs[slot+1]
+	return c.nbr[lo:hi], c.wts[lo:hi], true
+}
+
+// NeighborsSlot is Neighbors fused with the per-vertex metadata a sampling
+// loop needs: the base slot of x (for Store.BaseAlias draws) and whether
+// the returned list came from an overlay (touched), in which case the base
+// alias does not apply and draws must weigh the returned ws directly (see
+// WeightedDraw). Resolving once per vertex and drawing many times keeps the
+// per-draw cost identical to the unversioned engine.
+func (v View) NeighborsSlot(x graph.ID, t graph.EdgeType) (ns []graph.ID, ws []float64, slot int, touched, ok bool) {
+	slot = v.s.slot(x)
+	if slot < 0 {
+		return nil, nil, -1, false, false
+	}
+	if v.ov != nil {
+		if l, hit := v.ov.adj[akey{x, t}]; hit {
+			return l.nbr, l.wts, slot, true, true
+		}
+	}
+	c := &v.s.base[t]
+	lo, hi := c.offs[slot], c.offs[slot+1]
+	return c.nbr[lo:hi], c.wts[lo:hi], slot, false, true
+}
+
+// WeightedDraw draws an index of ws proportionally to weight by cumulative
+// scan — the slow path for overlay-touched vertices, whose base alias entry
+// no longer applies. Returns -1 on an empty list.
+func WeightedDraw(ws []float64, rng *sampling.Rng) int {
+	return weightedScan(ws, rng)
+}
+
+// Touched reports whether x's type-t adjacency at this view differs from
+// the base (i.e. was rewritten by some epoch <= the view's). Untouched
+// vertices may be served by base-built indexes.
+func (v View) Touched(x graph.ID, t graph.EdgeType) bool {
+	if v.ov == nil {
+		return false
+	}
+	_, touched := v.ov.adj[akey{x, t}]
+	return touched
+}
+
+// Attr returns x's attribute row at the view's epoch.
+func (v View) Attr(x graph.ID) ([]float64, bool) {
+	if v.ov != nil {
+		if a, ok := v.ov.attrs[x]; ok {
+			return a, true
+		}
+	}
+	a, ok := v.s.baseAttrs[x]
+	return a, ok
+}
+
+// EdgeCount reports the number of local type-t edges at the view's epoch.
+func (v View) EdgeCount(t graph.EdgeType) int64 {
+	if v.ov != nil {
+		return v.ov.edgeCount[t]
+	}
+	return v.s.baseEdges[t]
+}
+
+// EdgeCounts appends the per-type local edge totals at the view's epoch.
+func (v View) EdgeCounts(dst []int64) []int64 {
+	for t := 0; t < v.s.numTypes; t++ {
+		dst = append(dst, v.EdgeCount(graph.EdgeType(t)))
+	}
+	return dst
+}
+
+// DrawNeighbor draws one out-edge slot of x under t proportionally to edge
+// weight, returning its index into the view's neighbor list (-1 when x has
+// no type-t out-edges). Untouched vertices draw O(1) through the immutable
+// base AliasIndex; touched vertices pay a linear scan of their overlay
+// weights — the per-vertex invalidation scope of an update.
+func (v View) DrawNeighbor(x graph.ID, t graph.EdgeType, rng *sampling.Rng) int {
+	slot := v.s.slot(x)
+	if slot < 0 {
+		return -1
+	}
+	if v.ov != nil {
+		if l, touched := v.ov.adj[akey{x, t}]; touched {
+			return weightedScan(l.wts, rng)
+		}
+	}
+	return v.s.baseAliasIndex(t).Draw(graph.ID(slot), rng)
+}
+
+// weightedScan draws an index proportionally to ws by cumulative scan
+// (uniform when the weights sum to zero); -1 on an empty list.
+func weightedScan(ws []float64, rng *sampling.Rng) int {
+	if len(ws) == 0 {
+		return -1
+	}
+	total := 0.0
+	for _, w := range ws {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return rng.Intn(len(ws))
+	}
+	x := rng.Float64() * total
+	for i, w := range ws {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(ws) - 1
+}
+
+// edgeSampler draws uniform local edges at one overlay's epoch by mixing
+// two regions: the touched vertices' overlay lists (an alias over their
+// current degrees) and the untouched remainder of the base edge set
+// (rejection draws through the immutable base degree alias). Built lazily
+// once per (overlay, edge type); immutable afterwards.
+type edgeSampler struct {
+	touched    []graph.ID      // overlay vertices with current degree > 0
+	touchedAl  *sampling.Alias // over touched, weighted by overlay degree
+	overlaySum int64           // total overlay-region edges
+	baseRem    int64           // base edges on untouched vertices
+	isTouched  map[int32]bool  // base slots superseded by the overlay
+}
+
+func (ov *overlay) sampler(s *Store, t graph.EdgeType) *edgeSampler {
+	ov.smu.Lock()
+	defer ov.smu.Unlock()
+	if es := ov.samplers[t]; es != nil {
+		return es
+	}
+	es := &edgeSampler{isTouched: make(map[int32]bool)}
+	var ws []float64
+	baseTouchedDeg := int64(0)
+	c := &s.base[t]
+	for k, l := range ov.adj {
+		if k.t != t {
+			continue
+		}
+		slot := s.slot(k.v)
+		es.isTouched[int32(slot)] = true
+		baseTouchedDeg += c.offs[slot+1] - c.offs[slot]
+		if len(l.nbr) > 0 {
+			es.touched = append(es.touched, k.v)
+			ws = append(ws, float64(len(l.nbr)))
+			es.overlaySum += int64(len(l.nbr))
+		}
+	}
+	// Deterministic touched order for reproducible draws at a fixed seed.
+	sortTouched(es.touched, ws)
+	es.touchedAl = sampling.NewAlias(ws)
+	es.baseRem = s.baseEdges[t] - baseTouchedDeg
+	ov.samplers[t] = es
+	return es
+}
+
+// sortTouched co-sorts the touched vertices (and their weights) ascending.
+// The touched set is cumulative and can grow large under a long update
+// stream, so this must stay O(n log n).
+func sortTouched(vs []graph.ID, ws []float64) {
+	sort.Sort(&touchedSorter{vs: vs, ws: ws})
+}
+
+type touchedSorter struct {
+	vs []graph.ID
+	ws []float64
+}
+
+func (t *touchedSorter) Len() int           { return len(t.vs) }
+func (t *touchedSorter) Less(i, j int) bool { return t.vs[i] < t.vs[j] }
+func (t *touchedSorter) Swap(i, j int) {
+	t.vs[i], t.vs[j] = t.vs[j], t.vs[i]
+	t.ws[i], t.ws[j] = t.ws[j], t.ws[i]
+}
+
+// SampleEdge draws one type-t edge uniformly over the view's local edge
+// set. ok is false when the view has no type-t edges. For views whose
+// overlay holds no type-t entries the draw consumes exactly the random
+// stream of a base-epoch draw, so updates confined to other edge types do
+// not perturb a fixed-seed TRAVERSE sequence.
+func (v View) SampleEdge(t graph.EdgeType, rng *sampling.Rng) (src, dst graph.ID, w float64, ok bool) {
+	var es *edgeSampler
+	if v.ov != nil {
+		es = v.ov.sampler(v.s, t)
+		if es.overlaySum == 0 && len(es.isTouched) == 0 {
+			es = nil // overlay untouched for t: identical to a base draw
+		}
+	}
+	if es == nil {
+		return v.drawBaseEdge(t, rng, nil)
+	}
+	total := es.overlaySum + es.baseRem
+	if total <= 0 {
+		return 0, 0, 0, false
+	}
+	if es.overlaySum > 0 && int64(rng.Float64()*float64(total)) < es.overlaySum {
+		x := es.touched[es.touchedAl.DrawRng(rng)]
+		ns, ws, _ := v.Neighbors(x, t)
+		i := rng.Intn(len(ns))
+		return x, ns[i], ws[i], true
+	}
+	return v.drawBaseEdge(t, rng, es.isTouched)
+}
+
+// drawBaseEdge draws uniformly over the base edge set, skipping slots in
+// skip (whose base edges are superseded by an overlay). Rejection is
+// bounded; after that a deterministic linear fallback scans for the first
+// eligible slot, trading uniformity for termination in the pathological
+// case where overlays supersede nearly all base mass.
+func (v View) drawBaseEdge(t graph.EdgeType, rng *sampling.Rng, skip map[int32]bool) (src, dst graph.ID, w float64, ok bool) {
+	d := v.s.degreeTable(t)
+	al, pool := d.al, d.pool
+	if al.Len() == 0 {
+		return 0, 0, 0, false
+	}
+	c := &v.s.base[t]
+	for tries := 0; tries < 64; tries++ {
+		slot := pool[al.DrawRng(rng)]
+		if skip != nil && skip[slot] {
+			continue
+		}
+		lo, hi := c.offs[slot], c.offs[slot+1]
+		i := lo + int64(rng.Intn(int(hi-lo)))
+		return v.s.local[slot], c.nbr[i], c.wts[i], true
+	}
+	for _, slot := range pool {
+		if skip != nil && skip[slot] {
+			continue
+		}
+		lo, hi := c.offs[slot], c.offs[slot+1]
+		i := lo + int64(rng.Intn(int(hi-lo)))
+		return v.s.local[slot], c.nbr[i], c.wts[i], true
+	}
+	return 0, 0, 0, false
+}
