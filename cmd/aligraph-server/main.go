@@ -5,17 +5,23 @@
 // training (SampleNeighbors fixed-width draws with server-side weighted
 // alias tables, SampleEdges, NegativePool, Stats), the Update RPC applying
 // atomic live mutation batches onto the shard's multi-version snapshot
-// store, and the Lease/Release RPCs that let training clients pin a
-// consistent epoch while updates stream in — until interrupted. A full
-// cluster is one aligraph-server process per partition; clients dial all
-// of them (`aligraph-train -cluster [-stream]`, or see
-// examples/distributed for the in-process equivalent).
+// store, the Lease/Release RPCs that let training clients pin a
+// consistent epoch while updates stream in, and the Compact RPC folding
+// old snapshot overlays into a fresh base — until interrupted. Compaction
+// also self-triggers on an overlay-size threshold (-compact-threshold), so
+// a server under an unbounded update stream runs in bounded memory:
+// overlays behind the retention window fold into the base while leased
+// epochs stay readable and clients observe nothing. A full cluster is one
+// aligraph-server process per partition; clients dial all of them
+// (`aligraph-train -cluster [-stream]`, or see examples/distributed for
+// the in-process equivalent).
 //
 // Usage:
 //
 //	aligraph-server -demo -partitions 2 -part 0 -addr 127.0.0.1:7701
 //	aligraph-server -vertices v.tsv -edges e.tsv -vertex-types user,item \
-//	    -edge-types click,buy -partitions 4 -part 2 -addr :7703
+//	    -edge-types click,buy -partitions 4 -part 2 -addr :7703 \
+//	    -compact-threshold 200000
 package main
 
 import (
@@ -46,6 +52,7 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:7700", "listen address")
 		demo         = flag.Bool("demo", false, "generate Taobao-sim instead of reading files")
 		scale        = flag.Float64("scale", 0.1, "demo dataset scale")
+		compactThr   = flag.Int("compact-threshold", 100000, "fold old snapshot overlays into a fresh base once the head overlay holds this many entries (0 disables auto-compaction; the Compact RPC always works)")
 	)
 	flag.Parse()
 
@@ -93,6 +100,7 @@ func main() {
 	}
 	servers := cluster.FromGraph(g, a)
 	srv := servers[*part]
+	srv.SetCompactThreshold(*compactThr)
 
 	rpcSrv, err := cluster.ServeRPC(srv, *addr)
 	if err != nil {

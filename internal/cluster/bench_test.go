@@ -31,15 +31,20 @@ func BenchmarkClusterSample(b *testing.B) {
 			b.Fatal(err)
 		}
 		servers := FromGraph(g, a)
-		for _, cached := range []bool{false, true} {
-			name := fmt.Sprintf("shards=%d/cache=none", shards)
-			var cache storage.NeighborCache = storage.NoCache{}
-			if cached {
-				name = fmt.Sprintf("shards=%d/cache=importance", shards)
-				cache = storage.NewImportanceCacheTopFraction(g, 2, 0.2)
+		for _, kind := range []string{"none", "importance", "lru"} {
+			var mk func() storage.NeighborCache
+			switch kind {
+			case "importance":
+				imp := storage.NewImportanceCacheTopFraction(g, 2, 0.2)
+				mk = func() storage.NeighborCache { return imp }
+			case "lru":
+				mk = func() storage.NeighborCache { return storage.NewLRUNeighborCache(g.NumVertices() / 5) }
+			default:
+				mk = func() storage.NeighborCache { return storage.NoCache{} }
 			}
-			b.Run(name, func(b *testing.B) {
+			b.Run(fmt.Sprintf("shards=%d/cache=%s", shards, kind), func(b *testing.B) {
 				tr := NewLocalTransport(servers, 0, 0)
+				cache := mk()
 				c := NewClient(a, tr, cache)
 				nbr := sampling.NewNeighborhood(c, rand.New(rand.NewSource(1)))
 				var ctx sampling.Context
@@ -54,6 +59,16 @@ func BenchmarkClusterSample(b *testing.B) {
 				b.StopTimer()
 				local, remote := tr.Calls()
 				b.ReportMetric(float64(local+remote)/float64(b.N), "rpc/op")
+				// Cache efficiency: hit rate plus the epoch-miss rate (the
+				// extra re-validation fetches version safety costs under
+				// churn; zero on this quiescent workload).
+				if lru, ok := cache.(*storage.LRUNeighborCache); ok {
+					hits, misses, epochMisses := lru.Counters()
+					if total := hits + misses + epochMisses; total > 0 {
+						b.ReportMetric(float64(hits)/float64(total), "cacheHitRate")
+						b.ReportMetric(float64(epochMisses)/float64(total), "epochMissRate")
+					}
+				}
 			})
 		}
 	}

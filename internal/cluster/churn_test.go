@@ -60,13 +60,22 @@ func churnEncoder(n int, hops []int, rng *rand.Rand) *core.Encoder {
 // newChurnTrainer wires a deterministic cluster trainer over fresh servers
 // for g: same seed => same draws, whatever happens on the churn edge type.
 func newChurnTrainer(t *testing.T, g *graph.Graph, seed int64) (*core.LinkTrainer, []*Server) {
+	return newChurnTrainerCache(t, g, seed, func([]*Server, *partition.Assignment) storage.NeighborCache {
+		return storage.NoCache{}
+	})
+}
+
+// newChurnTrainerCache is newChurnTrainer with a caller-chosen neighbor
+// cache; the factory sees the live servers and assignment so test caches
+// can cross-check served lists against store ground truth.
+func newChurnTrainerCache(t *testing.T, g *graph.Graph, seed int64, mkCache func([]*Server, *partition.Assignment) storage.NeighborCache) (*core.LinkTrainer, []*Server) {
 	t.Helper()
 	a, err := (partition.HashPartitioner{}).Partition(g, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	servers := FromGraph(g, a)
-	c := NewClient(a, NewLocalTransport(servers, 0, 0), storage.NoCache{})
+	c := NewClient(a, NewLocalTransport(servers, 0, 0), mkCache(servers, a))
 	rng := rand.New(rand.NewSource(seed))
 	enc := churnEncoder(g.NumVertices(), []int{3, 2}, rng)
 	cfg := core.TrainerConfig{EdgeType: 0, HopNums: []int{3, 2}, Batch: 16, NegK: 2, LR: 0.05}

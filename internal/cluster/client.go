@@ -54,19 +54,46 @@ func NewClient(a *partition.Assignment, t Transport, cache storage.NeighborCache
 	return &Client{Assign: a, T: t, Cache: cache, cacheAdmits: admits, pins: newPinManager(a.P)}
 }
 
+// cacheEpoch resolves the update epoch a cache lookup must be valid at:
+// the pinned epoch of the owning shard when the read is pinned, otherwise
+// the newest head the client has observed from that shard. Routing every
+// cache probe through it is what makes the neighbor caches version-safe —
+// a pinned batch can never consume a list fetched at a different epoch.
+func (c *Client) cacheEpoch(pin *sampling.Pin, part int) uint64 {
+	if pin != nil {
+		return pin.Epochs[part]
+	}
+	return c.pins.heads[part].Load()
+}
+
+// replySince extracts the j-th install stamp of a reply's Since array,
+// tolerating absent arrays from down-level servers. The fallback is the
+// reply's serving epoch: the list is then only claimed valid at the single
+// point it was observed ([epoch, epoch]) — claiming 0 would assert it
+// predates every update, exactly the stale-entry admission the seam
+// exists to prevent.
+func replySince(since []uint64, j int, servedEpoch uint64) uint64 {
+	if j < len(since) {
+		return since[j]
+	}
+	return servedEpoch
+}
+
 // Neighbors returns the out-neighbors of v under edge type t, from cache if
 // possible.
 func (c *Client) Neighbors(v graph.ID, t graph.EdgeType) ([]graph.ID, error) {
-	if ns, ok := c.Cache.Get(v, t, 1); ok {
+	p := c.Assign.Part(v)
+	if ns, ok := c.Cache.Get(v, t, 1, c.cacheEpoch(nil, p)); ok {
 		return ns, nil
 	}
 	var reply NeighborsReply
 	req := NeighborsRequest{Vertices: []graph.ID{v}, EdgeType: t}
-	if err := c.T.Neighbors(c.Assign.Part(v), req, &reply); err != nil {
+	if err := c.T.Neighbors(p, req, &reply); err != nil {
 		return nil, err
 	}
+	c.pins.noteHead(p, reply.Head, reply.AttrHead)
 	ns := reply.Neighbors[0]
-	c.Cache.Observe(v, t, 1, ns)
+	c.Cache.Observe(v, t, 1, reply.Epoch, replySince(reply.Since, 0, reply.Epoch), ns)
 	return ns, nil
 }
 
@@ -108,22 +135,25 @@ func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.Edg
 	if len(dst) != len(vs) {
 		return fmt.Errorf("cluster: NeighborsBatch dst length %d, want %d", len(dst), len(vs))
 	}
-	// Pass 1: dedup, cache lookups, sub-batch formation.
+	// Pass 1: dedup, epoch-keyed cache lookups, sub-batch formation. The
+	// lookup epoch is the owning shard's pinned epoch (or observed head),
+	// so a stale-generation entry misses instead of being served.
 	res := make(map[graph.ID][]graph.ID, len(vs))
 	subBatch := make(map[int][]graph.ID) // part -> unique missed vertices
 	for _, v := range vs {
 		if _, seen := res[v]; seen {
 			continue
 		}
-		if ns, ok := c.Cache.Get(v, t, 1); ok {
+		p := c.Assign.Part(v)
+		if ns, ok := c.Cache.Get(v, t, 1, c.cacheEpoch(pin, p)); ok {
 			res[v] = ns
 			continue
 		}
 		res[v] = nil
-		p := c.Assign.Part(v)
 		subBatch[p] = append(subBatch[p], v)
 	}
 	// Pass 2: one request per server, stitched back through the dedup map.
+	// Admissions carry the serving epoch and each list's install stamp.
 	for p, batch := range subBatch {
 		var reply NeighborsReply
 		req := NeighborsRequest{Vertices: batch, EdgeType: t}
@@ -134,7 +164,7 @@ func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.Edg
 		c.observe(p, span, pin, reply.Epoch, reply.Head, reply.AttrHead)
 		for j, v := range batch {
 			res[v] = reply.Neighbors[j]
-			c.Cache.Observe(v, t, 1, reply.Neighbors[j])
+			c.Cache.Observe(v, t, 1, reply.Epoch, replySince(reply.Since, j, reply.Epoch), reply.Neighbors[j])
 		}
 	}
 	for i, v := range vs {
@@ -155,13 +185,18 @@ func (c *Client) BatchNeighbors(vs []graph.ID, t graph.EdgeType) ([][]graph.ID, 
 
 // SampleBatch implements sampling.BatchSampler: width neighbor draws per
 // vertex of vs, executed where the adjacency lives. Unique vertices with a
-// cached hop-1 list are drawn client-side (uniform only: caches hold no
-// weights); the rest are grouped into one SampleNeighbors RPC per owning
-// server — visited in partition order so a fixed seed yields fixed draws —
-// carrying each unique vertex once with its multiplicity so repeated hubs
-// get independent draws without being re-sent. Low-degree uniform vertices
-// come back as full (short) lists, which are drawn locally and admitted to
-// the cache, so replacing caches warm up under a pure training workload.
+// cached hop-1 list valid at the read epoch are drawn client-side (uniform
+// only: caches hold no weights); the rest are grouped into one
+// SampleNeighbors RPC per owning server, carrying each unique vertex once
+// with its multiplicity and batch positions so repeated hubs get
+// independent draws without being re-sent. Every draw group derives its
+// stream from its batch slot (sampling.SlotRng), so a fixed seed yields
+// fixed values no matter which slots hit the cache, how the graph is
+// sharded, or when a replacing cache admitted an entry — the property
+// behind the pipeline's bit-reproducibility with LRU caches. Low-degree
+// uniform vertices come back as full (short) lists, which are drawn
+// locally and admitted (with their install stamp), so replacing caches
+// warm up under a pure training workload.
 func (c *Client) SampleBatch(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64) error {
 	return c.sampleBatchSpan(dst, vs, t, width, byWeight, seed, nil, nil)
 }
@@ -185,19 +220,19 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 		occs[j] = append(occs[j], i)
 	}
 
-	rng := sampling.NewRng(seed)
 	subUniq := make(map[int][]int) // part -> indices into uniq
 	var parts []int
 	for j, v := range uniq {
+		p := c.Assign.Part(v)
 		if !byWeight {
-			if ns, ok := c.Cache.Get(v, t, 1); ok {
+			if ns, ok := c.Cache.Get(v, t, 1, c.cacheEpoch(pin, p)); ok {
 				for _, pos := range occs[j] {
-					drawInto(dst[pos*width:(pos+1)*width], v, ns, rng)
+					rng := sampling.SlotRng(seed, pos)
+					drawInto(dst[pos*width:(pos+1)*width], v, ns, &rng)
 				}
 				continue
 			}
 		}
-		p := c.Assign.Part(v)
 		if _, ok := subUniq[p]; !ok {
 			parts = append(parts, p)
 		}
@@ -214,12 +249,15 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 			Width:     width,
 			ByWeight:  byWeight,
 			WantLists: c.cacheAdmits,
-			Seed:      rng.Uint64(),
+			Seed:      seed,
 		}
 		req.Pin, req.Pinned = pinFields(pin, p)
 		for _, j := range js {
 			req.Vertices = append(req.Vertices, uniq[j])
 			req.Counts = append(req.Counts, len(occs[j]))
+			for _, pos := range occs[j] {
+				req.Slots = append(req.Slots, int32(pos))
+			}
 		}
 		var reply SampleReply
 		if err := c.T.SampleNeighbors(p, req, &reply); err != nil {
@@ -244,9 +282,10 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 			v := uniq[j]
 			if len(reply.Lists) > 0 && reply.Lists[i] != nil {
 				ns := reply.Lists[i]
-				c.Cache.Observe(v, t, 1, ns)
+				c.Cache.Observe(v, t, 1, reply.Epoch, replySince(reply.Since, i, reply.Epoch), ns)
 				for _, pos := range occs[j] {
-					drawInto(dst[pos*width:(pos+1)*width], v, ns, rng)
+					rng := sampling.SlotRng(seed, pos)
+					drawInto(dst[pos*width:(pos+1)*width], v, ns, &rng)
 				}
 				continue
 			}
@@ -292,6 +331,62 @@ func (c *Client) clusterStats(refresh bool) ([]StatsReply, error) {
 	return stats, nil
 }
 
+// edgeSplit returns the per-server mass the TRAVERSE batch is split by:
+// edge counts for uniform draws, edge-weight sums for weighted ones. For a
+// pinned batch the mass comes from the pinned epoch's counters (they rode
+// the Lease reply, so this costs no RPC) — the per-server allocation then
+// matches the snapshot actually being sampled, not the moving head.
+// Unpinned callers use the cached head stats, re-confirmed against live
+// servers before concluding the type is empty (dynamic inserts).
+func (c *Client) edgeSplit(t graph.EdgeType, byWeight bool, pin *sampling.Pin) ([]float64, float64, error) {
+	mass := func(edges []int64, weights []float64) float64 {
+		if byWeight {
+			if int(t) < len(weights) {
+				return weights[t]
+			}
+			return 0
+		}
+		if int(t) < len(edges) {
+			return float64(edges[t])
+		}
+		return 0
+	}
+	if pin != nil {
+		if edges, weights := c.pins.statsFor(pin); edges != nil {
+			ws := make([]float64, c.Assign.P)
+			total := 0.0
+			for p := 0; p < c.Assign.P; p++ {
+				ws[p] = mass(edges[p], weights[p])
+				total += ws[p]
+			}
+			return ws, total, nil
+		}
+	}
+	tally := func(stats []StatsReply) ([]float64, float64) {
+		ws := make([]float64, len(stats))
+		total := 0.0
+		for p, st := range stats {
+			ws[p] = mass(st.EdgesByType, st.WeightByType)
+			total += ws[p]
+		}
+		return ws, total
+	}
+	stats, err := c.clusterStats(false)
+	if err != nil {
+		return nil, 0, err
+	}
+	ws, total := tally(stats)
+	if total == 0 {
+		// The cached counters may predate dynamic edge insertions; confirm
+		// emptiness against the live servers before giving up.
+		if stats, err = c.clusterStats(true); err != nil {
+			return nil, 0, err
+		}
+		ws, total = tally(stats)
+	}
+	return ws, total, nil
+}
+
 // SampleEdges draws n edges of type t uniformly over the cluster's global
 // edge set: the batch is split across servers proportionally to their local
 // type-t edge counts, then each contributing server answers one SampleEdges
@@ -300,43 +395,38 @@ func (c *Client) SampleEdges(t graph.EdgeType, n int, seed uint64) ([]graph.Edge
 	return c.AppendSampleEdges(nil, t, n, seed, nil, nil)
 }
 
+// SampleEdgesWeighted draws n edges of type t proportionally to edge weight
+// over the cluster's global edge set: the batch is split across servers by
+// their local type-t weight sums (the Stats RPC reports them), then each
+// contributing server draws weight-proportionally from its own edge set.
+// The composition is exactly the global weighted draw a single machine
+// would make.
+func (c *Client) SampleEdgesWeighted(t graph.EdgeType, n int, seed uint64) ([]graph.Edge, error) {
+	return c.appendSampleEdges(nil, t, n, seed, true, nil, nil)
+}
+
 // AppendSampleEdges is SampleEdges into a caller-owned buffer, reading the
 // pinned snapshot when pin is non-nil and recording what each contributing
 // server's reply observed into span (nil to skip). Batch sources use it to
-// stamp MiniBatches with the epochs their TRAVERSE stage saw. The
-// cross-server batch split uses the (head-epoch) stats counters even under
-// a pin — a load-spreading heuristic; each server's own draw is exactly
-// uniform over its pinned edge set.
+// stamp MiniBatches with the epochs their TRAVERSE stage saw. Pinned
+// batches are split across servers by the pinned epoch's own edge
+// counters (carried on the Lease reply), so the allocation matches the
+// snapshot being sampled even while the head moves.
 func (c *Client) AppendSampleEdges(dst []graph.Edge, t graph.EdgeType, n int, seed uint64, pin *sampling.Pin, span *sampling.EpochSpan) ([]graph.Edge, error) {
-	stats, err := c.clusterStats(false)
+	return c.appendSampleEdges(dst, t, n, seed, false, pin, span)
+}
+
+func (c *Client) appendSampleEdges(dst []graph.Edge, t graph.EdgeType, n int, seed uint64, byWeight bool, pin *sampling.Pin, span *sampling.EpochSpan) ([]graph.Edge, error) {
+	ws, total, err := c.edgeSplit(t, byWeight, pin)
 	if err != nil {
 		return nil, err
 	}
-	tally := func(stats []StatsReply) ([]float64, int64) {
-		ws := make([]float64, len(stats))
-		total := int64(0)
-		for p, st := range stats {
-			if int(t) < len(st.EdgesByType) {
-				ws[p] = float64(st.EdgesByType[t])
-				total += st.EdgesByType[t]
-			}
-		}
-		return ws, total
-	}
-	ws, total := tally(stats)
 	if total == 0 {
-		// The cached counters may predate dynamic edge insertions; confirm
-		// emptiness against the live servers before giving up.
-		if stats, err = c.clusterStats(true); err != nil {
-			return nil, err
-		}
-		if ws, total = tally(stats); total == 0 {
-			return dst, nil
-		}
+		return dst, nil
 	}
 	rng := sampling.NewRng(seed)
 	al := sampling.NewAlias(ws)
-	counts := make([]int, len(stats))
+	counts := make([]int, len(ws))
 	for i := 0; i < n; i++ {
 		counts[al.DrawRng(rng)]++
 	}
@@ -345,7 +435,7 @@ func (c *Client) AppendSampleEdges(dst []graph.Edge, t graph.EdgeType, n int, se
 		if k == 0 {
 			continue
 		}
-		req := EdgesRequest{EdgeType: t, Count: k, Seed: rng.Uint64()}
+		req := EdgesRequest{EdgeType: t, Count: k, ByWeight: byWeight, Seed: rng.Uint64()}
 		req.Pin, req.Pinned = pinFields(pin, p)
 		var reply EdgesReply
 		if err := c.T.SampleEdges(p, req, &reply); err != nil {
@@ -437,10 +527,19 @@ func (c *Client) attrsObserve(vs []graph.ID, pin *sampling.Pin, note func(part i
 // when available; otherwise frontiers are fetched with batched requests.
 func (c *Client) MultiHop(v graph.ID, t graph.EdgeType, k int) ([][]graph.ID, error) {
 	frontiers := make([][]graph.ID, k)
-	// Fast path: the whole 1..k expansion is cached.
+	// Fast path: the whole 1..k expansion is cached and valid at the
+	// NEWEST head observed on ANY shard — a multi-hop frontier can cross
+	// shard boundaries, so churn anywhere must invalidate it, and a hop-1
+	// reply cannot re-validate a whole frontier.
+	epoch := uint64(0)
+	for part := range c.pins.heads {
+		if h := c.pins.heads[part].Load(); h > epoch {
+			epoch = h
+		}
+	}
 	allCached := true
 	for h := 1; h <= k; h++ {
-		if ns, ok := c.Cache.Get(v, t, h); ok {
+		if ns, ok := c.Cache.Get(v, t, h, epoch); ok {
 			frontiers[h-1] = ns
 		} else {
 			allCached = false

@@ -528,7 +528,7 @@ func TestCacheKeyedByEdgeType(t *testing.T) {
 	imp := storage.NewImportanceCacheTopFraction(g, 2, 1.0)
 	for v := graph.ID(0); v < 4; v++ {
 		for et := graph.EdgeType(0); et < 2; et++ {
-			ns, ok := imp.Get(v, et, 1)
+			ns, ok := imp.Get(v, et, 1, 0)
 			if !ok {
 				t.Fatalf("vertex %d type %d not cached", v, et)
 			}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/sampling"
+	"repro/internal/storage"
 )
 
 // This file implements the client side of epoch pinning: a shared,
@@ -17,11 +18,16 @@ import (
 // advance, not per batch. Superseded pins release their leases when the
 // last batch holding them recycles.
 
-// pinState tracks one issued pin's reference count.
+// pinState tracks one issued pin's reference count plus the per-shard
+// edge-count and edge-weight stats of the leased epochs (they ride the
+// Lease replies). TRAVERSE batch splits under this pin read them instead
+// of the head's moving counters.
 type pinState struct {
-	pin  *sampling.Pin
-	refs int
-	dead bool // lease observed lost (eviction); never handed out again
+	pin     *sampling.Pin
+	refs    int
+	dead    bool // lease observed lost (eviction); never handed out again
+	edges   [][]int64
+	weights [][]float64
 }
 
 // pinManager lives inside Client.
@@ -89,6 +95,8 @@ func (c *Client) Pin() (*sampling.Pin, error) {
 
 	// Lease the current head on every server (outside the lock: RPCs).
 	epochs := make([]uint64, c.Assign.P)
+	edges := make([][]int64, c.Assign.P)
+	weights := make([][]float64, c.Assign.P)
 	for part := 0; part < c.Assign.P; part++ {
 		var reply LeaseReply
 		if err := c.T.Lease(part, LeaseRequest{}, &reply); err != nil {
@@ -98,10 +106,22 @@ func (c *Client) Pin() (*sampling.Pin, error) {
 			return nil, err
 		}
 		epochs[part] = reply.Epoch
+		edges[part] = reply.EdgesByType
+		weights[part] = reply.WeightByType
 		// A lease reply is authoritative about the shard's head, so store
 		// it outright rather than advancing the monotone watermark: after a
 		// server restart (head back near 0) the watermark would otherwise
 		// stay above the new heads forever and every Pin would re-lease.
+		// A regression also means the shard's epoch NUMBERING restarted:
+		// neighbor-cache validity intervals recorded under the old
+		// incarnation are incomparable with the new one (an old [6,10]
+		// entry would wrongly hit once the fresh store reaches epoch 7),
+		// so the cache is flushed.
+		if old := m.heads[part].Load(); reply.Head < old {
+			if f, ok := c.Cache.(storage.Flusher); ok {
+				f.Flush()
+			}
+		}
 		m.heads[part].Store(reply.Head)
 		advance(&m.attrHeads[part], reply.AttrHead)
 	}
@@ -109,7 +129,7 @@ func (c *Client) Pin() (*sampling.Pin, error) {
 	m.mu.Lock()
 	m.seq++
 	pin := &sampling.Pin{Stamp: m.seq, Epochs: epochs}
-	st := &pinState{pin: pin, refs: 1}
+	st := &pinState{pin: pin, refs: 1, edges: edges, weights: weights}
 	m.states[pin] = st
 	old := m.cur
 	m.cur = st
@@ -190,6 +210,18 @@ func (c *Client) releaseLeases(p *sampling.Pin) {
 	for part, e := range p.Epochs {
 		c.T.Release(part, ReleaseRequest{Epoch: e}, &ReleaseReply{})
 	}
+}
+
+// statsFor returns the per-shard edge-count and edge-weight stats leased
+// with p, or nils when the pin is unknown (callers then fall back to head
+// stats).
+func (m *pinManager) statsFor(p *sampling.Pin) ([][]int64, [][]float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.states[p]; ok {
+		return st.edges, st.weights
+	}
+	return nil, nil
 }
 
 // currentPin reports, for tests and diagnostics, the pin the manager would

@@ -182,6 +182,11 @@ func (t *RPCTransport) Release(part int, req ReleaseRequest, reply *ReleaseReply
 	return t.call(part, "Graph.Release", req, reply)
 }
 
+// Compact implements Transport.
+func (t *RPCTransport) Compact(part int, req CompactRequest, reply *CompactReply) error {
+	return t.call(part, "Graph.Compact", req, reply)
+}
+
 // Close implements Transport.
 func (t *RPCTransport) Close() error {
 	var first error

@@ -10,12 +10,23 @@
 // network latency, for deterministic benchmarks) and a real net/rpc
 // implementation over TCP, and the parallel graph-building pipeline
 // evaluated in Figure 7.
+//
+// Churn is a first-class steady state: neighbor-cache reads are epoch-keyed
+// (a pinned batch can never consume a list fetched at another update
+// generation — replies carry per-list install stamps, storage.NeighborCache
+// tracks validity intervals), TRAVERSE batch splits under a pin use the
+// pinned epoch's own counters (they ride the Lease reply), draws are
+// slot-pure so cache and shard layout never perturb fixed-seed training,
+// and servers bound their snapshot-overlay memory by folding old overlays
+// into a fresh base (Compact RPC or the SetCompactThreshold trigger)
+// without disturbing leased epochs or live readers.
 package cluster
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/sampling"
@@ -39,6 +50,16 @@ type Server struct {
 
 	store *version.Store
 
+	// compactThreshold, when positive, triggers an overlay compaction from
+	// ServeUpdate once the head overlay's cumulative entry count reaches
+	// it — the steady-state memory bound under an unbounded update stream.
+	// Compaction is also reachable explicitly through the Compact RPC.
+	compactThreshold int64
+	// compacting serializes threshold-triggered compactions: concurrent
+	// update handlers that pass the gate together must not queue O(V+E)
+	// rebuilds back to back.
+	compacting atomic.Bool
+
 	mu sync.RWMutex
 	// boot, when set, answers the Bootstrap RPC: the global partition
 	// assignment and schema a worker needs to start without loading the
@@ -59,6 +80,16 @@ func NewServerRetain(id, numEdgeTypes, retain int) *Server {
 
 // Store exposes the server's snapshot store (tests and tooling).
 func (s *Server) Store() *version.Store { return s.store }
+
+// SetCompactThreshold arms automatic overlay compaction: once the head
+// overlay's cumulative adjacency+attribute entry count reaches n, the next
+// applied update folds the retention floor into a fresh base. n <= 0
+// disables the trigger (the Compact RPC still works).
+func (s *Server) SetCompactThreshold(n int) {
+	s.mu.Lock()
+	s.compactThreshold = int64(n)
+	s.mu.Unlock()
+}
 
 // AddVertex registers a local vertex with its attributes (loading phase,
 // before Seal).
@@ -145,10 +176,14 @@ type NeighborsRequest struct {
 // notice that their pin went stale; AttrHead is the newest epoch on this
 // server that rewrote any attribute row, which attribute caches use to
 // invalidate without ever issuing an extra RPC — the signal rides on every
-// sampling reply, so even a fully-hot attribute cache observes it.
+// sampling reply, so even a fully-hot attribute cache observes it. Since[i]
+// is the epoch at which Neighbors[i] was installed (0 = predates every
+// update): together with Epoch it gives neighbor caches the exact validity
+// interval of each list.
 type NeighborsReply struct {
 	Neighbors [][]graph.ID
 	Weights   [][]float64
+	Since     []uint64
 	Epoch     uint64
 	Head      uint64
 	AttrHead  uint64
@@ -185,6 +220,7 @@ func (s *Server) ServeNeighbors(req NeighborsRequest, reply *NeighborsReply) err
 	}
 	reply.Neighbors = make([][]graph.ID, len(req.Vertices))
 	reply.Weights = make([][]float64, len(req.Vertices))
+	reply.Since = make([]uint64, len(req.Vertices))
 	reply.Epoch = view.Epoch()
 	reply.Head = head
 	reply.AttrHead = attrHead
@@ -195,6 +231,7 @@ func (s *Server) ServeNeighbors(req NeighborsRequest, reply *NeighborsReply) err
 		}
 		reply.Neighbors[i] = ns
 		reply.Weights[i] = ws
+		reply.Since[i] = view.ChangedAt(v, req.EdgeType)
 	}
 	return nil
 }
@@ -229,6 +266,14 @@ func (s *Server) ServeAttrs(req AttrsRequest, reply *AttrsReply) error {
 type SampleRequest struct {
 	Vertices []graph.ID
 	Counts   []int
+	// Slots carries the global batch position of every draw group,
+	// flattened in Counts order (sum(Counts) entries): group j of vertex i
+	// is batch slot Slots[cursor]. Draws are slot-pure — derived from
+	// sampling.SlotRng(Seed, slot) — so the values a slot receives are
+	// identical whether it is drawn here, from a client-side cache hit, or
+	// on a different shard layout. Absent (legacy callers), the server
+	// numbers groups sequentially.
+	Slots    []int32
 	EdgeType graph.EdgeType
 	Width    int
 	ByWeight bool
@@ -247,11 +292,13 @@ type SampleRequest struct {
 // uniform-draw vertex whose degree does not exceed Width ships its full
 // (short) adjacency list in Lists[i] instead of contributing to Samples:
 // that is never more bytes than Counts[i]*Width draws and lets the client
-// draw locally and warm replacing caches. Epoch stamps the reply with the
-// epoch served; Head with the server's current head.
+// draw locally and warm replacing caches; Since[i] stamps each shipped
+// list's install epoch so the admission is version-exact. Epoch stamps the
+// reply with the epoch served; Head with the server's current head.
 type SampleReply struct {
 	Samples  []graph.ID
 	Lists    [][]graph.ID
+	Since    []uint64
 	Epoch    uint64
 	Head     uint64
 	AttrHead uint64
@@ -260,12 +307,14 @@ type SampleReply struct {
 // StatsRequest asks for the server's local size counters.
 type StatsRequest struct{}
 
-// StatsReply reports local vertex and per-edge-type edge counts (at the
-// head epoch); clients use the edge counts to spread TRAVERSE batches
-// across servers.
+// StatsReply reports local vertex and per-edge-type edge counts and edge
+// weight sums (at the head epoch); clients use the edge counts to spread
+// uniform TRAVERSE batches across servers, and the weight sums to spread
+// weight-proportional ones.
 type StatsReply struct {
-	NumVertices int
-	EdgesByType []int64
+	NumVertices  int
+	EdgesByType  []int64
+	WeightByType []float64
 }
 
 // NegPoolRequest asks for the server's negative-sampling candidate counts
@@ -284,11 +333,13 @@ type NegPoolReply struct {
 	Counts   []int64
 }
 
-// EdgesRequest asks for Count edges of one type drawn uniformly from the
-// server's local edge set, optionally at a pinned epoch.
+// EdgesRequest asks for Count edges of one type drawn from the server's
+// local edge set — uniformly, or proportionally to edge weight when
+// ByWeight is set — optionally at a pinned epoch.
 type EdgesRequest struct {
 	EdgeType graph.EdgeType
 	Count    int
+	ByWeight bool
 	Seed     uint64
 	Pin      uint64
 	Pinned   bool
@@ -310,11 +361,16 @@ type EdgesReply struct {
 type LeaseRequest struct{}
 
 // LeaseReply reports the epoch actually leased, the server's head, and its
-// newest attribute-rewriting epoch.
+// newest attribute-rewriting epoch, plus the leased epoch's per-type edge
+// counts and edge-weight sums. The stats ride the lease so a client can
+// split pinned TRAVERSE batches across shards from the snapshot's own
+// counters with zero extra RPCs.
 type LeaseReply struct {
-	Epoch    uint64
-	Head     uint64
-	AttrHead uint64
+	Epoch        uint64
+	Head         uint64
+	AttrHead     uint64
+	EdgesByType  []int64
+	WeightByType []float64
 }
 
 // ReleaseRequest drops one lease on Epoch.
@@ -325,15 +381,33 @@ type ReleaseRequest struct {
 // ReleaseReply is empty; releases are best-effort acknowledgements.
 type ReleaseReply struct{}
 
+// CompactRequest asks the server to fold overlays behind the retention
+// floor into a fresh base snapshot (operator- or threshold-triggered).
+type CompactRequest struct{}
+
+// CompactReply reports what the compaction did: the epoch the base now
+// freezes, how many cumulative overlay entries it absorbed and how many
+// were pruned from retained overlays, and the server's head epoch. The
+// head never moves — clients keep reading exactly the epochs they pinned.
+type CompactReply struct {
+	BaseEpoch uint64
+	Folded    int
+	Pruned    int
+	Head      uint64
+}
+
 // ServeLease pins the current head epoch of the snapshot store. The epoch,
-// head and attr-head come from one lock acquisition, so a reply never
-// reports a head newer than the epoch it leased (which would make the
-// client's fresh pin look stale at birth).
+// head, attr-head and stats come from one lock acquisition, so a reply
+// never reports a head newer than the epoch it leased (which would make
+// the client's fresh pin look stale at birth) and the stats are exactly
+// the leased snapshot's.
 func (s *Server) ServeLease(_ LeaseRequest, reply *LeaseReply) error {
-	epoch, attrEpoch := s.store.LeaseHeadInfo()
+	epoch, attrEpoch, edges, weights := s.store.LeaseHeadStats()
 	reply.Epoch = epoch
 	reply.Head = epoch
 	reply.AttrHead = attrEpoch
+	reply.EdgesByType = edges
+	reply.WeightByType = weights
 	return nil
 }
 
@@ -343,12 +417,75 @@ func (s *Server) ServeRelease(req ReleaseRequest, reply *ReleaseReply) error {
 	return nil
 }
 
+// ServeCompact folds overlays behind the retention floor into a fresh base
+// (version.Store.Compact). Live views and leased epochs stay readable
+// throughout and keep serving the same adjacency and draw distributions;
+// the head epoch does not move, so from a client's perspective shard
+// memory stopped growing and (at most) fixed-seed draws on fold-touched
+// vertices re-randomized within their distribution.
+func (s *Server) ServeCompact(_ CompactRequest, reply *CompactReply) error {
+	st, err := s.store.Compact()
+	if err != nil {
+		return fmt.Errorf("cluster: server %d: %w", s.ID, err)
+	}
+	reply.BaseEpoch = st.BaseEpoch
+	reply.Folded = st.FoldedAdj + st.FoldedAttrs
+	reply.Pruned = st.Pruned
+	reply.Head = s.store.Head()
+	return nil
+}
+
+// maybeCompact runs a threshold-armed compaction after an applied update.
+// The fold is an O(V+E) base rebuild and only prunes entries behind the
+// retention floor, so beyond the entry threshold the trigger also requires
+// the floor to have advanced at least half a retention window past the
+// current base — a workload whose in-window touched set alone exceeds the
+// threshold then pays one amortized rebuild per retain/2 epochs instead of
+// one per update (which could never shrink the overlay anyway).
+func (s *Server) maybeCompact() {
+	s.mu.RLock()
+	thr := s.compactThreshold
+	s.mu.RUnlock()
+	if thr <= 0 {
+		return
+	}
+	gate := func() bool {
+		ov := s.store.Overlay()
+		if int64(ov.AdjEntries+ov.AttrEntries) < thr {
+			return false
+		}
+		stride := uint64(s.store.Retain() / 2)
+		if stride < 1 {
+			stride = 1
+		}
+		return s.store.Floor() >= ov.BaseEpoch+stride
+	}
+	if !gate() {
+		return
+	}
+	// Single runner: concurrent update handlers that passed the gate
+	// together skip instead of queueing whole-shard rebuilds behind the
+	// store's compaction mutex; the gate is re-checked after winning in
+	// case a just-finished fold already advanced the base.
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.compacting.Store(false)
+	if !gate() {
+		return
+	}
+	// The only Compact error is "before Seal", impossible on a serving store.
+	s.store.Compact()
+}
+
 // ServeSampleNeighbors handles a server-side fixed-width draw request: the
 // RPC that keeps hub adjacency lists from crossing the network. All draws
-// read one snapshot view; weighted draws go through the epoch-stable base
-// AliasIndex for untouched vertices and a per-vertex weighted scan for
+// read one snapshot view; weighted draws go through the view's epoch-stable
+// base AliasIndex for untouched vertices and a per-vertex weighted scan for
 // vertices an update rewrote — invalidation scoped to touched vertices, not
-// whole edge types.
+// whole edge types. Each draw group derives its stream from its batch slot
+// (sampling.SlotRng), so the values are identical to what a client-side
+// cache hit over the same adjacency would have produced.
 func (s *Server) ServeSampleNeighbors(req SampleRequest, reply *SampleReply) error {
 	if req.Width <= 0 {
 		return fmt.Errorf("cluster: non-positive sample width %d", req.Width)
@@ -360,24 +497,38 @@ func (s *Server) ServeSampleNeighbors(req SampleRequest, reply *SampleReply) err
 	if err != nil {
 		return err
 	}
-	total := 0
+	total, groups := 0, 0
 	for i := range req.Vertices {
 		c := 1
 		if len(req.Counts) > 0 {
 			c = req.Counts[i]
 		}
 		total += c * req.Width
+		groups += c
+	}
+	if len(req.Slots) > 0 && len(req.Slots) != groups {
+		return fmt.Errorf("cluster: %d slots for %d draw groups", len(req.Slots), groups)
 	}
 	var ai *sampling.AliasIndex
 	if req.ByWeight {
-		ai = s.store.BaseAlias(req.EdgeType)
+		ai = view.AliasIndex(req.EdgeType)
 	}
 	out := make([]graph.ID, 0, total)
 	var lists [][]graph.ID
+	var since []uint64
 	if req.WantLists {
 		lists = make([][]graph.ID, len(req.Vertices))
+		since = make([]uint64, len(req.Vertices))
 	}
-	rng := sampling.NewRng(req.Seed)
+	cursor := 0
+	slotOf := func() int {
+		i := cursor
+		cursor++
+		if len(req.Slots) > 0 {
+			return int(req.Slots[i])
+		}
+		return i
+	}
 
 	reply.Epoch = view.Epoch()
 	reply.Head = head
@@ -391,35 +542,44 @@ func (s *Server) ServeSampleNeighbors(req SampleRequest, reply *SampleReply) err
 		if len(req.Counts) > 0 {
 			c = req.Counts[i]
 		}
-		draws := c * req.Width
 		switch {
 		case len(ns) == 0:
-			for k := 0; k < draws; k++ {
+			cursor += c
+			for k := 0; k < c*req.Width; k++ {
 				out = append(out, v)
 			}
 		case req.ByWeight:
-			for k := 0; k < draws; k++ {
-				d := -1
-				if touched {
-					d = version.WeightedDraw(ws, rng)
-				} else {
-					d = ai.Draw(graph.ID(slot), rng)
+			for g := 0; g < c; g++ {
+				rng := sampling.SlotRng(req.Seed, slotOf())
+				for k := 0; k < req.Width; k++ {
+					d := -1
+					if touched {
+						d = version.WeightedDraw(ws, &rng)
+					} else {
+						d = ai.Draw(graph.ID(slot), &rng)
+					}
+					if d < 0 || d >= len(ns) {
+						d = rng.Intn(len(ns))
+					}
+					out = append(out, ns[d])
 				}
-				if d < 0 || d >= len(ns) {
-					d = rng.Intn(len(ns))
-				}
-				out = append(out, ns[d])
 			}
 		case req.WantLists && len(ns) <= req.Width:
+			cursor += c
 			lists[i] = append([]graph.ID(nil), ns...)
+			since[i] = view.ChangedAt(v, req.EdgeType)
 		default:
-			for k := 0; k < draws; k++ {
-				out = append(out, ns[rng.Intn(len(ns))])
+			for g := 0; g < c; g++ {
+				rng := sampling.SlotRng(req.Seed, slotOf())
+				for k := 0; k < req.Width; k++ {
+					out = append(out, ns[rng.Intn(len(ns))])
+				}
 			}
 		}
 	}
 	reply.Samples = out
 	reply.Lists = lists
+	reply.Since = since
 	return nil
 }
 
@@ -429,6 +589,7 @@ func (s *Server) ServeStats(_ StatsRequest, reply *StatsReply) error {
 	view := s.store.HeadView()
 	reply.NumVertices = s.store.NumVertices()
 	reply.EdgesByType = view.EdgeCounts(reply.EdgesByType[:0])
+	reply.WeightByType = view.EdgeWeightSums(reply.WeightByType[:0])
 	return nil
 }
 
@@ -458,9 +619,10 @@ func (s *Server) ServeNegativePool(req NegPoolRequest, reply *NegPoolReply) erro
 }
 
 // ServeSampleEdges handles a TRAVERSE edge-sampling request: Count edges of
-// the given type, uniform over the local edge set of the epoch served (a
+// the given type over the local edge set of the epoch served — uniform (a
 // vertex drawn proportionally to its out-degree, then a uniform adjacency
-// entry; vertices an update touched are mixed in exactly).
+// entry) or, with ByWeight, proportional to edge weight; vertices an update
+// touched are mixed in exactly either way.
 func (s *Server) ServeSampleEdges(req EdgesRequest, reply *EdgesReply) error {
 	view, head, attrHead, err := s.view(req.Pinned, req.Pin)
 	if err != nil {
@@ -477,9 +639,16 @@ func (s *Server) ServeSampleEdges(req EdgesRequest, reply *EdgesReply) error {
 	reply.Dst = make([]graph.ID, 0, req.Count)
 	reply.Weight = make([]float64, 0, req.Count)
 	for k := 0; k < req.Count; k++ {
-		src, dst, w, ok := view.SampleEdge(req.EdgeType, rng)
+		var src, dst graph.ID
+		var w float64
+		var ok bool
+		if req.ByWeight {
+			src, dst, w, ok = view.SampleEdgeWeighted(req.EdgeType, rng)
+		} else {
+			src, dst, w, ok = view.SampleEdge(req.EdgeType, rng)
+		}
 		if !ok {
-			break // no type-t edges at this epoch
+			break // no type-t edges (or weight mass) at this epoch
 		}
 		reply.Src = append(reply.Src, src)
 		reply.Dst = append(reply.Dst, dst)

@@ -33,6 +33,10 @@ type Transport interface {
 	Lease(part int, req LeaseRequest, reply *LeaseReply) error
 	// Release drops a snapshot lease on the server owning part.
 	Release(part int, req ReleaseRequest, reply *ReleaseReply) error
+	// Compact folds old overlays into a fresh base on the server owning
+	// part (operator/tooling surface; servers also self-trigger on an
+	// overlay-size threshold).
+	Compact(part int, req CompactRequest, reply *CompactReply) error
 	// Close releases transport resources.
 	Close() error
 }
@@ -152,6 +156,14 @@ func (t *LocalTransport) Release(part int, req ReleaseRequest, reply *ReleaseRep
 	return t.Servers[part].ServeRelease(req, reply)
 }
 
+// Compact implements Transport.
+func (t *LocalTransport) Compact(part int, req CompactRequest, reply *CompactReply) error {
+	if err := t.pay(part); err != nil {
+		return err
+	}
+	return t.Servers[part].ServeCompact(req, reply)
+}
+
 // Close implements Transport.
 func (t *LocalTransport) Close() error { return nil }
 
@@ -250,6 +262,12 @@ func (t *LatencyTransport) Lease(part int, req LeaseRequest, reply *LeaseReply) 
 func (t *LatencyTransport) Release(part int, req ReleaseRequest, reply *ReleaseReply) error {
 	t.pay()
 	return t.Inner.Release(part, req, reply)
+}
+
+// Compact implements Transport.
+func (t *LatencyTransport) Compact(part int, req CompactRequest, reply *CompactReply) error {
+	t.pay()
+	return t.Inner.Compact(part, req, reply)
 }
 
 // Close implements Transport.

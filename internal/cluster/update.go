@@ -57,6 +57,12 @@ func (s *Server) ServeUpdate(req UpdateRequest, reply *UpdateReply) error {
 	}
 	epoch, added, removed, set, err := s.store.Append(d)
 	reply.Added, reply.Removed, reply.AttrsSet, reply.Epoch = added, removed, set, epoch
+	if err == nil && added+removed+set > 0 {
+		// Threshold-armed overlay compaction: fold the retention floor into
+		// a fresh base once the cumulative overlay maps grow past the bound,
+		// so an unbounded update stream runs in bounded memory.
+		s.maybeCompact()
+	}
 	return err
 }
 
@@ -73,6 +79,11 @@ func (g *GraphService) Lease(req LeaseRequest, reply *LeaseReply) error {
 // Release is the RPC method dropping a snapshot lease.
 func (g *GraphService) Release(req ReleaseRequest, reply *ReleaseReply) error {
 	return g.S.ServeRelease(req, reply)
+}
+
+// Compact is the RPC method folding old overlays into a fresh base.
+func (g *GraphService) Compact(req CompactRequest, reply *CompactReply) error {
+	return g.S.ServeCompact(req, reply)
 }
 
 // groupByPartition routes raw mutations to their owning partitions (edges

@@ -41,12 +41,13 @@ var ErrPipelineClosed = errors.New("core: pipeline closed")
 // batches in sequence order. For sources with the BatchSampler capability
 // (local graphs, cluster clients) the training losses are therefore
 // bit-identical to the depth-0 SyncSource at every Depth and Workers
-// setting; generic sources stay correct but draw from independently seeded
-// per-encode forks of the stream (their expansions consume data-dependent
-// draw counts, which a fixed skip cannot budget). One caveat: a replacing neighbor cache (LRU) makes cluster
-// draws depend on cache warm-up timing, so bit-identity there requires a
-// static cache (importance/random/none); with an LRU the curves match only
-// statistically.
+// setting — including with a replacing (LRU) neighbor cache: batched draws
+// are slot-pure (sampling.SlotRng derives each slot's stream from the hop
+// seed and the slot index alone), so cache warm-up timing, admission order
+// across workers, and hit/miss patterns can shift RPC traffic but never
+// the sampled values. Generic sources stay correct but draw from
+// independently seeded per-encode forks of the stream (their expansions
+// consume data-dependent draw counts, which a fixed skip cannot budget).
 //
 // Buffers: MiniBatches circulate through a fixed free list of
 // Depth+Workers+1 batches, so steady-state production allocates nothing on

@@ -33,6 +33,14 @@ type BatchSampler interface {
 	// type-t out-edges are padded with themselves, keeping the output
 	// aligned. seed makes the draw deterministic for a given source state;
 	// callers advance their own Rng to produce per-hop seeds.
+	//
+	// Draws are slot-pure: the samples filling dst[i*width:(i+1)*width]
+	// come from SlotRng(seed, i) and are therefore a pure function of
+	// (seed, i, the neighbor list of vs[i]). Every implementation over the
+	// same adjacency produces identical output — whether a slot was served
+	// from an in-memory graph, a neighbor cache, or a remote shard — which
+	// is what lets replacing caches, shard layouts and admission timing
+	// vary without perturbing a fixed-seed training run.
 	SampleBatch(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64) error
 }
 
@@ -178,10 +186,10 @@ func (s *GraphSource) SampleBatch(dst []graph.ID, vs []graph.ID, t graph.EdgeTyp
 	if byWeight {
 		ai = s.aliasIndex(t)
 	}
-	rng := Rng{state: seed}
 	o := 0
-	for _, v := range vs {
+	for slot, v := range vs {
 		ns := s.G.OutNeighbors(v, t)
+		rng := SlotRng(seed, slot)
 		switch {
 		case len(ns) == 0:
 			for i := 0; i < width; i++ {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -12,17 +13,32 @@ import (
 // NeighborCache is the pluggable neighbor-caching strategy evaluated in
 // Figure 9 of the paper: the importance-based cache (AliGraph's strategy),
 // a random static cache, and an LRU replacing cache. A cache answers
-// "do I hold the hop-h out-neighbors of v under edge type t locally?"; on
-// a miss the caller pays a remote fetch. Entries are keyed by
-// (vertex, edge type, hop) — heterogeneous graphs must never serve one
-// type's neighbor list to a query about another.
+// "do I hold the hop-h out-neighbors of v under edge type t locally, valid
+// at update epoch `epoch`?"; on a miss the caller pays a remote fetch.
+// Entries are keyed by (vertex, edge type, hop) — heterogeneous graphs must
+// never serve one type's neighbor list to a query about another — and carry
+// an epoch-validity interval, so under churn a pinned batch is never served
+// a neighbor list fetched at a different update generation.
+//
+// Validity model: every entry holds [since, through] — `since` is the epoch
+// the served list was installed at (the Since stamp servers put on replies;
+// 0 for lists predating every update) and `through` the newest epoch the
+// list is known unchanged at (the epoch of the latest fetch that returned
+// it). A Get at epoch e hits only when since <= e <= through; an Observe of
+// the same list at a newer epoch cheaply extends `through` (re-validation),
+// while an Observe with a newer `since` supersedes the entry. Because the
+// batched draw engine is slot-pure (sampling.SlotRng), a conservative
+// epoch miss costs one re-validating fetch but can never change the values
+// a fixed-seed training run consumes.
 type NeighborCache interface {
 	// Get returns the cached hop-h type-t out-neighbor list of v (h is
-	// 1-based) and whether it was present.
-	Get(v graph.ID, t graph.EdgeType, h int) ([]graph.ID, bool)
+	// 1-based) valid at update epoch `epoch`, and whether it was present
+	// and valid.
+	Get(v graph.ID, t graph.EdgeType, h int, epoch uint64) ([]graph.ID, bool)
 	// Observe notifies the cache of a fetch result so replacing strategies
-	// can admit it.
-	Observe(v graph.ID, t graph.EdgeType, h int, nbrs []graph.ID)
+	// can admit it and every strategy can track validity: the list was
+	// served at `epoch` and was installed at `since` (since <= epoch).
+	Observe(v graph.ID, t graph.EdgeType, h int, epoch, since uint64, nbrs []graph.ID)
 	// Name identifies the strategy in reports.
 	Name() string
 	// CachedVertices reports how many vertices currently have hop-1
@@ -32,10 +48,21 @@ type NeighborCache interface {
 
 // Admitter is an optional NeighborCache capability reporting whether
 // Observe can ever admit new entries. Static caches (importance, random,
-// none) return false, letting data producers skip preparing admission
-// payloads for consumers that will drop them.
+// none) return false — they only re-validate entries they already hold —
+// letting data producers skip preparing admission payloads for consumers
+// that will drop them.
 type Admitter interface {
 	Admits() bool
+}
+
+// Flusher is an optional NeighborCache capability dropping all runtime
+// validity state. Clients call it when a shard's epoch numbering restarts
+// (a lease reply reveals a head regression): intervals recorded under the
+// old incarnation are incomparable with the new one, so replacing caches
+// drop their entries and static caches reset their re-validation
+// watermarks to the build epoch.
+type Flusher interface {
+	Flush()
 }
 
 // hopKey packs (vertex, edge type, hop) into an int64 cache key. Hops are
@@ -56,6 +83,44 @@ func checkEdgeTypes(n int) {
 	}
 }
 
+// staticEntry is one static-cache neighbor list with its epoch validity.
+// The list and `since` are fixed at construction (or by a superseding
+// Observe under the owner's rules); `through` is a monotone watermark
+// advanced lock-free by concurrent re-validations.
+type staticEntry struct {
+	nbrs    []graph.ID
+	since   uint64
+	through atomic.Uint64
+}
+
+func (e *staticEntry) validAt(epoch uint64) bool {
+	return e.since <= epoch && epoch <= e.through.Load()
+}
+
+// extendThrough raises the unchanged-through watermark to epoch.
+func (e *staticEntry) extendThrough(epoch uint64) {
+	for {
+		old := e.through.Load()
+		if epoch <= old || e.through.CompareAndSwap(old, epoch) {
+			return
+		}
+	}
+}
+
+// staticObserve is the shared Observe logic of the static caches: an
+// existing entry whose install stamp matches the reply's Since is the same
+// list — extend its validity to the serving epoch; anything else is
+// ignored (membership is fixed at construction, and multi-hop entries
+// cannot be re-validated from a hop-1 reply).
+func staticObserve(entries map[int64]*staticEntry, v graph.ID, t graph.EdgeType, h int, epoch, since uint64) {
+	if h != 1 {
+		return
+	}
+	if e, ok := entries[hopKey(v, t, h)]; ok && e.since == since {
+		e.extendThrough(epoch)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Importance-based cache (Algorithm 2 lines 5-9)
 
@@ -64,8 +129,15 @@ func checkEdgeTypes(n int) {
 // per-depth thresholds tau[k-1], one frontier per edge type. Theorem 2
 // shows importance is power-law distributed, so a small threshold already
 // restricts the cache to a small vertex fraction.
+//
+// Entries are built from the epoch-0 graph (since = through = 0): the cache
+// answers a query at a later epoch only after a fetch re-validated that the
+// vertex is still untouched there (Observe with Since == 0 extends the
+// entry). Multi-hop entries are never extended — a hop-1 reply cannot vouch
+// for the whole frontier — so MultiHop falls back to fetches once the
+// observed head moves.
 type ImportanceCache struct {
-	entries map[int64][]graph.ID
+	entries map[int64]*staticEntry
 	hop1    int
 }
 
@@ -87,7 +159,7 @@ func SelectImportant(g *graph.Graph, h int, tau float64) []graph.ID {
 // every vertex with Imp^(k) >= tau[k-1] has its 1..k-hop out-neighborhoods
 // cached (Algorithm 2).
 func NewImportanceCache(g *graph.Graph, tau []float64) *ImportanceCache {
-	c := &ImportanceCache{entries: make(map[int64][]graph.ID)}
+	c := &ImportanceCache{entries: make(map[int64]*staticEntry)}
 	s := g.AcquireScratch()
 	defer g.ReleaseScratch(s)
 	nt := g.Schema().NumEdgeTypes()
@@ -104,7 +176,7 @@ func NewImportanceCache(g *graph.Graph, tau []float64) *ImportanceCache {
 						}
 						continue
 					}
-					c.entries[key] = append([]graph.ID(nil), g.KHopFrontierType(v, graph.EdgeType(t), h, s)...)
+					c.entries[key] = &staticEntry{nbrs: append([]graph.ID(nil), g.KHopFrontierType(v, graph.EdgeType(t), h, s)...)}
 				}
 			}
 			if !counted {
@@ -126,7 +198,7 @@ func NewImportanceCacheTopFraction(g *graph.Graph, h int, frac float64) *Importa
 	}
 	sort.Slice(order, func(a, b int) bool { return imps[order[a]] > imps[order[b]] })
 	k := int(frac * float64(len(order)))
-	c := &ImportanceCache{entries: make(map[int64][]graph.ID)}
+	c := &ImportanceCache{entries: make(map[int64]*staticEntry)}
 	s := g.AcquireScratch()
 	defer g.ReleaseScratch(s)
 	nt := g.Schema().NumEdgeTypes()
@@ -135,7 +207,7 @@ func NewImportanceCacheTopFraction(g *graph.Graph, h int, frac float64) *Importa
 		v := graph.ID(vi)
 		for hh := 1; hh <= h; hh++ {
 			for t := 0; t < nt; t++ {
-				c.entries[hopKey(v, graph.EdgeType(t), hh)] = append([]graph.ID(nil), g.KHopFrontierType(v, graph.EdgeType(t), hh, s)...)
+				c.entries[hopKey(v, graph.EdgeType(t), hh)] = &staticEntry{nbrs: append([]graph.ID(nil), g.KHopFrontierType(v, graph.EdgeType(t), hh, s)...)}
 			}
 		}
 		c.hop1++
@@ -143,14 +215,25 @@ func NewImportanceCacheTopFraction(g *graph.Graph, h int, frac float64) *Importa
 	return c
 }
 
-func (c *ImportanceCache) Get(v graph.ID, t graph.EdgeType, h int) ([]graph.ID, bool) {
-	ns, ok := c.entries[hopKey(v, t, h)]
-	return ns, ok
+func (c *ImportanceCache) Get(v graph.ID, t graph.EdgeType, h int, epoch uint64) ([]graph.ID, bool) {
+	if e, ok := c.entries[hopKey(v, t, h)]; ok && e.validAt(epoch) {
+		return e.nbrs, true
+	}
+	return nil, false
 }
 
-func (c *ImportanceCache) Observe(graph.ID, graph.EdgeType, int, []graph.ID) {} // static
+func (c *ImportanceCache) Observe(v graph.ID, t graph.EdgeType, h int, epoch, since uint64, _ []graph.ID) {
+	staticObserve(c.entries, v, t, h, epoch, since)
+}
 
 func (c *ImportanceCache) Admits() bool { return false }
+
+// Flush resets every entry's re-validation watermark to the build epoch.
+func (c *ImportanceCache) Flush() {
+	for _, e := range c.entries {
+		e.through.Store(0)
+	}
+}
 
 func (c *ImportanceCache) Name() string { return "importance" }
 
@@ -161,16 +244,17 @@ func (c *ImportanceCache) CachedVertices() int { return c.hop1 }
 
 // RandomCache statically caches the neighborhoods of a uniformly random
 // vertex fraction. Randomly selected vertices are unlikely to be the hubs
-// other vertices route through, which is why this baseline loses.
+// other vertices route through, which is why this baseline loses. Epoch
+// validity follows the same re-validation rules as ImportanceCache.
 type RandomCache struct {
-	entries map[int64][]graph.ID
+	entries map[int64]*staticEntry
 	hop1    int
 }
 
 // NewRandomCache caches hops 1..h of a frac fraction of vertices drawn with
 // rng.
 func NewRandomCache(g *graph.Graph, h int, frac float64, rng *rand.Rand) *RandomCache {
-	c := &RandomCache{entries: make(map[int64][]graph.ID)}
+	c := &RandomCache{entries: make(map[int64]*staticEntry)}
 	n := g.NumVertices()
 	k := int(frac * float64(n))
 	perm := rng.Perm(n)
@@ -182,7 +266,7 @@ func NewRandomCache(g *graph.Graph, h int, frac float64, rng *rand.Rand) *Random
 		v := graph.ID(vi)
 		for hh := 1; hh <= h; hh++ {
 			for t := 0; t < nt; t++ {
-				c.entries[hopKey(v, graph.EdgeType(t), hh)] = append([]graph.ID(nil), g.KHopFrontierType(v, graph.EdgeType(t), hh, s)...)
+				c.entries[hopKey(v, graph.EdgeType(t), hh)] = &staticEntry{nbrs: append([]graph.ID(nil), g.KHopFrontierType(v, graph.EdgeType(t), hh, s)...)}
 			}
 		}
 		c.hop1++
@@ -190,14 +274,25 @@ func NewRandomCache(g *graph.Graph, h int, frac float64, rng *rand.Rand) *Random
 	return c
 }
 
-func (c *RandomCache) Get(v graph.ID, t graph.EdgeType, h int) ([]graph.ID, bool) {
-	ns, ok := c.entries[hopKey(v, t, h)]
-	return ns, ok
+func (c *RandomCache) Get(v graph.ID, t graph.EdgeType, h int, epoch uint64) ([]graph.ID, bool) {
+	if e, ok := c.entries[hopKey(v, t, h)]; ok && e.validAt(epoch) {
+		return e.nbrs, true
+	}
+	return nil, false
 }
 
-func (c *RandomCache) Observe(graph.ID, graph.EdgeType, int, []graph.ID) {}
+func (c *RandomCache) Observe(v graph.ID, t graph.EdgeType, h int, epoch, since uint64, _ []graph.ID) {
+	staticObserve(c.entries, v, t, h, epoch, since)
+}
 
 func (c *RandomCache) Admits() bool { return false }
+
+// Flush resets every entry's re-validation watermark to the build epoch.
+func (c *RandomCache) Flush() {
+	for _, e := range c.entries {
+		e.through.Store(0)
+	}
+}
 
 func (c *RandomCache) Name() string { return "random" }
 
@@ -206,58 +301,127 @@ func (c *RandomCache) CachedVertices() int { return c.hop1 }
 // ---------------------------------------------------------------------------
 // LRU replacing cache (Figure 9 baseline)
 
+// lruEntryVal is one LRU neighbor-cache value: the list plus its epoch
+// validity interval. Values are replaced whole under the cache mutex, so no
+// atomics are needed here.
+type lruEntryVal struct {
+	nbrs           []graph.ID
+	since, through uint64
+}
+
 // LRUNeighborCache admits every fetched neighborhood and evicts the least
 // recently used, holding at most capacity (vertex, hop) entries. Frequent
 // replacement churn is its cost relative to the static importance cache.
-// Unlike the static caches (which are immutable after construction), every
-// LRU access mutates recency state, so operations are serialized by a
-// mutex; this keeps a shared cluster.Client safe for concurrent samplers.
+// Entries are epoch-tagged: a Get at an epoch outside an entry's validity
+// interval misses (counted separately as an epoch miss) and the
+// re-validating fetch either extends the entry or supersedes it — the
+// "tags entries and misses on mismatch" discipline, which keeps the cache
+// warm across epochs for untouched vertices instead of flushing wholesale.
+// Unlike the static caches, every access mutates recency state, so
+// operations are serialized by a mutex; this keeps a shared cluster.Client
+// safe for concurrent samplers.
 type LRUNeighborCache struct {
-	mu   sync.Mutex
-	lru  *LRU
-	hop1 map[graph.ID]struct{}
+	mu  sync.Mutex
+	lru *LRU
+
+	hits, misses, epochMisses int64
 }
 
 // NewLRUNeighborCache creates an LRU neighbor cache with the given entry
 // capacity.
 func NewLRUNeighborCache(capacity int) *LRUNeighborCache {
-	return &LRUNeighborCache{lru: NewLRU(capacity), hop1: make(map[graph.ID]struct{})}
+	return &LRUNeighborCache{lru: NewLRU(capacity)}
 }
 
-func (c *LRUNeighborCache) Get(v graph.ID, t graph.EdgeType, h int) ([]graph.ID, bool) {
+func (c *LRUNeighborCache) Get(v graph.ID, t graph.EdgeType, h int, epoch uint64) ([]graph.ID, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if x, ok := c.lru.Get(hopKey(v, t, h)); ok {
-		return x.([]graph.ID), true
+		e := x.(*lruEntryVal)
+		if e.since <= epoch && epoch <= e.through {
+			c.hits++
+			return e.nbrs, true
+		}
+		c.epochMisses++
+		return nil, false
 	}
+	c.misses++
 	return nil, false
 }
 
-func (c *LRUNeighborCache) Observe(v graph.ID, t graph.EdgeType, h int, nbrs []graph.ID) {
+func (c *LRUNeighborCache) Observe(v graph.ID, t graph.EdgeType, h int, epoch, since uint64, nbrs []graph.ID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.lru.Put(hopKey(v, t, h), nbrs)
-	if h == 1 {
-		c.hop1[v] = struct{}{}
+	key := hopKey(v, t, h)
+	if x, ok := c.lru.Get(key); ok {
+		e := x.(*lruEntryVal)
+		if e.since == since {
+			// Same installed list observed at a newer epoch: re-validate.
+			if epoch > e.through {
+				e.through = epoch
+			}
+			return
+		}
+		if since < e.since {
+			// An older-generation fetch (a pinned batch still recycling at
+			// an epoch the entry's list supersedes) must not evict the
+			// newer entry — replacing it would ping-pong re-validation
+			// fetches between the pin and the head for the pin's lifetime.
+			return
+		}
 	}
+	c.lru.Put(key, &lruEntryVal{nbrs: nbrs, since: since, through: epoch})
+}
+
+// Flush drops every entry (epoch numbering restarted on a shard); the
+// cumulative counters survive.
+func (c *LRUNeighborCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Flush()
 }
 
 func (c *LRUNeighborCache) Name() string { return "lru" }
 
+// CachedVertices reports the resident entry count — (vertex, type, hop)
+// keys, an upper bound on distinct hop-1 vertices (unchanged semantics
+// from the pre-versioned cache).
 func (c *LRUNeighborCache) CachedVertices() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
 }
 
+// Counters reports cumulative hits, plain misses (entry absent) and epoch
+// misses (entry present but invalid at the requested epoch). The epoch-miss
+// rate is the price of version safety under churn; benchmarks report it
+// alongside the hit rate.
+func (c *LRUNeighborCache) Counters() (hits, misses, epochMisses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.epochMisses
+}
+
+// HitRate reports hits / (hits + misses + epochMisses), or 0 before any
+// access.
+func (c *LRUNeighborCache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.hits + c.misses + c.epochMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
 // NoCache disables neighbor caching; every access is remote.
 type NoCache struct{}
 
-func (NoCache) Get(graph.ID, graph.EdgeType, int) ([]graph.ID, bool) { return nil, false }
-func (NoCache) Observe(graph.ID, graph.EdgeType, int, []graph.ID)    {}
-func (NoCache) Admits() bool                         { return false }
-func (NoCache) Name() string                         { return "none" }
-func (NoCache) CachedVertices() int                  { return 0 }
+func (NoCache) Get(graph.ID, graph.EdgeType, int, uint64) ([]graph.ID, bool)      { return nil, false }
+func (NoCache) Observe(graph.ID, graph.EdgeType, int, uint64, uint64, []graph.ID) {}
+func (NoCache) Admits() bool                                                      { return false }
+func (NoCache) Name() string                                                      { return "none" }
+func (NoCache) CachedVertices() int                                               { return 0 }
 
 // CacheRate returns the fraction of vertices whose hop-1 neighborhood the
 // cache holds; this is the y-axis of Figure 8.

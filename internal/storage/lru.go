@@ -2,6 +2,21 @@
 // separate structural and attribute storage with deduplicating attribute
 // indices I_V and I_E fronted by LRU caches, and neighbor caching of
 // important vertices selected by the Imp^(k) metric (Algorithm 2).
+//
+// # Epoch-aware neighbor-cache seam
+//
+// The NeighborCache seam is version-aware: Get takes the update epoch the
+// caller is reading at (a pinned snapshot's epoch, or the newest head the
+// client has observed) and Observe records, for every fetched list, the
+// epoch it was served at plus the epoch it was installed at (the Since
+// stamp on sampling replies, backed by internal/version's per-entry
+// stamps). Entries therefore carry an exact validity interval
+// [since, through]: static caches re-validate their fixed membership when
+// replies confirm a vertex untouched, the LRU tags entries and misses on
+// mismatch, and no strategy can ever serve a pinned batch a neighbor list
+// fetched at a different update generation. Because batched draws are
+// slot-pure (sampling.SlotRng), these conservative misses change RPC
+// traffic but never the values a fixed-seed training run consumes.
 package storage
 
 import "container/list"

@@ -185,16 +185,16 @@ func TestImportanceCache(t *testing.T) {
 	if c.CachedVertices() != 1 {
 		t.Fatalf("cached = %d", c.CachedVertices())
 	}
-	ns, ok := c.Get(0, 0, 1)
+	ns, ok := c.Get(0, 0, 1, 0)
 	if !ok || len(ns) != 1 || ns[0] != 1 {
 		t.Fatalf("hop1(hub) = %v,%v", ns, ok)
 	}
 	// Hop 2 of the hub is empty (sink has no out-edges) but must be cached.
-	ns2, ok2 := c.Get(0, 0, 2)
+	ns2, ok2 := c.Get(0, 0, 2, 0)
 	if !ok2 || len(ns2) != 0 {
 		t.Fatalf("hop2(hub) = %v,%v", ns2, ok2)
 	}
-	if _, ok := c.Get(2, 0, 1); ok {
+	if _, ok := c.Get(2, 0, 1, 0); ok {
 		t.Fatal("spoke should not be cached")
 	}
 	if CacheRate(c, g.NumVertices()) <= 0 {
@@ -210,7 +210,7 @@ func TestImportanceCacheTopFraction(t *testing.T) {
 		t.Fatalf("cached = %d want %d", c.CachedVertices(), want)
 	}
 	// The hub must rank first.
-	if _, ok := c.Get(0, 0, 1); !ok {
+	if _, ok := c.Get(0, 0, 1, 0); !ok {
 		t.Fatal("hub should be among the top fraction")
 	}
 }
@@ -227,30 +227,30 @@ func TestRandomCache(t *testing.T) {
 
 func TestLRUNeighborCache(t *testing.T) {
 	c := NewLRUNeighborCache(2)
-	if _, ok := c.Get(1, 0, 1); ok {
+	if _, ok := c.Get(1, 0, 1, 0); ok {
 		t.Fatal("empty cache hit")
 	}
-	c.Observe(1, 0, 1, []graph.ID{2})
-	c.Observe(2, 0, 1, []graph.ID{3})
-	c.Observe(3, 0, 1, []graph.ID{4}) // evicts (1,0,1)
-	if _, ok := c.Get(1, 0, 1); ok {
+	c.Observe(1, 0, 1, 0, 0, []graph.ID{2})
+	c.Observe(2, 0, 1, 0, 0, []graph.ID{3})
+	c.Observe(3, 0, 1, 0, 0, []graph.ID{4}) // evicts (1,0,1)
+	if _, ok := c.Get(1, 0, 1, 0); ok {
 		t.Fatal("expected eviction of oldest entry")
 	}
-	if ns, ok := c.Get(3, 0, 1); !ok || ns[0] != 4 {
+	if ns, ok := c.Get(3, 0, 1, 0); !ok || ns[0] != 4 {
 		t.Fatalf("get(3) = %v,%v", ns, ok)
 	}
 	// Entries are keyed by edge type: type 1 of vertex 3 is a miss.
-	if _, ok := c.Get(3, 1, 1); ok {
+	if _, ok := c.Get(3, 1, 1, 0); ok {
 		t.Fatal("cross-type cache hit")
 	}
 }
 
 func TestNoCache(t *testing.T) {
 	var c NoCache
-	if _, ok := c.Get(1, 0, 1); ok {
+	if _, ok := c.Get(1, 0, 1, 0); ok {
 		t.Fatal("NoCache must always miss")
 	}
-	c.Observe(1, 0, 1, nil)
+	c.Observe(1, 0, 1, 0, 0, nil)
 	if c.CachedVertices() != 0 || c.Name() != "none" {
 		t.Fatal("NoCache identity")
 	}
@@ -283,5 +283,79 @@ func TestCacheRateDecreasesWithThreshold(t *testing.T) {
 			t.Fatalf("cache rate increased with threshold: %f > %f at tau=%f", rate, prev, tau)
 		}
 		prev = rate
+	}
+}
+
+// TestLRUNeighborCacheEpochValidity: entries carry [since, through]
+// validity; a Get outside the interval is an epoch miss, a re-validating
+// Observe extends it, and a newer install stamp supersedes the entry.
+func TestLRUNeighborCacheEpochValidity(t *testing.T) {
+	c := NewLRUNeighborCache(8)
+	old := []graph.ID{2, 3}
+	c.Observe(1, 0, 1, 0, 0, old) // fetched at epoch 0, installed at 0
+	if _, ok := c.Get(1, 0, 1, 0); !ok {
+		t.Fatal("entry must be valid at its fetch epoch")
+	}
+	// Epoch 3 is past the entry's known-unchanged horizon: epoch miss.
+	if _, ok := c.Get(1, 0, 1, 3); ok {
+		t.Fatal("entry served past its validity interval")
+	}
+	if h, m, em := c.Counters(); h != 1 || m != 0 || em != 1 {
+		t.Fatalf("counters = %d/%d/%d, want 1 hit, 0 misses, 1 epoch miss", h, m, em)
+	}
+	// Re-validation: same install stamp observed at epoch 3 extends.
+	c.Observe(1, 0, 1, 3, 0, old)
+	for e := uint64(0); e <= 3; e++ {
+		if ns, ok := c.Get(1, 0, 1, e); !ok || ns[0] != 2 {
+			t.Fatalf("re-validated entry invalid at epoch %d", e)
+		}
+	}
+	// Supersede: the vertex was rewritten at epoch 5.
+	rewritten := []graph.ID{9}
+	c.Observe(1, 0, 1, 5, 5, rewritten)
+	if _, ok := c.Get(1, 0, 1, 3); ok {
+		t.Fatal("pre-rewrite epoch served the rewritten list")
+	}
+	if ns, ok := c.Get(1, 0, 1, 5); !ok || ns[0] != 9 {
+		t.Fatalf("rewritten entry not served at its epoch: %v %v", ns, ok)
+	}
+	if c.HitRate() <= 0 {
+		t.Fatal("hit rate not tracked")
+	}
+}
+
+// TestStaticCacheEpochRevalidation: static caches answer later epochs only
+// after a fetch confirmed the vertex untouched there (Since == 0 extends),
+// never admit new keys, and drop out for vertices an update rewrote.
+func TestStaticCacheEpochRevalidation(t *testing.T) {
+	g := hubGraph(10)
+	c := NewImportanceCache(g, []float64{5.0})
+	if _, ok := c.Get(0, 0, 1, 0); !ok {
+		t.Fatal("hub not cached at build epoch")
+	}
+	// A later epoch misses until re-validated.
+	if _, ok := c.Get(0, 0, 1, 2); ok {
+		t.Fatal("static cache answered an unvalidated epoch")
+	}
+	c.Observe(0, 0, 1, 2, 0, nil) // reply: still the epoch-0 list at epoch 2
+	if _, ok := c.Get(0, 0, 1, 2); !ok {
+		t.Fatal("re-validated static entry still missing")
+	}
+	if _, ok := c.Get(0, 0, 1, 1); !ok {
+		t.Fatal("interval [0,2] must cover epoch 1")
+	}
+	// The vertex was rewritten at epoch 4: the stamp mismatch means the
+	// static entry can never re-validate past it.
+	c.Observe(0, 0, 1, 4, 4, []graph.ID{5})
+	if _, ok := c.Get(0, 0, 1, 4); ok {
+		t.Fatal("static cache served a vertex an update rewrote")
+	}
+	// Static membership: observes never admit new keys.
+	c.Observe(2, 0, 1, 0, 0, []graph.ID{0})
+	if _, ok := c.Get(2, 0, 1, 0); ok {
+		t.Fatal("static cache admitted a new entry")
+	}
+	if ad, ok := interface{}(c).(Admitter); !ok || ad.Admits() {
+		t.Fatal("static cache must report Admits() == false")
 	}
 }

@@ -136,7 +136,7 @@ func BenchmarkVersionedSample(b *testing.B) {
 	b.Run("weighted/head", func(b *testing.B) {
 		rng := sampling.NewRng(1)
 		view := s.HeadView()
-		ai := s.BaseAlias(0) // resolved once per request, like the server
+		ai := view.AliasIndex(0) // resolved once per request, like the server
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -160,4 +160,38 @@ func BenchmarkVersionedSample(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCompact measures the steady-state cost of overlay compaction
+// under a continuous update stream: each iteration applies one small update
+// epoch and then folds the retention floor into a fresh base (CSR rebuild
+// over the whole shard plus stamp-pruned rebasing of the retained ring).
+// The head-overlay entry count is reported so regressions in the fold's
+// memory bound are visible, not just its wall clock.
+func BenchmarkCompact(b *testing.B) {
+	const n = 2000
+	_, s := benchGraph(n)
+	// Pre-grow past the retention window so every iteration has a floor to
+	// fold.
+	for e := 0; e < DefaultRetain+2; e++ {
+		if _, _, _, _, err := s.Append(Delta{Add: []EdgeOp{{Src: graph.ID(e % n), Dst: graph.ID((e + 1) % n), Type: 0, Weight: 1}}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, _, err := s.Append(Delta{Add: []EdgeOp{{Src: graph.ID(i % n), Dst: graph.ID((i + 3) % n), Type: 0, Weight: 1}}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Compact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ov := s.Overlay()
+	b.ReportMetric(float64(ov.AdjEntries), "headOverlayEntries")
+	if ov.AdjEntries > 2*DefaultRetain {
+		b.Fatalf("compaction failed to bound the head overlay: %d entries", ov.AdjEntries)
+	}
 }

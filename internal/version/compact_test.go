@@ -1,0 +1,367 @@
+package version
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sampling"
+)
+
+// shadow is an oracle: the adjacency and attrs a given epoch must serve,
+// replayed independently of the store's overlay/compaction machinery.
+type shadow struct {
+	adj   map[akey][]graph.ID
+	attrs map[graph.ID][]float64
+}
+
+func snapshotShadow(adj map[akey][]graph.ID, attrs map[graph.ID][]float64) shadow {
+	s := shadow{adj: make(map[akey][]graph.ID), attrs: make(map[graph.ID][]float64)}
+	for k, ns := range adj {
+		s.adj[k] = append([]graph.ID(nil), ns...)
+	}
+	for v, a := range attrs {
+		s.attrs[v] = append([]float64(nil), a...)
+	}
+	return s
+}
+
+func checkAgainstShadow(t *testing.T, view View, sh shadow, vertices []graph.ID, nt int) {
+	t.Helper()
+	for _, v := range vertices {
+		for et := 0; et < nt; et++ {
+			ns, _, ok := view.Neighbors(v, graph.EdgeType(et))
+			if !ok {
+				t.Fatalf("epoch %d: vertex %d not owned", view.Epoch(), v)
+			}
+			want := sh.adj[akey{v, graph.EdgeType(et)}]
+			if len(ns) != len(want) {
+				t.Fatalf("epoch %d: neighbors(%d,%d) = %v, want %v", view.Epoch(), v, et, ns, want)
+			}
+			for i := range want {
+				if ns[i] != want[i] {
+					t.Fatalf("epoch %d: neighbors(%d,%d) = %v, want %v", view.Epoch(), v, et, ns, want)
+				}
+			}
+		}
+		a, ok := view.Attr(v)
+		if !ok || a[0] != sh.attrs[v][0] {
+			t.Fatalf("epoch %d: attr(%d) = %v ok=%v, want %v", view.Epoch(), v, a, ok, sh.attrs[v])
+		}
+	}
+}
+
+// TestCompactLongStreamBoundedWithPinnedReader is the acceptance test for
+// delta compaction: a long update stream (>= 4x DefaultRetain epochs) with
+// periodic Compact calls keeps (a) every retained epoch and every LEASED
+// epoch readable and byte-identical to an independently replayed oracle —
+// no ErrEvicted for pinned readers, even pins far behind the floor — and
+// (b) the head overlay's cumulative entry count bounded by the retention
+// window's touched set instead of growing monotonically.
+func TestCompactLongStreamBoundedWithPinnedReader(t *testing.T) {
+	const n = 64
+	s := NewStore(2) // DefaultRetain
+	vertices := make([]graph.ID, n)
+	adj := make(map[akey][]graph.ID)
+	attrs := make(map[graph.ID][]float64)
+	for i := 0; i < n; i++ {
+		v := graph.ID(i)
+		vertices[i] = v
+		attrs[v] = []float64{float64(i)}
+		s.AddVertex(v, attrs[v])
+	}
+	for i := 0; i < n; i++ {
+		v, u := graph.ID(i), graph.ID((i+1)%n)
+		s.AddEdge(v, u, 0, 1)
+		adj[akey{v, 0}] = append(adj[akey{v, 0}], u)
+	}
+	s.Seal()
+
+	shadows := map[uint64]shadow{0: snapshotShadow(adj, attrs)}
+
+	// Pin an epoch early; it will fall far behind the floor.
+	const pinned = uint64(3)
+	leasedViewTaken := false
+	var leasedView View
+
+	steps := 4*DefaultRetain + 9
+	for e := 1; e <= steps; e++ {
+		// Each epoch touches a rotating pair of vertices: one edge add, one
+		// remove, one attr rewrite.
+		v := graph.ID(e % n)
+		u := graph.ID((e * 7) % n)
+		d := Delta{
+			Add:     []EdgeOp{{Src: v, Dst: u, Type: 0, Weight: float64(e)}},
+			SetAttr: []AttrOp{{V: u, Attr: []float64{float64(1000 + e)}}},
+		}
+		if e%3 == 0 {
+			w := graph.ID((e + 1) % n)
+			if ns := adj[akey{w, 0}]; len(ns) > 0 {
+				d.Remove = []EdgeOp{{Src: w, Dst: ns[0], Type: 0}}
+			}
+		}
+		epoch, _, _, _, err := s.Append(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch != uint64(e) {
+			t.Fatalf("epoch = %d, want %d", epoch, e)
+		}
+		// Replay into the oracle.
+		adj[akey{v, 0}] = append(adj[akey{v, 0}], u)
+		attrs[u] = []float64{float64(1000 + e)}
+		if len(d.Remove) > 0 {
+			k := akey{d.Remove[0].Src, 0}
+			for i, x := range adj[k] {
+				if x == d.Remove[0].Dst {
+					adj[k] = append(append([]graph.ID(nil), adj[k][:i]...), adj[k][i+1:]...)
+					break
+				}
+			}
+		}
+		shadows[uint64(e)] = snapshotShadow(adj, attrs)
+
+		if uint64(e) == pinned {
+			if err := s.Lease(pinned); err != nil {
+				t.Fatal(err)
+			}
+			lv, err := s.At(pinned)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leasedView, leasedViewTaken = lv, true
+		}
+		if e%5 == 0 {
+			if _, err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Compactions() == 0 {
+		t.Fatal("no compaction ever installed a new base")
+	}
+	if be := s.BaseEpoch(); be == 0 || be > s.Floor() {
+		t.Fatalf("base epoch %d outside (0, floor %d]", be, s.Floor())
+	}
+
+	// Resident epochs: the retain window plus the one leased epoch.
+	if ov := s.Overlay(); ov.Epochs > DefaultRetain+1 {
+		t.Fatalf("%d resident overlays, want <= retain+leased = %d", ov.Epochs, DefaultRetain+1)
+	}
+	// The head overlay's cumulative maps must be bounded by what the
+	// retained window touched (2 adj + 1 attr entries per epoch since the
+	// base), not the whole stream's touched set.
+	if ov := s.Overlay(); ov.AdjEntries > 3*DefaultRetain || ov.AttrEntries > 2*DefaultRetain {
+		t.Fatalf("head overlay holds %d adj + %d attr entries after compaction", ov.AdjEntries, ov.AttrEntries)
+	}
+
+	// Every retained epoch reads exactly what the oracle says.
+	for e := s.Floor(); e <= s.Head(); e++ {
+		view, err := s.At(e)
+		if err != nil {
+			t.Fatalf("At(%d): %v", e, err)
+		}
+		checkAgainstShadow(t, view, shadows[e], vertices, 2)
+	}
+	// The leased epoch is far below the floor and must still be readable —
+	// both through a fresh At and through the view resolved long ago.
+	if pinned >= s.Floor() {
+		t.Fatalf("test setup: pinned epoch %d not below floor %d", pinned, s.Floor())
+	}
+	view, err := s.At(pinned)
+	if err != nil {
+		t.Fatalf("leased epoch %d unreadable after compactions: %v", pinned, err)
+	}
+	checkAgainstShadow(t, view, shadows[pinned], vertices, 2)
+	if !leasedViewTaken {
+		t.Fatal("leased view never taken")
+	}
+	checkAgainstShadow(t, leasedView, shadows[pinned], vertices, 2)
+
+	// Unleased epochs behind the floor are gone.
+	if _, err := s.At(pinned + 1); !IsEvicted(err) {
+		t.Fatalf("At(%d) = %v, want evicted", pinned+1, err)
+	}
+	// Releasing the lease drops the last below-floor epoch.
+	s.Release(pinned)
+	if _, err := s.At(pinned); !IsEvicted(err) {
+		t.Fatalf("released epoch still readable: %v", err)
+	}
+
+	// Draw sanity on the compacted store: every sampled edge must exist in
+	// the head oracle.
+	head := s.HeadView()
+	sh := shadows[s.Head()]
+	rng := sampling.NewRng(11)
+	for i := 0; i < 500; i++ {
+		src, dst, _, ok := head.SampleEdge(0, rng)
+		if !ok {
+			t.Fatal("no edge drawn at head")
+		}
+		found := false
+		for _, u := range sh.adj[akey{src, 0}] {
+			if u == dst {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("drew (%d,%d) not in head edge set", src, dst)
+		}
+	}
+}
+
+// TestCompactSinceStampsSurviveFold: after a fold, the base must still
+// report the install epoch of folded lists (ChangedAt), so cache layers
+// can never claim validity across an update the base absorbed.
+func TestCompactSinceStampsSurviveFold(t *testing.T) {
+	s := NewStoreRetain(1, 2)
+	for v := graph.ID(0); v < 4; v++ {
+		s.AddVertex(v, []float64{float64(v)})
+	}
+	s.AddEdge(0, 1, 0, 1)
+	s.AddEdge(1, 2, 0, 1)
+	s.Seal()
+
+	// Epoch 1 rewrites vertex 0; epochs 2..5 touch vertex 1 only.
+	mustAppend := func(d Delta) {
+		t.Helper()
+		if _, _, _, _, err := s.Append(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAppend(Delta{Add: []EdgeOp{{Src: 0, Dst: 2, Type: 0, Weight: 1}}})
+	for i := 0; i < 4; i++ {
+		mustAppend(Delta{Add: []EdgeOp{{Src: 1, Dst: 3, Type: 0, Weight: 1}}})
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.BaseEpoch() == 0 {
+		t.Fatal("compaction did not advance the base")
+	}
+	head := s.HeadView()
+	if got := head.ChangedAt(0, 0); got != 1 {
+		t.Fatalf("ChangedAt(0) after fold = %d, want 1", got)
+	}
+	if got := head.ChangedAt(2, 0); got != 0 {
+		t.Fatalf("ChangedAt(untouched 2) = %d, want 0", got)
+	}
+	if got := head.ChangedAt(1, 0); got != 5 {
+		t.Fatalf("ChangedAt(1) = %d, want 5", got)
+	}
+}
+
+// TestSampleEdgeWeightedProportions: weighted edge draws follow edge weight
+// at every epoch — base-only, with an overlay mixing in a heavy touched
+// vertex, and after a compaction folded the overlay into the base.
+func TestSampleEdgeWeightedProportions(t *testing.T) {
+	check := func(t *testing.T, v View, want map[[2]graph.ID]float64) {
+		t.Helper()
+		total := 0.0
+		for _, w := range want {
+			total += w
+		}
+		const draws = 40000
+		rng := sampling.NewRng(9)
+		counts := make(map[[2]graph.ID]int)
+		for i := 0; i < draws; i++ {
+			src, dst, _, ok := v.SampleEdgeWeighted(0, rng)
+			if !ok {
+				t.Fatal("no weighted edge drawn")
+			}
+			if _, legal := want[[2]graph.ID{src, dst}]; !legal {
+				t.Fatalf("drew (%d,%d) outside the epoch's edge set", src, dst)
+			}
+			counts[[2]graph.ID{src, dst}]++
+		}
+		chi2 := 0.0
+		for e, w := range want {
+			exp := draws * w / total
+			d := float64(counts[e]) - exp
+			chi2 += d * d / exp
+		}
+		// p=0.001 critical values for df up to 5: stay below 20.5.
+		if chi2 > 20.5 {
+			t.Fatalf("chi-square %.2f; counts %v", chi2, counts)
+		}
+	}
+
+	build := func() *Store {
+		s := NewStoreRetain(1, 2)
+		for v := graph.ID(0); v < 5; v++ {
+			s.AddVertex(v, nil)
+		}
+		s.AddEdge(0, 1, 0, 1)
+		s.AddEdge(0, 2, 0, 2)
+		s.AddEdge(1, 2, 0, 3)
+		s.AddEdge(2, 3, 0, 4)
+		s.Seal()
+		return s
+	}
+
+	t.Run("base", func(t *testing.T) {
+		s := build()
+		check(t, s.HeadView(), map[[2]graph.ID]float64{
+			{0, 1}: 1, {0, 2}: 2, {1, 2}: 3, {2, 3}: 4,
+		})
+	})
+	t.Run("overlay", func(t *testing.T) {
+		s := build()
+		if _, _, _, _, err := s.Append(Delta{Add: []EdgeOp{{Src: 3, Dst: 0, Type: 0, Weight: 10}}}); err != nil {
+			t.Fatal(err)
+		}
+		check(t, s.HeadView(), map[[2]graph.ID]float64{
+			{0, 1}: 1, {0, 2}: 2, {1, 2}: 3, {2, 3}: 4, {3, 0}: 10,
+		})
+	})
+	t.Run("after-compact", func(t *testing.T) {
+		s := build()
+		if _, _, _, _, err := s.Append(Delta{Add: []EdgeOp{{Src: 3, Dst: 0, Type: 0, Weight: 10}}}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, _, _, _, err := s.Append(Delta{Add: []EdgeOp{{Src: 4, Dst: 0, Type: 0, Weight: 1}}, Remove: []EdgeOp{{Src: 4, Dst: 0, Type: 0}}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := s.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if s.BaseEpoch() == 0 {
+			t.Fatal("no fold happened")
+		}
+		check(t, s.HeadView(), map[[2]graph.ID]float64{
+			{0, 1}: 1, {0, 2}: 2, {1, 2}: 3, {2, 3}: 4, {3, 0}: 10,
+		})
+	})
+}
+
+// TestEdgeWeightSumsTrackEpochs: the per-type weight sums (the distributed
+// weighted TRAVERSE's split mass) follow adds, removes and compactions.
+func TestEdgeWeightSumsTrackEpochs(t *testing.T) {
+	s := buildStore(8) // type-0 weights: 1+2+1+1 = 5, type-1: 5
+	if got := s.HeadView().EdgeWeightSum(0); got != 5 {
+		t.Fatalf("base weight sum = %v, want 5", got)
+	}
+	if got := s.HeadView().EdgeWeightSum(1); got != 5 {
+		t.Fatalf("base type-1 weight sum = %v, want 5", got)
+	}
+	if _, _, _, _, err := s.Append(Delta{
+		Add:    []EdgeOp{{Src: 0, Dst: 3, Type: 0, Weight: 7}},
+		Remove: []EdgeOp{{Src: 0, Dst: 2, Type: 0}}, // weight 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.HeadView().EdgeWeightSum(0); got != 10 {
+		t.Fatalf("post-update weight sum = %v, want 10", got)
+	}
+	v0, err := s.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v0.EdgeWeightSum(0); got != 5 {
+		t.Fatalf("epoch-0 weight sum = %v, want 5", got)
+	}
+}

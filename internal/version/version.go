@@ -9,19 +9,26 @@
 //
 // Design:
 //
-//   - The base is immutable once Seal runs. An overlay is immutable once
-//     Append installs it. A View therefore reads entirely lock-free after
-//     the single lock acquisition that resolved it — and it stays valid
-//     even if its epoch is later evicted from the ring, because eviction
-//     only drops the ring's reference.
+//   - Base snapshots are immutable. A baseState freezes the whole shard at
+//     one epoch (CSR adjacency, attribute rows, edge/weight totals, lazily
+//     built alias and degree tables); the original one is built by Seal at
+//     epoch 0 and later ones by Compact. An overlay is immutable once
+//     Append installs it, and it permanently pairs with the base it was
+//     built against, so a View (base pointer + overlay pointer) reads
+//     entirely lock-free after the single lock acquisition that resolved
+//     it — and it stays valid even if its epoch is later evicted from the
+//     ring or the store's current base is swapped by a compaction.
 //   - Overlays are cumulative: the overlay of epoch e maps every vertex
-//     touched since the base to its full post-update adjacency (and every
+//     touched since its base to its full post-update adjacency (and every
 //     re-written attribute row to its value), so resolving a read is one
 //     map probe plus a base fallback regardless of how many epochs back
 //     the base is. Append clones the head overlay's index maps (cost
 //     proportional to the total touched set, not the graph) and installs a
 //     new one; removal copies the touched vertex's slices instead of
-//     rewriting shared backing arrays in place.
+//     rewriting shared backing arrays in place. Every overlay entry is
+//     stamped with the epoch that installed it; the stamps drive both
+//     client-side cache validity (the Since field on sampling replies) and
+//     compaction's pruning.
 //   - Append applies a Delta all-or-nothing: the batch is staged into the
 //     candidate overlay and validated as it goes; any error (for example a
 //     non-local source vertex) discards the whole overlay, leaves the head
@@ -33,13 +40,26 @@
 //     which IsEvicted recognizes even after an error crosses an net/rpc
 //     boundary as a flattened string; clients react by re-pinning the
 //     current head and retrying.
+//   - Compact bounds memory under an unbounded update stream: it folds the
+//     state at the retention floor into a freshly sealed base (CSR, degree
+//     tables and alias indexes rebuilt off-lock from immutable inputs,
+//     then atomically swapped in) and rebases the retained overlays by
+//     pruning every entry whose stamp the new base already covers, so the
+//     cumulative maps stop growing monotonically. Leased epochs below the
+//     floor keep their old overlay and old base pointer and stay readable
+//     throughout; live Views are untouched. Clients never notice: the head
+//     epoch does not move and every retained epoch answers exactly as
+//     before.
 //   - Weighted neighbor draws stay O(1) on untouched vertices at every
 //     epoch: the base AliasIndex (built lazily, slot-indexed, immutable) is
-//     valid for any vertex whose adjacency a view resolves from the base,
+//     valid for any vertex whose adjacency a view resolves from its base,
 //     which is exactly the per-vertex invalidation scope an update has.
 //     Touched vertices take a linear-scan weighted draw over their overlay
 //     list. Uniform edge draws (TRAVERSE) mix a per-overlay sampler over
-//     the touched vertices with the immutable base degree alias.
+//     the touched vertices with the immutable base degree alias, and
+//     weight-proportional edge draws mix the same two regions by weight
+//     mass (SampleEdgeWeighted) — the server side of the distributed
+//     weighted TRAVERSE.
 package version
 
 import (
@@ -129,10 +149,19 @@ type akey struct {
 }
 
 // adjList is one vertex's overlay adjacency: a full replacement of its
-// base list, immutable once installed.
+// base list, immutable once installed. epoch stamps the update epoch that
+// installed this exact list — the validity boundary cache layers key on and
+// compaction prunes by.
 type adjList struct {
-	nbr []graph.ID
-	wts []float64
+	nbr   []graph.ID
+	wts   []float64
+	epoch uint64
+}
+
+// attrRow is one vertex's overlay attribute row with its install stamp.
+type attrRow struct {
+	row   []float64
+	epoch uint64
 }
 
 // baseCSR is the sealed adjacency of one edge type: slot-aligned offsets
@@ -143,17 +172,52 @@ type baseCSR struct {
 	wts  []float64
 }
 
+// baseState freezes the whole shard at one epoch. It is immutable after
+// construction except for the lazily built (atomic, build-once) alias and
+// degree tables; Views and overlays hold baseState pointers, so a
+// compaction installing a newer base never disturbs an existing reader.
+type baseState struct {
+	epoch uint64 // the update epoch whose state this base freezes
+
+	local []graph.ID
+	pos   map[graph.ID]int
+	dense bool // local[i] == i for all i: slot lookup is arithmetic
+
+	csr     []baseCSR
+	attrs   map[graph.ID][]float64
+	edges   []int64   // per-type edge totals at epoch
+	weights []float64 // per-type edge-weight totals at epoch
+	// weightsPos caches the per-type positive-weight mass so edge samplers
+	// derive their base remainder in O(touched), not an O(E) rescan.
+	weightsPos []float64
+
+	// since records, for entries folded out of overlays by compaction, the
+	// epoch at which the vertex's current list was installed (absent = the
+	// list predates every update). Serving layers report it as the Since
+	// stamp on replies, so cache entries never claim validity across an
+	// update the base has absorbed.
+	since map[akey]uint64
+
+	aliasMu  sync.Mutex
+	alias    []atomic.Pointer[sampling.AliasIndex] // per type; slot-indexed, immutable
+	degAlias []atomic.Pointer[baseDegree]          // per type, degree-proportional
+	wtAlias  []atomic.Pointer[baseDegree]          // per type, weight-proportional
+}
+
 // overlay is the cumulative diff-versus-base at one epoch. All fields
 // except the lazily built edge samplers are immutable after Append.
 type overlay struct {
 	epoch uint64
+	base  *baseState // the base this overlay's maps diff against
 	adj   map[akey]adjList
-	attrs map[graph.ID][]float64
+	attrs map[graph.ID]attrRow
 	// attrEpoch is the most recent epoch <= this one that rewrote any
 	// attribute row; attribute caches invalidate on its advance.
 	attrEpoch uint64
-	// edgeCount is the per-type total of local edges at this epoch.
+	// edgeCount / weightSum are the per-type totals of local edges and edge
+	// weight at this epoch (absolute, so they survive rebasing unchanged).
 	edgeCount []int64
+	weightSum []float64
 
 	smu      sync.Mutex
 	samplers []*edgeSampler // per edge type, built lazily
@@ -161,7 +225,7 @@ type overlay struct {
 
 // Store is the multi-version store. Build it like a plain server shard:
 // AddVertex/AddEdge during loading, then Seal exactly once; afterwards all
-// mutation goes through Append.
+// mutation goes through Append (and memory is bounded by Compact).
 type Store struct {
 	numTypes int
 	retain   int
@@ -173,25 +237,23 @@ type Store struct {
 	bAdj []map[graph.ID][]graph.ID
 	bWts []map[graph.ID][]float64
 
-	// Immutable base (built by Seal).
-	local     []graph.ID
-	pos       map[graph.ID]int
-	dense     bool // local[i] == i for all i: slot lookup is arithmetic
-	base      []baseCSR
-	baseAttrs map[graph.ID][]float64
-	baseEdges []int64
+	// cur is the base new Appends and head reads resolve against; zero is
+	// the original epoch-0 base, kept only while epoch 0 is readable.
+	cur  *baseState
+	zero *baseState
 
 	head     uint64
 	overlays map[uint64]*overlay
 	leases   map[uint64]int
 
-	aliasMu      sync.Mutex
-	baseAlias    []atomic.Pointer[sampling.AliasIndex] // per type; slot-indexed, immutable
-	baseDegAlias []atomic.Pointer[baseDegree]          // per type
+	// compactMu serializes compactions (the expensive rebuild runs outside
+	// the store lock; two interleaved rebuilds would waste work).
+	compactMu   sync.Mutex
+	compactions int64
 }
 
-// baseDegree pairs the degree-proportional slot alias of one edge type with
-// the slot order backing it (slots with base degree > 0).
+// baseDegree pairs a proportional slot alias of one edge type with the slot
+// order backing it (slots with positive mass).
 type baseDegree struct {
 	al   *sampling.Alias
 	pool []int32
@@ -210,15 +272,13 @@ func NewStoreRetain(numEdgeTypes, retain int) *Store {
 		retain = 1
 	}
 	s := &Store{
-		numTypes:     numEdgeTypes,
-		retain:       retain,
-		bAdj:         make([]map[graph.ID][]graph.ID, numEdgeTypes),
-		bWts:         make([]map[graph.ID][]float64, numEdgeTypes),
-		baseAttrs:    make(map[graph.ID][]float64),
-		overlays:     make(map[uint64]*overlay),
-		leases:       make(map[uint64]int),
-		baseAlias:    make([]atomic.Pointer[sampling.AliasIndex], numEdgeTypes),
-		baseDegAlias: make([]atomic.Pointer[baseDegree], numEdgeTypes),
+		numTypes: numEdgeTypes,
+		retain:   retain,
+		bAdj:     make([]map[graph.ID][]graph.ID, numEdgeTypes),
+		bWts:     make([]map[graph.ID][]float64, numEdgeTypes),
+		cur:      &baseState{attrs: make(map[graph.ID][]float64)},
+		overlays: make(map[uint64]*overlay),
+		leases:   make(map[uint64]int),
 	}
 	for t := range s.bAdj {
 		s.bAdj[t] = make(map[graph.ID][]graph.ID)
@@ -241,10 +301,10 @@ func (s *Store) AddVertex(v graph.ID, attr []float64) {
 	if s.sealed {
 		panic("version: AddVertex after Seal")
 	}
-	if _, ok := s.baseAttrs[v]; !ok {
-		s.local = append(s.local, v)
+	if _, ok := s.cur.attrs[v]; !ok {
+		s.cur.local = append(s.cur.local, v)
 	}
-	s.baseAttrs[v] = attr
+	s.cur.attrs[v] = attr
 }
 
 // AddEdge appends an out-edge during loading. Only legal before Seal.
@@ -267,33 +327,46 @@ func (s *Store) Seal() {
 	if s.sealed {
 		return
 	}
-	sort.Slice(s.local, func(i, j int) bool { return s.local[i] < s.local[j] })
-	s.pos = make(map[graph.ID]int, len(s.local))
-	s.dense = true
-	for i, v := range s.local {
-		s.pos[v] = i
+	b := s.cur
+	sort.Slice(b.local, func(i, j int) bool { return b.local[i] < b.local[j] })
+	b.pos = make(map[graph.ID]int, len(b.local))
+	b.dense = true
+	for i, v := range b.local {
+		b.pos[v] = i
 		if v != graph.ID(i) {
-			s.dense = false
+			b.dense = false
 		}
 	}
-	s.base = make([]baseCSR, s.numTypes)
-	s.baseEdges = make([]int64, s.numTypes)
+	b.csr = make([]baseCSR, s.numTypes)
+	b.edges = make([]int64, s.numTypes)
+	b.weights = make([]float64, s.numTypes)
+	b.weightsPos = make([]float64, s.numTypes)
 	for t := 0; t < s.numTypes; t++ {
-		c := baseCSR{offs: make([]int64, len(s.local)+1)}
-		for i, v := range s.local {
+		c := baseCSR{offs: make([]int64, len(b.local)+1)}
+		for i, v := range b.local {
 			c.offs[i+1] = c.offs[i] + int64(len(s.bAdj[t][v]))
 		}
-		m := c.offs[len(s.local)]
+		m := c.offs[len(b.local)]
 		c.nbr = make([]graph.ID, 0, m)
 		c.wts = make([]float64, 0, m)
-		for _, v := range s.local {
+		for _, v := range b.local {
 			c.nbr = append(c.nbr, s.bAdj[t][v]...)
 			c.wts = append(c.wts, s.bWts[t][v]...)
 		}
-		s.base[t] = c
-		s.baseEdges[t] = m
+		b.csr[t] = c
+		b.edges[t] = m
+		for _, w := range c.wts {
+			b.weights[t] += w
+			if w > 0 {
+				b.weightsPos[t] += w
+			}
+		}
 	}
+	b.alias = make([]atomic.Pointer[sampling.AliasIndex], s.numTypes)
+	b.degAlias = make([]atomic.Pointer[baseDegree], s.numTypes)
+	b.wtAlias = make([]atomic.Pointer[baseDegree], s.numTypes)
 	s.bAdj, s.bWts = nil, nil
+	s.zero = b
 	s.sealed = true
 }
 
@@ -305,18 +378,19 @@ func (s *Store) Sealed() bool {
 }
 
 // LocalVertices returns the sorted local vertex IDs (shared slice; do not
-// mutate). Before Seal the order is insertion order.
+// mutate). Before Seal the order is insertion order. The vertex set is
+// fixed at Seal, so it is identical across compactions.
 func (s *Store) LocalVertices() []graph.ID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.local
+	return s.cur.local
 }
 
 // NumVertices reports how many vertices the store owns.
 func (s *Store) NumVertices() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.local)
+	return len(s.cur.local)
 }
 
 // Head reports the current (newest) epoch.
@@ -333,6 +407,21 @@ func (s *Store) Floor() uint64 {
 	return s.floorLocked()
 }
 
+// BaseEpoch reports the epoch the current base freezes (0 until the first
+// compaction folds overlays forward).
+func (s *Store) BaseEpoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cur.epoch
+}
+
+// Compactions reports how many Compact calls have installed a new base.
+func (s *Store) Compactions() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.compactions
+}
+
 func (s *Store) floorLocked() uint64 {
 	if s.head+1 <= uint64(s.retain) {
 		return 0
@@ -342,32 +431,26 @@ func (s *Store) floorLocked() uint64 {
 
 // slot returns the base slot of v, or -1 when v is not local. Stores whose
 // local IDs are dense (0..n-1, the single-shard and benchmark case) resolve
-// by arithmetic instead of a map probe.
-func (s *Store) slot(v graph.ID) int {
-	if s.dense {
-		if v < 0 || int(v) >= len(s.local) {
+// by arithmetic instead of a map probe. The slot numbering is fixed at Seal
+// (updates cannot add vertices), so slots mean the same thing under every
+// base generation.
+func (b *baseState) slot(v graph.ID) int {
+	if b.dense {
+		if v < 0 || int(v) >= len(b.local) {
 			return -1
 		}
 		return int(v)
 	}
-	if i, ok := s.pos[v]; ok {
+	if i, ok := b.pos[v]; ok {
 		return i
 	}
 	return -1
 }
 
-// BaseAlias returns the immutable slot-indexed weighted-draw index over the
-// base adjacency of type t (built lazily on first use). It is valid at
-// every epoch for any vertex whose NeighborsSlot reports touched == false;
-// fetch it once per request and draw without further synchronization.
-func (s *Store) BaseAlias(t graph.EdgeType) *sampling.AliasIndex {
-	return s.baseAliasIndex(t)
-}
-
 // At resolves a read view of the given epoch. The returned View reads
-// lock-free and stays consistent even if the epoch is evicted afterwards;
-// At itself fails with ErrEvicted (or ErrFuture) when the epoch is already
-// outside the readable window.
+// lock-free and stays consistent even if the epoch is evicted afterwards or
+// a compaction swaps the store's base; At itself fails with ErrEvicted (or
+// ErrFuture) when the epoch is already outside the readable window.
 func (s *Store) At(epoch uint64) (View, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -378,23 +461,30 @@ func (s *Store) At(epoch uint64) (View, error) {
 		return View{}, fmt.Errorf("version: epoch %d not reached (head %d): %w", epoch, s.head, ErrFuture)
 	}
 	if epoch == 0 {
-		if s.floorLocked() > 0 && s.leases[0] == 0 {
+		if s.zero == nil || (s.floorLocked() > 0 && s.leases[0] == 0) {
 			return View{}, fmt.Errorf("version: %w: epoch 0 (floor %d, head %d)", ErrEvicted, s.floorLocked(), s.head)
 		}
-		return View{s: s, epoch: 0}, nil
+		return View{s: s, b: s.zero, epoch: 0}, nil
 	}
 	ov, ok := s.overlays[epoch]
 	if !ok {
 		return View{}, fmt.Errorf("version: %w: epoch %d (floor %d, head %d)", ErrEvicted, epoch, s.floorLocked(), s.head)
 	}
-	return View{s: s, epoch: epoch, ov: ov}, nil
+	return View{s: s, b: ov.base, epoch: epoch, ov: ov}, nil
 }
 
 // HeadView resolves the newest epoch's view.
 func (s *Store) HeadView() View {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return View{s: s, epoch: s.head, ov: s.overlays[s.head]}
+	return s.headViewLocked()
+}
+
+func (s *Store) headViewLocked() View {
+	if ov := s.overlays[s.head]; ov != nil {
+		return View{s: s, b: ov.base, epoch: s.head, ov: ov}
+	}
+	return View{s: s, b: s.cur, epoch: s.head}
 }
 
 // Lease pins epoch against eviction until a matching Release. It fails if
@@ -412,7 +502,7 @@ func (s *Store) Lease(epoch uint64) error {
 		if _, ok := s.overlays[epoch]; !ok {
 			return fmt.Errorf("version: %w: lease of epoch %d (floor %d)", ErrEvicted, epoch, s.floorLocked())
 		}
-	} else if s.floorLocked() > 0 && s.leases[0] == 0 {
+	} else if s.zero == nil || (s.floorLocked() > 0 && s.leases[0] == 0) {
 		return fmt.Errorf("version: %w: lease of epoch 0 (floor %d)", ErrEvicted, s.floorLocked())
 	}
 	s.leases[epoch]++
@@ -429,13 +519,28 @@ func (s *Store) LeaseHead() uint64 {
 // the head's attribute epoch, read under one lock acquisition so the pair
 // is consistent even under concurrent Appends.
 func (s *Store) LeaseHeadInfo() (epoch, attrEpoch uint64) {
+	e, a, _, _ := s.LeaseHeadStats()
+	return e, a
+}
+
+// LeaseHeadStats is LeaseHeadInfo extended with the head epoch's per-type
+// edge counts and edge-weight sums, all from one lock acquisition. Lease
+// replies carry them so clients can split pinned TRAVERSE batches across
+// shards using the counters of the snapshot they actually sample — not the
+// moving head's.
+func (s *Store) LeaseHeadStats() (epoch, attrEpoch uint64, edges []int64, weights []float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.leases[s.head]++
 	if ov := s.overlays[s.head]; ov != nil {
 		attrEpoch = ov.attrEpoch
+		edges = append([]int64(nil), ov.edgeCount...)
+		weights = append([]float64(nil), ov.weightSum...)
+	} else {
+		edges = append([]int64(nil), s.cur.edges...)
+		weights = append([]float64(nil), s.cur.weights...)
 	}
-	return s.head, attrEpoch
+	return s.head, attrEpoch, edges, weights
 }
 
 // Release drops one lease on epoch; when the last lease on an epoch behind
@@ -476,12 +581,33 @@ func (s *Store) Evict(epoch uint64) {
 	delete(s.leases, epoch)
 	if epoch != 0 {
 		delete(s.overlays, epoch)
-	} else {
-		// Epoch 0 has no overlay; mark it unreadable by ensuring the floor
-		// check fails. Nothing to do when the floor is still 0 — within the
-		// ring the base stays readable by construction.
-		_ = epoch
 	}
+	// Epoch 0 has no overlay; once the floor passes it, the lease check in
+	// At already fails. Within the ring the base stays readable by
+	// construction.
+}
+
+// OverlayStats describes the resident overlay footprint: how many epochs
+// the ring currently holds and how many adjacency/attribute entries the
+// HEAD overlay's cumulative maps carry (the monotone-growth metric a
+// compaction trigger watches).
+type OverlayStats struct {
+	Epochs      int
+	AdjEntries  int
+	AttrEntries int
+	BaseEpoch   uint64
+}
+
+// Overlay reports the resident overlay footprint.
+func (s *Store) Overlay() OverlayStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := OverlayStats{Epochs: len(s.overlays), BaseEpoch: s.cur.epoch}
+	if ov := s.overlays[s.head]; ov != nil {
+		st.AdjEntries = len(ov.adj)
+		st.AttrEntries = len(ov.attrs)
+	}
+	return st
 }
 
 // Append stages delta against the head state, validates it, and — only if
@@ -495,13 +621,18 @@ func (s *Store) Append(delta Delta) (epoch uint64, added, removed, attrsSet int,
 		return s.head, 0, 0, 0, errors.New("version: Append before Seal")
 	}
 	prev := s.overlays[s.head]
+	base := s.cur
+	if prev != nil {
+		base = prev.base
+	}
 
 	// Stage the candidate overlay. Maps are cloned from the head overlay
 	// (cumulative diff-versus-base); entry slices are copied on first touch
 	// this round so installed overlays and the base stay immutable.
 	adj := make(map[akey]adjList, mapLen(prev))
-	attrs := make(map[graph.ID][]float64, attrLen(prev))
+	attrs := make(map[graph.ID]attrRow, attrLen(prev))
 	counts := make([]int64, s.numTypes)
+	wsums := make([]float64, s.numTypes)
 	if prev != nil {
 		for k, l := range prev.adj {
 			adj[k] = l
@@ -510,8 +641,10 @@ func (s *Store) Append(delta Delta) (epoch uint64, added, removed, attrsSet int,
 			attrs[v] = a
 		}
 		copy(counts, prev.edgeCount)
+		copy(wsums, prev.weightSum)
 	} else {
-		copy(counts, s.baseEdges)
+		copy(counts, base.edges)
+		copy(wsums, base.weights)
 	}
 	fresh := make(map[akey]struct{})
 
@@ -519,10 +652,10 @@ func (s *Store) Append(delta Delta) (epoch uint64, added, removed, attrsSet int,
 		if l, ok := adj[k]; ok {
 			return l
 		}
-		slot := s.slot(k.v)
-		c := &s.base[k.t]
+		slot := base.slot(k.v)
+		c := &base.csr[k.t]
 		lo, hi := c.offs[slot], c.offs[slot+1]
-		return adjList{nbr: c.nbr[lo:hi], wts: c.wts[lo:hi]}
+		return adjList{nbr: c.nbr[lo:hi], wts: c.wts[lo:hi], epoch: base.since[akey{k.v, k.t}]}
 	}
 	// own returns k's staged list with this-round-private backing arrays.
 	own := func(k akey) adjList {
@@ -538,7 +671,7 @@ func (s *Store) Append(delta Delta) (epoch uint64, added, removed, attrsSet int,
 	}
 
 	for _, e := range delta.Add {
-		if s.slot(e.Src) < 0 {
+		if base.slot(e.Src) < 0 {
 			return s.head, 0, 0, 0, fmt.Errorf("version: source vertex %d is not local", e.Src)
 		}
 		if int(e.Type) < 0 || int(e.Type) >= s.numTypes {
@@ -550,13 +683,14 @@ func (s *Store) Append(delta Delta) (epoch uint64, added, removed, attrsSet int,
 		l.wts = append(l.wts, e.Weight)
 		adj[k] = l
 		counts[e.Type]++
+		wsums[e.Type] += e.Weight
 		added++
 	}
 	for _, e := range delta.Remove {
 		if int(e.Type) < 0 || int(e.Type) >= s.numTypes {
 			return s.head, 0, 0, 0, fmt.Errorf("version: edge type %d out of range", e.Type)
 		}
-		if s.slot(e.Src) < 0 {
+		if base.slot(e.Src) < 0 {
 			continue // idempotent: nothing of this source here
 		}
 		k := akey{e.Src, e.Type}
@@ -572,17 +706,19 @@ func (s *Store) Append(delta Delta) (epoch uint64, added, removed, attrsSet int,
 			continue
 		}
 		l = own(k)
+		w := l.wts[hit]
 		l.nbr = append(l.nbr[:hit], l.nbr[hit+1:]...)
 		l.wts = append(l.wts[:hit], l.wts[hit+1:]...)
 		adj[k] = l
 		counts[e.Type]--
+		wsums[e.Type] -= w
 		removed++
 	}
 	for _, a := range delta.SetAttr {
-		if s.slot(a.V) < 0 {
+		if base.slot(a.V) < 0 {
 			return s.head, 0, 0, 0, fmt.Errorf("version: vertex %d is not local", a.V)
 		}
-		attrs[a.V] = append([]float64(nil), a.Attr...)
+		attrs[a.V] = attrRow{row: append([]float64(nil), a.Attr...)}
 		attrsSet++
 	}
 
@@ -591,11 +727,24 @@ func (s *Store) Append(delta Delta) (epoch uint64, added, removed, attrsSet int,
 	}
 
 	next := s.head + 1
+	// Stamp everything this round installed with the new epoch.
+	for k := range fresh {
+		l := adj[k]
+		l.epoch = next
+		adj[k] = l
+	}
+	for _, a := range delta.SetAttr {
+		r := attrs[a.V]
+		r.epoch = next
+		attrs[a.V] = r
+	}
 	ov := &overlay{
 		epoch:     next,
+		base:      base,
 		adj:       adj,
 		attrs:     attrs,
 		edgeCount: counts,
+		weightSum: wsums,
 		samplers:  make([]*edgeSampler, s.numTypes),
 	}
 	if attrsSet > 0 {
@@ -612,6 +761,9 @@ func (s *Store) Append(delta Delta) (epoch uint64, added, removed, attrsSet int,
 		if e < floor && s.leases[e] == 0 {
 			delete(s.overlays, e)
 		}
+	}
+	if floor > 0 && s.leases[0] == 0 {
+		s.zero = nil
 	}
 	return next, added, removed, attrsSet, nil
 }
@@ -630,51 +782,266 @@ func attrLen(ov *overlay) int {
 	return len(ov.attrs) + 1
 }
 
-// baseAliasIndex lazily builds (once; immutable afterwards) the slot-indexed
-// weighted-draw alias tables over the base adjacency of type t. It is valid
-// at every epoch for vertices the view resolves from the base, and the hot
-// read path is a single atomic load.
-func (s *Store) baseAliasIndex(t graph.EdgeType) *sampling.AliasIndex {
-	if ai := s.baseAlias[t].Load(); ai != nil {
+// CompactStats reports what a Compact call did.
+type CompactStats struct {
+	// BaseEpoch is the epoch the (possibly new) base freezes after the call.
+	BaseEpoch uint64
+	// FoldedAdj / FoldedAttrs count the cumulative overlay entries the new
+	// base absorbed; Pruned counts entries dropped from retained overlays.
+	FoldedAdj, FoldedAttrs, Pruned int
+	// Rebased counts retained overlays rewritten against the new base.
+	Rebased int
+}
+
+// Compact folds the overlay state at the retention floor into a freshly
+// sealed base and rebases the retained overlays against it, bounding the
+// cumulative overlay maps that otherwise grow monotonically under a long
+// update stream. The expensive rebuild (CSR flatten, attribute fold) runs
+// off-lock against immutable inputs; only the final swap takes the store
+// lock. Safety:
+//
+//   - Live Views are untouched: they hold their own base and overlay
+//     pointers, both immutable.
+//   - Leased epochs below the floor keep their old overlay (paired with
+//     the old base) and remain readable — no ErrEvicted for pinned
+//     readers; the old base's memory is released when the last such lease
+//     goes.
+//   - The head epoch does not move: retained epochs keep serving exactly
+//     the same adjacency, attributes, counts and draw DISTRIBUTIONS
+//     (pruned entries resurface from the new base, whose since-stamps keep
+//     cache validity exact). One caveat: a vertex folded into the base
+//     flips from the overlay's weighted-scan draw path to the base alias
+//     path, so a fixed-seed draw stream touching folded vertices may map
+//     uniforms to different (equally distributed) samples than the same
+//     seed produced before the fold — making those streams bit-stable
+//     would require keeping the very per-epoch history compaction exists
+//     to drop. Untouched vertices and untouched edge types draw
+//     bit-identically across folds, which is what the churned-vs-quiesced
+//     training invariants rely on.
+//
+// Compact is a no-op when the floor has not moved past the current base.
+func (s *Store) Compact() (CompactStats, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	// Snapshot the fold point and the retained overlays.
+	s.mu.RLock()
+	if !s.sealed {
+		s.mu.RUnlock()
+		return CompactStats{}, errors.New("version: Compact before Seal")
+	}
+	curBase := s.cur
+	head := s.head
+	target := s.floorLocked()
+	var fold *overlay
+	for e := target; e > curBase.epoch && e > 0; e-- {
+		if ov, ok := s.overlays[e]; ok {
+			fold, target = ov, e
+			break
+		}
+	}
+	if fold == nil {
+		s.mu.RUnlock()
+		return CompactStats{BaseEpoch: curBase.epoch}, nil
+	}
+	retained := make(map[uint64]*overlay)
+	for e, ov := range s.overlays {
+		if e >= target && e <= head {
+			retained[e] = ov
+		}
+	}
+	s.mu.RUnlock()
+
+	// Build the new base off-lock: the fold overlay applied over ITS OWN
+	// base (overlays appended while an earlier Compact was building may
+	// still pair with an older base than s.cur), all immutable inputs.
+	oldBase := fold.base
+	nb := &baseState{
+		epoch:      target,
+		local:      oldBase.local,
+		pos:        oldBase.pos,
+		dense:      oldBase.dense,
+		csr:        make([]baseCSR, s.numTypes),
+		edges:      append([]int64(nil), fold.edgeCount...),
+		weights:    append([]float64(nil), fold.weightSum...),
+		weightsPos: make([]float64, s.numTypes),
+		attrs:      make(map[graph.ID][]float64, len(oldBase.attrs)),
+		since:      make(map[akey]uint64, len(oldBase.since)+len(fold.adj)),
+		alias:      make([]atomic.Pointer[sampling.AliasIndex], s.numTypes),
+		degAlias:   make([]atomic.Pointer[baseDegree], s.numTypes),
+		wtAlias:    make([]atomic.Pointer[baseDegree], s.numTypes),
+	}
+	for k, e := range oldBase.since {
+		nb.since[k] = e
+	}
+	for t := 0; t < s.numTypes; t++ {
+		oc := &oldBase.csr[t]
+		c := baseCSR{offs: make([]int64, len(nb.local)+1)}
+		for i, v := range nb.local {
+			if l, ok := fold.adj[akey{v, graph.EdgeType(t)}]; ok {
+				c.offs[i+1] = c.offs[i] + int64(len(l.nbr))
+			} else {
+				c.offs[i+1] = c.offs[i] + (oc.offs[i+1] - oc.offs[i])
+			}
+		}
+		m := c.offs[len(nb.local)]
+		c.nbr = make([]graph.ID, 0, m)
+		c.wts = make([]float64, 0, m)
+		for i, v := range nb.local {
+			if l, ok := fold.adj[akey{v, graph.EdgeType(t)}]; ok {
+				c.nbr = append(c.nbr, l.nbr...)
+				c.wts = append(c.wts, l.wts...)
+				if l.epoch > 0 {
+					nb.since[akey{v, graph.EdgeType(t)}] = l.epoch
+				}
+			} else {
+				c.nbr = append(c.nbr, oc.nbr[oc.offs[i]:oc.offs[i+1]]...)
+				c.wts = append(c.wts, oc.wts[oc.offs[i]:oc.offs[i+1]]...)
+			}
+		}
+		nb.csr[t] = c
+		for _, w := range c.wts {
+			if w > 0 {
+				nb.weightsPos[t] += w
+			}
+		}
+	}
+	for v, a := range oldBase.attrs {
+		nb.attrs[v] = a
+	}
+	for v, a := range fold.attrs {
+		nb.attrs[v] = a.row
+	}
+
+	// Rebase the retained overlays: drop every entry the new base covers.
+	stats := CompactStats{BaseEpoch: target, FoldedAdj: len(fold.adj), FoldedAttrs: len(fold.attrs)}
+	rebased := make(map[uint64]*overlay, len(retained))
+	for e, ov := range retained {
+		nadj := make(map[akey]adjList)
+		for k, l := range ov.adj {
+			if l.epoch > target {
+				nadj[k] = l
+			} else {
+				stats.Pruned++
+			}
+		}
+		nattrs := make(map[graph.ID]attrRow)
+		for v, a := range ov.attrs {
+			if a.epoch > target {
+				nattrs[v] = a
+			} else {
+				stats.Pruned++
+			}
+		}
+		rebased[e] = &overlay{
+			epoch:     e,
+			base:      nb,
+			adj:       nadj,
+			attrs:     nattrs,
+			attrEpoch: ov.attrEpoch,
+			edgeCount: ov.edgeCount,
+			weightSum: ov.weightSum,
+			samplers:  make([]*edgeSampler, s.numTypes),
+		}
+		stats.Rebased++
+	}
+
+	// Swap. Overlays appended while we built keep the old base (their maps
+	// are cumulative, so they read correctly against it); the next Compact
+	// picks them up. An epoch evicted mid-build is skipped.
+	s.mu.Lock()
+	for e, nov := range rebased {
+		if s.overlays[e] == retained[e] {
+			s.overlays[e] = nov
+		}
+	}
+	s.cur = nb
+	if s.floorLocked() > 0 && s.leases[0] == 0 {
+		s.zero = nil
+	}
+	s.compactions++
+	s.mu.Unlock()
+	return stats, nil
+}
+
+// aliasIndex lazily builds (once; immutable afterwards) the slot-indexed
+// weighted-draw alias tables over this base's adjacency of type t. It is
+// valid at every epoch for vertices a view of this base resolves from it,
+// and the hot read path is a single atomic load.
+func (b *baseState) aliasIndex(t graph.EdgeType) *sampling.AliasIndex {
+	if ai := b.alias[t].Load(); ai != nil {
 		return ai
 	}
-	s.aliasMu.Lock()
-	defer s.aliasMu.Unlock()
-	if ai := s.baseAlias[t].Load(); ai != nil {
+	b.aliasMu.Lock()
+	defer b.aliasMu.Unlock()
+	if ai := b.alias[t].Load(); ai != nil {
 		return ai
 	}
-	c := &s.base[t]
-	ws := make([][]float64, len(s.local))
-	for i := range s.local {
+	c := &b.csr[t]
+	ws := make([][]float64, len(b.local))
+	for i := range b.local {
 		ws[i] = c.wts[c.offs[i]:c.offs[i+1]]
 	}
 	ai := sampling.NewAliasIndexFromWeights(ws)
-	s.baseAlias[t].Store(ai)
+	b.alias[t].Store(ai)
 	return ai
 }
 
 // degreeTable lazily builds the degree-proportional vertex table over base
 // slots with at least one type-t out-edge; drawing a slot from it and then
 // a uniform adjacency entry is a uniform draw over the base edge set.
-func (s *Store) degreeTable(t graph.EdgeType) *baseDegree {
-	if d := s.baseDegAlias[t].Load(); d != nil {
+func (b *baseState) degreeTable(t graph.EdgeType) *baseDegree {
+	if d := b.degAlias[t].Load(); d != nil {
 		return d
 	}
-	s.aliasMu.Lock()
-	defer s.aliasMu.Unlock()
-	if d := s.baseDegAlias[t].Load(); d != nil {
+	b.aliasMu.Lock()
+	defer b.aliasMu.Unlock()
+	if d := b.degAlias[t].Load(); d != nil {
 		return d
 	}
-	c := &s.base[t]
+	c := &b.csr[t]
 	var pool []int32
 	var ws []float64
-	for i := range s.local {
+	for i := range b.local {
 		if d := c.offs[i+1] - c.offs[i]; d > 0 {
 			pool = append(pool, int32(i))
 			ws = append(ws, float64(d))
 		}
 	}
 	d := &baseDegree{al: sampling.NewAlias(ws), pool: pool}
-	s.baseDegAlias[t].Store(d)
+	b.degAlias[t].Store(d)
+	return d
+}
+
+// weightTable lazily builds the weight-proportional vertex table over base
+// slots with positive type-t out-weight; drawing a slot from it and then a
+// weighted adjacency entry (via aliasIndex) is a weight-proportional draw
+// over the base edge set.
+func (b *baseState) weightTable(t graph.EdgeType) *baseDegree {
+	if d := b.wtAlias[t].Load(); d != nil {
+		return d
+	}
+	b.aliasMu.Lock()
+	defer b.aliasMu.Unlock()
+	if d := b.wtAlias[t].Load(); d != nil {
+		return d
+	}
+	c := &b.csr[t]
+	var pool []int32
+	var ws []float64
+	for i := range b.local {
+		sum := 0.0
+		for _, w := range c.wts[c.offs[i]:c.offs[i+1]] {
+			if w > 0 {
+				sum += w
+			}
+		}
+		if sum > 0 {
+			pool = append(pool, int32(i))
+			ws = append(ws, sum)
+		}
+	}
+	d := &baseDegree{al: sampling.NewAlias(ws), pool: pool}
+	b.wtAlias[t].Store(d)
 	return d
 }
