@@ -219,6 +219,11 @@ type TrainConfig struct {
 	// AttrCache caps the client-side attribute LRU (cluster training with
 	// UseAttrs); 0 disables it and every encode fetches over RPC.
 	AttrCache int
+	// NegRefresh rebuilds the negative pool whenever the observed cluster
+	// head epoch advances by at least this many epochs; 0 keeps the pool
+	// frozen at construction (the historical behavior, and the only option
+	// on local platforms, which have no update epochs).
+	NegRefresh uint64
 }
 
 // DefaultTrainConfig returns laptop-scale defaults.
@@ -441,7 +446,7 @@ func (p *ClusterPlatform) NewGraphSAGE(cfg TrainConfig) (*Trainer, error) {
 		feat = &core.ConcatFeatures{Srcs: []core.FeatureSource{&clusterAttrFeatures{fetch: fetch, d: ad}, feat}}
 	}
 	enc := newSAGEEncoder(feat, cfg, rng)
-	tc := core.TrainerConfig{EdgeType: cfg.EdgeType, HopNums: cfg.HopNums, Batch: cfg.Batch, NegK: cfg.NegK, LR: cfg.LR}
+	tc := core.TrainerConfig{EdgeType: cfg.EdgeType, HopNums: cfg.HopNums, Batch: cfg.Batch, NegK: cfg.NegK, LR: cfg.LR, NegRefresh: cfg.NegRefresh}
 	p.mu.Lock()
 	envSeed := p.rng.Int63()
 	p.mu.Unlock()

@@ -53,6 +53,7 @@ func main() {
 		demo         = flag.Bool("demo", false, "generate Taobao-sim instead of reading files")
 		scale        = flag.Float64("scale", 0.1, "demo dataset scale")
 		compactThr   = flag.Int("compact-threshold", 100000, "fold old snapshot overlays into a fresh base once the head overlay holds this many entries (0 disables auto-compaction; the Compact RPC always works)")
+		dedupWindow  = flag.Int("dedup-window", 1024, "retried-RPC idempotency tokens remembered per server (0 disables write dedup)")
 	)
 	flag.Parse()
 
@@ -101,6 +102,7 @@ func main() {
 	servers := cluster.FromGraph(g, a)
 	srv := servers[*part]
 	srv.SetCompactThreshold(*compactThr)
+	srv.SetUpdateDedup(*dedupWindow)
 
 	rpcSrv, err := cluster.ServeRPC(srv, *addr)
 	if err != nil {

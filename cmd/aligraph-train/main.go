@@ -64,6 +64,12 @@ func main() {
 		stream       = flag.Bool("stream", false, "interleave synthetic live edge updates with training (cluster mode)")
 		streamBatch  = flag.Int("stream-batch", 8, "edges per synthetic update batch with -stream")
 		streamSeed   = flag.Int64("stream-seed", 7, "randomness seed for -stream update generation")
+		rpcTimeout   = flag.Duration("rpc-timeout", 5*time.Second, "per-RPC deadline (cluster mode)")
+		rpcRetries   = flag.Int("rpc-retries", 4, "attempts per idempotent RPC before a shard counts as down (cluster mode)")
+		dialTimeout  = flag.Duration("dial-timeout", cluster.DefaultDialTimeout, "per-shard TCP connect timeout (cluster mode)")
+		lazyDial     = flag.Bool("lazy-dial", false, "connect to shards on first use instead of at startup (cluster mode)")
+		degrade      = flag.Bool("degrade", false, "serve a down shard's reads from stale caches instead of failing (cluster mode)")
+		negRefresh   = flag.Uint64("neg-refresh", 0, "rebuild the negative pool every N observed update epochs; 0 = frozen pool (cluster mode)")
 	)
 	flag.Parse()
 	if *stream && *clusterAddrs == "" {
@@ -76,15 +82,24 @@ func main() {
 	cfg.EdgeType = aligraph.EdgeType(*edgeType)
 	cfg.UseAttrs = *useAttrs
 	cfg.Pipeline = aligraph.PipelineConfig{Depth: *prefetch, Workers: *prefetchWrk}
+	cfg.NegRefresh = *negRefresh
 
 	var trainer *aligraph.Trainer
 	if *clusterAddrs != "" {
 		// Graph-free worker: the assignment and schema come from the shards.
+		// The transport stack is fault-tolerant end to end: the RPC layer
+		// redials dropped connections lazily, and the retry layer applies
+		// per-call deadlines, bounded backoff, and a per-shard breaker to
+		// every idempotent call.
 		addrs := strings.Split(*clusterAddrs, ",")
-		tr, err := cluster.DialRPC(addrs)
+		rpcTr, err := cluster.DialRPCConfig(addrs, cluster.DialConfig{Timeout: *dialTimeout, Lazy: *lazyDial})
 		if err != nil {
 			log.Fatal(err)
 		}
+		pol := cluster.DefaultCallPolicy()
+		pol.Timeout = *rpcTimeout
+		pol.Attempts = *rpcRetries
+		tr := cluster.NewRetryTransport(rpcTr, len(addrs), pol, 1)
 		defer tr.Close()
 		assign, schema, err := cluster.Bootstrap(tr, 0)
 		if err != nil {
@@ -99,6 +114,9 @@ func main() {
 			cache = storage.NewLRUNeighborCache(int(*cacheFrac * float64(numVertices)))
 		}
 		cp := aligraph.NewClusterPlatform(assign, tr, cache, 1)
+		if *degrade {
+			cp.Client.Degrade = true
+		}
 		fmt.Printf("cluster: %d shards, %d vertices, %d vertex / %d edge types (bootstrapped)\n",
 			assign.P, numVertices, schema.NumVertexTypes(), schema.NumEdgeTypes())
 		trainer, err = cp.NewGraphSAGE(cfg)

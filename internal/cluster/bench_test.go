@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/partition"
@@ -71,5 +72,38 @@ func BenchmarkClusterSample(b *testing.B) {
 				}
 			})
 		}
+	}
+
+	// Fault-tolerance overhead: the same hop sequence through the retry
+	// layer over a seeded 1% request-drop fault rate — what the policy
+	// stack costs when the network is imperfect but alive. retries/op
+	// reports how many re-issued calls papered over the drops.
+	for _, shards := range []int{2} {
+		a, err := (partition.HashPartitioner{}).Partition(g, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers := FromGraph(g, a)
+		b.Run(fmt.Sprintf("shards=%d/cache=none/faults=1%%", shards), func(b *testing.B) {
+			ft := NewFaultTransport(NewLocalTransport(servers, 0, 0), shards, FaultConfig{Seed: 17, DropRate: 0.01})
+			rt := NewRetryTransport(ft, shards, CallPolicy{
+				Attempts:   4,
+				Backoff:    50 * time.Microsecond,
+				MaxBackoff: time.Millisecond,
+			}, 17)
+			c := NewClient(a, rt, storage.NoCache{})
+			nbr := sampling.NewNeighborhood(c, rand.New(rand.NewSource(1)))
+			var ctx sampling.Context
+			rng := sampling.NewRng(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := nbr.SampleInto(&ctx, 0, batch, hops, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(rt.Retries())/float64(b.N), "retries/op")
+		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/partition"
@@ -30,6 +31,15 @@ type Client struct {
 	T      Transport
 	Cache  storage.NeighborCache
 
+	// Degrade enables graceful degradation: when a shard's call fails with
+	// a transport-level (transient/shard-down) error, its hops are served
+	// from stale cache entries (storage.StaleReader) via the slot-pure draw
+	// path instead of failing the batch — TRAVERSE and NegativePool simply
+	// skip the dead shard's mass, attribute rows fall back to zeros. Every
+	// degraded draw is counted in DegradedDraws. Set it before training;
+	// off (the default) such errors surface to the caller.
+	Degrade bool
+
 	// cacheAdmits records whether Cache.Observe can admit entries; when it
 	// cannot (static caches), SampleBatch skips requesting admission lists.
 	cacheAdmits bool
@@ -37,6 +47,8 @@ type Client struct {
 	// pins manages the shared, reference-counted epoch pin (see pin.go);
 	// Client implements sampling.PinSource with it.
 	pins *pinManager
+
+	degradedDraws atomic.Int64
 
 	statsMu sync.Mutex
 	stats   []StatsReply // nil until a full fetch succeeds
@@ -122,6 +134,50 @@ func (c *Client) observe(part int, span *sampling.EpochSpan, pin *sampling.Pin, 
 	}
 }
 
+// DegradedDraws reports how many reads were served from stale cache state
+// (or padded) because a shard was unreachable with Degrade set. Safe to
+// call concurrently with training; nonzero means embeddings consumed
+// degraded data.
+func (c *Client) DegradedDraws() int64 { return c.degradedDraws.Load() }
+
+// MaxObservedHead reports the newest head epoch the client has observed on
+// any shard (every sampling reply carries its shard's head). Trainers use
+// it as the staleness clock for epoch-refreshed negative pools.
+func (c *Client) MaxObservedHead() uint64 {
+	h := uint64(0)
+	for part := range c.pins.heads {
+		if v := c.pins.heads[part].Load(); v > h {
+			h = v
+		}
+	}
+	return h
+}
+
+// degraded reports whether err should be absorbed by stale-serving: the
+// client degrades (Degrade set) and the error is a transport-level failure
+// (never an application error from a live server).
+func (c *Client) degraded(err error) bool {
+	return c.Degrade && (IsShardDown(err) || IsTransient(err))
+}
+
+// staleList fetches v's hop-1 list from the cache ignoring epoch validity —
+// the degraded-read path. ok is false when the cache holds nothing for v.
+func (c *Client) staleList(v graph.ID, t graph.EdgeType) ([]graph.ID, bool) {
+	if sr, ok := c.Cache.(storage.StaleReader); ok {
+		return sr.GetStale(v, t, 1)
+	}
+	return nil, false
+}
+
+// degradeSpan keeps a pinned batch's span single-valued when a shard's
+// reply is replaced by stale serving (unpinned reads record nothing: they
+// observed no real epoch).
+func degradeSpan(span *sampling.EpochSpan, pin *sampling.Pin) {
+	if span != nil && pin != nil {
+		span.Observe(pin.Stamp)
+	}
+}
+
 // pinFields returns the request pin fields for an optionally pinned call to
 // part.
 func pinFields(pin *sampling.Pin, part int) (epoch uint64, pinned bool) {
@@ -159,7 +215,18 @@ func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.Edg
 		req := NeighborsRequest{Vertices: batch, EdgeType: t}
 		req.Pin, req.Pinned = pinFields(pin, p)
 		if err := c.T.Neighbors(p, req, &reply); err != nil {
-			return err
+			if !c.degraded(err) {
+				return err
+			}
+			// Shard down: serve what the cache still holds (stale), empty
+			// lists otherwise, and count every list as degraded.
+			for _, v := range batch {
+				ns, _ := c.staleList(v, t)
+				res[v] = ns
+				c.degradedDraws.Add(1)
+			}
+			degradeSpan(span, pin)
+			continue
 		}
 		c.observe(p, span, pin, reply.Epoch, reply.Head, reply.AttrHead)
 		for j, v := range batch {
@@ -261,7 +328,25 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 		}
 		var reply SampleReply
 		if err := c.T.SampleNeighbors(p, req, &reply); err != nil {
-			return err
+			if !c.degraded(err) {
+				return err
+			}
+			// Shard down: draw each slot from the stale cached list via the
+			// same slot-pure stream a live reply would have used (empty
+			// lists self-pad, matching the server contract). Weighted draws
+			// degrade to uniform over the stale list — the cache holds no
+			// weights.
+			for _, j := range js {
+				v := uniq[j]
+				ns, _ := c.staleList(v, t)
+				for _, pos := range occs[j] {
+					rng := sampling.SlotRng(seed, pos)
+					drawInto(dst[pos*width:(pos+1)*width], v, ns, &rng)
+					c.degradedDraws.Add(1)
+				}
+			}
+			degradeSpan(span, pin)
+			continue
 		}
 		c.observe(p, span, pin, reply.Epoch, reply.Head, reply.AttrHead)
 		if len(reply.Lists) != 0 && len(reply.Lists) != len(js) {
@@ -322,12 +407,21 @@ func (c *Client) clusterStats(refresh bool) ([]StatsReply, error) {
 		return c.stats, nil
 	}
 	stats := make([]StatsReply, c.Assign.P)
+	partial := false
 	for p := 0; p < c.Assign.P; p++ {
 		if err := c.T.Stats(p, StatsRequest{}, &stats[p]); err != nil {
-			return nil, err
+			if !c.degraded(err) {
+				return nil, err
+			}
+			// Dead shard: zero mass, and the partial set is never cached so
+			// recovery restores its share on the next refresh.
+			stats[p] = StatsReply{}
+			partial = true
 		}
 	}
-	c.stats = stats
+	if !partial {
+		c.stats = stats
+	}
 	return stats, nil
 }
 
@@ -439,7 +533,15 @@ func (c *Client) appendSampleEdges(dst []graph.Edge, t graph.EdgeType, n int, se
 		req.Pin, req.Pinned = pinFields(pin, p)
 		var reply EdgesReply
 		if err := c.T.SampleEdges(p, req, &reply); err != nil {
-			return nil, err
+			if !c.degraded(err) {
+				return nil, err
+			}
+			// Dead shard: its share of the TRAVERSE batch is skipped (the
+			// batch shrinks rather than failing); counted so the gap is
+			// visible.
+			c.degradedDraws.Add(int64(k))
+			degradeSpan(span, pin)
+			continue
 		}
 		c.observe(p, span, pin, reply.Epoch, reply.Head, reply.AttrHead)
 		for i := range reply.Src {
@@ -456,7 +558,12 @@ func (c *Client) NegativePool(t graph.EdgeType) ([]graph.ID, []float64, error) {
 	for p := 0; p < c.Assign.P; p++ {
 		var reply NegPoolReply
 		if err := c.T.NegativePool(p, NegPoolRequest{EdgeType: t}, &reply); err != nil {
-			return nil, nil, err
+			if !c.degraded(err) {
+				return nil, nil, err
+			}
+			// Dead shard: the pool is built without its candidates.
+			c.degradedDraws.Add(1)
+			continue
 		}
 		for i, v := range reply.Vertices {
 			counts[v] += reply.Counts[i]
@@ -506,7 +613,12 @@ func (c *Client) attrsObserve(vs []graph.ID, pin *sampling.Pin, note func(part i
 		req := AttrsRequest{Vertices: batch}
 		req.Pin, req.Pinned = pinFields(pin, p)
 		if err := c.T.Attrs(p, req, &reply); err != nil {
-			return nil, err
+			if !c.degraded(err) {
+				return nil, err
+			}
+			// Dead shard: nil rows; feature layers above fill zeros.
+			c.degradedDraws.Add(int64(len(batch)))
+			continue
 		}
 		c.observe(p, nil, pin, reply.Epoch, reply.Head, reply.AttrHead)
 		if note != nil {

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sampling"
+)
+
+// FaultTransport is the deterministic fault-injection harness: it wraps any
+// Transport and injects request drops, lost replies, latency spikes, and
+// per-shard outages (short error bursts or full blackouts with scheduled
+// recovery). All randomness comes from one seeded stream and all schedules
+// are keyed on per-shard attempted-call counts — never wall-clock time — so
+// a fixed seed yields a fixed fault pattern and chaos tests are exactly
+// reproducible. Injected failures are wrapped around ErrUnreachable, so the
+// policy layer classifies them exactly like real network faults.
+
+// Outage fails every call to Part whose per-shard sequence number falls in
+// [From, From+Len). Len <= 0 makes the outage permanent (a dead shard). A
+// short Len models an error burst; a long one a blackout with scheduled
+// recovery at call From+Len.
+type Outage struct {
+	Part      int
+	From, Len int64
+}
+
+// FaultConfig tunes a FaultTransport.
+type FaultConfig struct {
+	// Seed drives the drop/latency decision stream.
+	Seed uint64
+	// DropRate is the per-call probability the request is lost before
+	// reaching the server.
+	DropRate float64
+	// ReplyDropRate is the per-call probability the request executes
+	// server-side but its reply is lost — the case idempotency tokens exist
+	// for.
+	ReplyDropRate float64
+	// LatencyRate is the per-call probability of an injected latency spike
+	// of Latency.
+	LatencyRate float64
+	Latency     time.Duration
+	// Outages schedules deterministic per-shard failure windows.
+	Outages []Outage
+}
+
+// FaultTransport implements Transport by injecting cfg's faults in front of
+// Inner. Safe for concurrent use.
+type FaultTransport struct {
+	Inner Transport
+
+	mu    sync.Mutex
+	cfg   FaultConfig
+	rng   sampling.Rng
+	calls []int64 // attempted calls per shard (the outage clock)
+
+	drops      atomic.Int64
+	replyDrops atomic.Int64
+	spikes     atomic.Int64
+	outageHits atomic.Int64
+}
+
+// NewFaultTransport wraps inner (serving parts shards) with cfg's faults.
+func NewFaultTransport(inner Transport, parts int, cfg FaultConfig) *FaultTransport {
+	if parts < 1 {
+		parts = 1
+	}
+	return &FaultTransport{
+		Inner: inner,
+		cfg:   cfg,
+		rng:   *sampling.NewRng(cfg.Seed ^ 0xD6E8FEB86659FD93),
+		calls: make([]int64, parts),
+	}
+}
+
+// KillShard schedules a permanent outage for part starting at its next call
+// — the "shard died now" switch for degradation tests.
+func (t *FaultTransport) KillShard(part int) {
+	t.mu.Lock()
+	t.cfg.Outages = append(t.cfg.Outages, Outage{Part: part, From: t.calls[part]})
+	t.mu.Unlock()
+}
+
+// Calls reports how many calls part has received (attempted, including
+// faulted ones).
+func (t *FaultTransport) Calls(part int) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if part < 0 || part >= len(t.calls) {
+		return 0
+	}
+	return t.calls[part]
+}
+
+// Injected reports cumulative injected faults: dropped requests, dropped
+// replies, latency spikes, and outage-window failures.
+func (t *FaultTransport) Injected() (drops, replyDrops, spikes, outages int64) {
+	return t.drops.Load(), t.replyDrops.Load(), t.spikes.Load(), t.outageHits.Load()
+}
+
+// fault runs the per-call fault decision for part. It returns a non-nil err
+// when the request is lost (outage window or random drop), and dropReply
+// when the call must execute but its reply be discarded.
+func (t *FaultTransport) fault(part int) (dropReply bool, err error) {
+	p := part
+	if p < 0 || p >= len(t.calls) {
+		p = 0
+	}
+	t.mu.Lock()
+	seq := t.calls[p]
+	t.calls[p]++
+	var outage bool
+	for _, o := range t.cfg.Outages {
+		if o.Part == p && seq >= o.From && (o.Len <= 0 || seq < o.From+o.Len) {
+			outage = true
+			break
+		}
+	}
+	drop := t.cfg.DropRate > 0 && t.rng.Float64() < t.cfg.DropRate
+	dropReply = t.cfg.ReplyDropRate > 0 && t.rng.Float64() < t.cfg.ReplyDropRate
+	var spike time.Duration
+	if t.cfg.LatencyRate > 0 && t.rng.Float64() < t.cfg.LatencyRate {
+		spike = t.cfg.Latency
+	}
+	t.mu.Unlock()
+
+	if outage {
+		t.outageHits.Add(1)
+		return false, fmt.Errorf("cluster: injected outage on shard %d (call %d): %w", p, seq, ErrUnreachable)
+	}
+	if spike > 0 {
+		t.spikes.Add(1)
+		time.Sleep(spike)
+	}
+	if drop {
+		t.drops.Add(1)
+		return false, fmt.Errorf("cluster: injected drop on shard %d (call %d): %w", p, seq, ErrUnreachable)
+	}
+	return dropReply, nil
+}
+
+// lostReply is the error surfaced when an executed call's reply is dropped.
+func lostReply(part int) error {
+	return fmt.Errorf("cluster: injected reply loss on shard %d: %w", part, ErrUnreachable)
+}
+
+// faultCall wraps one inner call with the fault decision. The reply may have
+// been written when the reply is "lost" — callers above (RetryTransport)
+// use a fresh reply per attempt and discard it on error, exactly as a real
+// lost reply behaves.
+func faultCall[Req any, Rep any](t *FaultTransport, part int, req Req, reply *Rep, call func(int, Req, *Rep) error) error {
+	dropReply, err := t.fault(part)
+	if err != nil {
+		return err
+	}
+	if err := call(part, req, reply); err != nil {
+		return err
+	}
+	if dropReply {
+		t.replyDrops.Add(1)
+		return lostReply(part)
+	}
+	return nil
+}
+
+// Neighbors implements Transport.
+func (t *FaultTransport) Neighbors(part int, req NeighborsRequest, reply *NeighborsReply) error {
+	return faultCall(t, part, req, reply, t.Inner.Neighbors)
+}
+
+// SampleNeighbors implements Transport.
+func (t *FaultTransport) SampleNeighbors(part int, req SampleRequest, reply *SampleReply) error {
+	return faultCall(t, part, req, reply, t.Inner.SampleNeighbors)
+}
+
+// SampleEdges implements Transport.
+func (t *FaultTransport) SampleEdges(part int, req EdgesRequest, reply *EdgesReply) error {
+	return faultCall(t, part, req, reply, t.Inner.SampleEdges)
+}
+
+// NegativePool implements Transport.
+func (t *FaultTransport) NegativePool(part int, req NegPoolRequest, reply *NegPoolReply) error {
+	return faultCall(t, part, req, reply, t.Inner.NegativePool)
+}
+
+// Stats implements Transport.
+func (t *FaultTransport) Stats(part int, req StatsRequest, reply *StatsReply) error {
+	return faultCall(t, part, req, reply, t.Inner.Stats)
+}
+
+// Attrs implements Transport.
+func (t *FaultTransport) Attrs(part int, req AttrsRequest, reply *AttrsReply) error {
+	return faultCall(t, part, req, reply, t.Inner.Attrs)
+}
+
+// Bootstrap implements Transport.
+func (t *FaultTransport) Bootstrap(part int, req BootstrapRequest, reply *BootstrapReply) error {
+	return faultCall(t, part, req, reply, t.Inner.Bootstrap)
+}
+
+// Update implements Transport. Reply drops here are what exercise the
+// server-side idempotency-token dedup.
+func (t *FaultTransport) Update(part int, req UpdateRequest, reply *UpdateReply) error {
+	return faultCall(t, part, req, reply, t.Inner.Update)
+}
+
+// Lease implements Transport.
+func (t *FaultTransport) Lease(part int, req LeaseRequest, reply *LeaseReply) error {
+	return faultCall(t, part, req, reply, t.Inner.Lease)
+}
+
+// Release implements Transport.
+func (t *FaultTransport) Release(part int, req ReleaseRequest, reply *ReleaseReply) error {
+	return faultCall(t, part, req, reply, t.Inner.Release)
+}
+
+// Compact implements Transport.
+func (t *FaultTransport) Compact(part int, req CompactRequest, reply *CompactReply) error {
+	return faultCall(t, part, req, reply, t.Inner.Compact)
+}
+
+// Close implements Transport; shutdown is never faulted.
+func (t *FaultTransport) Close() error { return t.Inner.Close() }

@@ -100,6 +100,18 @@ func (c *Client) Pin() (*sampling.Pin, error) {
 	for part := 0; part < c.Assign.P; part++ {
 		var reply LeaseReply
 		if err := c.T.Lease(part, LeaseRequest{}, &reply); err != nil {
+			if c.degraded(err) {
+				// Down shard under degradation: pin the last head observed
+				// from it with nil stats — edgeSplit then allocates it zero
+				// TRAVERSE mass and its reads degrade to stale cache
+				// serving. When the shard recovers at a different epoch the
+				// read errors surface as evicted/future and the existing
+				// re-pin path takes over.
+				epochs[part] = m.heads[part].Load()
+				edges[part], weights[part] = nil, nil
+				c.degradedDraws.Add(1)
+				continue
+			}
 			for q := 0; q < part; q++ {
 				c.T.Release(q, ReleaseRequest{Epoch: epochs[q]}, &ReleaseReply{})
 			}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/storage"
+)
+
+// TestRPCServerRestartMidTraining is the transport-level recovery test: a
+// live aligraph-server is killed and relaunched on the same address — with
+// a FRESH store whose epoch numbering restarts at 0 — under depth-4
+// pipelined training. The retry layer must outwait the downtime, the
+// transport must redial, the pin manager must accept the head regression
+// (re-lease at the new incarnation's epoch 0, flushing the neighbor cache),
+// and training must continue without a panic or a surfaced error.
+func TestRPCServerRestartMidTraining(t *testing.T) {
+	g := churnTestGraph(160)
+	a, err := (partition.HashPartitioner{}).Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := FromGraph(g, a)
+	rs0, err := ServeRPC(servers[0], "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs0.Close()
+	rs1, err := ServeRPC(servers[1], "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs1.Close()
+	addr1 := rs1.Addr()
+
+	rpcTr, err := DialRPC([]string{rs0.Addr(), addr1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRetryTransport(rpcTr, 2, CallPolicy{
+		Timeout:       2 * time.Second,
+		Attempts:      4,
+		Backoff:       time.Millisecond,
+		MaxBackoff:    20 * time.Millisecond,
+		FailThreshold: 3,
+		Cooldown:      20 * time.Millisecond,
+	}, 5)
+	defer rt.Close()
+
+	c := NewClient(a, rt, storage.NewLRUNeighborCache(2048))
+	rng := rand.New(rand.NewSource(5))
+	cfg := faultTrainerConfig()
+	enc := churnEncoder(g.NumVertices(), cfg.HopNums, rng)
+	trn, err := core.NewLinkTrainerOver(NewEnv(c, 1), c, enc, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := core.NewPipeline(trn, core.PipelineConfig{Depth: 4, Workers: 3})
+	trn.SetSource(pl)
+	defer pl.Close()
+
+	var losses []float64
+	step := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			l, err := trn.StepNext()
+			if err != nil {
+				t.Fatalf("step %d: %v", len(losses), err)
+			}
+			losses = append(losses, l)
+		}
+	}
+
+	step(8)
+
+	// Advance shard 1's epoch so the eventual restart is a genuine head
+	// REGRESSION, not a benign rejoin at the same numbering.
+	local1 := localVertices(a, 1, 2)
+	for i := 0; i < 3; i++ {
+		req := UpdateRequest{Add: []RawEdge{{Src: local1[0], Dst: local1[1], Type: 1, Weight: 1}}}
+		if err := servers[1].ServeUpdate(req, &UpdateReply{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step(4)
+	if pin := c.currentPin(); pin == nil || pin.Epochs[1] == 0 {
+		t.Fatalf("pre-restart pin should be at shard 1's advanced epoch, got %+v", pin)
+	}
+
+	// Kill: the listener closes AND established connections are severed, so
+	// in-flight calls observe io.EOF exactly as with a dead process.
+	if err := rs1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Relaunch on the same address with a fresh shard (epoch 0, empty lease
+	// table), retrying the bind while the OS releases the port.
+	fresh := FromGraph(g, a)[1]
+	var rs1b *RPCServer
+	for i := 0; ; i++ {
+		rs1b, err = ServeRPC(fresh, addr1)
+		if err == nil {
+			break
+		}
+		if i >= 100 {
+			t.Fatalf("rebind %s: %v", addr1, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer rs1b.Close()
+
+	step(8)
+
+	for i, l := range losses {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("step %d: non-finite loss %v", i, l)
+		}
+	}
+	pin := c.currentPin()
+	if pin == nil {
+		t.Fatal("no live pin after recovery")
+	}
+	if pin.Epochs[1] != 0 {
+		t.Fatalf("post-restart pin still at old incarnation's epoch %d; head regression was not adopted", pin.Epochs[1])
+	}
+	if rt.Retries() == 0 {
+		t.Fatal("restart produced no retries; the outage window was never exercised")
+	}
+}
+
+// localVertices returns the first n vertices owned by part.
+func localVertices(a *partition.Assignment, part, n int) []graph.ID {
+	out := make([]graph.ID, 0, n)
+	for v := range a.Of {
+		if a.Of[v] == part {
+			out = append(out, graph.ID(v))
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestDialRPCLazyAndEager: eager dialing fails fast on an unreachable
+// address; lazy construction succeeds and defers the failure to first use,
+// which then heals once a server appears.
+func TestDialRPCLazyAndEager(t *testing.T) {
+	// A listener we close immediately: the address is valid but dead.
+	g := churnTestGraph(40)
+	a, err := (partition.HashPartitioner{}).Partition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := FromGraph(g, a)[0]
+	rs, err := ServeRPC(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := rs.Addr()
+	rs.Close()
+
+	if _, err := DialRPC([]string{addr}); err == nil {
+		t.Fatal("eager dial of a dead address must fail construction")
+	}
+
+	lt, err := DialRPCConfig([]string{addr}, DialConfig{Timeout: 200 * time.Millisecond, Lazy: true})
+	if err != nil {
+		t.Fatalf("lazy dial must not fail construction: %v", err)
+	}
+	defer lt.Close()
+	var sr StatsReply
+	if err := lt.Stats(0, StatsRequest{}, &sr); err == nil {
+		t.Fatal("first use against a dead address must fail")
+	}
+
+	// Boot the server; the next call dials fresh and succeeds.
+	rs2, err := ServeRPC(srv, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs2.Close()
+	if err := lt.Stats(0, StatsRequest{}, &sr); err != nil {
+		t.Fatalf("lazy transport did not heal once the server appeared: %v", err)
+	}
+	if sr.NumVertices == 0 {
+		t.Fatal("healed call returned empty stats")
+	}
+}
+
+// TestRPCTransportDoubleClose: Close is idempotent and calls after Close
+// fail cleanly instead of panicking or redialing.
+func TestRPCTransportDoubleClose(t *testing.T) {
+	g := churnTestGraph(40)
+	a, err := (partition.HashPartitioner{}).Partition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := FromGraph(g, a)[0]
+	rs, err := ServeRPC(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	tr, err := DialRPC([]string{rs.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	var sr StatsReply
+	if err := tr.Stats(0, StatsRequest{}, &sr); err == nil {
+		t.Fatal("call after Close must fail")
+	}
+}

@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 )
 
 // This file provides the real-network transport: each graph server is
@@ -56,13 +59,16 @@ func (g *GraphService) Bootstrap(req BootstrapRequest, reply *BootstrapReply) er
 	return g.S.ServeBootstrap(req, reply)
 }
 
-// RPCServer serves one graph server over TCP.
+// RPCServer serves one graph server over TCP, tracking its accepted
+// connections so Close severs in-flight clients (a real process kill does;
+// the restart tests rely on the same semantics in-process).
 type RPCServer struct {
 	lis net.Listener
 	srv *rpc.Server
 
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{}
 }
 
 // ServeRPC starts serving s on addr (e.g. "127.0.0.1:0") and returns the
@@ -77,7 +83,7 @@ func ServeRPC(s *Server, addr string) (*RPCServer, error) {
 		lis.Close()
 		return nil, err
 	}
-	rs := &RPCServer{lis: lis, srv: srv}
+	rs := &RPCServer{lis: lis, srv: srv, conns: make(map[net.Conn]struct{})}
 	go rs.acceptLoop()
 	return rs, nil
 }
@@ -88,48 +94,188 @@ func (rs *RPCServer) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		go rs.srv.ServeConn(conn)
+		rs.mu.Lock()
+		if rs.closed {
+			rs.mu.Unlock()
+			conn.Close()
+			return
+		}
+		rs.conns[conn] = struct{}{}
+		rs.mu.Unlock()
+		go func() {
+			rs.srv.ServeConn(conn)
+			rs.mu.Lock()
+			delete(rs.conns, conn)
+			rs.mu.Unlock()
+		}()
 	}
 }
 
 // Addr returns the bound address.
 func (rs *RPCServer) Addr() string { return rs.lis.Addr().String() }
 
-// Close stops the listener.
+// Close stops the listener and severs every established connection, so
+// clients observe the same io.EOF/ErrShutdown a crashed process would
+// produce. Idempotent.
 func (rs *RPCServer) Close() error {
 	rs.mu.Lock()
-	defer rs.mu.Unlock()
 	if rs.closed {
+		rs.mu.Unlock()
 		return nil
 	}
 	rs.closed = true
-	return rs.lis.Close()
+	conns := make([]net.Conn, 0, len(rs.conns))
+	for c := range rs.conns {
+		conns = append(conns, c)
+	}
+	rs.mu.Unlock()
+	err := rs.lis.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
 }
 
-// RPCTransport dials one RPC client per partition.
+// DefaultDialTimeout bounds connection establishment when the caller does
+// not configure one; the historical DialRPC blocked indefinitely on an
+// unresponsive address.
+const DefaultDialTimeout = 5 * time.Second
+
+// DialConfig tunes DialRPCConfig.
+type DialConfig struct {
+	// Timeout bounds each TCP connect (default DefaultDialTimeout).
+	Timeout time.Duration
+	// Lazy defers connecting: unreachable shards do not fail construction,
+	// their connections are established (with the same timeout) on first
+	// call. Combined with a RetryTransport this lets a client start while a
+	// shard is still booting.
+	Lazy bool
+}
+
+// RPCTransport dials one RPC client per partition, lazily redialing after a
+// transport-level failure so a restarted server is transparently
+// re-adopted: the dead client is dropped on the failing call and the next
+// call to that shard dials afresh.
 type RPCTransport struct {
+	addrs       []string
+	dialTimeout time.Duration
+
+	mu      sync.Mutex
 	clients []*rpc.Client
+	closed  bool
 }
 
-// DialRPC connects to the given per-partition addresses.
+// DialRPC connects to the given per-partition addresses eagerly with the
+// default timeout; any unreachable address fails construction (the
+// historical contract). Use DialRPCConfig for lazy dialing.
 func DialRPC(addrs []string) (*RPCTransport, error) {
-	t := &RPCTransport{clients: make([]*rpc.Client, len(addrs))}
-	for i, a := range addrs {
-		c, err := rpc.Dial("tcp", a)
+	return DialRPCConfig(addrs, DialConfig{})
+}
+
+// DialRPCConfig connects to the given per-partition addresses under cfg.
+func DialRPCConfig(addrs []string, cfg DialConfig) (*RPCTransport, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultDialTimeout
+	}
+	t := &RPCTransport{
+		addrs:       append([]string(nil), addrs...),
+		dialTimeout: cfg.Timeout,
+		clients:     make([]*rpc.Client, len(addrs)),
+	}
+	if cfg.Lazy {
+		return t, nil
+	}
+	for i := range t.addrs {
+		c, err := t.dial(i)
 		if err != nil {
 			t.Close()
-			return nil, fmt.Errorf("cluster: dial %s: %w", a, err)
+			return nil, err
 		}
 		t.clients[i] = c
 	}
 	return t, nil
 }
 
+// dial establishes one connection with the configured timeout.
+func (t *RPCTransport) dial(part int) (*rpc.Client, error) {
+	conn, err := net.DialTimeout("tcp", t.addrs[part], t.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", t.addrs[part], err)
+	}
+	return rpc.NewClient(conn), nil
+}
+
+// client returns part's live client, dialing (or redialing after a dropped
+// connection) if needed.
+func (t *RPCTransport) client(part int) (*rpc.Client, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("cluster: transport closed")
+	}
+	if c := t.clients[part]; c != nil {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+	c, err := t.dial(part)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("cluster: transport closed")
+	}
+	if cur := t.clients[part]; cur != nil {
+		// A concurrent caller dialed first; use theirs.
+		t.mu.Unlock()
+		c.Close()
+		return cur, nil
+	}
+	t.clients[part] = c
+	t.mu.Unlock()
+	return c, nil
+}
+
+// drop discards part's client if it is still the one that failed (pointer
+// identity, so a newer redialed client is never discarded by a stale
+// failure), closing the dead connection.
+func (t *RPCTransport) drop(part int, c *rpc.Client) {
+	t.mu.Lock()
+	if t.clients[part] == c {
+		t.clients[part] = nil
+	}
+	t.mu.Unlock()
+	c.Close()
+}
+
+// connFatal reports whether a call error means the connection itself is
+// dead and must be redialed.
+func connFatal(err error) bool {
+	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
 func (t *RPCTransport) call(part int, method string, req, reply any) error {
 	if part < 0 || part >= len(t.clients) {
 		return fmt.Errorf("cluster: no client for partition %d", part)
 	}
-	return t.clients[part].Call(method, req, reply)
+	c, err := t.client(part)
+	if err != nil {
+		return err
+	}
+	if err := c.Call(method, req, reply); err != nil {
+		if connFatal(err) {
+			t.drop(part, c)
+		}
+		return err
+	}
+	return nil
 }
 
 // Neighbors implements Transport.
@@ -187,16 +333,29 @@ func (t *RPCTransport) Compact(part int, req CompactRequest, reply *CompactReply
 	return t.call(part, "Graph.Compact", req, reply)
 }
 
-// Close implements Transport.
+// Close implements Transport: every client is closed even when an earlier
+// close errors (the errors are joined), and double-Close is safe.
 func (t *RPCTransport) Close() error {
-	var first error
-	for _, c := range t.clients {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	clients := make([]*rpc.Client, len(t.clients))
+	copy(clients, t.clients)
+	for i := range t.clients {
+		t.clients[i] = nil
+	}
+	t.mu.Unlock()
+	var errs []error
+	for i, c := range clients {
 		if c == nil {
 			continue
 		}
-		if err := c.Close(); err != nil && first == nil {
-			first = err
+		if err := c.Close(); err != nil && !errors.Is(err, rpc.ErrShutdown) {
+			errs = append(errs, fmt.Errorf("cluster: close %s: %w", t.addrs[i], err))
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }

@@ -20,6 +20,46 @@
 // and servers bound their snapshot-overlay memory by folding old overlays
 // into a fresh base (Compact RPC or the SetCompactThreshold trigger)
 // without disturbing leased epochs or live readers.
+//
+// # Failure model
+//
+// Transport faults are a design input, not an afterthought. The contract,
+// layer by layer:
+//
+//   - What is retried: every read RPC (Neighbors, SampleNeighbors,
+//     SampleEdges, NegativePool, Stats, Attrs, Bootstrap) is idempotent by
+//     construction — draws are slot-/seed-pure at pinned epochs, so a
+//     re-issued read returns bit-identical data — and RetryTransport
+//     re-issues them under a CallPolicy (per-attempt deadline, bounded
+//     exponential backoff with jitter, retry budget). Update, Lease and
+//     Release are retried too, made safe by client idempotency tokens the
+//     server deduplicates (SetUpdateDedup bounds the ring): a retry whose
+//     predecessor executed returns the recorded reply instead of
+//     double-applying a batch, double-pinning a lease, or double-releasing
+//     one.
+//
+//   - What reconnects: RPCTransport drops a connection on transport-level
+//     failure (io.EOF, rpc.ErrShutdown, net errors) and redials lazily on
+//     the next call, so a restarted server is transparently re-adopted. Its
+//     head regression then surfaces on the next Lease reply, which resets
+//     the head watermark and flushes epoch-keyed caches (the PR 4/5 path),
+//     and pinned batches reading now-future epochs re-pin via the existing
+//     evicted/future retry machinery.
+//
+//   - What degrades: with Client.Degrade set, a shard whose retry budget is
+//     exhausted (or whose breaker is open — three-state per-shard health in
+//     RetryTransport) is served from stale cache entries instead of failing
+//     the batch: neighbor hops come from cache-admitted lists via the
+//     slot-pure draw path, attribute rows fall back to zeros, TRAVERSE and
+//     NegativePool skip the dead shard's mass. Every such draw is counted
+//     in Client.DegradedDraws so staleness is visible, never silent.
+//     Without Degrade, the pipeline parks affected batches (bounded
+//     backoff, release on Close) instead of killing the trainer.
+//
+//   - What surfaces: application errors from a live server — unknown
+//     vertex, malformed request, evicted/future epoch past the re-pin
+//     budget — are never retried by the policy layer (the server answered;
+//     a verbatim retry cannot succeed) and propagate to the caller.
 package cluster
 
 import (
@@ -65,6 +105,76 @@ type Server struct {
 	// assignment and schema a worker needs to start without loading the
 	// graph locally.
 	boot *BootstrapReply
+
+	// dedup is the bounded idempotency-token ring: token -> recorded reply
+	// for the non-idempotent RPCs (Update, Lease, Release), evicted FIFO at
+	// dedupCap entries. It makes "executed but the reply was lost" retries
+	// safe.
+	dedupMu   sync.Mutex
+	dedup     map[uint64]any
+	dedupFIFO []uint64
+	dedupCap  int
+}
+
+// defaultDedupWindow bounds the idempotency-token ring when SetUpdateDedup
+// was never called.
+const defaultDedupWindow = 1024
+
+// SetUpdateDedup resizes the idempotency-token window (default 1024
+// entries); n <= 0 disables dedup entirely (tokens are then ignored).
+func (s *Server) SetUpdateDedup(n int) {
+	s.dedupMu.Lock()
+	s.dedupCap = n
+	if n <= 0 {
+		s.dedupCap = -1
+		s.dedup = nil
+		s.dedupFIFO = nil
+	}
+	s.dedupMu.Unlock()
+}
+
+// dedupLookup returns the recorded reply for token, if any. Token 0 (legacy
+// callers) never matches.
+func dedupLookup[Rep any](s *Server, token uint64) (Rep, bool) {
+	var zero Rep
+	if token == 0 {
+		return zero, false
+	}
+	s.dedupMu.Lock()
+	defer s.dedupMu.Unlock()
+	if v, ok := s.dedup[token]; ok {
+		if r, ok := v.(Rep); ok {
+			return r, true
+		}
+	}
+	return zero, false
+}
+
+// dedupRecord records a successfully executed request's reply under token.
+func (s *Server) dedupRecord(token uint64, reply any) {
+	if token == 0 {
+		return
+	}
+	s.dedupMu.Lock()
+	defer s.dedupMu.Unlock()
+	if s.dedupCap < 0 {
+		return // disabled
+	}
+	if s.dedupCap == 0 {
+		s.dedupCap = defaultDedupWindow
+	}
+	if s.dedup == nil {
+		s.dedup = make(map[uint64]any, s.dedupCap)
+	}
+	if _, ok := s.dedup[token]; ok {
+		return
+	}
+	for len(s.dedupFIFO) >= s.dedupCap {
+		delete(s.dedup, s.dedupFIFO[0])
+		s.dedupFIFO = s.dedupFIFO[1:]
+	}
+	s.dedup[token] = reply
+	s.dedupFIFO = append(s.dedupFIFO, token)
 }
 
 // NewServer creates an empty server for the given partition id and number of
@@ -357,8 +467,13 @@ type EdgesReply struct {
 
 // LeaseRequest pins the server's current head epoch against eviction.
 // (In-process users that need to pin an explicit historical epoch use
-// version.Store.Lease directly.)
-type LeaseRequest struct{}
+// version.Store.Lease directly.) Token, when non-zero, deduplicates
+// retries: a lease is refcounted server-side, so a retry whose predecessor
+// landed (reply lost) must not pin a second lease the client would never
+// release.
+type LeaseRequest struct {
+	Token uint64
+}
 
 // LeaseReply reports the epoch actually leased, the server's head, and its
 // newest attribute-rewriting epoch, plus the leased epoch's per-type edge
@@ -373,9 +488,12 @@ type LeaseReply struct {
 	WeightByType []float64
 }
 
-// ReleaseRequest drops one lease on Epoch.
+// ReleaseRequest drops one lease on Epoch. Token, when non-zero,
+// deduplicates retries — a doubled release could drop another pin's lease
+// on the same epoch.
 type ReleaseRequest struct {
 	Epoch uint64
+	Token uint64
 }
 
 // ReleaseReply is empty; releases are best-effort acknowledgements.
@@ -401,19 +519,28 @@ type CompactReply struct {
 // never reports a head newer than the epoch it leased (which would make
 // the client's fresh pin look stale at birth) and the stats are exactly
 // the leased snapshot's.
-func (s *Server) ServeLease(_ LeaseRequest, reply *LeaseReply) error {
+func (s *Server) ServeLease(req LeaseRequest, reply *LeaseReply) error {
+	if r, ok := dedupLookup[LeaseReply](s, req.Token); ok {
+		*reply = r
+		return nil
+	}
 	epoch, attrEpoch, edges, weights := s.store.LeaseHeadStats()
 	reply.Epoch = epoch
 	reply.Head = epoch
 	reply.AttrHead = attrEpoch
 	reply.EdgesByType = edges
 	reply.WeightByType = weights
+	s.dedupRecord(req.Token, *reply)
 	return nil
 }
 
 // ServeRelease drops one lease; unknown epochs are ignored.
 func (s *Server) ServeRelease(req ReleaseRequest, reply *ReleaseReply) error {
+	if _, ok := dedupLookup[ReleaseReply](s, req.Token); ok {
+		return nil
+	}
 	s.store.Release(req.Epoch)
+	s.dedupRecord(req.Token, *reply)
 	return nil
 }
 

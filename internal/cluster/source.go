@@ -47,11 +47,29 @@ func (e *Env) SampleEdges(t graph.EdgeType, n int) ([]graph.Edge, error) {
 // with each contributing server's reply recorded into span so mini-batches
 // are stamped with what their edge batch saw.
 func (e *Env) AppendEdges(dst []graph.Edge, t graph.EdgeType, n int, pin *sampling.Pin, span *sampling.EpochSpan) ([]graph.Edge, error) {
+	return e.C.AppendSampleEdges(dst, t, n, e.EdgeSeed(), pin, span)
+}
+
+// EdgeSeed implements core.SeededBatchEnv: one draw from the sequential
+// edge-seed stream. Batch sources draw it exactly once per batch and reuse
+// it across retries, so a transient fault that forces a TRAVERSE replay
+// consumes no extra stream positions — the property behind bit-identical
+// losses under injected faults.
+func (e *Env) EdgeSeed() uint64 {
 	e.mu.Lock()
-	seed := uint64(e.rng.Int63())
-	e.mu.Unlock()
+	defer e.mu.Unlock()
+	return uint64(e.rng.Int63())
+}
+
+// AppendEdgesSeeded implements core.SeededBatchEnv: AppendEdges with the
+// caller-supplied seed instead of a fresh stream draw.
+func (e *Env) AppendEdgesSeeded(dst []graph.Edge, t graph.EdgeType, n int, seed uint64, pin *sampling.Pin, span *sampling.EpochSpan) ([]graph.Edge, error) {
 	return e.C.AppendSampleEdges(dst, t, n, seed, pin, span)
 }
+
+// ObservedEpoch implements core.EpochedEnv: the newest head epoch observed
+// on any shard — the staleness clock that triggers negative-pool refreshes.
+func (e *Env) ObservedEpoch() uint64 { return e.C.MaxObservedHead() }
 
 // NegativePool returns global negative candidates with in-degree counts.
 func (e *Env) NegativePool(t graph.EdgeType) ([]graph.ID, []float64, error) {

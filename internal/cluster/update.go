@@ -24,11 +24,16 @@ type AttrUpdate struct {
 
 // UpdateRequest carries a batch of edge insertions, edge deletions and
 // attribute rewrites for one server. The batch applies atomically: either
-// every operation lands (as one new epoch) or none do.
+// every operation lands (as one new epoch) or none do. Token, when
+// non-zero, is a client-supplied idempotency token: a retried request whose
+// predecessor already applied returns the recorded reply instead of
+// re-applying the batch (RetryTransport stamps it; legacy callers send 0
+// and keep at-most-once-per-call semantics).
 type UpdateRequest struct {
 	Add     []RawEdge
 	Remove  []RawEdge
 	SetAttr []AttrUpdate
+	Token   uint64
 }
 
 // UpdateReply reports how many operations were applied and the epoch the
@@ -45,6 +50,10 @@ type UpdateReply struct {
 // exactly one; in-flight readers are unaffected (their views are immutable
 // snapshots) and pinned epochs stay readable until released.
 func (s *Server) ServeUpdate(req UpdateRequest, reply *UpdateReply) error {
+	if r, ok := dedupLookup[UpdateReply](s, req.Token); ok {
+		*reply = r
+		return nil
+	}
 	d := version.Delta{}
 	for _, e := range req.Add {
 		d.Add = append(d.Add, version.EdgeOp{Src: e.Src, Dst: e.Dst, Type: e.Type, Weight: e.Weight})
@@ -57,6 +66,11 @@ func (s *Server) ServeUpdate(req UpdateRequest, reply *UpdateReply) error {
 	}
 	epoch, added, removed, set, err := s.store.Append(d)
 	reply.Added, reply.Removed, reply.AttrsSet, reply.Epoch = added, removed, set, epoch
+	if err == nil {
+		// Only successful applies are recorded: a rejected batch changed
+		// nothing, so retrying it verbatim is safe and should re-validate.
+		s.dedupRecord(req.Token, *reply)
+	}
 	if err == nil && added+removed+set > 0 {
 		// Threshold-armed overlay compaction: fold the retention floor into
 		// a fresh base once the cumulative overlay maps grow past the bound,

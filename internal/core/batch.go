@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/sampling"
@@ -49,6 +50,13 @@ type MiniBatch struct {
 	edges  []graph.Edge
 	seeds  [3]sampling.Rng
 	pvs    []graph.ID // prefetch vertex-list scratch
+
+	// edgeSeed is the batch's TRAVERSE seed, drawn exactly once per batch
+	// from a SeededBatchEnv and reused across fault retries so a replayed
+	// assembly consumes no extra stream draws (bit-identical losses under
+	// transient faults).
+	edgeSeed    uint64
+	hasEdgeSeed bool
 }
 
 // reset clears the batch for reuse, keeping every buffer. The caller is
@@ -62,6 +70,7 @@ func (mb *MiniBatch) reset() {
 	mb.Pin = nil
 	mb.err = nil
 	mb.edges = mb.edges[:0]
+	mb.hasEdgeSeed = false
 }
 
 // BatchSource produces MiniBatches for a LinkTrainer. It is the seam
@@ -90,6 +99,30 @@ type BatchEnv interface {
 	AppendEdges(dst []graph.Edge, t graph.EdgeType, n int, pin *sampling.Pin, span *sampling.EpochSpan) ([]graph.Edge, error)
 }
 
+// SeededBatchEnv is an optional BatchEnv refinement for environments whose
+// TRAVERSE draw is a pure function of an explicit seed (cluster clients).
+// Batch sources draw EdgeSeed exactly once per batch and replay
+// AppendEdgesSeeded with it on fault retries, so a retried TRAVERSE
+// consumes no extra positions of the sequential edge-seed stream — without
+// it, every retry would shift all subsequent draws and a fault-free run
+// could never be reproduced bit for bit. Environments without the
+// refinement (local graphs, whose draws cannot fail) keep the plain
+// AppendEdges path.
+type SeededBatchEnv interface {
+	BatchEnv
+	// EdgeSeed draws the next TRAVERSE seed from the sequential stream.
+	EdgeSeed() uint64
+	// AppendEdgesSeeded is AppendEdges driven by an explicit seed.
+	AppendEdgesSeeded(dst []graph.Edge, t graph.EdgeType, n int, seed uint64, pin *sampling.Pin, span *sampling.EpochSpan) ([]graph.Edge, error)
+}
+
+// EpochedEnv is an optional TrainEnv capability reporting the newest update
+// epoch the environment has observed across the backing store; trainers use
+// it as the staleness clock for epoch-refreshed negative pools.
+type EpochedEnv interface {
+	ObservedEpoch() uint64
+}
+
 // errNoContexts is returned when a trainer without a ContextFn receives a
 // batch whose contexts were never sampled.
 var errNoContexts = errors.New("core: mini-batch carries no sampled contexts")
@@ -103,12 +136,27 @@ var errNoContexts = errors.New("core: mini-batch carries no sampled contexts")
 func (tr *LinkTrainer) assembleEdges(mb *MiniBatch) error {
 	var edges []graph.Edge
 	var err error
-	if be, ok := tr.Env.(BatchEnv); ok {
+	if se, ok := tr.Env.(SeededBatchEnv); ok {
+		// The seed is drawn once per batch and survives fault retries: a
+		// replayed TRAVERSE re-reads the same draw instead of consuming a
+		// fresh stream position.
+		if !mb.hasEdgeSeed {
+			mb.edgeSeed = se.EdgeSeed()
+			mb.hasEdgeSeed = true
+		}
+		edges, err = se.AppendEdgesSeeded(mb.edges[:0], tr.EdgeType, tr.Batch, mb.edgeSeed, mb.Pin, &mb.Epochs)
+	} else if be, ok := tr.Env.(BatchEnv); ok {
 		edges, err = be.AppendEdges(mb.edges[:0], tr.EdgeType, tr.Batch, mb.Pin, &mb.Epochs)
 	} else {
 		edges, err = tr.Env.SampleEdges(tr.EdgeType, tr.Batch)
 	}
 	if err != nil {
+		return err
+	}
+	// Refresh the negative pool before drawing negatives, never after: the
+	// rebuild consumes zero rng draws, so doing it here keeps the negative
+	// stream aligned draw for draw with a run that never refreshed.
+	if err := tr.maybeRefreshNegatives(); err != nil {
 		return err
 	}
 	mb.edges = edges
@@ -183,9 +231,21 @@ func (s *SyncSource) Next() (*MiniBatch, error) {
 	// lost lease (eviction) re-pins the current snapshot and re-assembles
 	// everything — TRAVERSE included, which is legal here because the
 	// caller owns the sequential streams — so a completed depth-0 batch is
-	// always consistent at one epoch, even across retries.
+	// always consistent at one epoch, even across retries. Transient
+	// transport failures (retry budget exhausted against a briefly dead
+	// shard) instead park the batch and replay it against the SAME pin and
+	// seeds, consuming no extra draws.
+	parks := 0
 	for attempt := 0; ; attempt++ {
-		err := tr.assembleEdges(mb)
+		var err error
+		// A parked retry that already assembled its edge batch (the failure
+		// was downstream, in expansion or prefetch) keeps it: negatives were
+		// already drawn from the sequential stream and re-assembling would
+		// double-draw them. Eviction retries reset Src below, forcing a full
+		// re-assembly at the new epoch.
+		if len(mb.Src) == 0 {
+			err = tr.assembleEdges(mb)
+		}
 		if err == nil && tr.ContextFn == nil {
 			tr.ensureSrng()
 			err = s.expand(mb)
@@ -198,6 +258,14 @@ func (s *SyncSource) Next() (*MiniBatch, error) {
 		}
 		if err == nil {
 			break
+		}
+		if transientErr(err) && parks < syncParkLimit {
+			parks++
+			time.Sleep(parkDelay(parks))
+			if s.view != nil {
+				s.view.ResetSpan()
+			}
+			continue
 		}
 		if s.ps == nil || attempt >= pinRetries || !version.IsUnavailable(err) {
 			s.release(mb)

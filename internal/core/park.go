@@ -1,0 +1,42 @@
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+// Transient transport failures (a shard briefly unreachable, a retry budget
+// exhausted during a restart window) must not kill a training run the way a
+// real application error does: the pipeline parks the affected batch —
+// bounded exponential backoff, releasing on Close — and replays it against
+// the same pin and seeds, which the seam's seed-purity makes draw-exact.
+// The cluster package cannot be imported from here, so classification goes
+// through the error's own Transient() capability (cluster.ShardDownError
+// implements it).
+
+// transientErr reports whether err is a transient transport failure that
+// parking-and-retrying may outwait.
+func transientErr(err error) bool {
+	var te interface{ Transient() bool }
+	return errors.As(err, &te) && te.Transient()
+}
+
+const (
+	parkBase = 2 * time.Millisecond
+	parkCap  = 250 * time.Millisecond
+)
+
+// parkDelay is the capped exponential backoff for the n-th consecutive park
+// of one batch.
+func parkDelay(n int) time.Duration {
+	d := parkBase << uint(min(n, 10))
+	if d > parkCap {
+		d = parkCap
+	}
+	return d
+}
+
+// syncParkLimit bounds how many times the synchronous (depth-0) source
+// parks one batch before surfacing the error: it has no Close signal to
+// watch, so the wait must be finite (~1 minute at the cap).
+const syncParkLimit = 240

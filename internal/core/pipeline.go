@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/sampling"
@@ -145,21 +146,49 @@ func (p *Pipeline) scheduler() {
 				// time: in steady state a refcount bump, after an observed
 				// update one Lease round. Every stage of the batch — the
 				// TRAVERSE below, the worker's expansions, the attribute
-				// prefetch — reads this pin.
-				pin, err := p.ps.Pin()
-				if err != nil {
+				// prefetch — reads this pin. Transient transport failures
+				// park the scheduler (capped backoff, aborted by Close)
+				// instead of killing the run: a restarting server comes
+				// back on its own clock.
+				parks := 0
+				for {
+					pin, err := p.ps.Pin()
+					if err == nil {
+						mb.Pin = pin
+						break
+					}
+					if transientErr(err) {
+						parks++
+						if p.park(parks) {
+							continue
+						}
+						err = ErrPipelineClosed
+					}
 					mb.err = err
+					break
+				}
+				if mb.err != nil {
 					p.plans <- mb
 					continue
 				}
-				mb.Pin = pin
 			}
 			// The TRAVERSE stage reads the pin too; if the leased epoch was
 			// lost server-side, re-pin and redraw (legal here: the scheduler
-			// owns the sequential streams, so the redraws stay ordered).
+			// owns the sequential streams, so the redraws stay ordered). A
+			// transient failure instead parks and replays against the SAME
+			// pin and edge seed, consuming no extra draws.
+			parks := 0
 			for attempt := 0; ; attempt++ {
 				err := tr.assembleEdges(mb)
 				if err == nil {
+					break
+				}
+				if transientErr(err) {
+					parks++
+					if p.park(parks) {
+						continue
+					}
+					mb.err = ErrPipelineClosed
 					break
 				}
 				if p.ps == nil || attempt >= pinRetries || !version.IsUnavailable(err) {
@@ -239,9 +268,22 @@ func (p *Pipeline) assemble(mb *MiniBatch, nbr *sampling.Neighborhood, view samp
 	if mb.err != nil {
 		return
 	}
+	parks := 0
 	for attempt := 0; ; attempt++ {
 		err := p.assembleOnce(mb, nbr, view)
 		if err == nil {
+			return
+		}
+		if transientErr(err) {
+			// A briefly unreachable shard (its retry budget exhausted): park
+			// this batch and replay the expansions from the scheduled seed
+			// snapshots — draw-exact, so the batch that eventually completes
+			// is identical to a fault-free one. Close aborts the wait.
+			parks++
+			if p.park(parks) {
+				continue
+			}
+			mb.err = ErrPipelineClosed
 			return
 		}
 		if p.ps == nil || attempt >= pinRetries || !version.IsUnavailable(err) {
@@ -299,6 +341,20 @@ func (p *Pipeline) assembleOnce(mb *MiniBatch, nbr *sampling.Neighborhood, view 
 		mb.Epochs.Merge(view.Span())
 	}
 	return nil
+}
+
+// park sleeps the n-th consecutive backoff delay for one parked batch,
+// returning false when the pipeline closed during the wait (the caller then
+// abandons the batch instead of spinning against a stopped pipeline).
+func (p *Pipeline) park(n int) bool {
+	t := time.NewTimer(parkDelay(n))
+	defer t.Stop()
+	select {
+	case <-p.stop:
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // unpin releases mb's snapshot pin, if any.

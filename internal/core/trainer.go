@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/nn"
@@ -91,8 +92,19 @@ type LinkTrainer struct {
 	// a Pipeline source.
 	ContextFn func(vs []graph.ID) (*sampling.Context, error)
 
+	// NegRefresh, when positive over an EpochedEnv, rebuilds the negative
+	// pool from a fresh NegativePool call whenever the environment's
+	// observed head epoch has advanced by at least NegRefresh since the
+	// pool was last built — on a streaming graph the pool would otherwise
+	// stay frozen at construction time forever. The rebuild consumes zero
+	// rng draws, so refreshed and unrefreshed runs stay draw-aligned.
+	NegRefresh uint64
+
 	nbr *sampling.Neighborhood
 	neg *sampling.Negative
+
+	negEpoch    uint64 // observed head when the pool was last (re)built
+	negRebuilds atomic.Int64
 
 	// source produces the trainer's batches; nil until first use, when the
 	// depth-0 SyncSource is installed. external marks a source installed by
@@ -125,6 +137,9 @@ type TrainerConfig struct {
 	Batch    int
 	NegK     int
 	LR       float64
+	// NegRefresh is the epoch-staleness threshold for negative-pool
+	// rebuilds; 0 (the default) keeps the historical frozen pool.
+	NegRefresh uint64
 }
 
 // DefaultTrainerConfig returns sensible defaults for the laptop-scale
@@ -151,13 +166,54 @@ func NewLinkTrainerOver(env TrainEnv, src sampling.Source, enc *Encoder, cfg Tra
 	if err != nil {
 		return nil, err
 	}
-	return &LinkTrainer{
+	tr := &LinkTrainer{
 		Env: env, Src: src, Enc: enc, EdgeType: cfg.EdgeType, HopNums: cfg.HopNums,
-		Batch: cfg.Batch, NegK: cfg.NegK,
+		Batch: cfg.Batch, NegK: cfg.NegK, NegRefresh: cfg.NegRefresh,
 		Opt: nn.NewAdam(cfg.LR), Rng: rng,
 		nbr: sampling.NewNeighborhood(src, rng),
 		neg: sampling.NewNegativeFromPool(cands, sampling.UnigramWeights(counts), rng),
-	}, nil
+	}
+	if ee, ok := env.(EpochedEnv); ok {
+		tr.negEpoch = ee.ObservedEpoch()
+	}
+	return tr, nil
+}
+
+// NegRebuilds reports how many times the negative pool has been rebuilt by
+// the epoch-refresh policy (diagnostics and tests).
+func (tr *LinkTrainer) NegRebuilds() int64 { return tr.negRebuilds.Load() }
+
+// maybeRefreshNegatives rebuilds the negative pool when the environment's
+// observed head epoch has outrun the pool by at least NegRefresh. Called
+// from assembleEdges on the goroutine that owns the training streams, after
+// the edge batch succeeds and before negatives are drawn: the rebuild
+// consumes no rng draws (the alias table is deterministic in the pool), so
+// the negative draw stream continues uninterrupted over the new pool. A
+// transient fetch failure skips the refresh — serving draws from the stale
+// pool IS the degraded mode — while an application error surfaces.
+func (tr *LinkTrainer) maybeRefreshNegatives() error {
+	if tr.NegRefresh == 0 {
+		return nil
+	}
+	ee, ok := tr.Env.(EpochedEnv)
+	if !ok {
+		return nil
+	}
+	h := ee.ObservedEpoch()
+	if h < tr.negEpoch+tr.NegRefresh {
+		return nil
+	}
+	cands, counts, err := tr.Env.NegativePool(tr.EdgeType)
+	if err != nil {
+		if transientErr(err) {
+			return nil
+		}
+		return err
+	}
+	tr.neg = sampling.NewNegativeFromPool(cands, sampling.UnigramWeights(counts), tr.neg.Rng)
+	tr.negEpoch = h
+	tr.negRebuilds.Add(1)
+	return nil
 }
 
 // Source returns the trainer's batch producer, installing the depth-0

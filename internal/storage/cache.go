@@ -55,6 +55,17 @@ type Admitter interface {
 	Admits() bool
 }
 
+// StaleReader is an optional NeighborCache capability serving an entry
+// regardless of its epoch validity. Clients use it only for graceful
+// degradation while a shard is unreachable: a stale neighbor list beats
+// failing the batch, and every such read is counted (Client.DegradedDraws)
+// so the staleness is visible rather than silent.
+type StaleReader interface {
+	// GetStale returns the cached hop-h type-t list of v ignoring epoch
+	// validity, and whether any entry was present.
+	GetStale(v graph.ID, t graph.EdgeType, h int) ([]graph.ID, bool)
+}
+
 // Flusher is an optional NeighborCache capability dropping all runtime
 // validity state. Clients call it when a shard's epoch numbering restarts
 // (a lease reply reveals a head regression): intervals recorded under the
@@ -228,6 +239,14 @@ func (c *ImportanceCache) Observe(v graph.ID, t graph.EdgeType, h int, epoch, si
 
 func (c *ImportanceCache) Admits() bool { return false }
 
+// GetStale implements StaleReader (degraded reads while a shard is down).
+func (c *ImportanceCache) GetStale(v graph.ID, t graph.EdgeType, h int) ([]graph.ID, bool) {
+	if e, ok := c.entries[hopKey(v, t, h)]; ok {
+		return e.nbrs, true
+	}
+	return nil, false
+}
+
 // Flush resets every entry's re-validation watermark to the build epoch.
 func (c *ImportanceCache) Flush() {
 	for _, e := range c.entries {
@@ -286,6 +305,14 @@ func (c *RandomCache) Observe(v graph.ID, t graph.EdgeType, h int, epoch, since 
 }
 
 func (c *RandomCache) Admits() bool { return false }
+
+// GetStale implements StaleReader (degraded reads while a shard is down).
+func (c *RandomCache) GetStale(v graph.ID, t graph.EdgeType, h int) ([]graph.ID, bool) {
+	if e, ok := c.entries[hopKey(v, t, h)]; ok {
+		return e.nbrs, true
+	}
+	return nil, false
+}
 
 // Flush resets every entry's re-validation watermark to the build epoch.
 func (c *RandomCache) Flush() {
@@ -371,6 +398,18 @@ func (c *LRUNeighborCache) Observe(v graph.ID, t graph.EdgeType, h int, epoch, s
 		}
 	}
 	c.lru.Put(key, &lruEntryVal{nbrs: nbrs, since: since, through: epoch})
+}
+
+// GetStale implements StaleReader (degraded reads while a shard is down);
+// it counts as neither hit nor miss, since no valid-at-epoch answer was
+// requested.
+func (c *LRUNeighborCache) GetStale(v graph.ID, t graph.EdgeType, h int) ([]graph.ID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if x, ok := c.lru.Get(hopKey(v, t, h)); ok {
+		return x.(*lruEntryVal).nbrs, true
+	}
+	return nil, false
 }
 
 // Flush drops every entry (epoch numbering restarted on a shard); the
