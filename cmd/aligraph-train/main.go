@@ -99,6 +99,9 @@ func main() {
 		pol := cluster.DefaultCallPolicy()
 		pol.Timeout = *rpcTimeout
 		pol.Attempts = *rpcRetries
+		// The seed only shapes backoff jitter; idempotency tokens are minted
+		// under a per-process random nonce, so many workers sharing these
+		// shards never collide in the servers' dedup rings.
 		tr := cluster.NewRetryTransport(rpcTr, len(addrs), pol, 1)
 		defer tr.Close()
 		assign, schema, err := cluster.Bootstrap(tr, 0)

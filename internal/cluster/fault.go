@@ -221,5 +221,14 @@ func (t *FaultTransport) Compact(part int, req CompactRequest, reply *CompactRep
 	return faultCall(t, part, req, reply, t.Inner.Compact)
 }
 
+// Kick forwards a connection-sever request to the inner transport, so a
+// RetryTransport stacked over fault injection over a real RPCTransport can
+// still tear down a hung connection on deadline expiry.
+func (t *FaultTransport) Kick(part int) {
+	if k, ok := t.Inner.(Kicker); ok {
+		k.Kick(part)
+	}
+}
+
 // Close implements Transport; shutdown is never faulted.
 func (t *FaultTransport) Close() error { return t.Inner.Close() }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -438,5 +439,108 @@ func TestLeaseReleaseTokenDedup(t *testing.T) {
 	}
 	if err := srv.ServeRelease(rr, &ReleaseReply{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTokenNoncesUniqueAcrossClients: two RetryTransports constructed with
+// the SAME seed (the common case — every worker passes the same fixed seed)
+// must mint disjoint idempotency-token streams. If they shared a nonce,
+// workers sharing shard servers would alias each other's entries in the
+// server dedup ring: worker B's first Lease would return worker A's recorded
+// reply without taking a lease, and a colliding Update would be silently
+// dropped.
+func TestTokenNoncesUniqueAcrossClients(t *testing.T) {
+	g := churnTestGraph(40)
+	a, err := (partition.HashPartitioner{}).Partition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := NewLocalTransport(FromGraph(g, a), 0, 0)
+	ta := NewRetryTransport(local, 1, CallPolicy{}, 1)
+	tb := NewRetryTransport(local, 1, CallPolicy{}, 1)
+
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		for _, tr := range []*RetryTransport{ta, tb} {
+			tok := tr.nextToken()
+			if tok == 0 {
+				t.Fatal("token 0 minted (reserved for legacy callers)")
+			}
+			if seen[tok] {
+				t.Fatalf("token %#x minted twice across clients with identical seeds", tok)
+			}
+			seen[tok] = true
+		}
+	}
+}
+
+// releaseSpy counts Release RPCs per shard.
+type releaseSpy struct {
+	Transport
+	mu       sync.Mutex
+	releases map[int]int
+}
+
+func (s *releaseSpy) Release(part int, req ReleaseRequest, reply *ReleaseReply) error {
+	s.mu.Lock()
+	s.releases[part]++
+	s.mu.Unlock()
+	return s.Transport.Release(part, req, reply)
+}
+
+func (s *releaseSpy) count(part int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.releases[part]
+}
+
+// TestDegradedPinReleaseSkipsUnleasedShard: a degraded Pin records a down
+// shard's last observed head WITHOUT taking a lease; releasing that pin must
+// not send Release for the unleased shard — the epoch it recorded is the one
+// an earlier live pin still holds a lease on, and a spurious Release would
+// decrement that pin's refcount and let the server evict an epoch in use.
+func TestDegradedPinReleaseSkipsUnleasedShard(t *testing.T) {
+	g := churnTestGraph(80)
+	a, err := (partition.HashPartitioner{}).Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := FromGraph(g, a)
+	spy := &releaseSpy{Transport: NewLocalTransport(servers, 0, 0), releases: make(map[int]int)}
+	ft := NewFaultTransport(spy, 2, FaultConfig{})
+	rt := NewRetryTransport(ft, 2, CallPolicy{Attempts: 2}, 3)
+	c := NewClient(a, rt, storage.NoCache{})
+	c.Degrade = true
+
+	p1, err := c.Pin() // live: leases both shards
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.KillShard(1)
+
+	// Force staleness so the next Pin re-leases instead of reusing p1.
+	advance(&c.pins.heads[0], p1.Epochs[0]+1)
+	p2, err := c.Pin() // degraded: leases shard 0, records shard 1 unleased
+	if err != nil {
+		t.Fatalf("degraded pin failed: %v", err)
+	}
+	if p2.Epochs[1] != p1.Epochs[1] {
+		t.Fatalf("degraded pin recorded epoch %d for the dead shard, want last observed %d",
+			p2.Epochs[1], p1.Epochs[1])
+	}
+
+	// Supersede p2 so dropping its last reference releases its leases.
+	advance(&c.pins.heads[0], p2.Epochs[0]+1)
+	if _, err := c.Pin(); err != nil {
+		t.Fatal(err)
+	}
+
+	r0, r1 := spy.count(0), spy.count(1)
+	c.Unpin(p2)
+	if got := spy.count(1); got != r1 {
+		t.Fatalf("degraded pin sent %d Release(s) to the dead shard for a lease it never took", got-r1)
+	}
+	if got := spy.count(0); got != r0+1 {
+		t.Fatalf("degraded pin released %d leases on the live shard, want 1", got-r0)
 	}
 }

@@ -28,6 +28,11 @@ type pinState struct {
 	dead    bool // lease observed lost (eviction); never handed out again
 	edges   [][]int64
 	weights [][]float64
+	// leased[part] records whether this pin actually holds a server-side
+	// lease on part. A degraded Pin records a down shard's last observed
+	// head WITHOUT leasing it; releasing that epoch anyway would decrement
+	// a lease some other pin holds (nil means every part is leased).
+	leased []bool
 }
 
 // pinManager lives inside Client.
@@ -97,6 +102,7 @@ func (c *Client) Pin() (*sampling.Pin, error) {
 	epochs := make([]uint64, c.Assign.P)
 	edges := make([][]int64, c.Assign.P)
 	weights := make([][]float64, c.Assign.P)
+	leased := make([]bool, c.Assign.P)
 	for part := 0; part < c.Assign.P; part++ {
 		var reply LeaseReply
 		if err := c.T.Lease(part, LeaseRequest{}, &reply); err != nil {
@@ -106,18 +112,23 @@ func (c *Client) Pin() (*sampling.Pin, error) {
 				// TRAVERSE mass and its reads degrade to stale cache
 				// serving. When the shard recovers at a different epoch the
 				// read errors surface as evicted/future and the existing
-				// re-pin path takes over.
+				// re-pin path takes over. No lease was taken, so leased[part]
+				// stays false and release paths skip it.
 				epochs[part] = m.heads[part].Load()
 				edges[part], weights[part] = nil, nil
 				c.degradedDraws.Add(1)
 				continue
 			}
 			for q := 0; q < part; q++ {
+				if !leased[q] {
+					continue
+				}
 				c.T.Release(q, ReleaseRequest{Epoch: epochs[q]}, &ReleaseReply{})
 			}
 			return nil, err
 		}
 		epochs[part] = reply.Epoch
+		leased[part] = true
 		edges[part] = reply.EdgesByType
 		weights[part] = reply.WeightByType
 		// A lease reply is authoritative about the shard's head, so store
@@ -141,14 +152,14 @@ func (c *Client) Pin() (*sampling.Pin, error) {
 	m.mu.Lock()
 	m.seq++
 	pin := &sampling.Pin{Stamp: m.seq, Epochs: epochs}
-	st := &pinState{pin: pin, refs: 1, edges: edges, weights: weights}
+	st := &pinState{pin: pin, refs: 1, edges: edges, weights: weights, leased: leased}
 	m.states[pin] = st
 	old := m.cur
 	m.cur = st
-	var release *sampling.Pin
+	var release *pinState
 	if old != nil && old.refs == 0 {
 		delete(m.states, old.pin)
-		release = old.pin
+		release = old
 	}
 	m.mu.Unlock()
 	if release != nil {
@@ -174,7 +185,7 @@ func (c *Client) Unpin(p *sampling.Pin) {
 	if st.refs > 0 {
 		st.refs--
 	}
-	var release *sampling.Pin
+	var release *pinState
 	if st.refs == 0 && st != m.cur {
 		// Release even when the pin was Discarded: only the shard that
 		// evicted the epoch lost its lease — the other shards still hold
@@ -182,7 +193,7 @@ func (c *Client) Unpin(p *sampling.Pin) {
 		// forever. Server-side Release of an unknown epoch is a no-op, so
 		// the dead shard safely ignores it.
 		delete(m.states, p)
-		release = p
+		release = st
 	}
 	m.mu.Unlock()
 	if release != nil {
@@ -198,7 +209,7 @@ func (c *Client) Discard(p *sampling.Pin) {
 	}
 	m := c.pins
 	m.mu.Lock()
-	var release *sampling.Pin
+	var release *pinState
 	if st, ok := m.states[p]; ok {
 		st.dead = true
 		if m.cur == st {
@@ -206,7 +217,7 @@ func (c *Client) Discard(p *sampling.Pin) {
 		}
 		if st.refs == 0 {
 			delete(m.states, p)
-			release = p
+			release = st
 		}
 	}
 	m.mu.Unlock()
@@ -215,11 +226,17 @@ func (c *Client) Discard(p *sampling.Pin) {
 	}
 }
 
-// releaseLeases best-effort-releases p's per-server leases; a failed
+// releaseLeases best-effort-releases st's per-server leases; a failed
 // release only delays that epoch's eviction until the ring bound would
-// have anyway (it can never corrupt reads).
-func (c *Client) releaseLeases(p *sampling.Pin) {
-	for part, e := range p.Epochs {
+// have anyway (it can never corrupt reads). Parts the pin never leased
+// (degraded pins record a down shard's last head without a lease) are
+// skipped: releasing them would decrement a lease held by another pin on
+// the same epoch, letting the server evict an epoch still in use.
+func (c *Client) releaseLeases(st *pinState) {
+	for part, e := range st.pin.Epochs {
+		if st.leased != nil && !st.leased[part] {
+			continue
+		}
 		c.T.Release(part, ReleaseRequest{Epoch: e}, &ReleaseReply{})
 	}
 }
@@ -257,16 +274,16 @@ func (c *Client) currentPin() *sampling.Pin {
 func (c *Client) ReleaseIdlePins() {
 	m := c.pins
 	m.mu.Lock()
-	var release []*sampling.Pin
+	var release []*pinState
 	for p, st := range m.states {
 		if st.refs == 0 {
 			delete(m.states, p)
-			release = append(release, p)
+			release = append(release, st)
 		}
 	}
 	m.cur = nil
 	m.mu.Unlock()
-	for _, p := range release {
-		c.releaseLeases(p)
+	for _, st := range release {
+		c.releaseLeases(st)
 	}
 }

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -225,9 +227,13 @@ type RetryTransport struct {
 	fastFails atomic.Int64
 }
 
-// NewRetryTransport wraps inner (serving parts shards) with policy. The
-// jitter stream and token nonce are seeded deterministically from seed so
-// chaos tests are reproducible; any fixed seed works in production.
+// NewRetryTransport wraps inner (serving parts shards) with policy. Seed
+// drives only the backoff-jitter stream (deterministic so chaos tests are
+// reproducible — jitter affects timing, never data). The idempotency-token
+// nonce is deliberately NOT derived from seed: it is drawn from crypto/rand
+// per transport, so multiple worker processes sharing the same shard servers
+// (which all tend to pass the same fixed seed) can never mint colliding
+// token sequences and alias each other's entries in the server dedup ring.
 func NewRetryTransport(inner Transport, parts int, policy CallPolicy, seed uint64) *RetryTransport {
 	if policy.Attempts < 1 {
 		policy.Attempts = 1
@@ -243,9 +249,19 @@ func NewRetryTransport(inner Transport, parts int, policy CallPolicy, seed uint6
 		Policy:   policy,
 		breakers: make([]breaker, parts),
 		rng:      *sampling.NewRng(seed ^ 0x9E3779B97F4A7C15),
-		nonce:    (seed*0x2545F4914F6CDD1D + 1) << 32,
+		nonce:    randomNonce(seed),
 	}
 	return t
+}
+
+// randomNonce draws a process-unique 64-bit token nonce, falling back to a
+// seed-mixed constant only if the system entropy source is unavailable.
+func randomNonce(seed uint64) uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return seed*0x2545F4914F6CDD1D + 0x9E3779B97F4A7C15
+	}
+	return binary.LittleEndian.Uint64(b[:])
 }
 
 // Retries reports how many retry attempts (beyond first attempts) the
@@ -265,9 +281,14 @@ func (t *RetryTransport) BreakerOpen(part int) bool {
 	return t.breakers[part].current() == breakerOpen
 }
 
-// nextToken mints a client-unique idempotency token (never 0).
+// nextToken mints a client-unique idempotency token (never 0). The full
+// 64-bit counter is XOR-mixed with the random nonce, so tokens cannot wrap
+// and repeat within a process lifetime (a reused token still sitting in the
+// server dedup ring would return a stale recorded reply), and two clients
+// collide only if their random nonces differ exactly by the XOR of two small
+// counters — vanishingly unlikely at a 64-bit nonce.
 func (t *RetryTransport) nextToken() uint64 {
-	tok := t.nonce | (t.tokens.Add(1) & 0xFFFFFFFF)
+	tok := t.nonce ^ t.tokens.Add(1)
 	if tok == 0 {
 		tok = 1
 	}
@@ -291,10 +312,23 @@ func (t *RetryTransport) sleepBackoff(attempt int) {
 	time.Sleep(time.Duration(float64(d) * (0.5 + 0.5*j)))
 }
 
-// withDeadline runs call, bounding it by the policy's per-attempt timeout.
-// The attempt runs on its own goroutine; an abandoned (timed-out) attempt
-// keeps writing only to its own reply value, never the caller's.
-func (t *RetryTransport) withDeadline(call func() error) error {
+// Kicker is implemented by transports that can proactively sever a shard's
+// underlying connection (RPCTransport does; wrapping transports forward it).
+// RetryTransport kicks a shard on deadline expiry: without it, a silently
+// partitioned connection (no FIN/RST) would keep every retry queued on the
+// same hung conn and leak one goroutine per abandoned attempt.
+type Kicker interface {
+	Kick(part int)
+}
+
+// withDeadline runs call against part, bounding it by the policy's
+// per-attempt timeout. The attempt runs on its own goroutine; an abandoned
+// (timed-out) attempt keeps writing only to its own reply value, never the
+// caller's. On expiry the shard's connection is severed (Kick) so the
+// abandoned attempt unblocks with a connection error — its goroutine exits
+// instead of leaking — and the next attempt redials afresh instead of
+// re-queueing on a dead conn.
+func (t *RetryTransport) withDeadline(part int, call func() error) error {
 	d := t.Policy.Timeout
 	if d <= 0 {
 		return call()
@@ -307,6 +341,9 @@ func (t *RetryTransport) withDeadline(call func() error) error {
 	case err := <-done:
 		return err
 	case <-timer.C:
+		if k, ok := t.Inner.(Kicker); ok {
+			k.Kick(part)
+		}
 		return fmt.Errorf("cluster: call exceeded %v deadline: %w", d, ErrUnreachable)
 	}
 }
@@ -327,7 +364,7 @@ func doCall[Req any, Rep any](t *RetryTransport, part int, req Req, reply *Rep, 
 			return &ShardDownError{Part: part, Err: last}
 		}
 		var r Rep
-		err := t.withDeadline(func() error { return call(part, req, &r) })
+		err := t.withDeadline(part, func() error { return call(part, req, &r) })
 		if err == nil {
 			br.success()
 			*reply = r

@@ -1,8 +1,11 @@
 package cluster
 
 import (
+	"io"
 	"math"
 	"math/rand"
+	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -221,5 +224,55 @@ func TestRPCTransportDoubleClose(t *testing.T) {
 	var sr StatsReply
 	if err := tr.Stats(0, StatsRequest{}, &sr); err == nil {
 		t.Fatal("call after Close must fail")
+	}
+}
+
+// TestDeadlineKickSeversHungConnection: a server that accepts and then goes
+// silent (a partition with no FIN/RST) must not pin every retry to the same
+// hung connection. On each deadline expiry the retry layer kicks the shard's
+// conn — unblocking the abandoned attempt's goroutine — and the next attempt
+// dials a FRESH connection, observable as one accepted conn per attempt.
+func TestDeadlineKickSeversHungConnection(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	var accepted atomic.Int64
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			accepted.Add(1)
+			go io.Copy(io.Discard, conn) // swallow requests, never reply
+		}
+	}()
+
+	tr, err := DialRPCConfig([]string{lis.Addr().String()}, DialConfig{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	rt := NewRetryTransport(tr, 1, CallPolicy{
+		Timeout:    50 * time.Millisecond,
+		Attempts:   3,
+		Backoff:    time.Millisecond,
+		MaxBackoff: 2 * time.Millisecond,
+	}, 1)
+
+	var sr StatsReply
+	if err := rt.Stats(0, StatsRequest{}, &sr); !IsShardDown(err) {
+		t.Fatalf("want ShardDownError from a silent server, got %v", err)
+	}
+	if got := accepted.Load(); got != 3 {
+		t.Fatalf("accepted %d connections for 3 attempts; retries re-queued on a hung conn", got)
+	}
+	tr.mu.Lock()
+	c0 := tr.clients[0]
+	tr.mu.Unlock()
+	if c0 != nil {
+		t.Fatal("deadline expiry left the hung connection installed")
 	}
 }

@@ -239,6 +239,26 @@ func (t *RPCTransport) client(part int) (*rpc.Client, error) {
 	return c, nil
 }
 
+// Kick severs part's current connection unconditionally (implements the
+// policy layer's Kicker). Closing the rpc.Client fails its pending calls
+// with ErrShutdown — unblocking any deadline-abandoned attempt still parked
+// on the conn — and the next call to part dials afresh. Needed because a
+// deadline expiry observed by RetryTransport never flows through this
+// transport's own call path, so connFatal alone would leave a silently hung
+// connection (network partition with no FIN/RST) in place forever.
+func (t *RPCTransport) Kick(part int) {
+	if part < 0 || part >= len(t.addrs) {
+		return
+	}
+	t.mu.Lock()
+	c := t.clients[part]
+	t.clients[part] = nil
+	t.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
 // drop discards part's client if it is still the one that failed (pointer
 // identity, so a newer redialed client is never discarded by a stale
 // failure), closing the dead connection.

@@ -36,11 +36,16 @@
 //     server deduplicates (SetUpdateDedup bounds the ring): a retry whose
 //     predecessor executed returns the recorded reply instead of
 //     double-applying a batch, double-pinning a lease, or double-releasing
-//     one.
+//     one. Each client mints tokens under a crypto/rand per-process nonce,
+//     so concurrent workers sharing the same servers never alias each
+//     other's dedup entries.
 //
 //   - What reconnects: RPCTransport drops a connection on transport-level
 //     failure (io.EOF, rpc.ErrShutdown, net errors) and redials lazily on
-//     the next call, so a restarted server is transparently re-adopted. Its
+//     the next call; a per-attempt deadline expiry additionally severs the
+//     shard's connection (Kicker), so a silent partition with no FIN/RST
+//     cannot park every retry on the same hung conn. Either way a restarted
+//     server is transparently re-adopted. Its
 //     head regression then surfaces on the next Lease reply, which resets
 //     the head watermark and flushes epoch-keyed caches (the PR 4/5 path),
 //     and pinned batches reading now-future epochs re-pin via the existing

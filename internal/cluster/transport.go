@@ -270,5 +270,12 @@ func (t *LatencyTransport) Compact(part int, req CompactRequest, reply *CompactR
 	return t.Inner.Compact(part, req, reply)
 }
 
+// Kick forwards a connection-sever request to the inner transport.
+func (t *LatencyTransport) Kick(part int) {
+	if k, ok := t.Inner.(Kicker); ok {
+		k.Kick(part)
+	}
+}
+
 // Close implements Transport.
 func (t *LatencyTransport) Close() error { return t.Inner.Close() }
