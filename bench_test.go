@@ -214,21 +214,32 @@ func BenchmarkTrainStep(b *testing.B) {
 		})
 	}
 
-	assign, err := (partition.HashPartitioner{}).Partition(g, 2)
-	if err != nil {
-		b.Fatal(err)
-	}
-	servers := cluster.FromGraph(g, assign)
-	for _, depth := range []int{0, 4} {
-		b.Run(fmt.Sprintf("cluster/prefetch=%d", depth), func(b *testing.B) {
-			tr := cluster.NewLatencyTransport(cluster.NewLocalTransport(servers, -1, 0), 200*time.Microsecond)
-			cp := NewClusterPlatform(assign, tr, storage.NewImportanceCacheTopFraction(g, 2, 0.2), 1)
-			trainer, err := cp.NewGraphSAGE(trainCfg(depth))
-			if err != nil {
-				b.Fatal(err)
+	// Cluster variants: shards x prefetch x fan-out mode. fanout=seq issues
+	// per-shard RPCs one after another (a hop costs shards x RTT); fanout=par
+	// scatters them concurrently (max RTT) — the headline comparison for the
+	// scatter-gather fan-out, and it compounds with prefetch overlap.
+	for _, shards := range []int{2, 4} {
+		assign, err := (partition.HashPartitioner{}).Partition(g, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers := cluster.FromGraph(g, assign)
+		for _, depth := range []int{0, 4} {
+			for _, mode := range []string{"seq", "par"} {
+				b.Run(fmt.Sprintf("cluster/shards=%d/prefetch=%d/fanout=%s", shards, depth, mode), func(b *testing.B) {
+					tr := cluster.NewLatencyTransport(cluster.NewLocalTransport(servers, -1, 0), 200*time.Microsecond)
+					cp := NewClusterPlatform(assign, tr, storage.NewImportanceCacheTopFraction(g, 2, 0.2), 1)
+					if mode == "seq" {
+						cp.Client.Fanout = 1
+					}
+					trainer, err := cp.NewGraphSAGE(trainCfg(depth))
+					if err != nil {
+						b.Fatal(err)
+					}
+					run(b, trainer)
+				})
 			}
-			run(b, trainer)
-		})
+		}
 	}
 }
 

@@ -70,6 +70,8 @@ func main() {
 		lazyDial     = flag.Bool("lazy-dial", false, "connect to shards on first use instead of at startup (cluster mode)")
 		degrade      = flag.Bool("degrade", false, "serve a down shard's reads from stale caches instead of failing (cluster mode)")
 		negRefresh   = flag.Uint64("neg-refresh", 0, "rebuild the negative pool every N observed update epochs; 0 = frozen pool (cluster mode)")
+		fanout       = flag.Int("fanout", 0, "max concurrent per-shard sub-requests per scatter round: 0 = all shards at once, 1 = sequential (cluster mode)")
+		stats        = flag.Bool("stats", false, "print per-RPC client metrics after training (cluster mode)")
 	)
 	flag.Parse()
 	if *stream && *clusterAddrs == "" {
@@ -119,6 +121,10 @@ func main() {
 		cp := aligraph.NewClusterPlatform(assign, tr, cache, 1)
 		if *degrade {
 			cp.Client.Degrade = true
+		}
+		cp.Client.Fanout = *fanout
+		if *stats {
+			defer func() { fmt.Printf("client metrics:\n%s", cp.Client.Metrics()) }()
 		}
 		fmt.Printf("cluster: %d shards, %d vertices, %d vertex / %d edge types (bootstrapped)\n",
 			assign.P, numVertices, schema.NumVertexTypes(), schema.NumEdgeTypes())

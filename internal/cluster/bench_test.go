@@ -74,6 +74,43 @@ func BenchmarkClusterSample(b *testing.B) {
 		}
 	}
 
+	// Fan-out: the same hop sequence with 200µs injected per-call latency
+	// (LatencyTransport), sequential versus concurrent scatter. Sequential
+	// prices a hop at shards x RTT; concurrent at max(RTT) — so the par
+	// variants should hold roughly flat as shards double while seq scales
+	// linearly.
+	for _, shards := range []int{2, 4} {
+		a, err := (partition.HashPartitioner{}).Partition(g, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers := FromGraph(g, a)
+		for _, mode := range []string{"seq", "par"} {
+			b.Run(fmt.Sprintf("shards=%d/fanout=%s", shards, mode), func(b *testing.B) {
+				tr := NewLatencyTransport(NewLocalTransport(servers, 0, 0), 200*time.Microsecond)
+				c := NewClient(a, tr, storage.NoCache{})
+				if mode == "seq" {
+					c.Fanout = 1
+				}
+				nbr := sampling.NewNeighborhood(c, rand.New(rand.NewSource(1)))
+				var ctx sampling.Context
+				rng := sampling.NewRng(1)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := nbr.SampleInto(&ctx, 0, batch, hops, rng); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				m := c.Metrics()
+				if m.Fanouts > 0 {
+					b.ReportMetric(m.FanoutWidth, "fanWidth")
+				}
+			})
+		}
+	}
+
 	// Fault-tolerance overhead: the same hop sequence through the retry
 	// layer over a seeded 1% request-drop fault rate — what the policy
 	// stack costs when the network is imperfect but alive. retries/op

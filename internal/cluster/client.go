@@ -40,6 +40,15 @@ type Client struct {
 	// off (the default) such errors surface to the caller.
 	Degrade bool
 
+	// Fanout bounds how many per-shard sub-requests of one scatter round
+	// run concurrently: 0 (the default) launches every target shard at
+	// once, so a multi-shard hop costs max(RTT) instead of shards x RTT;
+	// 1 restores strictly sequential issue order (benchmarks compare
+	// against it); N > 1 caps in-flight sub-requests at N. Reply values
+	// are identical in every mode — draws are slot-/seed-pure and replies
+	// are gathered in sorted part order — only latency changes.
+	Fanout int
+
 	// cacheAdmits records whether Cache.Observe can admit entries; when it
 	// cannot (static caches), SampleBatch skips requesting admission lists.
 	cacheAdmits bool
@@ -49,6 +58,9 @@ type Client struct {
 	pins *pinManager
 
 	degradedDraws atomic.Int64
+
+	// met holds the per-RPC observability counters behind Metrics().
+	met clientMetrics
 
 	statsMu sync.Mutex
 	stats   []StatsReply // nil until a full fetch succeeds
@@ -100,7 +112,7 @@ func (c *Client) Neighbors(v graph.ID, t graph.EdgeType) ([]graph.ID, error) {
 	}
 	var reply NeighborsReply
 	req := NeighborsRequest{Vertices: []graph.ID{v}, EdgeType: t}
-	if err := c.T.Neighbors(p, req, &reply); err != nil {
+	if err := c.timed(mNeighbors, func() error { return c.T.Neighbors(p, req, &reply) }); err != nil {
 		return nil, err
 	}
 	c.pins.noteHead(p, reply.Head, reply.AttrHead)
@@ -208,13 +220,21 @@ func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.Edg
 		res[v] = nil
 		subBatch[p] = append(subBatch[p], v)
 	}
-	// Pass 2: one request per server, stitched back through the dedup map.
-	// Admissions carry the serving epoch and each list's install stamp.
-	for p, batch := range subBatch {
-		var reply NeighborsReply
-		req := NeighborsRequest{Vertices: batch, EdgeType: t}
+	// Pass 2: one request per server, issued as one concurrent scatter
+	// round (a hop costs max(RTT), not servers x RTT), stitched back
+	// through the dedup map in sorted part order so degraded-path ordering
+	// and error selection are reproducible. Admissions carry the serving
+	// epoch and each list's install stamp.
+	parts := sortedParts(subBatch)
+	replies := make([]NeighborsReply, len(parts))
+	errs := c.scatter(parts, func(i, p int) error {
+		req := NeighborsRequest{Vertices: subBatch[p], EdgeType: t}
 		req.Pin, req.Pinned = pinFields(pin, p)
-		if err := c.T.Neighbors(p, req, &reply); err != nil {
+		return c.timed(mNeighbors, func() error { return c.T.Neighbors(p, req, &replies[i]) })
+	})
+	for i, p := range parts {
+		batch := subBatch[p]
+		if err := errs[i]; err != nil {
 			if !c.degraded(err) {
 				return err
 			}
@@ -228,6 +248,7 @@ func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.Edg
 			degradeSpan(span, pin)
 			continue
 		}
+		reply := &replies[i]
 		c.observe(p, span, pin, reply.Epoch, reply.Head, reply.AttrHead)
 		for j, v := range batch {
 			res[v] = reply.Neighbors[j]
@@ -307,27 +328,50 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 	}
 	sort.Ints(parts)
 
-	for _, p := range parts {
+	// Build every sub-request before the scatter: per-part Vertices, Counts
+	// and Slots are carved out of three shared backing buffers (each
+	// goroutine only reads its own sub-slice), so a round costs three
+	// allocations regardless of how many servers it spans.
+	totalUniq, totalSlots := 0, 0
+	for _, js := range subUniq {
+		totalUniq += len(js)
+		for _, j := range js {
+			totalSlots += len(occs[j])
+		}
+	}
+	vertsBuf := make([]graph.ID, 0, totalUniq)
+	countsBuf := make([]int, 0, totalUniq)
+	slotsBuf := make([]int32, 0, totalSlots)
+	reqs := make([]SampleRequest, len(parts))
+	for i, p := range parts {
 		js := subUniq[p]
-		req := SampleRequest{
-			Vertices:  make([]graph.ID, 0, len(js)),
-			Counts:    make([]int, 0, len(js)),
+		v0, s0 := len(vertsBuf), len(slotsBuf)
+		for _, j := range js {
+			vertsBuf = append(vertsBuf, uniq[j])
+			countsBuf = append(countsBuf, len(occs[j]))
+			for _, pos := range occs[j] {
+				slotsBuf = append(slotsBuf, int32(pos))
+			}
+		}
+		reqs[i] = SampleRequest{
+			Vertices:  vertsBuf[v0:len(vertsBuf):len(vertsBuf)],
+			Counts:    countsBuf[v0:len(countsBuf):len(countsBuf)],
+			Slots:     slotsBuf[s0:len(slotsBuf):len(slotsBuf)],
 			EdgeType:  t,
 			Width:     width,
 			ByWeight:  byWeight,
 			WantLists: c.cacheAdmits,
 			Seed:      seed,
 		}
-		req.Pin, req.Pinned = pinFields(pin, p)
-		for _, j := range js {
-			req.Vertices = append(req.Vertices, uniq[j])
-			req.Counts = append(req.Counts, len(occs[j]))
-			for _, pos := range occs[j] {
-				req.Slots = append(req.Slots, int32(pos))
-			}
-		}
-		var reply SampleReply
-		if err := c.T.SampleNeighbors(p, req, &reply); err != nil {
+		reqs[i].Pin, reqs[i].Pinned = pinFields(pin, p)
+	}
+	replies := make([]SampleReply, len(parts))
+	errs := c.scatter(parts, func(i, p int) error {
+		return c.timed(mSampleNeighbors, func() error { return c.T.SampleNeighbors(p, reqs[i], &replies[i]) })
+	})
+	for i, p := range parts {
+		js := subUniq[p]
+		if err := errs[i]; err != nil {
 			if !c.degraded(err) {
 				return err
 			}
@@ -348,13 +392,14 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 			degradeSpan(span, pin)
 			continue
 		}
+		reply := &replies[i]
 		c.observe(p, span, pin, reply.Epoch, reply.Head, reply.AttrHead)
 		if len(reply.Lists) != 0 && len(reply.Lists) != len(js) {
 			return fmt.Errorf("cluster: server %d returned %d lists for %d vertices", p, len(reply.Lists), len(js))
 		}
 		want := 0
-		for i, j := range js {
-			if len(reply.Lists) > 0 && reply.Lists[i] != nil {
+		for li, j := range js {
+			if len(reply.Lists) > 0 && reply.Lists[li] != nil {
 				continue
 			}
 			want += len(occs[j]) * width
@@ -363,11 +408,11 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 			return fmt.Errorf("cluster: server %d returned %d samples, want %d", p, len(reply.Samples), want)
 		}
 		k := 0
-		for i, j := range js {
+		for li, j := range js {
 			v := uniq[j]
-			if len(reply.Lists) > 0 && reply.Lists[i] != nil {
-				ns := reply.Lists[i]
-				c.Cache.Observe(v, t, 1, reply.Epoch, replySince(reply.Since, i, reply.Epoch), ns)
+			if len(reply.Lists) > 0 && reply.Lists[li] != nil {
+				ns := reply.Lists[li]
+				c.Cache.Observe(v, t, 1, reply.Epoch, replySince(reply.Since, li, reply.Epoch), ns)
 				for _, pos := range occs[j] {
 					rng := sampling.SlotRng(seed, pos)
 					drawInto(dst[pos*width:(pos+1)*width], v, ns, &rng)
@@ -406,10 +451,15 @@ func (c *Client) clusterStats(refresh bool) ([]StatsReply, error) {
 	if c.stats != nil && !refresh {
 		return c.stats, nil
 	}
+	// One concurrent round over every shard: a TRAVERSE split refresh is
+	// never serialized behind one slow server.
 	stats := make([]StatsReply, c.Assign.P)
+	errs := c.scatter(allParts(c.Assign.P), func(i, p int) error {
+		return c.timed(mStats, func() error { return c.T.Stats(p, StatsRequest{}, &stats[p]) })
+	})
 	partial := false
 	for p := 0; p < c.Assign.P; p++ {
-		if err := c.T.Stats(p, StatsRequest{}, &stats[p]); err != nil {
+		if err := errs[p]; err != nil {
 			if !c.degraded(err) {
 				return nil, err
 			}
@@ -524,28 +574,41 @@ func (c *Client) appendSampleEdges(dst []graph.Edge, t graph.EdgeType, n int, se
 	for i := 0; i < n; i++ {
 		counts[al.DrawRng(rng)]++
 	}
-	edges := dst
+	// Per-part seeds are drawn sequentially in ascending part order BEFORE
+	// the scatter, so the draw stream is identical to the sequential path
+	// and reply values never depend on request issue order.
+	var parts []int
+	reqs := make(map[int]EdgesRequest)
 	for p, k := range counts {
 		if k == 0 {
 			continue
 		}
 		req := EdgesRequest{EdgeType: t, Count: k, ByWeight: byWeight, Seed: rng.Uint64()}
 		req.Pin, req.Pinned = pinFields(pin, p)
-		var reply EdgesReply
-		if err := c.T.SampleEdges(p, req, &reply); err != nil {
+		parts = append(parts, p)
+		reqs[p] = req
+	}
+	replies := make([]EdgesReply, len(parts))
+	errs := c.scatter(parts, func(i, p int) error {
+		return c.timed(mSampleEdges, func() error { return c.T.SampleEdges(p, reqs[p], &replies[i]) })
+	})
+	edges := dst
+	for i, p := range parts {
+		if err := errs[i]; err != nil {
 			if !c.degraded(err) {
 				return nil, err
 			}
 			// Dead shard: its share of the TRAVERSE batch is skipped (the
 			// batch shrinks rather than failing); counted so the gap is
 			// visible.
-			c.degradedDraws.Add(int64(k))
+			c.degradedDraws.Add(int64(counts[p]))
 			degradeSpan(span, pin)
 			continue
 		}
+		reply := &replies[i]
 		c.observe(p, span, pin, reply.Epoch, reply.Head, reply.AttrHead)
-		for i := range reply.Src {
-			edges = append(edges, graph.Edge{Src: reply.Src[i], Dst: reply.Dst[i], Type: t, Weight: reply.Weight[i]})
+		for j := range reply.Src {
+			edges = append(edges, graph.Edge{Src: reply.Src[j], Dst: reply.Dst[j], Type: t, Weight: reply.Weight[j]})
 		}
 	}
 	return edges, nil
@@ -555,9 +618,12 @@ func (c *Client) appendSampleEdges(dst []graph.Edge, t graph.EdgeType, n int, se
 // t into one candidate pool; the counts are exactly the global in-degrees.
 func (c *Client) NegativePool(t graph.EdgeType) ([]graph.ID, []float64, error) {
 	counts := make(map[graph.ID]int64)
+	replies := make([]NegPoolReply, c.Assign.P)
+	errs := c.scatter(allParts(c.Assign.P), func(i, p int) error {
+		return c.timed(mNegativePool, func() error { return c.T.NegativePool(p, NegPoolRequest{EdgeType: t}, &replies[i]) })
+	})
 	for p := 0; p < c.Assign.P; p++ {
-		var reply NegPoolReply
-		if err := c.T.NegativePool(p, NegPoolRequest{EdgeType: t}, &reply); err != nil {
+		if err := errs[p]; err != nil {
 			if !c.degraded(err) {
 				return nil, nil, err
 			}
@@ -565,8 +631,8 @@ func (c *Client) NegativePool(t graph.EdgeType) ([]graph.ID, []float64, error) {
 			c.degradedDraws.Add(1)
 			continue
 		}
-		for i, v := range reply.Vertices {
-			counts[v] += reply.Counts[i]
+		for i, v := range replies[p].Vertices {
+			counts[v] += replies[p].Counts[i]
 		}
 	}
 	// Deterministic (sorted) order so pools are reproducible across runs.
@@ -608,11 +674,16 @@ func (c *Client) attrsObserve(vs []graph.ID, pin *sampling.Pin, note func(part i
 		p := c.Assign.Part(v)
 		subBatch[p] = append(subBatch[p], v)
 	}
-	for p, batch := range subBatch {
-		var reply AttrsReply
-		req := AttrsRequest{Vertices: batch}
+	parts := sortedParts(subBatch)
+	replies := make([]AttrsReply, len(parts))
+	errs := c.scatter(parts, func(i, p int) error {
+		req := AttrsRequest{Vertices: subBatch[p]}
 		req.Pin, req.Pinned = pinFields(pin, p)
-		if err := c.T.Attrs(p, req, &reply); err != nil {
+		return c.timed(mAttrs, func() error { return c.T.Attrs(p, req, &replies[i]) })
+	})
+	for i, p := range parts {
+		batch := subBatch[p]
+		if err := errs[i]; err != nil {
 			if !c.degraded(err) {
 				return nil, err
 			}
@@ -620,6 +691,7 @@ func (c *Client) attrsObserve(vs []graph.ID, pin *sampling.Pin, note func(part i
 			c.degradedDraws.Add(int64(len(batch)))
 			continue
 		}
+		reply := &replies[i]
 		c.observe(p, nil, pin, reply.Epoch, reply.Head, reply.AttrHead)
 		if note != nil {
 			note(p, reply.AttrEpoch)

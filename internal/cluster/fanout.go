@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the concurrent scatter-gather primitive every multi-shard
+// call site in the package is built on, plus the per-RPC observability
+// counters (Client.Metrics) it feeds.
+//
+// A hop of a mini-batch touches up to P servers. Issuing those sub-requests
+// sequentially prices the hop at shards x RTT; scatterGather launches them
+// together so the hop costs max(RTT) regardless of shard count. The
+// determinism story does not depend on arrival order: every sub-request
+// writes only its own reply slot, and the caller stitches replies back in
+// ascending part order on its own goroutine after the whole round lands —
+// so cache admissions, span observations, degraded-draw counting and error
+// selection happen in exactly the order a sequential client would produce.
+
+// scatterGather runs call(0..n-1) and returns the per-call errors. With
+// limit == 1 (or a single call) the calls run inline in index order — the
+// sequential mode benchmarks compare against. Otherwise every call gets its
+// own goroutine, with at most limit in flight when limit > 1 (limit <= 0
+// launches all at once). The returned slice is indexed like the calls; the
+// caller decides how errors aggregate (by convention: the lowest-index
+// failure wins, so retries and tests stay deterministic).
+func scatterGather(n, limit int, call func(i int) error) []error {
+	errs := make([]error, n)
+	if n <= 1 || limit == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = call(i)
+		}
+		return errs
+	}
+	var sem chan struct{}
+	if limit > 1 && limit < n {
+		sem = make(chan struct{}, limit)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			errs[i] = call(i)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+// firstError returns the lowest-index non-nil error — the deterministic
+// aggregate of a scatter round's failures.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedParts returns the keys of a part-keyed map in ascending order, so
+// every scatter round (and its gather) is reproducible regardless of map
+// iteration order.
+func sortedParts[V any](m map[int]V) []int {
+	parts := make([]int, 0, len(m))
+	for p := range m {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	return parts
+}
+
+// allParts returns [0, p).
+func allParts(p int) []int {
+	parts := make([]int, p)
+	for i := range parts {
+		parts[i] = i
+	}
+	return parts
+}
+
+// rpcMethod indexes the per-method counters of clientMetrics.
+type rpcMethod int
+
+const (
+	mNeighbors rpcMethod = iota
+	mSampleNeighbors
+	mSampleEdges
+	mNegativePool
+	mStats
+	mAttrs
+	mLease
+	mRelease
+	methodCount
+)
+
+var methodNames = [methodCount]string{
+	"Neighbors", "SampleNeighbors", "SampleEdges", "NegativePool",
+	"Stats", "Attrs", "Lease", "Release",
+}
+
+// methodCounters accumulates one RPC method's call count, error count and
+// cumulative wall-clock latency (including the retry layer's attempts and
+// backoff, since the client times the whole transport call).
+type methodCounters struct {
+	calls  atomic.Int64
+	errors atomic.Int64
+	nanos  atomic.Int64
+}
+
+// clientMetrics is the always-on per-RPC observability state of a Client:
+// lock-free counters on the call path, snapshotted by Client.Metrics. This
+// is the seed of the adaptive sampling planner (ROADMAP item 4) — per-hop
+// strategy choices need per-method timings to choose against.
+type clientMetrics struct {
+	methods  [methodCount]methodCounters
+	fanouts  atomic.Int64 // scatter rounds spanning more than one shard
+	fanWidth atomic.Int64 // cumulative sub-requests across those rounds
+}
+
+// MethodMetrics is one RPC method's cumulative counters.
+type MethodMetrics struct {
+	Calls   int64
+	Errors  int64
+	Latency time.Duration // cumulative wall clock across Calls
+}
+
+// Metrics is a snapshot of a Client's per-RPC observability counters. RPCs
+// counts per-shard sub-requests as the client issued them; Retries and
+// FastFails are pulled from the retry layer when the client's transport
+// provides one (RetryStats). FanoutWidth is the average number of shards a
+// multi-shard scatter round spanned — with concurrent fan-out enabled, the
+// latency of such a round is max over those shards rather than their sum.
+type Metrics struct {
+	RPCs          int64
+	Retries       int64
+	FastFails     int64
+	DegradedDraws int64
+	Fanouts       int64
+	FanoutWidth   float64
+	Methods       map[string]MethodMetrics
+}
+
+// RetryStats is implemented by policy-layer transports (RetryTransport)
+// that can report retry activity; Client.Metrics surfaces it when present.
+type RetryStats interface {
+	Retries() int64
+	FastFails() int64
+}
+
+// String formats the snapshot for CLIs (aligraph-train -stats) and logs.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rpc: %d sub-requests, %d retries, %d fast-fails, %d degraded draws\n",
+		m.RPCs, m.Retries, m.FastFails, m.DegradedDraws)
+	fmt.Fprintf(&b, "fan-out: %d multi-shard rounds, avg width %.2f\n", m.Fanouts, m.FanoutWidth)
+	names := make([]string, 0, len(m.Methods))
+	for name, mm := range m.Methods {
+		if mm.Calls > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mm := m.Methods[name]
+		avg := time.Duration(0)
+		if mm.Calls > 0 {
+			avg = mm.Latency / time.Duration(mm.Calls)
+		}
+		fmt.Fprintf(&b, "  %-16s calls=%-7d errors=%-4d total=%-12v avg=%v\n",
+			name, mm.Calls, mm.Errors, mm.Latency.Round(time.Microsecond), avg.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// timed wraps one per-shard transport call with the method's counters.
+func (c *Client) timed(m rpcMethod, call func() error) error {
+	start := time.Now()
+	err := call()
+	mc := &c.met.methods[m]
+	mc.calls.Add(1)
+	mc.nanos.Add(int64(time.Since(start)))
+	if err != nil {
+		mc.errors.Add(1)
+	}
+	return err
+}
+
+// scatter is the Client's fan-out entry point: call(i, parts[i]) runs for
+// every target shard, concurrently up to the client's Fanout limit, and the
+// per-part errors come back indexed like parts. Callers gather replies in
+// parts order afterwards (parts are pre-sorted), which keeps every
+// aggregation deterministic.
+func (c *Client) scatter(parts []int, call func(i, part int) error) []error {
+	if len(parts) > 1 {
+		c.met.fanouts.Add(1)
+		c.met.fanWidth.Add(int64(len(parts)))
+	}
+	return scatterGather(len(parts), c.Fanout, func(i int) error { return call(i, parts[i]) })
+}
+
+// Metrics snapshots the client's per-RPC counters. Safe to call
+// concurrently with training; counters are cumulative since NewClient.
+func (c *Client) Metrics() Metrics {
+	m := Metrics{
+		DegradedDraws: c.degradedDraws.Load(),
+		Fanouts:       c.met.fanouts.Load(),
+		Methods:       make(map[string]MethodMetrics, methodCount),
+	}
+	for i := rpcMethod(0); i < methodCount; i++ {
+		mc := &c.met.methods[i]
+		mm := MethodMetrics{
+			Calls:   mc.calls.Load(),
+			Errors:  mc.errors.Load(),
+			Latency: time.Duration(mc.nanos.Load()),
+		}
+		m.Methods[methodNames[i]] = mm
+		m.RPCs += mm.Calls
+	}
+	if m.Fanouts > 0 {
+		m.FanoutWidth = float64(c.met.fanWidth.Load()) / float64(m.Fanouts)
+	}
+	if rs, ok := c.T.(RetryStats); ok {
+		m.Retries = rs.Retries()
+		m.FastFails = rs.FastFails()
+	}
+	return m
+}

@@ -98,14 +98,21 @@ func (c *Client) Pin() (*sampling.Pin, error) {
 	}
 	m.mu.Unlock()
 
-	// Lease the current head on every server (outside the lock: RPCs).
+	// Lease the current head on every server (outside the lock: RPCs). The
+	// lease round scatters to all shards concurrently — an epoch advance
+	// costs one parallel round (max RTT), not shards sequential lease RPCs
+	// — and replies are folded in ascending part order on this goroutine,
+	// so head bookkeeping and error selection stay deterministic.
 	epochs := make([]uint64, c.Assign.P)
 	edges := make([][]int64, c.Assign.P)
 	weights := make([][]float64, c.Assign.P)
 	leased := make([]bool, c.Assign.P)
+	replies := make([]LeaseReply, c.Assign.P)
+	errs := c.scatter(allParts(c.Assign.P), func(i, part int) error {
+		return c.timed(mLease, func() error { return c.T.Lease(part, LeaseRequest{}, &replies[i]) })
+	})
 	for part := 0; part < c.Assign.P; part++ {
-		var reply LeaseReply
-		if err := c.T.Lease(part, LeaseRequest{}, &reply); err != nil {
+		if err := errs[part]; err != nil {
 			if c.degraded(err) {
 				// Down shard under degradation: pin the last head observed
 				// from it with nil stats — edgeSplit then allocates it zero
@@ -119,14 +126,23 @@ func (c *Client) Pin() (*sampling.Pin, error) {
 				c.degradedDraws.Add(1)
 				continue
 			}
-			for q := 0; q < part; q++ {
-				if !leased[q] {
-					continue
+			// Unwind every lease the round DID take (the scatter contacted
+			// all shards, so later parts may hold leases too), then surface
+			// the lowest-part hard failure.
+			var rel []int
+			for q := 0; q < c.Assign.P; q++ {
+				if errs[q] == nil {
+					rel = append(rel, q)
 				}
-				c.T.Release(q, ReleaseRequest{Epoch: epochs[q]}, &ReleaseReply{})
 			}
+			c.scatter(rel, func(i, q int) error {
+				return c.timed(mRelease, func() error {
+					return c.T.Release(q, ReleaseRequest{Epoch: replies[q].Epoch}, &ReleaseReply{})
+				})
+			})
 			return nil, err
 		}
+		reply := &replies[part]
 		epochs[part] = reply.Epoch
 		leased[part] = true
 		edges[part] = reply.EdgesByType
@@ -226,19 +242,26 @@ func (c *Client) Discard(p *sampling.Pin) {
 	}
 }
 
-// releaseLeases best-effort-releases st's per-server leases; a failed
-// release only delays that epoch's eviction until the ring bound would
-// have anyway (it can never corrupt reads). Parts the pin never leased
-// (degraded pins record a down shard's last head without a lease) are
-// skipped: releasing them would decrement a lease held by another pin on
-// the same epoch, letting the server evict an epoch still in use.
+// releaseLeases best-effort-releases st's per-server leases in one
+// concurrent scatter round; a failed release only delays that epoch's
+// eviction until the ring bound would have anyway (it can never corrupt
+// reads). Parts the pin never leased (degraded pins record a down shard's
+// last head without a lease) are skipped: releasing them would decrement a
+// lease held by another pin on the same epoch, letting the server evict an
+// epoch still in use.
 func (c *Client) releaseLeases(st *pinState) {
-	for part, e := range st.pin.Epochs {
+	parts := make([]int, 0, len(st.pin.Epochs))
+	for part := range st.pin.Epochs {
 		if st.leased != nil && !st.leased[part] {
 			continue
 		}
-		c.T.Release(part, ReleaseRequest{Epoch: e}, &ReleaseReply{})
+		parts = append(parts, part)
 	}
+	c.scatter(parts, func(i, part int) error {
+		return c.timed(mRelease, func() error {
+			return c.T.Release(part, ReleaseRequest{Epoch: st.pin.Epochs[part]}, &ReleaseReply{})
+		})
+	})
 }
 
 // statsFor returns the per-shard edge-count and edge-weight stats leased

@@ -65,6 +65,30 @@
 //     vertex, malformed request, evicted/future epoch past the re-pin
 //     budget — are never retried by the policy layer (the server answered;
 //     a verbatim retry cannot succeed) and propagate to the caller.
+//
+// # Concurrency model
+//
+// Every multi-shard round — a hop's neighbor fetch, a sampled expansion,
+// attribute fills, TRAVERSE/NegativePool scans, Stats refreshes, the pin
+// manager's Lease/Release rounds, and UpdateStream/ApplyDelta pushes — is
+// built on one scatter-gather primitive (fanout.go): the per-shard
+// sub-requests launch together (bounded by Client.Fanout; 0 means all at
+// once, 1 restores sequential issue), so a hop costs max over the touched
+// shards' RTTs rather than their sum. What stays sequential is the gather:
+// each sub-request writes only its own reply slot, and the calling
+// goroutine stitches replies back in ascending part order after the round
+// lands. Cache admissions, span observations, pin-head bookkeeping,
+// degraded-draw counting and error aggregation (the lowest-part failure
+// wins) therefore happen in exactly the order a sequential client would
+// produce them — and since draws are slot-/seed-pure, reply values are
+// independent of arrival order too, so fixed-seed training is bit-identical
+// with fan-out on or off, faults or no faults. Transports must be safe for
+// concurrent per-shard calls: LocalTransport and LatencyTransport use
+// atomic counters, RPCTransport multiplexes on net/rpc clients (safe by
+// contract), and RetryTransport/FaultTransport guard their state with
+// locks. The only ordering the scatter gives up is cross-shard update
+// delivery order, which was never meaningful (different servers, epochs
+// advance independently); per-shard FIFO is preserved.
 package cluster
 
 import (

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/partition"
@@ -17,6 +18,13 @@ import (
 // automatically.
 type UpdateStream struct {
 	T Transport
+
+	// Fanout bounds how many shards one Apply tick pushes to concurrently:
+	// 0 (default) delivers to every touched shard at once, 1 restores
+	// sequential delivery. Batches bound for the SAME shard always deliver
+	// in FIFO order regardless — only cross-shard deliveries (which were
+	// never ordered: different servers, independent epochs) overlap.
+	Fanout int
 
 	mu      sync.Mutex
 	queue   []streamBatch
@@ -68,30 +76,65 @@ func (s *UpdateStream) Applied() int {
 }
 
 // Apply implements core.UpdateFeed: deliver up to max queued batches to
-// their owning servers. A delivery error leaves the failed batch at the
-// front of the queue and surfaces the error.
+// their owning servers. Batches for distinct shards are pushed in one
+// concurrent scatter round (bounded by Fanout); batches for one shard keep
+// their queue order. On a delivery error the failed batch — and everything
+// queued behind it for the same shard — returns to the front of the queue
+// in original order, the successes still count, and the lowest-part
+// failure surfaces (deterministic regardless of delivery interleaving).
+// Apply is single-consumer (the training loop); Push stays safe from any
+// goroutine.
 func (s *UpdateStream) Apply(max int) (int, error) {
-	n := 0
-	for n < max {
-		s.mu.Lock()
-		if len(s.queue) == 0 {
-			s.mu.Unlock()
-			return n, nil
-		}
-		b := s.queue[0]
-		s.mu.Unlock()
-
-		var reply UpdateReply
-		if err := s.T.Update(b.part, b.req, &reply); err != nil {
-			return n, err
-		}
-
-		s.mu.Lock()
-		// Producers only append; the head we delivered is still index 0.
-		s.queue = s.queue[1:]
-		s.applied++
-		s.mu.Unlock()
-		n++
+	if max <= 0 {
+		return 0, nil
 	}
-	return n, nil
+	s.mu.Lock()
+	take := len(s.queue)
+	if take > max {
+		take = max
+	}
+	taken := make([]streamBatch, take)
+	copy(taken, s.queue)
+	s.queue = s.queue[take:]
+	s.mu.Unlock()
+	if take == 0 {
+		return 0, nil
+	}
+
+	// Group by owning shard, preserving per-shard FIFO order.
+	byPart := make(map[int][]int) // part -> indices into taken, ascending
+	for i, b := range taken {
+		byPart[b.part] = append(byPart[b.part], i)
+	}
+	parts := sortedParts(byPart)
+	done := make([]int, len(parts)) // delivered prefix length per part
+	errs := scatterGather(len(parts), s.Fanout, func(i int) error {
+		for _, k := range byPart[parts[i]] {
+			var reply UpdateReply
+			if err := s.T.Update(taken[k].part, taken[k].req, &reply); err != nil {
+				return err
+			}
+			done[i]++
+		}
+		return nil
+	})
+
+	delivered := 0
+	var undelivered []int
+	for i := range parts {
+		delivered += done[i]
+		undelivered = append(undelivered, byPart[parts[i]][done[i]:]...)
+	}
+	sort.Ints(undelivered) // restore original queue order across shards
+	s.mu.Lock()
+	if len(undelivered) > 0 {
+		redo := make([]streamBatch, 0, len(undelivered)+len(s.queue))
+		for _, k := range undelivered {
+			redo = append(redo, taken[k])
+		}
+		s.queue = append(redo, s.queue...)
+	}
+	s.applied += delivered
+	s.mu.Unlock()
+	return delivered, firstError(errs)
 }

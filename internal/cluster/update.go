@@ -141,15 +141,22 @@ func rawEdges(es []graph.Edge) []RawEdge {
 
 // ApplyDelta routes a snapshot delta (graph.Dynamic.Delta) to the owning
 // servers, grouping mutations per partition. Each per-server batch applies
-// atomically.
+// atomically and the per-server pushes run concurrently (each batch touches
+// a different server); counts fold back in ascending part order and the
+// lowest-part failure surfaces, so results are reproducible.
 func ApplyDelta(servers []*Server, assign func(graph.ID) int, delta graph.EdgeDelta) (added, removed int, err error) {
-	for p, req := range groupByPartition(assign, rawEdges(delta.Added), rawEdges(delta.Removed), nil) {
-		var reply UpdateReply
-		if err := servers[p].ServeUpdate(*req, &reply); err != nil {
-			return added, removed, err
+	reqs := groupByPartition(assign, rawEdges(delta.Added), rawEdges(delta.Removed), nil)
+	parts := sortedParts(reqs)
+	replies := make([]UpdateReply, len(parts))
+	errs := scatterGather(len(parts), 0, func(i int) error {
+		return servers[parts[i]].ServeUpdate(*reqs[parts[i]], &replies[i])
+	})
+	for i := range parts {
+		if errs[i] != nil {
+			return added, removed, errs[i]
 		}
-		added += reply.Added
-		removed += reply.Removed
+		added += replies[i].Added
+		removed += replies[i].Removed
 	}
 	return added, removed, nil
 }
