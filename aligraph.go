@@ -48,9 +48,22 @@
 // snapshot-consistent. Trainer.StreamUpdates (and aligraph-train -stream)
 // interleaves a live UpdateFeed with training batches on that machinery.
 //
+// Above the trainer sits the online serving tier (internal/serve, surfaced
+// as ClusterPlatform.Serve / Platform.Serve and the aligraph-serve command):
+// forward-only embedding, link-score and top-k lookups. Concurrent requests
+// coalesce into one deduplicated encoder mini-batch per flush window;
+// computed embeddings enter an epoch-aware cache keyed by their sampled
+// dependency sets, served only while provably within a bounded lag of every
+// shard's newest epoch. Updates applied through the tier invalidate exactly
+// the cached k-hop in-neighborhood of the touched vertices, and a
+// background refresher re-embeds hot invalidated vertices and restores
+// lag-expired entries with row-level Since proofs instead of recomputing
+// them.
+//
 // See examples/ for runnable end-to-end programs; examples/distributed
 // trains GraphSAGE against net/rpc shards while streaming updates into
-// them.
+// them, and examples/serving runs the inference tier over live shards under
+// churn.
 package aligraph
 
 import (
@@ -65,6 +78,7 @@ import (
 	"repro/internal/operator"
 	"repro/internal/partition"
 	"repro/internal/sampling"
+	"repro/internal/serve"
 	"repro/internal/storage"
 	"repro/internal/tensor"
 )
@@ -491,8 +505,47 @@ func (t *Trainer) Train(steps int) ([]float64, error) { return t.inner.Train(ste
 // Embed returns embeddings for the given vertices.
 func (t *Trainer) Embed(vs []ID) (*Matrix, error) { return t.inner.Embed(vs) }
 
+// EmbedCtx is Embed plus the sampled neighborhood context the embeddings
+// were computed from; the serving tier records it as each embedding's
+// dependency set for scoped cache invalidation.
+func (t *Trainer) EmbedCtx(vs []ID) (*Matrix, *sampling.Context, error) { return t.inner.EmbedCtx(vs) }
+
 // EmbedAll returns embeddings for every vertex in ID order.
 func (t *Trainer) EmbedAll() (*Matrix, error) { return t.inner.EmbedAll() }
 
 // Score returns the dot-product link score of (u, v).
 func (t *Trainer) Score(u, v ID) (float64, error) { return t.inner.Score(u, v) }
+
+// ---------------------------------------------------------------------------
+// Online serving tier
+
+// Serving-tier re-exports; see internal/serve for the full semantics.
+type (
+	// ServeConfig tunes the inference tier (flush window, batch cap,
+	// staleness budget, cache capacity, refresher cadence).
+	ServeConfig = serve.Config
+	// InferenceServer answers coalesced Embed / Score / TopK lookups over
+	// a trained encoder with epoch-aware embedding caching.
+	InferenceServer = serve.Server
+	// ServeStats snapshots the tier's counters.
+	ServeStats = serve.Stats
+	// Scored is one TopK result.
+	Scored = serve.Scored
+)
+
+// Serve starts the online inference tier over a trained model: concurrent
+// lookups coalesce into pipelined encoder mini-batches, cached embeddings
+// are served while provably fresh against the shards' update epochs, and
+// updates pushed through InferenceServer.ApplyUpdate invalidate exactly the
+// touched vertices' cached in-neighborhoods. Close the returned server
+// before the trainer. Inference must not overlap a training Step.
+func (p *ClusterPlatform) Serve(t *Trainer, cfg ServeConfig) *InferenceServer {
+	return serve.New(t.inner, p.Client, cfg)
+}
+
+// Serve starts the inference tier over a local in-memory platform. The
+// in-process graph is immutable, so cached embeddings never expire and no
+// validity tracking runs; coalescing and the LRU cache still apply.
+func (p *Platform) Serve(t *Trainer, cfg ServeConfig) *InferenceServer {
+	return serve.New(t.inner, nil, cfg)
+}

@@ -165,6 +165,38 @@ func (c *Client) MaxObservedHead() uint64 {
 	return h
 }
 
+// ObservedHeads appends the newest head epoch the client has observed per
+// shard (index = partition). A serving tier's embedding cache uses the
+// vector as its staleness clock: entry validity is measured per shard, not
+// against the global max.
+func (c *Client) ObservedHeads(dst []uint64) []uint64 {
+	for part := range c.pins.heads {
+		dst = append(dst, c.pins.heads[part].Load())
+	}
+	return dst
+}
+
+// ObservedAttrHeads appends the newest attribute-rewriting epoch observed
+// per shard, the attribute analogue of ObservedHeads.
+func (c *Client) ObservedAttrHeads(dst []uint64) []uint64 {
+	for part := range c.pins.attrHeads {
+		dst = append(dst, c.pins.attrHeads[part].Load())
+	}
+	return dst
+}
+
+// ProbeHeads issues one concurrent Stats round purely to refresh the
+// observed per-shard head watermarks, returning them (index = partition).
+// This is how a serving tier notices out-of-band churn — updates applied by
+// other writers — even when its own request stream is fully cache-hot and
+// makes no data RPCs. Degraded (down) shards keep their last observed heads.
+func (c *Client) ProbeHeads() ([]uint64, []uint64, error) {
+	if _, err := c.clusterStats(true); err != nil {
+		return nil, nil, err
+	}
+	return c.ObservedHeads(nil), c.ObservedAttrHeads(nil), nil
+}
+
 // degraded reports whether err should be absorbed by stale-serving: the
 // client degrades (Degrade set) and the error is a transport-level failure
 // (never an application error from a live server).
@@ -467,7 +499,11 @@ func (c *Client) clusterStats(refresh bool) ([]StatsReply, error) {
 			// recovery restores its share on the next refresh.
 			stats[p] = StatsReply{}
 			partial = true
+			continue
 		}
+		// Stats replies carry head stamps, so a stats round doubles as a
+		// head probe (noteHead is monotone: a zeroed reply cannot regress).
+		c.pins.noteHead(p, stats[p].Head, stats[p].AttrHead)
 	}
 	if !partial {
 		c.stats = stats
@@ -704,6 +740,66 @@ func (c *Client) attrsObserve(vs []graph.ID, pin *sampling.Pin, note func(part i
 		out[i] = res[v]
 	}
 	return out, nil
+}
+
+// SinceOf fetches, for each vertex, the install stamps of its current
+// type-t adjacency list and attribute row, plus the epoch those stamps were
+// read at on the vertex's owning shard: adj[i] (attr[i]) is the epoch vs[i]'s
+// list (row) was installed at, 0 meaning it predates every update, and
+// upto[i] is the serving epoch of the reply that proved it. Together they
+// certify "vs[i] is unchanged over [max(adj[i],attr[i]), upto[i]]" — the
+// revalidation proof an embedding cache needs to extend an entry's validity
+// interval without recomputing the embedding. One concurrent scatter round
+// (Neighbors + Attrs per owning shard); errors surface, never degrade — a
+// proof built on stale data would defeat its purpose.
+func (c *Client) SinceOf(vs []graph.ID, t graph.EdgeType) (adj, attr, upto []uint64, err error) {
+	subBatch := make(map[int][]graph.ID)
+	idx := make(map[graph.ID]int, len(vs))
+	for i, v := range vs {
+		if _, seen := idx[v]; !seen {
+			idx[v] = i
+			p := c.Assign.Part(v)
+			subBatch[p] = append(subBatch[p], v)
+		}
+	}
+	parts := sortedParts(subBatch)
+	nReplies := make([]NeighborsReply, len(parts))
+	aReplies := make([]AttrsReply, len(parts))
+	errs := c.scatter(parts, func(i, p int) error {
+		if e := c.timed(mNeighbors, func() error {
+			return c.T.Neighbors(p, NeighborsRequest{Vertices: subBatch[p], EdgeType: t}, &nReplies[i])
+		}); e != nil {
+			return e
+		}
+		return c.timed(mAttrs, func() error {
+			return c.T.Attrs(p, AttrsRequest{Vertices: subBatch[p]}, &aReplies[i])
+		})
+	})
+	adj = make([]uint64, len(vs))
+	attr = make([]uint64, len(vs))
+	upto = make([]uint64, len(vs))
+	for i, p := range parts {
+		if errs[i] != nil {
+			return nil, nil, nil, errs[i]
+		}
+		nr, ar := &nReplies[i], &aReplies[i]
+		c.observe(p, nil, nil, nr.Epoch, nr.Head, nr.AttrHead)
+		c.observe(p, nil, nil, ar.Epoch, ar.Head, ar.AttrHead)
+		served := min(nr.Epoch, ar.Epoch)
+		for j, v := range subBatch[p] {
+			k := idx[v]
+			adj[k] = replySince(nr.Since, j, nr.Epoch)
+			attr[k] = replySince(ar.Since, j, ar.Epoch)
+			upto[k] = served
+		}
+	}
+	// Duplicate vertices copy their first occurrence's stamps.
+	for i, v := range vs {
+		if k := idx[v]; k != i {
+			adj[i], attr[i], upto[i] = adj[k], attr[k], upto[k]
+		}
+	}
+	return adj, attr, upto, nil
 }
 
 // MultiHop expands a seed set hop by hop, returning the frontier at each

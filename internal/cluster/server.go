@@ -341,8 +341,13 @@ type AttrsRequest struct {
 // (the version of the returned rows); AttrHead is the server's newest
 // attribute-rewriting epoch regardless of pin. Client attribute caches
 // flush when AttrHead advances and version-gate admissions on AttrEpoch.
+// Since[i] is the epoch at which Attrs[i] was installed (0 = predates every
+// update) — the row-level analogue of NeighborsReply.Since, so an embedding
+// cache's validity interval covers feature changes exactly, per row, not
+// just via the shard-wide AttrEpoch watermark.
 type AttrsReply struct {
 	Attrs     [][]float64
+	Since     []uint64
 	Epoch     uint64
 	AttrEpoch uint64
 	Head      uint64
@@ -382,6 +387,7 @@ func (s *Server) ServeAttrs(req AttrsRequest, reply *AttrsReply) error {
 		return err
 	}
 	reply.Attrs = make([][]float64, len(req.Vertices))
+	reply.Since = make([]uint64, len(req.Vertices))
 	reply.Epoch = view.Epoch()
 	reply.AttrEpoch = view.AttrEpoch()
 	reply.Head = head
@@ -392,6 +398,7 @@ func (s *Server) ServeAttrs(req AttrsRequest, reply *AttrsReply) error {
 			return fmt.Errorf("cluster: server %d does not own vertex %d", s.ID, v)
 		}
 		reply.Attrs[i] = a
+		reply.Since[i] = view.AttrChangedAt(v)
 	}
 	return nil
 }
@@ -449,11 +456,16 @@ type StatsRequest struct{}
 // StatsReply reports local vertex and per-edge-type edge counts and edge
 // weight sums (at the head epoch); clients use the edge counts to spread
 // uniform TRAVERSE batches across servers, and the weight sums to spread
-// weight-proportional ones.
+// weight-proportional ones. Head and AttrHead stamp the head epoch the
+// counters were read at, so a Stats round doubles as a cheap head probe —
+// a serving tier polls it to observe out-of-band churn without touching
+// any vertex data.
 type StatsReply struct {
 	NumVertices  int
 	EdgesByType  []int64
 	WeightByType []float64
+	Head         uint64
+	AttrHead     uint64
 }
 
 // NegPoolRequest asks for the server's negative-sampling candidate counts
@@ -746,6 +758,8 @@ func (s *Server) ServeStats(_ StatsRequest, reply *StatsReply) error {
 	reply.NumVertices = s.store.NumVertices()
 	reply.EdgesByType = view.EdgeCounts(reply.EdgesByType[:0])
 	reply.WeightByType = view.EdgeWeightSums(reply.WeightByType[:0])
+	reply.Head = view.Epoch()
+	reply.AttrHead = view.AttrEpoch()
 	return nil
 }
 

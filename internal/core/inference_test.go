@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// newInferenceTrainer builds a small trained-enough trainer over a cycle
+// graph for inference-path tests.
+func newInferenceTrainer(t *testing.T) *LinkTrainer {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	g := cycleGraph(64)
+	enc := newEncoder(g, NewTableFeatures("emb", g.NumVertices(), 8, rng), []int{8, 8}, false, rng)
+	cfg := DefaultTrainerConfig()
+	cfg.HopNums = []int{3, 2}
+	cfg.Batch = 16
+	tr := NewLinkTrainer(g, enc, cfg, rng)
+	if _, err := tr.Train(5); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestEmbedConcurrent hammers Embed/Score/EmbedCtx from many goroutines on
+// one trainer. Run under -race this proves the inference path shares no
+// mutable state; the result check proves concurrent calls return exactly
+// what sequential calls do (per-call fixed-seed sampling).
+func TestEmbedConcurrent(t *testing.T) {
+	tr := newInferenceTrainer(t)
+
+	vs := []graph.ID{3, 17, 40}
+	want, err := tr.Embed(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScore, err := tr.Score(5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch i % 3 {
+				case 0:
+					m, err := tr.Embed(vs)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					for r := 0; r < m.Rows; r++ {
+						for c := 0; c < m.Cols; c++ {
+							if m.At(r, c) != want.At(r, c) {
+								t.Errorf("worker %d: Embed[%d,%d] = %v, want %v", w, r, c, m.At(r, c), want.At(r, c))
+								return
+							}
+						}
+					}
+				case 1:
+					s, err := tr.Score(5, 6)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if s != wantScore {
+						t.Errorf("worker %d: Score = %v, want %v", w, s, wantScore)
+						return
+					}
+				case 2:
+					m, ctx, err := tr.EmbedCtx([]graph.ID{graph.ID(w), graph.ID(w + 1)})
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if m.Rows != 2 {
+						t.Errorf("worker %d: EmbedCtx rows = %d", w, m.Rows)
+						return
+					}
+					if ctx == nil || len(ctx.Layers) != len(tr.HopNums)+1 {
+						t.Errorf("worker %d: EmbedCtx context layers = %v", w, ctx)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}
+
+// TestEmbedCtxOwnership verifies each EmbedCtx call returns a distinct
+// context whose layer 0 is the input batch — the serving tier walks the
+// deeper layers to record per-vertex sampled dependencies.
+func TestEmbedCtxOwnership(t *testing.T) {
+	tr := newInferenceTrainer(t)
+	_, c1, err := tr.EmbedCtx([]graph.ID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c2, err := tr.EmbedCtx([]graph.ID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Fatal("EmbedCtx returned a shared context")
+	}
+	if len(c1.Layers[0]) != 2 || c1.Layers[0][0] != 1 || c1.Layers[0][1] != 2 {
+		t.Fatalf("layer 0 = %v, want input batch", c1.Layers[0])
+	}
+	// Deterministic sampling: identical inputs sample identical contexts.
+	for h := range c1.Layers {
+		if len(c1.Layers[h]) != len(c2.Layers[h]) {
+			t.Fatalf("layer %d lengths differ: %d vs %d", h, len(c1.Layers[h]), len(c2.Layers[h]))
+		}
+		for i := range c1.Layers[h] {
+			if c1.Layers[h][i] != c2.Layers[h][i] {
+				t.Fatalf("layer %d slot %d: %d vs %d", h, i, c1.Layers[h][i], c2.Layers[h][i])
+			}
+		}
+	}
+}

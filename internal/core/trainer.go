@@ -112,22 +112,21 @@ type LinkTrainer struct {
 	source   BatchSource
 	external bool
 
-	// srng seeds NEIGHBORHOOD expansion in sync mode and inference; created
-	// lazily from Rng on first use (after the first batch's edge and
-	// negative draws, which keeps the historical draw order). infSrng
-	// replaces it for inference in external-source mode, where the
-	// producers own Rng; infCtx is the inference context buffer.
-	srng    *sampling.Rng
-	infSrng *sampling.Rng
-	infCtx  sampling.Context
+	// srng seeds NEIGHBORHOOD expansion in sync mode; created lazily from
+	// Rng on first use (after the first batch's edge and negative draws,
+	// which keeps the historical draw order). Inference never touches it:
+	// Embed/Score/EmbedAll sample from a per-call fixed-seed stream, so
+	// they are safe for concurrent callers and repeatable call over call.
+	srng *sampling.Rng
 
 	prefetch    PrefetchingFeatures
 	prefetchSet bool
 }
 
-// inferenceSeed seeds the dedicated inference sampling stream used while an
-// external BatchSource owns the training streams (any fixed constant works;
-// inference must simply be deterministic and race-free).
+// inferenceSeed seeds the per-call inference sampling stream (any fixed
+// constant works; inference must simply be deterministic and race-free —
+// every Embed/Score call starts its own stream here, so concurrent calls
+// never contend and identical inputs sample identical contexts).
 const inferenceSeed = 0xA1160A1160A11601
 
 // TrainerConfig bundles LinkTrainer construction options.
@@ -244,21 +243,6 @@ func (tr *LinkTrainer) ensureSrng() {
 	}
 }
 
-// inferenceRng returns the sampling stream for Embed/Score/EmbedAll. In
-// sync mode it is the training stream (matching the historical shared
-// stream); with an external source the producers own that stream, so
-// inference draws from its own fixed-seed stream and never races them.
-func (tr *LinkTrainer) inferenceRng() *sampling.Rng {
-	if tr.external {
-		if tr.infSrng == nil {
-			tr.infSrng = sampling.NewRng(inferenceSeed)
-		}
-		return tr.infSrng
-	}
-	tr.ensureSrng()
-	return tr.srng
-}
-
 // prefetcher returns the feature source's prefetching capability, if any.
 func (tr *LinkTrainer) prefetcher() PrefetchingFeatures {
 	if !tr.prefetchSet {
@@ -353,33 +337,51 @@ func (tr *LinkTrainer) encodeTrain(t *nn.Tape, mb *MiniBatch, i int, vs []graph.
 	return tr.Enc.Encode(t, &mb.Ctxs[i]), nil
 }
 
-// encodeInference samples a context for vs (ContextFn or the inference
-// stream) and encodes it; used by Embed/Score/EmbedAll.
-func (tr *LinkTrainer) encodeInference(t *nn.Tape, vs []graph.ID) (*nn.Node, error) {
+// encodeInference samples a context for vs (ContextFn or a per-call
+// fixed-seed inference stream) and encodes it; used by Embed/Score/
+// EmbedAll. All state is call-local — a fresh Context and a fresh Rng
+// seeded with inferenceSeed — so concurrent callers never share buffers
+// or streams, and the same vs always samples the same context.
+func (tr *LinkTrainer) encodeInference(t *nn.Tape, vs []graph.ID) (*nn.Node, *sampling.Context, error) {
 	if tr.ContextFn != nil {
 		ctx, err := tr.ContextFn(vs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return tr.Enc.Encode(t, ctx), nil
+		return tr.Enc.Encode(t, ctx), ctx, nil
 	}
-	if err := tr.nbr.SampleInto(&tr.infCtx, tr.EdgeType, vs, tr.HopNums, tr.inferenceRng()); err != nil {
-		return nil, err
+	ctx := new(sampling.Context)
+	if err := tr.nbr.SampleInto(ctx, tr.EdgeType, vs, tr.HopNums, sampling.NewRng(inferenceSeed)); err != nil {
+		return nil, nil, err
 	}
-	return tr.Enc.Encode(t, &tr.infCtx), nil
+	return tr.Enc.Encode(t, ctx), ctx, nil
 }
 
-// Embed encodes vertices for inference (no gradient is consumed).
+// Embed encodes vertices for inference (no gradient is consumed). Safe for
+// concurrent callers when ContextFn is nil (or the ContextFn itself is
+// goroutine-safe), and deterministic: the same vs yield the same rows.
+// Inference must not overlap a training Step — the encoder's feature
+// source may hold per-step prefetch state.
 func (tr *LinkTrainer) Embed(vs []graph.ID) (*tensor.Matrix, error) {
-	t := nn.NewTape()
-	h, err := tr.encodeInference(t, vs)
-	if err != nil {
-		return nil, err
-	}
-	return h.Val.Clone(), nil
+	m, _, err := tr.EmbedCtx(vs)
+	return m, err
 }
 
-// Score returns the dot-product link score of (u, v).
+// EmbedCtx is Embed plus the sampled neighborhood context the embeddings
+// were computed from. The context is freshly allocated per call and owned
+// by the caller; a serving tier uses it to register each input vertex's
+// sampled dependency set for cache invalidation.
+func (tr *LinkTrainer) EmbedCtx(vs []graph.ID) (*tensor.Matrix, *sampling.Context, error) {
+	t := nn.NewTape()
+	h, ctx, err := tr.encodeInference(t, vs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h.Val.Clone(), ctx, nil
+}
+
+// Score returns the dot-product link score of (u, v). Safe for concurrent
+// callers under the same conditions as Embed.
 func (tr *LinkTrainer) Score(u, v graph.ID) (float64, error) {
 	m, err := tr.Embed([]graph.ID{u, v})
 	if err != nil {
@@ -393,7 +395,8 @@ func (tr *LinkTrainer) Score(u, v graph.ID) (float64, error) {
 }
 
 // EmbedAll encodes every vertex in id order (n x d); used by evaluation and
-// by the export tooling.
+// by the export tooling. Safe for concurrent callers under the same
+// conditions as Embed.
 func (tr *LinkTrainer) EmbedAll() (*tensor.Matrix, error) {
 	n := tr.Env.NumVertices()
 	out := tensor.New(n, tr.Enc.OutDim())

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/sampling"
+	"repro/internal/tensor"
+)
+
+// stubEmbedder is a deterministic Embedder with controllable latency and
+// dependency sets: vertex v embeds to [v, v*2] and depends on {v, v+100}
+// (one sampled "neighbor" per vertex, HopNums = [1]).
+type stubEmbedder struct {
+	mu      sync.Mutex
+	calls   int
+	batches [][]graph.ID
+	delay   time.Duration
+	err     error
+}
+
+func (e *stubEmbedder) EmbedCtx(vs []graph.ID) (*tensor.Matrix, *sampling.Context, error) {
+	e.mu.Lock()
+	e.calls++
+	e.batches = append(e.batches, append([]graph.ID(nil), vs...))
+	err := e.err
+	e.mu.Unlock()
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	m := tensor.New(len(vs), 2)
+	ctx := &sampling.Context{HopNums: []int{1}, Layers: make([][]graph.ID, 2)}
+	ctx.Layers[0] = append([]graph.ID(nil), vs...)
+	for i, v := range vs {
+		m.Set(i, 0, float64(v))
+		m.Set(i, 1, float64(v)*2)
+		ctx.Layers[1] = append(ctx.Layers[1], v+100)
+	}
+	return m, ctx, nil
+}
+
+func (e *stubEmbedder) stats() (int, [][]graph.ID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calls, e.batches
+}
+
+// TestCoalescerMergesConcurrentLookups: N concurrent single-vertex lookups
+// released together must collapse into far fewer encoder calls than N, and
+// every caller must still get its own correct row.
+func TestCoalescerMergesConcurrentLookups(t *testing.T) {
+	emb := &stubEmbedder{delay: 2 * time.Millisecond}
+	s := New(emb, nil, Config{FlushWindow: 20 * time.Millisecond, MaxBatch: 64})
+	defer s.Close()
+
+	const n = 32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v := graph.ID(i)
+			vec, err := s.Embed(v)
+			if err != nil || len(vec) != 2 || vec[0] != float64(v) || vec[1] != float64(v)*2 {
+				bad.Add(1)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d lookups returned wrong rows", bad.Load())
+	}
+	calls, _ := emb.stats()
+	if calls >= n/2 {
+		t.Fatalf("32 concurrent lookups took %d encoder calls; coalescing is not happening", calls)
+	}
+	if st := s.Stats(); st.Requests != n || st.Batches >= n/2 {
+		t.Fatalf("stats = %+v, want %d requests across few coalesced flushes", st, n)
+	}
+}
+
+// TestCoalescerBatchSizeTrigger: with an effectively infinite flush window,
+// the pending set reaching MaxBatch must flush by itself.
+func TestCoalescerBatchSizeTrigger(t *testing.T) {
+	emb := &stubEmbedder{}
+	s := New(emb, nil, Config{FlushWindow: time.Minute, MaxBatch: 8})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Embed(graph.ID(i)); err != nil {
+				t.Errorf("embed: %v", err)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("MaxBatch pending requests did not trigger a flush before the window")
+	}
+}
+
+// TestCoalescerDedup: concurrent lookups of the SAME vertex share one
+// encoder slot.
+func TestCoalescerDedup(t *testing.T) {
+	emb := &stubEmbedder{delay: time.Millisecond}
+	s := New(emb, nil, Config{FlushWindow: 20 * time.Millisecond, MaxBatch: 64})
+	defer s.Close()
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			vec, err := s.Embed(7)
+			if err != nil || vec[0] != 7 {
+				t.Errorf("embed: %v %v", vec, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	_, batches := emb.stats()
+	for _, b := range batches {
+		seen := map[graph.ID]bool{}
+		for _, v := range b {
+			if seen[v] {
+				t.Fatalf("batch %v contains a duplicate vertex", b)
+			}
+			seen[v] = true
+		}
+	}
+	if st := s.Stats(); st.Embedded > int64(len(batches)) {
+		t.Fatalf("%d vertices embedded across %d batches; dedup failed", st.Embedded, len(batches))
+	}
+}
+
+// TestFlushWindowElapses: a lone request must not wait for company — the
+// window expiring flushes a batch of one.
+func TestFlushWindowElapses(t *testing.T) {
+	emb := &stubEmbedder{}
+	s := New(emb, nil, Config{FlushWindow: 5 * time.Millisecond, MaxBatch: 64})
+	defer s.Close()
+	vec, err := s.Embed(3)
+	if err != nil || vec[0] != 3 {
+		t.Fatalf("lone embed: %v %v", vec, err)
+	}
+	// Second lookup of the same vertex is a pure cache hit (local mode
+	// entries never expire).
+	if _, err := s.Embed(3); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Cache.Hits != 1 || st.Embedded != 1 {
+		t.Fatalf("stats = %+v, want one embedded vertex then one hit", st)
+	}
+}
+
+// TestEmbedErrorPropagates: an encoder failure reaches every waiting caller
+// and does not poison later flushes.
+func TestEmbedErrorPropagates(t *testing.T) {
+	emb := &stubEmbedder{err: errors.New("shard down")}
+	s := New(emb, nil, Config{FlushWindow: time.Millisecond, MaxBatch: 4})
+	defer s.Close()
+	if _, err := s.Embed(1); err == nil || err.Error() != "shard down" {
+		t.Fatalf("err = %v, want the encoder failure", err)
+	}
+	emb.mu.Lock()
+	emb.err = nil
+	emb.mu.Unlock()
+	if _, err := s.Embed(1); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+}
+
+// TestCloseReleasesGoroutines: Close stops the coalescer and refresher (no
+// goroutine leak) and later lookups fail fast with ErrClosed.
+func TestCloseReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		emb := &stubEmbedder{}
+		s := New(emb, nil, Config{FlushWindow: time.Millisecond, RefreshEvery: time.Millisecond})
+		if _, err := s.Embed(graph.ID(i)); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		s.Close() // idempotent
+		if _, err := s.Embed(99); !errors.Is(err, ErrClosed) {
+			t.Fatalf("post-Close embed err = %v, want ErrClosed", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines: %d before, %d after five create/Close cycles", before, now)
+	}
+}
+
+// TestTopKOrders: TopK scores through one coalesced batch and returns
+// descending scores.
+func TestTopKOrders(t *testing.T) {
+	emb := &stubEmbedder{}
+	s := New(emb, nil, Config{FlushWindow: time.Millisecond})
+	defer s.Close()
+	// Score(src=2, c) = 2c + 4*2c = 10c: monotone in c.
+	top, err := s.TopK(2, []graph.ID{5, 9, 1, 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 || top[0].V != 9 || top[1].V != 7 || top[2].V != 5 {
+		t.Fatalf("topk = %+v, want candidates 9,7,5", top)
+	}
+	if sc, err := s.Score(2, 9); err != nil || sc != top[0].Score {
+		t.Fatalf("Score = %v (%v), want %v", sc, err, top[0].Score)
+	}
+}

@@ -1,0 +1,444 @@
+package storage
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// EmbeddingCache is the serving tier's epoch-aware embedding store: the
+// validity-interval seam the neighbor caches established (PR 5), applied to
+// computed embeddings instead of adjacency lists. An entry is an embedding
+// vector plus the exact dependency set it was computed from (the sampled
+// k-hop context) and a per-shard basis — the newest epoch of each shard at
+// which the entry is PROVEN current. Three clocks interact:
+//
+//   - heads: the newest epoch observed per shard, by any means (reply
+//     stamps, head probes). The staleness clock.
+//   - basis (per entry): epochs at which the entry's dependencies were
+//     known unchanged — its admission snapshot, raised by revalidation
+//     proofs (Client.SinceOf) without recomputing the embedding.
+//   - covered: the invalidation frontier — the newest epoch per shard whose
+//     touched-vertex set has been fully applied to the cache. Entries that
+//     survive an Invalidate round are implicitly proven current at that
+//     round's epoch, so scoped invalidation ("only the k-hop in-neighborhood
+//     of touched vertices") does not silently age every OTHER entry out of
+//     its lag budget.
+//
+// Get serves an entry only while max over shards of (heads - effective
+// basis) is within the caller's lag budget, where effective basis is
+// max(entry basis, covered): a served embedding can never be more than
+// maxLag update epochs older than the newest state observed anywhere. Epochs
+// applied out-of-band (by writers that do not route through Invalidate)
+// leave covered behind, the lag grows, and the bound forces recomputation —
+// exactly the fallback a shared live graph needs.
+//
+// Invalidated and lag-expired vertices accumulate in a hotness-ranked dirty
+// queue (TakeDirty) for a background refresher to re-embed ahead of demand.
+//
+// All methods are safe for concurrent use.
+type EmbeddingCache struct {
+	mu sync.Mutex
+
+	cap     int
+	entries map[graph.ID]*embEntry
+	order   *list.List // front = most recently used
+
+	// dependents inverts the dependency sets: dependency vertex -> the
+	// cached vertices whose embeddings consumed it. An update touching d
+	// invalidates exactly dependents[d] — the cached part of d's k-hop
+	// in-neighborhood — and nothing else.
+	dependents map[graph.ID]map[graph.ID]struct{}
+
+	heads   []uint64
+	covered []uint64
+
+	// rounds is a bounded ring of recent invalidation rounds. Admissions
+	// are checked against it: an entry whose basis snapshot predates a
+	// round that touched one of its dependencies was computed from data of
+	// unknown generation and is rejected. ringFloor tracks, per shard, the
+	// newest epoch evicted from the ring; a basis older than the floor can
+	// no longer be checked and is rejected too (conservative).
+	rounds    []invalRound
+	ringHead  int
+	ringFloor []uint64
+
+	dirty map[graph.ID]int64 // vertex -> hotness (hits at drop time)
+
+	stats EmbeddingCacheStats
+}
+
+type embEntry struct {
+	v     graph.ID
+	vec   []float64
+	deps  []graph.ID
+	basis []uint64
+	elem  *list.Element
+	hits  int64
+}
+
+type invalRound struct {
+	part    int
+	epoch   uint64
+	touched map[graph.ID]struct{}
+}
+
+// EmbeddingCacheStats are the cache's cumulative counters (plus the current
+// entry and dirty-queue sizes).
+type EmbeddingCacheStats struct {
+	Hits, Misses, StaleRejects    int64
+	Admits, AdmitRejects, Evicted int64
+	Invalidated                   int64
+	Entries, Dirty                int
+}
+
+// invalRingCap bounds the invalidation-round ring; 256 rounds comfortably
+// covers every admission in flight during a churn storm.
+const invalRingCap = 256
+
+// NewEmbeddingCache creates a cache over parts shards holding at most cap
+// entries (cap <= 0 means 1).
+func NewEmbeddingCache(parts, cap int) *EmbeddingCache {
+	if parts < 1 {
+		parts = 1
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	return &EmbeddingCache{
+		cap:        cap,
+		entries:    make(map[graph.ID]*embEntry),
+		order:      list.New(),
+		dependents: make(map[graph.ID]map[graph.ID]struct{}),
+		heads:      make([]uint64, parts),
+		covered:    make([]uint64, parts),
+		ringFloor:  make([]uint64, parts),
+		dirty:      make(map[graph.ID]int64),
+	}
+}
+
+// InitCovered seeds the heads clock AND the invalidation frontier from a
+// startup head probe: epochs at or below the probe predate every cache
+// entry, so they count as processed. Call once, before serving.
+func (c *EmbeddingCache) InitCovered(heads []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for p := 0; p < len(c.heads) && p < len(heads); p++ {
+		if heads[p] > c.heads[p] {
+			c.heads[p] = heads[p]
+		}
+		if heads[p] > c.covered[p] {
+			c.covered[p] = heads[p]
+		}
+		if heads[p] > c.ringFloor[p] {
+			c.ringFloor[p] = heads[p]
+		}
+	}
+}
+
+// NoteHeads raises the per-shard staleness clock to the observed heads.
+func (c *EmbeddingCache) NoteHeads(heads []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for p := 0; p < len(c.heads) && p < len(heads); p++ {
+		if heads[p] > c.heads[p] {
+			c.heads[p] = heads[p]
+		}
+	}
+}
+
+// lagLocked reports the entry's worst-shard staleness: max over shards of
+// heads minus the effective (basis-or-covered) proven epoch.
+func (c *EmbeddingCache) lagLocked(e *embEntry) uint64 {
+	lag := uint64(0)
+	for p := range c.heads {
+		valid := e.basis[p]
+		if c.covered[p] > valid {
+			valid = c.covered[p]
+		}
+		if c.heads[p] > valid && c.heads[p]-valid > lag {
+			lag = c.heads[p] - valid
+		}
+	}
+	return lag
+}
+
+// Get returns v's cached embedding if it is present and within maxLag
+// update epochs of every shard's newest observed head. A stale entry is not
+// served; it is queued dirty so a refresher can revalidate or re-embed it.
+// The returned slice is shared — callers must not mutate it.
+func (c *EmbeddingCache) Get(v graph.ID, maxLag uint64) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[v]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	if c.lagLocked(e) > maxLag {
+		c.stats.StaleRejects++
+		if e.hits+1 > c.dirty[v] {
+			c.dirty[v] = e.hits + 1
+		}
+		return nil, false
+	}
+	e.hits++
+	c.order.MoveToFront(e.elem)
+	c.stats.Hits++
+	return e.vec, true
+}
+
+// Admit installs v's embedding, computed from deps (the sampled context,
+// including v itself) with the per-shard basis snapshot taken BEFORE the
+// computation read any graph data. The admission is rejected when an
+// invalidation round newer than the basis touched one of the deps — the
+// computation may have consumed data of an unknown generation — or when the
+// basis is too old for the retained ring to prove otherwise.
+func (c *EmbeddingCache) Admit(v graph.ID, vec []float64, deps []graph.ID, basis []uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := make([]uint64, len(c.heads))
+	for p := range b {
+		if p < len(basis) {
+			b[p] = basis[p]
+		}
+		if b[p] < c.ringFloor[p] {
+			// Rounds the basis would need checking against are gone.
+			c.stats.AdmitRejects++
+			return false
+		}
+	}
+	for _, r := range c.rounds {
+		if r.touched == nil || r.epoch <= b[r.part] {
+			continue
+		}
+		for _, d := range deps {
+			if _, hit := r.touched[d]; hit {
+				c.stats.AdmitRejects++
+				return false
+			}
+		}
+	}
+
+	if old, ok := c.entries[v]; ok {
+		c.removeLocked(old)
+	}
+	for c.len() >= c.cap {
+		lru := c.order.Back()
+		if lru == nil {
+			break
+		}
+		c.removeLocked(lru.Value.(*embEntry))
+		c.stats.Evicted++
+	}
+	e := &embEntry{v: v, vec: vec, deps: deps, basis: b}
+	e.elem = c.order.PushFront(e)
+	c.entries[v] = e
+	for _, d := range deps {
+		set, ok := c.dependents[d]
+		if !ok {
+			set = make(map[graph.ID]struct{})
+			c.dependents[d] = set
+		}
+		set[v] = struct{}{}
+	}
+	delete(c.dirty, v) // freshly embedded: no longer needs refreshing
+	c.stats.Admits++
+	return true
+}
+
+func (c *EmbeddingCache) len() int { return len(c.entries) }
+
+// removeLocked unlinks e from the entry map, the LRU order and the
+// dependency index.
+func (c *EmbeddingCache) removeLocked(e *embEntry) {
+	delete(c.entries, e.v)
+	c.order.Remove(e.elem)
+	for _, d := range e.deps {
+		if set, ok := c.dependents[d]; ok {
+			delete(set, e.v)
+			if len(set) == 0 {
+				delete(c.dependents, d)
+			}
+		}
+	}
+}
+
+// Invalidate applies one update round: epoch is the new head epoch of part,
+// touched are the vertices whose adjacency or attributes the round rewrote.
+// Exactly the cached entries depending on a touched vertex — the cached
+// part of the touched set's k-hop in-neighborhood — are dropped (and queued
+// dirty, hotness-ranked, for proactive re-embedding); every other entry is
+// untouched and, when the round extends the contiguous frontier, implicitly
+// revalidated at epoch. Returns how many entries were dropped.
+func (c *EmbeddingCache) Invalidate(part int, epoch uint64, touched []graph.ID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if part < 0 || part >= len(c.heads) {
+		return 0
+	}
+	dropped := 0
+	for _, d := range touched {
+		set, ok := c.dependents[d]
+		if !ok {
+			continue
+		}
+		for v := range set {
+			e := c.entries[v]
+			if h := e.hits + 1; h > c.dirty[v] {
+				c.dirty[v] = h
+			}
+			c.removeLocked(e)
+			dropped++
+		}
+	}
+	c.stats.Invalidated += int64(dropped)
+	if epoch > c.heads[part] {
+		c.heads[part] = epoch
+	}
+	if epoch == c.covered[part]+1 {
+		// Contiguous: every epoch <= epoch is now fully processed, so the
+		// surviving entries are proven current at it. A gap means a foreign
+		// writer's epochs were never routed through here; covered stays put
+		// and the lag bound takes over.
+		c.covered[part] = epoch
+	}
+	// Record the round for admission-race checks.
+	ts := make(map[graph.ID]struct{}, len(touched))
+	for _, d := range touched {
+		ts[d] = struct{}{}
+	}
+	r := invalRound{part: part, epoch: epoch, touched: ts}
+	if len(c.rounds) < invalRingCap {
+		c.rounds = append(c.rounds, r)
+	} else {
+		old := c.rounds[c.ringHead]
+		if old.epoch > c.ringFloor[old.part] {
+			c.ringFloor[old.part] = old.epoch
+		}
+		c.rounds[c.ringHead] = r
+		c.ringHead = (c.ringHead + 1) % invalRingCap
+	}
+	return dropped
+}
+
+// TakeDirty pops up to max invalidated or lag-expired vertices, hottest
+// first — the refresher's work queue for re-embedding ahead of demand.
+func (c *EmbeddingCache) TakeDirty(max int) []graph.ID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if max <= 0 || len(c.dirty) == 0 {
+		return nil
+	}
+	type hv struct {
+		v graph.ID
+		h int64
+	}
+	all := make([]hv, 0, len(c.dirty))
+	for v, h := range c.dirty {
+		all = append(all, hv{v, h})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].h != all[j].h {
+			return all[i].h > all[j].h
+		}
+		return all[i].v < all[j].v
+	})
+	if max > len(all) {
+		max = len(all)
+	}
+	out := make([]graph.ID, max)
+	for i := 0; i < max; i++ {
+		out[i] = all[i].v
+		delete(c.dirty, all[i].v)
+	}
+	return out
+}
+
+// StaleEntry describes a cached-but-lag-expired entry for revalidation.
+type StaleEntry struct {
+	V    graph.ID
+	Deps []graph.ID
+	// Basis is the entry's effective proven epoch per shard.
+	Basis []uint64
+}
+
+// Stale returns up to max entries whose lag exceeds maxLag — present, not
+// serveable. A refresher can revalidate them with one SinceOf round instead
+// of recomputing: if every dependency's install stamp is at or below the
+// entry's basis, the embedding is still exact and SetBasis restores it.
+func (c *EmbeddingCache) Stale(maxLag uint64, max int) []StaleEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []StaleEntry
+	for el := c.order.Front(); el != nil && len(out) < max; el = el.Next() {
+		e := el.Value.(*embEntry)
+		if c.lagLocked(e) <= maxLag {
+			continue
+		}
+		basis := make([]uint64, len(e.basis))
+		for p := range basis {
+			basis[p] = e.basis[p]
+			if c.covered[p] > basis[p] {
+				basis[p] = c.covered[p]
+			}
+		}
+		out = append(out, StaleEntry{V: e.v, Deps: e.deps, Basis: basis})
+	}
+	return out
+}
+
+// SetBasis raises v's per-shard proven epochs after a revalidation proof
+// (never lowers them). No-op when v is no longer cached.
+func (c *EmbeddingCache) SetBasis(v graph.ID, basis []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[v]
+	if !ok {
+		return
+	}
+	for p := 0; p < len(e.basis) && p < len(basis); p++ {
+		if basis[p] > e.basis[p] {
+			e.basis[p] = basis[p]
+		}
+	}
+	delete(c.dirty, v)
+}
+
+// Contains reports whether v is cached, regardless of staleness (tests
+// assert invalidation scope with it; it does not touch LRU order or stats).
+func (c *EmbeddingCache) Contains(v graph.ID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[v]
+	return ok
+}
+
+// Len reports the current entry count.
+func (c *EmbeddingCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats snapshots the cache counters.
+func (c *EmbeddingCache) Stats() EmbeddingCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = len(c.entries)
+	st.Dirty = len(c.dirty)
+	return st
+}
+
+// Flush drops every entry and the dirty queue (epoch-numbering restarts).
+func (c *EmbeddingCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[graph.ID]*embEntry)
+	c.order.Init()
+	c.dependents = make(map[graph.ID]map[graph.ID]struct{})
+	c.dirty = make(map[graph.ID]int64)
+}

@@ -195,8 +195,10 @@ type baseState struct {
 	// epoch at which the vertex's current list was installed (absent = the
 	// list predates every update). Serving layers report it as the Since
 	// stamp on replies, so cache entries never claim validity across an
-	// update the base has absorbed.
-	since map[akey]uint64
+	// update the base has absorbed. attrSince is the same discipline for
+	// attribute rows rewritten by SetAttr and later folded into the base.
+	since     map[akey]uint64
+	attrSince map[graph.ID]uint64
 
 	aliasMu  sync.Mutex
 	alias    []atomic.Pointer[sampling.AliasIndex] // per type; slot-indexed, immutable
@@ -867,12 +869,16 @@ func (s *Store) Compact() (CompactStats, error) {
 		weightsPos: make([]float64, s.numTypes),
 		attrs:      make(map[graph.ID][]float64, len(oldBase.attrs)),
 		since:      make(map[akey]uint64, len(oldBase.since)+len(fold.adj)),
+		attrSince:  make(map[graph.ID]uint64, len(oldBase.attrSince)+len(fold.attrs)),
 		alias:      make([]atomic.Pointer[sampling.AliasIndex], s.numTypes),
 		degAlias:   make([]atomic.Pointer[baseDegree], s.numTypes),
 		wtAlias:    make([]atomic.Pointer[baseDegree], s.numTypes),
 	}
 	for k, e := range oldBase.since {
 		nb.since[k] = e
+	}
+	for v, e := range oldBase.attrSince {
+		nb.attrSince[v] = e
 	}
 	for t := 0; t < s.numTypes; t++ {
 		oc := &oldBase.csr[t]
@@ -911,6 +917,9 @@ func (s *Store) Compact() (CompactStats, error) {
 	}
 	for v, a := range fold.attrs {
 		nb.attrs[v] = a.row
+		if a.epoch > 0 {
+			nb.attrSince[v] = a.epoch
+		}
 	}
 
 	// Rebase the retained overlays: drop every entry the new base covers.

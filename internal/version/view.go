@@ -90,6 +90,21 @@ func (v View) ChangedAt(x graph.ID, t graph.EdgeType) uint64 {
 	return v.b.since[akey{x, t}]
 }
 
+// AttrChangedAt reports the epoch at which x's attribute row, as served at
+// this view, was installed: the overlay row's stamp for rewritten rows, the
+// base's fold stamp for rows a compaction absorbed, and 0 for rows that
+// predate every update. The attribute analogue of ChangedAt — serving
+// layers stamp attr replies with it so an embedding cache's validity
+// interval covers feature changes too, not just adjacency.
+func (v View) AttrChangedAt(x graph.ID) uint64 {
+	if v.ov != nil {
+		if a, ok := v.ov.attrs[x]; ok {
+			return a.epoch
+		}
+	}
+	return v.b.attrSince[x]
+}
+
 // AliasIndex returns the slot-indexed weighted-draw index over THIS view's
 // base (built lazily, immutable, shared). It is valid for every vertex
 // whose NeighborsSlot reports touched == false; after a compaction, views
