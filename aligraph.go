@@ -60,6 +60,23 @@
 // lag-expired entries with row-level Since proofs instead of recomputing
 // them.
 //
+// Observability (internal/obs) is always on and shared by every layer: the
+// cluster client keeps per-(edge type, hop) sampling lanes (time, RPC fan-out,
+// cache hit / epoch-miss / degraded-draw rates per hop), servers time every
+// RPC handler and compaction fold, the pipeline times each batch-lifecycle
+// stage (schedule / sample / prefetch / consume, plus park and replay
+// counts), and the serving tier folds its counters into the same registry.
+// Instruments are lock-free atomics and log-bucketed histograms owned
+// directly by the hot paths — recording costs a clock read and a few atomic
+// adds, never an allocation or a lock, and never touches a random stream, so
+// deterministic training stays bit-identical with instrumentation on. A
+// registry names the instruments for one process; obs.Serve exposes its
+// snapshot over HTTP (text at /metrics, JSON at /metrics.json, pprof under
+// /debug/pprof/) — every shipped binary takes -metrics-addr. Register a
+// trainer with Trainer.RegisterObs, a client with cluster.Client.RegisterObs,
+// a server with cluster.Server.RegisterObs, the serving tier with
+// serve.Server.RegisterObs.
+//
 // See examples/ for runnable end-to-end programs; examples/distributed
 // trains GraphSAGE against net/rpc shards while streaming updates into
 // them, and examples/serving runs the inference tier over live shards under
@@ -75,6 +92,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/operator"
 	"repro/internal/partition"
 	"repro/internal/sampling"
@@ -272,6 +290,17 @@ func (t *Trainer) Close() error {
 		t.releasePins()
 	}
 	return err
+}
+
+// RegisterObs names the trainer's batch-pipeline instruments (per-stage
+// latency histograms, park/replay counters, ring occupancy) in r under
+// core.pipeline.*. A no-op on synchronous (depth-0) trainers, which have no
+// pipeline; cluster sampling metrics live on the client — register those via
+// cluster.Client.RegisterObs.
+func (t *Trainer) RegisterObs(r *obs.Registry) {
+	if t.pl != nil {
+		t.pl.RegisterObs(r)
+	}
 }
 
 // withPipeline installs a prefetching source when cfg asks for one.

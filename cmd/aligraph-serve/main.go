@@ -13,7 +13,11 @@
 // workers — optionally against live churn (-churn in-band|out-of-band) —
 // prints qps, p50/p99 latency, cache hit rate and staleness counters, and
 // exits (the CI smoke mode). With -http the same surface is served over
-// HTTP: /embed?v=3, /score?u=1&v=2, /topk?src=1&k=5, /stats.
+// HTTP: /embed?v=3, /score?u=1&v=2, /topk?src=1&k=5, /stats. -metrics-addr
+// exposes the full observability registry (client RPC and per-hop sampling
+// metrics plus the tier's lookup/flush histograms) at /metrics and
+// /metrics.json; -stats prints the client's per-method and per-(edge type,
+// hop) breakdown at shutdown.
 //
 // Usage:
 //
@@ -38,6 +42,7 @@ import (
 
 	aligraph "repro"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -60,6 +65,8 @@ func main() {
 		churn        = flag.String("churn", "", "push one synthetic edge update per 10 lookups: 'in-band' (through the tier, scoped invalidation) or 'out-of-band' (directly to shards, refresher-driven)")
 		rpcTimeout   = flag.Duration("rpc-timeout", 5*time.Second, "per-RPC deadline")
 		rpcRetries   = flag.Int("rpc-retries", 4, "attempts per idempotent RPC")
+		stats        = flag.Bool("stats", false, "print per-RPC client metrics (per-method and per-hop) at shutdown")
+		metricsAddr  = flag.String("metrics-addr", "", "serve observability on this address (/metrics text, /metrics.json, /debug/pprof/)")
 	)
 	flag.Parse()
 	if *clusterAddrs == "" {
@@ -97,6 +104,14 @@ func main() {
 	fmt.Printf("cluster: %d shards, %d vertices, %d vertex / %d edge types (bootstrapped)\n",
 		assign.P, numVertices, schema.NumVertexTypes(), schema.NumEdgeTypes())
 
+	// One registry for the whole process: the cluster client's RPC and
+	// per-(edge type, hop) sampling metrics plus the serving tier's counters.
+	reg := obs.NewRegistry()
+	cp.Client.RegisterObs(reg)
+	if *stats {
+		defer func() { fmt.Printf("client metrics:\n%s", cp.Client.Metrics()) }()
+	}
+
 	tc := aligraph.DefaultTrainConfig()
 	tc.Dim = *dim
 	tc.EdgeType = aligraph.EdgeType(*edgeType)
@@ -123,6 +138,16 @@ func main() {
 		EdgeType:     aligraph.EdgeType(*edgeType),
 	})
 	defer srv.Close()
+	trainer.RegisterObs(reg)
+	srv.RegisterObs(reg)
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer msrv.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", msrv.Addr)
+	}
 
 	if *load > 0 {
 		runLoad(srv, cp, pushT, assign.P, numVertices, aligraph.EdgeType(*edgeType), *load, *concurrency, *churn)

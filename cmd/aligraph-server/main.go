@@ -11,7 +11,9 @@
 // also self-triggers on an overlay-size threshold (-compact-threshold), so
 // a server under an unbounded update stream runs in bounded memory:
 // overlays behind the retention window fold into the base while leased
-// epochs stay readable and clients observe nothing. A full cluster is one
+// epochs stay readable and clients observe nothing. -metrics-addr serves
+// the shard's observability registry (per-RPC latency histograms,
+// snapshot-store gauges) at /metrics, /metrics.json and /debug/pprof/. A full cluster is one
 // aligraph-server process per partition; clients dial all of them
 // (`aligraph-train -cluster [-stream]`, or see examples/distributed for
 // the in-process equivalent).
@@ -36,6 +38,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -54,6 +57,7 @@ func main() {
 		scale        = flag.Float64("scale", 0.1, "demo dataset scale")
 		compactThr   = flag.Int("compact-threshold", 100000, "fold old snapshot overlays into a fresh base once the head overlay holds this many entries (0 disables auto-compaction; the Compact RPC always works)")
 		dedupWindow  = flag.Int("dedup-window", 1024, "retried-RPC idempotency tokens remembered per server (0 disables write dedup)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve observability on this address (/metrics text, /metrics.json, /debug/pprof/)")
 	)
 	flag.Parse()
 
@@ -110,6 +114,17 @@ func main() {
 	}
 	fmt.Printf("aligraph-server: partition %d/%d on %s (%d vertices, %d edges)\n",
 		*part, *partitions, rpcSrv.Addr(), srv.NumLocalVertices(), srv.NumLocalEdges())
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		srv.RegisterObs(reg)
+		msrv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer msrv.Close()
+		fmt.Printf("aligraph-server: metrics on http://%s/metrics\n", msrv.Addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

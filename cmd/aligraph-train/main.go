@@ -17,6 +17,11 @@
 // the owning shard's epoch, and every training batch stays pinned to one
 // consistent snapshot while the updates land.
 //
+// -metrics-addr serves the process's observability registry live (/metrics
+// text, /metrics.json, /debug/pprof/): cluster-client RPC histograms and
+// per-(edge type, hop) sampling lanes, plus pipeline stage timings when
+// -prefetch is on. -metrics-out writes the final snapshot as JSON at exit.
+//
 // Usage:
 //
 //	aligraph-train -demo -steps 300 -out embeddings.tsv
@@ -39,6 +44,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -72,10 +78,37 @@ func main() {
 		negRefresh   = flag.Uint64("neg-refresh", 0, "rebuild the negative pool every N observed update epochs; 0 = frozen pool (cluster mode)")
 		fanout       = flag.Int("fanout", 0, "max concurrent per-shard sub-requests per scatter round: 0 = all shards at once, 1 = sequential (cluster mode)")
 		stats        = flag.Bool("stats", false, "print per-RPC client metrics after training (cluster mode)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve observability on this address (/metrics text, /metrics.json, /debug/pprof/)")
+		metricsOut   = flag.String("metrics-out", "", "write a final metrics snapshot (JSON) to this file at exit")
 	)
 	flag.Parse()
 	if *stream && *clusterAddrs == "" {
 		log.Fatal("-stream requires -cluster (live updates need graph servers)")
+	}
+
+	// One registry names every instrument of this process: the cluster
+	// client's per-(edge type, hop) sampling lanes, the pipeline's stage
+	// timings, retry/cache gauges. Registered below as the components come up.
+	reg := obs.NewRegistry()
+	if *metricsOut != "" {
+		// Registered first so it runs last, after training and trainer.Close.
+		defer func() {
+			b, err := reg.Snapshot().JSON()
+			if err == nil {
+				err = os.WriteFile(*metricsOut, b, 0o644)
+			}
+			if err != nil {
+				log.Printf("metrics-out: %v", err)
+			}
+		}()
+	}
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer msrv.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", msrv.Addr)
 	}
 
 	cfg := aligraph.DefaultTrainConfig()
@@ -123,6 +156,7 @@ func main() {
 			cp.Client.Degrade = true
 		}
 		cp.Client.Fanout = *fanout
+		cp.Client.RegisterObs(reg)
 		if *stats {
 			defer func() { fmt.Printf("client metrics:\n%s", cp.Client.Metrics()) }()
 		}
@@ -198,6 +232,7 @@ func main() {
 		trainer = platform.NewGraphSAGE(cfg)
 	}
 	defer trainer.Close()
+	trainer.RegisterObs(reg)
 	if *prefetch > 0 {
 		fmt.Printf("prefetch: %d batches ahead, %d workers\n", *prefetch, *prefetchWrk)
 	}

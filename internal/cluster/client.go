@@ -4,9 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sampling"
 	"repro/internal/storage"
@@ -53,14 +54,22 @@ type Client struct {
 	// cannot (static caches), SampleBatch skips requesting admission lists.
 	cacheAdmits bool
 
+	// kinded is Cache when it classifies misses (storage.KindedGetter), so
+	// per-hop instrumentation splits epoch misses from absent-entry misses
+	// without a second probe; nil otherwise.
+	kinded storage.KindedGetter
+
 	// pins manages the shared, reference-counted epoch pin (see pin.go);
 	// Client implements sampling.PinSource with it.
 	pins *pinManager
 
-	degradedDraws atomic.Int64
+	degradedDraws obs.Counter
 
-	// met holds the per-RPC observability counters behind Metrics().
-	met clientMetrics
+	// met holds the per-RPC observability counters behind Metrics(), and
+	// hops the per-(edge type, hop) sampling lanes (see fanout.go). Both are
+	// always on; RegisterObs names them in a registry.
+	met  clientMetrics
+	hops hopMetrics
 
 	statsMu sync.Mutex
 	stats   []StatsReply // nil until a full fetch succeeds
@@ -75,7 +84,8 @@ func NewClient(a *partition.Assignment, t Transport, cache storage.NeighborCache
 	if ad, ok := cache.(storage.Admitter); ok {
 		admits = ad.Admits()
 	}
-	return &Client{Assign: a, T: t, Cache: cache, cacheAdmits: admits, pins: newPinManager(a.P)}
+	kinded, _ := cache.(storage.KindedGetter)
+	return &Client{Assign: a, T: t, Cache: cache, cacheAdmits: admits, kinded: kinded, pins: newPinManager(a.P)}
 }
 
 // cacheEpoch resolves the update epoch a cache lookup must be valid at:
@@ -126,7 +136,30 @@ func (c *Client) Neighbors(v graph.ID, t graph.EdgeType) ([]graph.ID, error) {
 // hits skip the network entirely, and the misses cost at most one RPC per
 // owning server.
 func (c *Client) NeighborsBatch(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType) error {
-	return c.neighborsBatchSpan(dst, vs, t, nil, nil)
+	return c.neighborsBatchSpan(dst, vs, t, nil, nil, 0)
+}
+
+// cacheGet is the instrumented cache probe of the batch paths: one epoch-
+// keyed lookup, attributed to the (edge type, hop) lane — hits and (when the
+// cache classifies its misses) epoch misses are counted where they happen,
+// so per-lane hit rates come for free with the lookup.
+func (c *Client) cacheGet(v graph.ID, t graph.EdgeType, epoch uint64, hs *hopStats) ([]graph.ID, bool) {
+	if c.kinded != nil {
+		ns, kind := c.kinded.GetKinded(v, t, 1, epoch)
+		switch kind {
+		case storage.KindHit:
+			hs.cacheHits.Inc()
+			return ns, true
+		case storage.KindEpochMiss:
+			hs.epochMiss.Inc()
+		}
+		return nil, false
+	}
+	ns, ok := c.Cache.Get(v, t, 1, epoch)
+	if ok {
+		hs.cacheHits.Inc()
+	}
+	return ns, ok
 }
 
 // observe folds one reply's epoch bookkeeping: the head feeds the pin
@@ -231,10 +264,15 @@ func pinFields(pin *sampling.Pin, part int) (epoch uint64, pinned bool) {
 	return pin.Epochs[part], true
 }
 
-func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType, pin *sampling.Pin, span *sampling.EpochSpan) error {
+func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType, pin *sampling.Pin, span *sampling.EpochSpan, hop int) error {
 	if len(dst) != len(vs) {
 		return fmt.Errorf("cluster: NeighborsBatch dst length %d, want %d", len(dst), len(vs))
 	}
+	hs := c.hops.get(t, hop)
+	hs.calls.Inc()
+	hs.slots.Add(int64(len(vs)))
+	start := time.Now()
+	defer func() { hs.nanos.Add(int64(time.Since(start))) }()
 	// Pass 1: dedup, epoch-keyed cache lookups, sub-batch formation. The
 	// lookup epoch is the owning shard's pinned epoch (or observed head),
 	// so a stale-generation entry misses instead of being served.
@@ -245,7 +283,7 @@ func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.Edg
 			continue
 		}
 		p := c.Assign.Part(v)
-		if ns, ok := c.Cache.Get(v, t, 1, c.cacheEpoch(pin, p)); ok {
+		if ns, ok := c.cacheGet(v, t, c.cacheEpoch(pin, p), hs); ok {
 			res[v] = ns
 			continue
 		}
@@ -258,6 +296,7 @@ func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.Edg
 	// and error selection are reproducible. Admissions carry the serving
 	// epoch and each list's install stamp.
 	parts := sortedParts(subBatch)
+	hs.rpcs.Add(int64(len(parts)))
 	replies := make([]NeighborsReply, len(parts))
 	errs := c.scatter(parts, func(i, p int) error {
 		req := NeighborsRequest{Vertices: subBatch[p], EdgeType: t}
@@ -276,6 +315,7 @@ func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.Edg
 				ns, _ := c.staleList(v, t)
 				res[v] = ns
 				c.degradedDraws.Add(1)
+				hs.degraded.Inc()
 			}
 			degradeSpan(span, pin)
 			continue
@@ -318,13 +358,18 @@ func (c *Client) BatchNeighbors(vs []graph.ID, t graph.EdgeType) ([][]graph.ID, 
 // locally and admitted (with their install stamp), so replacing caches
 // warm up under a pure training workload.
 func (c *Client) SampleBatch(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64) error {
-	return c.sampleBatchSpan(dst, vs, t, width, byWeight, seed, nil, nil)
+	return c.sampleBatchSpan(dst, vs, t, width, byWeight, seed, nil, nil, 0)
 }
 
-func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64, pin *sampling.Pin, span *sampling.EpochSpan) error {
+func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64, pin *sampling.Pin, span *sampling.EpochSpan, hop int) error {
 	if len(dst) != len(vs)*width {
 		return fmt.Errorf("cluster: SampleBatch dst length %d, want %d", len(dst), len(vs)*width)
 	}
+	hs := c.hops.get(t, hop)
+	hs.calls.Inc()
+	hs.slots.Add(int64(len(vs)))
+	start := time.Now()
+	defer func() { hs.nanos.Add(int64(time.Since(start))) }()
 	// Dedup in first-appearance order, tracking every occurrence position.
 	idx := make(map[graph.ID]int, len(vs))
 	var uniq []graph.ID
@@ -345,7 +390,7 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 	for j, v := range uniq {
 		p := c.Assign.Part(v)
 		if !byWeight {
-			if ns, ok := c.Cache.Get(v, t, 1, c.cacheEpoch(pin, p)); ok {
+			if ns, ok := c.cacheGet(v, t, c.cacheEpoch(pin, p), hs); ok {
 				for _, pos := range occs[j] {
 					rng := sampling.SlotRng(seed, pos)
 					drawInto(dst[pos*width:(pos+1)*width], v, ns, &rng)
@@ -397,6 +442,7 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 		}
 		reqs[i].Pin, reqs[i].Pinned = pinFields(pin, p)
 	}
+	hs.rpcs.Add(int64(len(parts)))
 	replies := make([]SampleReply, len(parts))
 	errs := c.scatter(parts, func(i, p int) error {
 		return c.timed(mSampleNeighbors, func() error { return c.T.SampleNeighbors(p, reqs[i], &replies[i]) })
@@ -419,6 +465,7 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 					rng := sampling.SlotRng(seed, pos)
 					drawInto(dst[pos*width:(pos+1)*width], v, ns, &rng)
 					c.degradedDraws.Add(1)
+					hs.degraded.Inc()
 				}
 			}
 			degradeSpan(span, pin)
@@ -865,6 +912,7 @@ type epochView struct {
 	c    *Client
 	pin  *sampling.Pin
 	span sampling.EpochSpan
+	hop  int // current hop tag (sampling.HopTagged); 0 = unattributed
 }
 
 // EpochView implements sampling.EpochedSource.
@@ -872,14 +920,20 @@ func (c *Client) EpochView() sampling.EpochView { return &epochView{c: c} }
 
 // NeighborsBatch implements sampling.Source.
 func (v *epochView) NeighborsBatch(dst [][]graph.ID, vs []graph.ID, t graph.EdgeType) error {
-	return v.c.neighborsBatchSpan(dst, vs, t, v.pin, &v.span)
+	return v.c.neighborsBatchSpan(dst, vs, t, v.pin, &v.span, v.hop)
 }
 
 // SampleBatch implements sampling.BatchSampler, preserving the server-side
 // fixed-width draw path through the view.
 func (v *epochView) SampleBatch(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64) error {
-	return v.c.sampleBatchSpan(dst, vs, t, width, byWeight, seed, v.pin, &v.span)
+	return v.c.sampleBatchSpan(dst, vs, t, width, byWeight, seed, v.pin, &v.span, v.hop)
 }
+
+// SetHop implements sampling.HopTagged: the NEIGHBORHOOD sampler tags the
+// view with the 1-based hop it is expanding, and the client's per-(edge
+// type, hop) lanes attribute work to it. Views are single-consumer, so the
+// tag needs no synchronization.
+func (v *epochView) SetHop(h int) { v.hop = h }
 
 // Span implements sampling.EpochView.
 func (v *epochView) Span() sampling.EpochSpan { return v.span }

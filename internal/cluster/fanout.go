@@ -7,6 +7,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // This file is the concurrent scatter-gather primitive every multi-shard
@@ -109,30 +112,118 @@ var methodNames = [methodCount]string{
 	"Stats", "Attrs", "Lease", "Release",
 }
 
-// methodCounters accumulates one RPC method's call count, error count and
-// cumulative wall-clock latency (including the retry layer's attempts and
-// backoff, since the client times the whole transport call).
+// methodCounters accumulates one RPC method's error count and wall-clock
+// latency distribution (including the retry layer's attempts and backoff,
+// since the client times the whole transport call). The call count is the
+// histogram's observation count — latency moved from a cumulative-only
+// counter to an obs.Histogram so tail questions (p50/p99/max) are
+// answerable; the old cumulative Latency field survives as the histogram
+// sum.
 type methodCounters struct {
-	calls  atomic.Int64
-	errors atomic.Int64
-	nanos  atomic.Int64
+	errors obs.Counter
+	lat    obs.Histogram
 }
 
 // clientMetrics is the always-on per-RPC observability state of a Client:
-// lock-free counters on the call path, snapshotted by Client.Metrics. This
-// is the seed of the adaptive sampling planner (ROADMAP item 4) — per-hop
-// strategy choices need per-method timings to choose against.
+// lock-free counters and histograms on the call path, snapshotted by
+// Client.Metrics. This is the seed of the adaptive sampling planner
+// (ROADMAP item 4) — per-hop strategy choices need per-method timings to
+// choose against.
 type clientMetrics struct {
 	methods  [methodCount]methodCounters
-	fanouts  atomic.Int64 // scatter rounds spanning more than one shard
-	fanWidth atomic.Int64 // cumulative sub-requests across those rounds
+	fanouts  obs.Counter // scatter rounds spanning more than one shard
+	fanWidth obs.Counter // cumulative sub-requests across those rounds
 }
 
-// MethodMetrics is one RPC method's cumulative counters.
+// MethodMetrics is one RPC method's cumulative counters. Calls and Latency
+// are derived from the latency histogram (count and sum), keeping the
+// pre-histogram fields intact; P50/P99 are <2x-upper-bound estimates from
+// the log buckets and Max is exact.
 type MethodMetrics struct {
 	Calls   int64
 	Errors  int64
-	Latency time.Duration // cumulative wall clock across Calls
+	Latency time.Duration // cumulative wall clock across Calls (histogram sum)
+	P50     time.Duration
+	P99     time.Duration
+	Max     time.Duration
+}
+
+// hopStats is one (edge type, hop) sampling lane's always-on counters: every
+// batch expansion the client executes is attributed to the hop the
+// NEIGHBORHOOD sampler tagged (sampling.HopTagged; hop 0 collects direct,
+// untagged calls). Time, per-shard sub-request counts and cache outcomes per
+// lane are exactly the per-operator annotations ROADMAP item 4's planner
+// needs to choose between cached draws, server-side sampling and full-list
+// admission per lane.
+type hopStats struct {
+	calls     obs.Counter // batch expansions (one per SampleBatch/NeighborsBatch)
+	slots     obs.Counter // batch slots across those calls (len(vs))
+	rpcs      obs.Counter // per-shard sub-requests issued
+	cacheHits obs.Counter // unique vertices served from the neighbor cache
+	epochMiss obs.Counter // cache probes that failed only on epoch validity
+	degraded  obs.Counter // draws served from stale cache state (shard down)
+	nanos     obs.Counter // wall clock, whole expansions
+}
+
+// hopMetrics is a copy-on-write map of (edge type, hop) -> *hopStats. The
+// hot path pays one atomic load plus a small-map lookup; inserting a lane
+// (first time a (type, hop) pair is seen — a handful per training run)
+// copies the map under the mutex.
+type hopMetrics struct {
+	mu sync.Mutex
+	m  atomic.Pointer[map[uint32]*hopStats]
+}
+
+func hopLaneKey(t graph.EdgeType, hop int) uint32 {
+	return uint32(uint16(t))<<8 | uint32(hop&0xff)
+}
+
+// get returns the lane for (t, hop), creating it on first use.
+func (h *hopMetrics) get(t graph.EdgeType, hop int) *hopStats {
+	key := hopLaneKey(t, hop)
+	if m := h.m.Load(); m != nil {
+		if hs := (*m)[key]; hs != nil {
+			return hs
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old := h.m.Load()
+	if old != nil {
+		if hs := (*old)[key]; hs != nil {
+			return hs
+		}
+	}
+	next := make(map[uint32]*hopStats)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	hs := &hopStats{}
+	next[key] = hs
+	h.m.Store(&next)
+	return hs
+}
+
+// snapshot returns the current lane map (nil when nothing was recorded).
+func (h *hopMetrics) snapshot() map[uint32]*hopStats {
+	if m := h.m.Load(); m != nil {
+		return *m
+	}
+	return nil
+}
+
+// HopMetrics is one (edge type, hop) lane's cumulative counters as exposed
+// by Client.Metrics.
+type HopMetrics struct {
+	Calls       int64
+	Slots       int64
+	RPCs        int64
+	CacheHits   int64
+	EpochMisses int64
+	Degraded    int64
+	Time        time.Duration
 }
 
 // Metrics is a snapshot of a Client's per-RPC observability counters. RPCs
@@ -149,6 +240,10 @@ type Metrics struct {
 	Fanouts       int64
 	FanoutWidth   float64
 	Methods       map[string]MethodMetrics
+	// Hops breaks the sampling work down per (edge type, hop) lane, keyed
+	// "t<type>.h<hop>" (hop 0 collects direct calls made outside a tagged
+	// NEIGHBORHOOD expansion).
+	Hops map[string]HopMetrics
 }
 
 // RetryStats is implemented by policy-layer transports (RetryTransport)
@@ -177,8 +272,26 @@ func (m Metrics) String() string {
 		if mm.Calls > 0 {
 			avg = mm.Latency / time.Duration(mm.Calls)
 		}
-		fmt.Fprintf(&b, "  %-16s calls=%-7d errors=%-4d total=%-12v avg=%v\n",
-			name, mm.Calls, mm.Errors, mm.Latency.Round(time.Microsecond), avg.Round(time.Microsecond))
+		fmt.Fprintf(&b, "  %-16s calls=%-7d errors=%-4d total=%-12v avg=%-10v p50=%-10v p99=%-10v max=%v\n",
+			name, mm.Calls, mm.Errors, mm.Latency.Round(time.Microsecond), avg.Round(time.Microsecond),
+			mm.P50.Round(time.Microsecond), mm.P99.Round(time.Microsecond), mm.Max.Round(time.Microsecond))
+	}
+	if len(m.Hops) > 0 {
+		fmt.Fprintf(&b, "sampling lanes (edge type x hop):\n")
+		lanes := make([]string, 0, len(m.Hops))
+		for lane := range m.Hops {
+			lanes = append(lanes, lane)
+		}
+		sort.Strings(lanes)
+		for _, lane := range lanes {
+			hm := m.Hops[lane]
+			avg := time.Duration(0)
+			if hm.Calls > 0 {
+				avg = hm.Time / time.Duration(hm.Calls)
+			}
+			fmt.Fprintf(&b, "  %-8s calls=%-7d slots=%-8d rpcs=%-7d cache-hits=%-8d epoch-miss=%-6d degraded=%-6d avg=%v\n",
+				lane, hm.Calls, hm.Slots, hm.RPCs, hm.CacheHits, hm.EpochMisses, hm.Degraded, avg.Round(time.Microsecond))
+		}
 	}
 	return b.String()
 }
@@ -188,10 +301,9 @@ func (c *Client) timed(m rpcMethod, call func() error) error {
 	start := time.Now()
 	err := call()
 	mc := &c.met.methods[m]
-	mc.calls.Add(1)
-	mc.nanos.Add(int64(time.Since(start)))
+	mc.lat.Observe(int64(time.Since(start)))
 	if err != nil {
-		mc.errors.Add(1)
+		mc.errors.Inc()
 	}
 	return err
 }
@@ -219,10 +331,14 @@ func (c *Client) Metrics() Metrics {
 	}
 	for i := rpcMethod(0); i < methodCount; i++ {
 		mc := &c.met.methods[i]
+		hs := mc.lat.Snapshot()
 		mm := MethodMetrics{
-			Calls:   mc.calls.Load(),
+			Calls:   hs.Count,
 			Errors:  mc.errors.Load(),
-			Latency: time.Duration(mc.nanos.Load()),
+			Latency: time.Duration(hs.Sum),
+			P50:     time.Duration(hs.P50),
+			P99:     time.Duration(hs.P99),
+			Max:     time.Duration(hs.Max),
 		}
 		m.Methods[methodNames[i]] = mm
 		m.RPCs += mm.Calls
@@ -234,5 +350,59 @@ func (c *Client) Metrics() Metrics {
 		m.Retries = rs.Retries()
 		m.FastFails = rs.FastFails()
 	}
+	if lanes := c.hops.snapshot(); len(lanes) > 0 {
+		m.Hops = make(map[string]HopMetrics, len(lanes))
+		for key, hs := range lanes {
+			m.Hops[fmt.Sprintf("t%d.h%d", key>>8, key&0xff)] = HopMetrics{
+				Calls:       hs.calls.Load(),
+				Slots:       hs.slots.Load(),
+				RPCs:        hs.rpcs.Load(),
+				CacheHits:   hs.cacheHits.Load(),
+				EpochMisses: hs.epochMiss.Load(),
+				Degraded:    hs.degraded.Load(),
+				Time:        time.Duration(hs.nanos.Load()),
+			}
+		}
+	}
 	return m
+}
+
+// RegisterObs names the client's always-on instruments in r: per-method RPC
+// latency histograms and error counters (cluster.client.rpc.<Method>.*),
+// fan-out and degraded-draw counters, retry-layer and cache gauges, and a
+// collector emitting the per-(edge type, hop) sampling lanes as
+// cluster.client.sample.t<type>.h<hop>.* series. Registration is one-time
+// setup; the hot paths keep writing the same instruments whether or not a
+// registry ever reads them.
+func (c *Client) RegisterObs(r *obs.Registry) {
+	for i := rpcMethod(0); i < methodCount; i++ {
+		mc := &c.met.methods[i]
+		r.RegisterHistogram("cluster.client.rpc."+methodNames[i]+".latency", &mc.lat)
+		r.RegisterCounter("cluster.client.rpc."+methodNames[i]+".errors", &mc.errors)
+	}
+	r.RegisterCounter("cluster.client.fanout.rounds", &c.met.fanouts)
+	r.RegisterCounter("cluster.client.fanout.width_sum", &c.met.fanWidth)
+	r.RegisterCounter("cluster.client.degraded_draws", &c.degradedDraws)
+	if rs, ok := c.T.(RetryStats); ok {
+		r.Gauge("cluster.client.retries", rs.Retries)
+		r.Gauge("cluster.client.fast_fails", rs.FastFails)
+	}
+	r.Gauge("cluster.client.cache.vertices", func() int64 { return int64(c.Cache.CachedVertices()) })
+	if cc, ok := c.Cache.(interface{ Counters() (int64, int64, int64) }); ok {
+		r.Gauge("cluster.client.cache.hits", func() int64 { h, _, _ := cc.Counters(); return h })
+		r.Gauge("cluster.client.cache.misses", func() int64 { _, m, _ := cc.Counters(); return m })
+		r.Gauge("cluster.client.cache.epoch_misses", func() int64 { _, _, e := cc.Counters(); return e })
+	}
+	r.Collect(func(emit func(name string, v int64)) {
+		for key, hs := range c.hops.snapshot() {
+			p := fmt.Sprintf("cluster.client.sample.t%d.h%d.", key>>8, key&0xff)
+			emit(p+"calls", hs.calls.Load())
+			emit(p+"slots", hs.slots.Load())
+			emit(p+"rpcs", hs.rpcs.Load())
+			emit(p+"cache_hits", hs.cacheHits.Load())
+			emit(p+"epoch_misses", hs.epochMiss.Load())
+			emit(p+"degraded", hs.degraded.Load())
+			emit(p+"nanos", hs.nanos.Load())
+		}
+	})
 }

@@ -89,6 +89,26 @@
 // locks. The only ordering the scatter gives up is cross-shard update
 // delivery order, which was never meaningful (different servers, epochs
 // advance independently); per-shard FIFO is preserved.
+//
+// # Observability
+//
+// Both sides of the RPC surface are instrumented always-on with internal/obs
+// primitives (lock-free counters, log-bucketed latency histograms). The
+// client keeps one histogram per RPC method (count/sum/p50/p99/max — the
+// Metrics() cumulative fields are derived from it) plus per-(edge type, hop)
+// sampling lanes: each NEIGHBORHOOD hop driven through a hop-tagged epoch
+// view records its wall time, RPC fan-out, cache hits, epoch-keyed misses
+// and degraded draws in its own lane (direct calls land in hop 0), so "hop 2
+// of edge type 1 is slow because its epoch-miss rate doubled" is readable
+// off one snapshot. Servers time every RPC handler and compaction fold and
+// gauge their snapshot store (epoch head/floor/base, overlay-ring occupancy,
+// lease counts). Client.RegisterObs and Server.RegisterObs name the
+// instruments in an obs.Registry — cluster.client.* and
+// cluster.server.<ID>.* — which obs.Serve exposes at /metrics (text) and
+// /metrics.json; recording happens regardless, at a cost of one clock read
+// and a few atomic adds per operation, with no allocation, no lock, and no
+// random-stream interaction (fixed-seed runs stay bit-identical with
+// instrumentation on, which the chaos tests assert).
 package cluster
 
 import (
@@ -96,6 +116,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/sampling"
@@ -143,6 +164,12 @@ type Server struct {
 	dedup     map[uint64]any
 	dedupFIFO []uint64
 	dedupCap  int
+
+	// met holds the server's always-on instruments (see serverobs.go):
+	// per-RPC serve latency, compaction timings, applied-update counters.
+	// RegisterObs names them in a registry together with snapshot-store
+	// gauges (ring occupancy, lease counts).
+	met serverMetrics
 }
 
 // defaultDedupWindow bounds the idempotency-token ring when SetUpdateDedup
@@ -358,6 +385,7 @@ type AttrsReply struct {
 // from one immutable snapshot view, so it is consistent with a single
 // update generation even while ServeUpdate batches land concurrently.
 func (s *Server) ServeNeighbors(req NeighborsRequest, reply *NeighborsReply) error {
+	defer obsSince(&s.met.neighbors, time.Now())
 	view, head, attrHead, err := s.view(req.Pinned, req.Pin)
 	if err != nil {
 		return err
@@ -382,6 +410,7 @@ func (s *Server) ServeNeighbors(req NeighborsRequest, reply *NeighborsReply) err
 
 // ServeAttrs handles a batched attribute request.
 func (s *Server) ServeAttrs(req AttrsRequest, reply *AttrsReply) error {
+	defer obsSince(&s.met.attrs, time.Now())
 	view, head, attrHead, err := s.view(req.Pinned, req.Pin)
 	if err != nil {
 		return err
@@ -561,6 +590,7 @@ type CompactReply struct {
 // the client's fresh pin look stale at birth) and the stats are exactly
 // the leased snapshot's.
 func (s *Server) ServeLease(req LeaseRequest, reply *LeaseReply) error {
+	defer obsSince(&s.met.lease, time.Now())
 	if r, ok := dedupLookup[LeaseReply](s, req.Token); ok {
 		*reply = r
 		return nil
@@ -577,6 +607,7 @@ func (s *Server) ServeLease(req LeaseRequest, reply *LeaseReply) error {
 
 // ServeRelease drops one lease; unknown epochs are ignored.
 func (s *Server) ServeRelease(req ReleaseRequest, reply *ReleaseReply) error {
+	defer obsSince(&s.met.release, time.Now())
 	if _, ok := dedupLookup[ReleaseReply](s, req.Token); ok {
 		return nil
 	}
@@ -592,7 +623,10 @@ func (s *Server) ServeRelease(req ReleaseRequest, reply *ReleaseReply) error {
 // memory stopped growing and (at most) fixed-seed draws on fold-touched
 // vertices re-randomized within their distribution.
 func (s *Server) ServeCompact(_ CompactRequest, reply *CompactReply) error {
+	defer obsSince(&s.met.compactRPC, time.Now())
+	foldStart := time.Now()
 	st, err := s.store.Compact()
+	s.met.compaction.Observe(int64(time.Since(foldStart)))
 	if err != nil {
 		return fmt.Errorf("cluster: server %d: %w", s.ID, err)
 	}
@@ -643,7 +677,9 @@ func (s *Server) maybeCompact() {
 		return
 	}
 	// The only Compact error is "before Seal", impossible on a serving store.
+	foldStart := time.Now()
 	s.store.Compact()
+	s.met.compaction.Observe(int64(time.Since(foldStart)))
 }
 
 // ServeSampleNeighbors handles a server-side fixed-width draw request: the
@@ -655,6 +691,7 @@ func (s *Server) maybeCompact() {
 // (sampling.SlotRng), so the values are identical to what a client-side
 // cache hit over the same adjacency would have produced.
 func (s *Server) ServeSampleNeighbors(req SampleRequest, reply *SampleReply) error {
+	defer obsSince(&s.met.sampleNeighbors, time.Now())
 	if req.Width <= 0 {
 		return fmt.Errorf("cluster: non-positive sample width %d", req.Width)
 	}
@@ -754,6 +791,7 @@ func (s *Server) ServeSampleNeighbors(req SampleRequest, reply *SampleReply) err
 // ServeStats handles a size-counter request, reporting the head epoch's
 // totals.
 func (s *Server) ServeStats(_ StatsRequest, reply *StatsReply) error {
+	defer obsSince(&s.met.stats, time.Now())
 	view := s.store.HeadView()
 	reply.NumVertices = s.store.NumVertices()
 	reply.EdgesByType = view.EdgeCounts(reply.EdgesByType[:0])
@@ -767,6 +805,7 @@ func (s *Server) ServeStats(_ StatsRequest, reply *StatsReply) error {
 // out-edge destinations of type t with occurrence counts, in sorted order,
 // at the head epoch.
 func (s *Server) ServeNegativePool(req NegPoolRequest, reply *NegPoolReply) error {
+	defer obsSince(&s.met.negPool, time.Now())
 	view := s.store.HeadView()
 	counts := make(map[graph.ID]int64)
 	for _, v := range s.store.LocalVertices() {
@@ -794,6 +833,7 @@ func (s *Server) ServeNegativePool(req NegPoolRequest, reply *NegPoolReply) erro
 // entry) or, with ByWeight, proportional to edge weight; vertices an update
 // touched are mixed in exactly either way.
 func (s *Server) ServeSampleEdges(req EdgesRequest, reply *EdgesReply) error {
+	defer obsSince(&s.met.sampleEdges, time.Now())
 	view, head, attrHead, err := s.view(req.Pinned, req.Pin)
 	if err != nil {
 		return err

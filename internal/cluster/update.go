@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"time"
+
 	"repro/internal/graph"
 	"repro/internal/version"
 )
@@ -50,6 +52,7 @@ type UpdateReply struct {
 // exactly one; in-flight readers are unaffected (their views are immutable
 // snapshots) and pinned epochs stay readable until released.
 func (s *Server) ServeUpdate(req UpdateRequest, reply *UpdateReply) error {
+	defer obsSince(&s.met.update, time.Now())
 	if r, ok := dedupLookup[UpdateReply](s, req.Token); ok {
 		*reply = r
 		return nil
@@ -66,6 +69,10 @@ func (s *Server) ServeUpdate(req UpdateRequest, reply *UpdateReply) error {
 	}
 	epoch, added, removed, set, err := s.store.Append(d)
 	reply.Added, reply.Removed, reply.AttrsSet, reply.Epoch = added, removed, set, epoch
+	if err == nil && added+removed+set > 0 {
+		s.met.updatesApplied.Add(int64(added + removed + set))
+		s.met.updateBatches.Inc()
+	}
 	if err == nil {
 		// Only successful applies are recorded: a rejected batch changed
 		// nothing, so retrying it verbatim is safe and should re-validate.

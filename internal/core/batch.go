@@ -46,7 +46,8 @@ type MiniBatch struct {
 
 	seq    uint64
 	err    error
-	loaned bool // checked out to the consumer by Pipeline.Next
+	loaned bool      // checked out to the consumer by Pipeline.Next
+	outAt  time.Time // when Pipeline.Next handed the batch out (consume timing)
 	edges  []graph.Edge
 	seeds  [3]sampling.Rng
 	pvs    []graph.ID // prefetch vertex-list scratch

@@ -77,6 +77,8 @@ type Pipeline struct {
 
 	mu  sync.Mutex
 	err error
+
+	met pipelineMetrics
 }
 
 // NewPipeline builds and starts a prefetching source over tr's environment
@@ -137,6 +139,7 @@ func (p *Pipeline) scheduler() {
 		case <-p.stop:
 			return
 		case mb := <-p.free:
+			start := time.Now()
 			p.unpin(mb) // error batches returned directly may still hold one
 			mb.reset()
 			mb.seq = seq
@@ -168,6 +171,7 @@ func (p *Pipeline) scheduler() {
 					break
 				}
 				if mb.err != nil {
+					p.met.schedule.Observe(int64(time.Since(start)))
 					p.plans <- mb
 					continue
 				}
@@ -186,6 +190,7 @@ func (p *Pipeline) scheduler() {
 				if transientErr(err) {
 					parks++
 					if p.park(parks) {
+						p.met.replays.Inc()
 						continue
 					}
 					mb.err = ErrPipelineClosed
@@ -199,10 +204,12 @@ func (p *Pipeline) scheduler() {
 					mb.err = perr
 					break
 				}
+				p.met.replays.Inc()
 				mb.Src, mb.Dst, mb.Negs = mb.Src[:0], mb.Dst[:0], mb.Negs[:0]
 				mb.Epochs.Reset()
 			}
 			if mb.err != nil {
+				p.met.schedule.Observe(int64(time.Since(start)))
 				p.plans <- mb
 				continue
 			}
@@ -229,6 +236,7 @@ func (p *Pipeline) scheduler() {
 					mb.seeds[e] = *sampling.NewRng(srng.Uint64())
 				}
 			}
+			p.met.schedule.Observe(int64(time.Since(start)))
 			p.plans <- mb
 		}
 	}
@@ -281,6 +289,7 @@ func (p *Pipeline) assemble(mb *MiniBatch, nbr *sampling.Neighborhood, view samp
 			// is identical to a fault-free one. Close aborts the wait.
 			parks++
 			if p.park(parks) {
+				p.met.replays.Inc()
 				continue
 			}
 			mb.err = ErrPipelineClosed
@@ -303,6 +312,7 @@ func (p *Pipeline) assemble(mb *MiniBatch, nbr *sampling.Neighborhood, view samp
 			mb.err = perr
 			return
 		}
+		p.met.replays.Inc()
 	}
 }
 
@@ -312,12 +322,14 @@ func (p *Pipeline) assembleOnce(mb *MiniBatch, nbr *sampling.Neighborhood, view 
 		view.SetPin(mb.Pin)
 		view.ResetSpan()
 	}
+	sampleStart := time.Now()
 	for e, vs := range [3][]graph.ID{mb.Src, mb.Dst, mb.Negs} {
 		rng := mb.seeds[e]
 		if err := nbr.SampleInto(&mb.Ctxs[e], tr.EdgeType, vs, tr.HopNums, &rng); err != nil {
 			return err
 		}
 	}
+	p.met.sample.Observe(int64(time.Since(sampleStart)))
 	mb.HasCtxs = true
 	if p.prefetch != nil {
 		mb.pvs = mb.pvs[:0]
@@ -333,9 +345,11 @@ func (p *Pipeline) assembleOnce(mb *MiniBatch, nbr *sampling.Neighborhood, view 
 				delete(mb.Attrs, k)
 			}
 		}
+		prefetchStart := time.Now()
 		if err := p.prefetch.PrefetchAttrs(mb.pvs, mb.Pin, mb.Attrs); err != nil {
 			return err
 		}
+		p.met.prefetch.Observe(int64(time.Since(prefetchStart)))
 	}
 	if view != nil {
 		mb.Epochs.Merge(view.Span())
@@ -347,6 +361,7 @@ func (p *Pipeline) assembleOnce(mb *MiniBatch, nbr *sampling.Neighborhood, view 
 // returning false when the pipeline closed during the wait (the caller then
 // abandons the batch instead of spinning against a stopped pipeline).
 func (p *Pipeline) park(n int) bool {
+	p.met.parks.Inc()
 	t := time.NewTimer(parkDelay(n))
 	defer t.Stop()
 	select {
@@ -412,10 +427,12 @@ func (p *Pipeline) Next() (*MiniBatch, error) {
 		return nil, ErrPipelineClosed
 	default:
 	}
+	wait := time.Now()
 	select {
 	case <-p.stop:
 		return nil, ErrPipelineClosed
 	case mb := <-p.out:
+		p.met.nextWait.Observe(int64(time.Since(wait)))
 		if mb.err != nil {
 			err := mb.err
 			p.mu.Lock()
@@ -427,6 +444,7 @@ func (p *Pipeline) Next() (*MiniBatch, error) {
 			return nil, err
 		}
 		mb.loaned = true
+		mb.outAt = time.Now()
 		return mb, nil
 	}
 }
@@ -440,6 +458,7 @@ func (p *Pipeline) Recycle(mb *MiniBatch) {
 	if mb == nil || !mb.loaned {
 		return
 	}
+	p.met.consume.Observe(int64(time.Since(mb.outAt)))
 	p.unpin(mb)
 	mb.loaned = false
 	p.free <- mb // loaned ring members always have a free slot reserved

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds observations v with
+// bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i) (bucket 0 holds v <= 0).
+// Values are typically nanoseconds, so 64 power-of-two buckets span from
+// 1ns past three centuries with bounded, allocation-free state.
+const histBuckets = 64
+
+// Histogram is a lock-free log-bucket histogram with exact count, sum and
+// max and <2x-relative-error upper-bound quantiles. The zero value is ready
+// to use; Observe is safe from any goroutine and never allocates.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper is the inclusive upper bound of bucket i's value range.
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1) // MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records one value (negative values clamp into bucket 0).
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	if v > 0 {
+		h.sum.Add(v)
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all positive observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observation (0 if none).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile returns an upper-bound estimate of the q-th quantile (0 < q <=
+// 1): the inclusive upper bound of the log bucket holding the ceil(q*count)-th
+// smallest observation, so the estimate is never below the true quantile and
+// less than 2x above it. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			u := bucketUpper(i)
+			if m := h.max.Load(); m < u {
+				return m // tighten the top bucket with the exact max
+			}
+			return u
+		}
+	}
+	return h.max.Load()
+}
+
+// HistogramSnapshot is a point-in-time reading of one histogram.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P99   int64 `json:"p99"`
+}
+
+// Snapshot reads the histogram. Concurrent Observes may land between field
+// reads; each field is individually correct.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,187 @@
+// Package obs is the shared instrumentation core: lock-free counters,
+// bounded log-bucket latency histograms, and a labeled registry with one
+// snapshot API.
+//
+// The design splits the hot path from the reporting path. Components own
+// their instruments directly (a Counter is one atomic.Int64; a Histogram is
+// a fixed array of them), so recording costs one or two uncontended atomic
+// adds and never allocates, locks, or touches the registry. The registry is
+// only a naming layer: components register instrument pointers (or
+// snapshot-time collector functions for dynamic series) once at setup, and
+// Registry.Snapshot walks them on demand. Instrumentation therefore stays
+// always-on: it reads clocks and bumps atomics but never consumes random
+// draws, so training determinism is bit-neutral to it.
+//
+// Snapshots serialize to JSON (Snapshot) or a flat "name value" text form
+// (Snapshot.WriteText); Handler serves both over HTTP together with
+// net/http/pprof.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonic lock-free counter. The zero value is ready to use,
+// and Add/Inc are safe from any goroutine and never allocate.
+type Counter struct{ v atomic.Int64 }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Registry names instruments and produces snapshots. All methods are safe
+// for concurrent use; none of them sit on a hot path — components keep
+// direct pointers to their instruments and only Snapshot takes the lock.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	hists      map[string]*Histogram
+	gauges     map[string]func() int64
+	collectors []func(emit func(name string, v int64))
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]func() int64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// RegisterCounter names an existing counter. The last registration of a
+// name wins.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	r.mu.Lock()
+	r.counters[name] = c
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterHistogram names an existing histogram.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	r.mu.Lock()
+	r.hists[name] = h
+	r.mu.Unlock()
+}
+
+// Gauge registers a function evaluated at snapshot time (occupancy, lease
+// counts, cache sizes — anything already tracked elsewhere).
+func (r *Registry) Gauge(name string, f func() int64) {
+	r.mu.Lock()
+	r.gauges[name] = f
+	r.mu.Unlock()
+}
+
+// Collect registers a collector for dynamic series: at snapshot time f is
+// called with an emit function and every emitted (name, value) pair lands in
+// the snapshot's counter section. Components with label spaces discovered at
+// runtime (per-(edge type, hop) breakdowns) register one collector instead
+// of pre-registering every combination.
+func (r *Registry) Collect(f func(emit func(name string, v int64))) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, f)
+	r.mu.Unlock()
+}
+
+// Snapshot is a point-in-time reading of every registered instrument.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot reads every instrument. Concurrent recording continues during the
+// walk; each value is individually atomic but the set is not a consistent
+// cut (fine for monitoring).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, f := range r.gauges {
+		s.Gauges[name] = f()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	for _, f := range r.collectors {
+		f(func(name string, v int64) { s.Counters[name] = v })
+	}
+	return s
+}
+
+// MarshalJSON is the /metrics.json wire form.
+func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// WriteText writes the flat "name value" form, one series per line, sorted
+// by name. Histograms expand to .count/.sum/.avg/.p50/.p99/.max lines.
+func (s Snapshot) WriteText(w io.Writer) error {
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+6*len(s.Histograms))
+	for name, v := range s.Counters {
+		lines = append(lines, name+" "+strconv.FormatInt(v, 10))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, name+" "+strconv.FormatInt(v, 10))
+	}
+	for name, h := range s.Histograms {
+		avg := int64(0)
+		if h.Count > 0 {
+			avg = h.Sum / h.Count
+		}
+		lines = append(lines,
+			name+".count "+strconv.FormatInt(h.Count, 10),
+			name+".sum "+strconv.FormatInt(h.Sum, 10),
+			name+".avg "+strconv.FormatInt(avg, 10),
+			name+".p50 "+strconv.FormatInt(h.P50, 10),
+			name+".p99 "+strconv.FormatInt(h.P99, 10),
+			name+".max "+strconv.FormatInt(h.Max, 10),
+		)
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

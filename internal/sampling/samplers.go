@@ -208,8 +208,15 @@ func (s *Neighborhood) SampleInto(ctx *Context, t graph.EdgeType, batch []graph.
 	ctx.Layers[0] = append(ctx.Layers[0][:0], batch...)
 
 	sampler, batched := s.Src.(BatchSampler)
+	ht, _ := s.Src.(HopTagged)
+	if ht != nil {
+		defer ht.SetHop(0)
+	}
 	cur := ctx.Layers[0]
 	for h, width := range hopNums {
+		if ht != nil {
+			ht.SetHop(h + 1)
+		}
 		need := len(cur) * width
 		next := ctx.Layers[h+1]
 		if cap(next) < need {

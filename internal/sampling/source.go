@@ -124,6 +124,19 @@ type PinSource interface {
 	Discard(p *Pin)
 }
 
+// HopTagged is an optional Source capability for per-hop attribution:
+// SetHop tells the source which (1-based) hop of a neighborhood expansion
+// the following batch calls serve, so instrumented sources can break their
+// always-on metrics down per (edge type, hop) — the breakdown an adaptive
+// sampling planner chooses strategies against. SetHop(0) clears the tag
+// (direct, unattributed calls). A hop tag is single-consumer state, so the
+// capability belongs on per-consumer views (EpochView), not on shared
+// sources; Neighborhood.SampleInto tags its source when the capability is
+// present and always clears it on the way out.
+type HopTagged interface {
+	SetHop(h int)
+}
+
 // EpochedSource is an optional Source capability for backends whose replies
 // are stamped with update epochs. EpochView returns a private view of the
 // source for one consumer (e.g. one pipeline worker): the view serves the

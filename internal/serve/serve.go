@@ -29,6 +29,14 @@
 // to a neighbor that the fixed-seed sampler would never draw for v cannot
 // change v's embedding, so invalidating by sampled deps is exact for the
 // embeddings this tier computes, not merely approximate.
+//
+// Observability: the tier's counters (the ones Stats snapshots) and two
+// always-on request-path histograms — EmbedBatch latency end to end, and
+// per-flush encoder time — fold into a shared obs.Registry via RegisterObs
+// under serve.*, alongside embedding-cache outcome gauges. Stats() remains
+// the programmatic snapshot; the registry adds the HTTP surface
+// (obs.Serve's /metrics and /metrics.json) at one clock read and one atomic
+// add per call.
 package serve
 
 import (
@@ -40,6 +48,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sampling"
 	"repro/internal/storage"
 	"repro/internal/tensor"
@@ -124,6 +133,9 @@ type Server struct {
 	refreshed   atomic.Int64 // dirty vertices re-embedded by the refresher
 	revalidated atomic.Int64 // stale entries restored by Since proofs
 	invalidated atomic.Int64 // entries dropped by ApplyUpdate rounds
+
+	lookupLat obs.Histogram // EmbedBatch end to end, per call
+	flushLat  obs.Histogram // one coalesced encoder flush
 }
 
 // request is one caller's cache-miss set, parked until a flush delivers it.
@@ -187,6 +199,7 @@ func (s *Server) Embed(v graph.ID) ([]float64, error) {
 // EmbedBatch is Embed for several vertices in one call; cache hits are
 // served immediately and only the misses ride the coalescer.
 func (s *Server) EmbedBatch(vs []graph.ID) ([][]float64, error) {
+	defer obsSince(&s.lookupLat, time.Now())
 	s.requests.Add(int64(len(vs)))
 	out := make([][]float64, len(vs))
 	var miss []graph.ID
@@ -414,6 +427,7 @@ func (s *Server) flush() {
 	if len(reqs) == 0 {
 		return
 	}
+	defer obsSince(&s.flushLat, time.Now())
 	type slot struct{ req, idx int }
 	want := make(map[graph.ID][]slot)
 	var order []graph.ID

@@ -66,6 +66,27 @@ type StaleReader interface {
 	GetStale(v graph.ID, t graph.EdgeType, h int) ([]graph.ID, bool)
 }
 
+// GetKind classifies one cache lookup for instrumentation.
+type GetKind uint8
+
+const (
+	// KindMiss: no entry for the key.
+	KindMiss GetKind = iota
+	// KindHit: entry present and valid at the requested epoch.
+	KindHit
+	// KindEpochMiss: entry present but invalid at the requested epoch — the
+	// price of version safety under churn.
+	KindEpochMiss
+)
+
+// KindedGetter is an optional NeighborCache capability: GetKinded is Get
+// plus the miss classification, so per-(edge type, hop) instrumentation can
+// split absent-entry misses from epoch misses without a second probe.
+// GetKinded counts toward the cache's cumulative counters exactly like Get.
+type KindedGetter interface {
+	GetKinded(v graph.ID, t graph.EdgeType, h int, epoch uint64) ([]graph.ID, GetKind)
+}
+
 // Flusher is an optional NeighborCache capability dropping all runtime
 // validity state. Clients call it when a shard's epoch numbering restarts
 // (a lease reply reveals a head regression): intervals recorded under the
@@ -233,6 +254,19 @@ func (c *ImportanceCache) Get(v graph.ID, t graph.EdgeType, h int, epoch uint64)
 	return nil, false
 }
 
+// GetKinded implements KindedGetter.
+func (c *ImportanceCache) GetKinded(v graph.ID, t graph.EdgeType, h int, epoch uint64) ([]graph.ID, GetKind) {
+	e, ok := c.entries[hopKey(v, t, h)]
+	switch {
+	case !ok:
+		return nil, KindMiss
+	case e.validAt(epoch):
+		return e.nbrs, KindHit
+	default:
+		return nil, KindEpochMiss
+	}
+}
+
 func (c *ImportanceCache) Observe(v graph.ID, t graph.EdgeType, h int, epoch, since uint64, _ []graph.ID) {
 	staticObserve(c.entries, v, t, h, epoch, since)
 }
@@ -300,6 +334,19 @@ func (c *RandomCache) Get(v graph.ID, t graph.EdgeType, h int, epoch uint64) ([]
 	return nil, false
 }
 
+// GetKinded implements KindedGetter.
+func (c *RandomCache) GetKinded(v graph.ID, t graph.EdgeType, h int, epoch uint64) ([]graph.ID, GetKind) {
+	e, ok := c.entries[hopKey(v, t, h)]
+	switch {
+	case !ok:
+		return nil, KindMiss
+	case e.validAt(epoch):
+		return e.nbrs, KindHit
+	default:
+		return nil, KindEpochMiss
+	}
+}
+
 func (c *RandomCache) Observe(v graph.ID, t graph.EdgeType, h int, epoch, since uint64, _ []graph.ID) {
 	staticObserve(c.entries, v, t, h, epoch, since)
 }
@@ -361,19 +408,25 @@ func NewLRUNeighborCache(capacity int) *LRUNeighborCache {
 }
 
 func (c *LRUNeighborCache) Get(v graph.ID, t graph.EdgeType, h int, epoch uint64) ([]graph.ID, bool) {
+	ns, kind := c.GetKinded(v, t, h, epoch)
+	return ns, kind == KindHit
+}
+
+// GetKinded implements KindedGetter (Get with the miss classified).
+func (c *LRUNeighborCache) GetKinded(v graph.ID, t graph.EdgeType, h int, epoch uint64) ([]graph.ID, GetKind) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if x, ok := c.lru.Get(hopKey(v, t, h)); ok {
 		e := x.(*lruEntryVal)
 		if e.since <= epoch && epoch <= e.through {
 			c.hits++
-			return e.nbrs, true
+			return e.nbrs, KindHit
 		}
 		c.epochMisses++
-		return nil, false
+		return nil, KindEpochMiss
 	}
 	c.misses++
-	return nil, false
+	return nil, KindMiss
 }
 
 func (c *LRUNeighborCache) Observe(v graph.ID, t graph.EdgeType, h int, epoch, since uint64, nbrs []graph.ID) {

@@ -570,6 +570,21 @@ func (s *Store) Leases(epoch uint64) int {
 	return s.leases[epoch]
 }
 
+// LeaseStats reports the total live lease count across all epochs and the
+// number of distinct leased epochs — the occupancy gauges a serving shard
+// exports (retained-ring pressure is leased epochs the floor cannot pass).
+func (s *Store) LeaseStats() (total int64, epochs int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, n := range s.leases {
+		if n > 0 {
+			total += int64(n)
+			epochs++
+		}
+	}
+	return total, epochs
+}
+
 // Evict force-drops epoch from the ring regardless of leases, simulating a
 // server that lost its lease table (restart, operator intervention). Reads
 // of the epoch then fail with ErrEvicted; clients holding pins on it must
