@@ -574,7 +574,19 @@ func (p *ClusterPlatform) Serve(t *Trainer, cfg ServeConfig) *InferenceServer {
 
 // Serve starts the inference tier over a local in-memory platform. The
 // in-process graph is immutable, so cached embeddings never expire and no
-// validity tracking runs; coalescing and the LRU cache still apply.
+// validity tracking runs; coalescing and the LRU cache still apply. When
+// cfg.Importance is unset it defaults to the graph's 2-hop Imp^(k) scores
+// (the same signal the neighbor-side importance cache admits by), so
+// eviction and refresh ranking prefer hub vertices out of the box.
 func (p *Platform) Serve(t *Trainer, cfg ServeConfig) *InferenceServer {
+	if cfg.Importance == nil {
+		imps := p.G.ImportanceAll(2)
+		cfg.Importance = func(v ID) float64 {
+			if int(v) < len(imps) {
+				return imps[v]
+			}
+			return 0
+		}
+	}
 	return serve.New(t.inner, nil, cfg)
 }

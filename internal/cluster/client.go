@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/plan"
 	"repro/internal/sampling"
 	"repro/internal/storage"
 )
@@ -62,6 +64,14 @@ type Client struct {
 	// pins manages the shared, reference-counted epoch pin (see pin.go);
 	// Client implements sampling.PinSource with it.
 	pins *pinManager
+
+	// plan is the active sampling plan (see plan.go / internal/plan): per
+	// (edge type, hop) lane it chooses between cached client-side draws,
+	// server-side draws and the hybrid default, plus whether the lane may
+	// admit into a replacing cache. Nil means the built-in hybrid behavior
+	// everywhere. Swapped atomically (SetPlan) so the adaptive planner can
+	// re-plan mid-training; every strategy yields bit-identical draws.
+	plan atomic.Pointer[plan.Plan]
 
 	degradedDraws obs.Counter
 
@@ -127,7 +137,7 @@ func (c *Client) Neighbors(v graph.ID, t graph.EdgeType) ([]graph.ID, error) {
 	}
 	c.pins.noteHead(p, reply.Head, reply.AttrHead)
 	ns := reply.Neighbors[0]
-	c.Cache.Observe(v, t, 1, reply.Epoch, replySince(reply.Since, 0, reply.Epoch), ns)
+	c.admit(c.lanePlan(t, 0), v, t, reply.Epoch, replySince(reply.Since, 0, reply.Epoch), ns)
 	return ns, nil
 }
 
@@ -144,6 +154,7 @@ func (c *Client) NeighborsBatch(dst [][]graph.ID, vs []graph.ID, t graph.EdgeTyp
 // cache classifies its misses) epoch misses are counted where they happen,
 // so per-lane hit rates come for free with the lookup.
 func (c *Client) cacheGet(v graph.ID, t graph.EdgeType, epoch uint64, hs *hopStats) ([]graph.ID, bool) {
+	hs.lookups.Inc()
 	if c.kinded != nil {
 		ns, kind := c.kinded.GetKinded(v, t, 1, epoch)
 		switch kind {
@@ -273,6 +284,10 @@ func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.Edg
 	hs.slots.Add(int64(len(vs)))
 	start := time.Now()
 	defer func() { hs.nanos.Add(int64(time.Since(start))) }()
+	// Full-list fetches must hit the network on a miss whatever the lane's
+	// strategy, so only the plan's admission choice applies here: a lane
+	// marked cold keeps its lists out of a replacing cache.
+	lp := c.lanePlan(t, hop)
 	// Pass 1: dedup, epoch-keyed cache lookups, sub-batch formation. The
 	// lookup epoch is the owning shard's pinned epoch (or observed head),
 	// so a stale-generation entry misses instead of being served.
@@ -324,7 +339,7 @@ func (c *Client) neighborsBatchSpan(dst [][]graph.ID, vs []graph.ID, t graph.Edg
 		c.observe(p, span, pin, reply.Epoch, reply.Head, reply.AttrHead)
 		for j, v := range batch {
 			res[v] = reply.Neighbors[j]
-			c.Cache.Observe(v, t, 1, reply.Epoch, replySince(reply.Since, j, reply.Epoch), reply.Neighbors[j])
+			c.admit(lp, v, t, reply.Epoch, replySince(reply.Since, j, reply.Epoch), reply.Neighbors[j])
 		}
 	}
 	for i, v := range vs {
@@ -357,6 +372,12 @@ func (c *Client) BatchNeighbors(vs []graph.ID, t graph.EdgeType) ([][]graph.ID, 
 // uniform vertices come back as full (short) lists, which are drawn
 // locally and admitted (with their install stamp), so replacing caches
 // warm up under a pure training workload.
+//
+// That hybrid flow is the default; the active sampling plan (SetPlan,
+// internal/plan) can override it per (edge type, hop) lane — skipping
+// probe and admission entirely (ServerDraws, for cold lanes) or fetching
+// misses as full lists and drawing locally (ClientDraws, for hub-heavy
+// reused lanes). Slot-purity makes every strategy return the same values.
 func (c *Client) SampleBatch(dst []graph.ID, vs []graph.ID, t graph.EdgeType, width int, byWeight bool, seed uint64) error {
 	return c.sampleBatchSpan(dst, vs, t, width, byWeight, seed, nil, nil, 0)
 }
@@ -370,6 +391,11 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 	hs.slots.Add(int64(len(vs)))
 	start := time.Now()
 	defer func() { hs.nanos.Add(int64(time.Since(start))) }()
+	// The lane's plan chooses where uniform draws execute; weighted draws
+	// always go server-side (caches hold no weights, and the server's
+	// alias-method stream differs from a client-side inverse-CDF draw, so
+	// only one executor keeps fixed seeds bit-identical).
+	lp := c.lanePlan(t, hop)
 	// Dedup in first-appearance order, tracking every occurrence position.
 	idx := make(map[graph.ID]int, len(vs))
 	var uniq []graph.ID
@@ -387,9 +413,10 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 
 	subUniq := make(map[int][]int) // part -> indices into uniq
 	var parts []int
+	probe := !byWeight && lp.Strategy != plan.ServerDraws
 	for j, v := range uniq {
 		p := c.Assign.Part(v)
-		if !byWeight {
+		if probe {
 			if ns, ok := c.cacheGet(v, t, c.cacheEpoch(pin, p), hs); ok {
 				for _, pos := range occs[j] {
 					rng := sampling.SlotRng(seed, pos)
@@ -404,6 +431,11 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 		subUniq[p] = append(subUniq[p], j)
 	}
 	sort.Ints(parts)
+	if !byWeight && lp.Strategy == plan.ClientDraws && len(parts) > 0 {
+		// ClientDraws lane: fetch the missed lists whole, admit, draw
+		// locally — same values, and the lane's hubs stay resident.
+		return c.sampleViaLists(dst, t, width, seed, pin, span, hs, lp, uniq, occs, subUniq, parts)
+	}
 
 	// Build every sub-request before the scatter: per-part Vertices, Counts
 	// and Slots are carved out of three shared backing buffers (each
@@ -437,7 +469,7 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 			EdgeType:  t,
 			Width:     width,
 			ByWeight:  byWeight,
-			WantLists: c.cacheAdmits,
+			WantLists: c.cacheAdmits && lp.Admit,
 			Seed:      seed,
 		}
 		reqs[i].Pin, reqs[i].Pinned = pinFields(pin, p)
@@ -491,7 +523,7 @@ func (c *Client) sampleBatchSpan(dst []graph.ID, vs []graph.ID, t graph.EdgeType
 			v := uniq[j]
 			if len(reply.Lists) > 0 && reply.Lists[li] != nil {
 				ns := reply.Lists[li]
-				c.Cache.Observe(v, t, 1, reply.Epoch, replySince(reply.Since, li, reply.Epoch), ns)
+				c.admit(lp, v, t, reply.Epoch, replySince(reply.Since, li, reply.Epoch), ns)
 				for _, pos := range occs[j] {
 					rng := sampling.SlotRng(seed, pos)
 					drawInto(dst[pos*width:(pos+1)*width], v, ns, &rng)

@@ -159,6 +159,7 @@ type hopStats struct {
 	calls     obs.Counter // batch expansions (one per SampleBatch/NeighborsBatch)
 	slots     obs.Counter // batch slots across those calls (len(vs))
 	rpcs      obs.Counter // per-shard sub-requests issued
+	lookups   obs.Counter // cache probes (one per unique vertex probed)
 	cacheHits obs.Counter // unique vertices served from the neighbor cache
 	epochMiss obs.Counter // cache probes that failed only on epoch validity
 	degraded  obs.Counter // draws served from stale cache state (shard down)
@@ -215,15 +216,20 @@ func (h *hopMetrics) snapshot() map[uint32]*hopStats {
 }
 
 // HopMetrics is one (edge type, hop) lane's cumulative counters as exposed
-// by Client.Metrics.
+// by Client.Metrics, annotated with the lane's current plan choice
+// (Strategy/Admit — what the active sampling plan resolves for it right
+// now, "hybrid"+admit when no plan is installed).
 type HopMetrics struct {
 	Calls       int64
 	Slots       int64
 	RPCs        int64
+	Lookups     int64
 	CacheHits   int64
 	EpochMisses int64
 	Degraded    int64
 	Time        time.Duration
+	Strategy    string
+	Admit       bool
 }
 
 // Metrics is a snapshot of a Client's per-RPC observability counters. RPCs
@@ -289,8 +295,12 @@ func (m Metrics) String() string {
 			if hm.Calls > 0 {
 				avg = hm.Time / time.Duration(hm.Calls)
 			}
-			fmt.Fprintf(&b, "  %-8s calls=%-7d slots=%-8d rpcs=%-7d cache-hits=%-8d epoch-miss=%-6d degraded=%-6d avg=%v\n",
-				lane, hm.Calls, hm.Slots, hm.RPCs, hm.CacheHits, hm.EpochMisses, hm.Degraded, avg.Round(time.Microsecond))
+			planStr := hm.Strategy
+			if hm.Admit {
+				planStr += "+admit"
+			}
+			fmt.Fprintf(&b, "  %-8s calls=%-7d slots=%-8d rpcs=%-7d cache-hits=%-8d epoch-miss=%-6d degraded=%-6d avg=%-10v plan=%s\n",
+				lane, hm.Calls, hm.Slots, hm.RPCs, hm.CacheHits, hm.EpochMisses, hm.Degraded, avg.Round(time.Microsecond), planStr)
 		}
 	}
 	return b.String()
@@ -353,14 +363,18 @@ func (c *Client) Metrics() Metrics {
 	if lanes := c.hops.snapshot(); len(lanes) > 0 {
 		m.Hops = make(map[string]HopMetrics, len(lanes))
 		for key, hs := range lanes {
+			lp := c.lanePlan(graph.EdgeType(key>>8), int(key&0xff))
 			m.Hops[fmt.Sprintf("t%d.h%d", key>>8, key&0xff)] = HopMetrics{
 				Calls:       hs.calls.Load(),
 				Slots:       hs.slots.Load(),
 				RPCs:        hs.rpcs.Load(),
+				Lookups:     hs.lookups.Load(),
 				CacheHits:   hs.cacheHits.Load(),
 				EpochMisses: hs.epochMiss.Load(),
 				Degraded:    hs.degraded.Load(),
 				Time:        time.Duration(hs.nanos.Load()),
+				Strategy:    lp.Strategy.String(),
+				Admit:       lp.Admit,
 			}
 		}
 	}
@@ -399,10 +413,21 @@ func (c *Client) RegisterObs(r *obs.Registry) {
 			emit(p+"calls", hs.calls.Load())
 			emit(p+"slots", hs.slots.Load())
 			emit(p+"rpcs", hs.rpcs.Load())
+			emit(p+"lookups", hs.lookups.Load())
 			emit(p+"cache_hits", hs.cacheHits.Load())
 			emit(p+"epoch_misses", hs.epochMiss.Load())
 			emit(p+"degraded", hs.degraded.Load())
 			emit(p+"nanos", hs.nanos.Load())
+			// The lane's resolved plan choice rides with its counters:
+			// strategy is the internal/plan enum (hybrid=1, client=2,
+			// server=3), so any planned lane reads non-zero.
+			lp := c.lanePlan(graph.EdgeType(key>>8), int(key&0xff))
+			emit(fmt.Sprintf("cluster.client.plan.t%d.h%d.strategy", key>>8, key&0xff), int64(lp.Strategy))
+			admit := int64(0)
+			if lp.Admit {
+				admit = 1
+			}
+			emit(fmt.Sprintf("cluster.client.plan.t%d.h%d.admit", key>>8, key&0xff), admit)
 		}
 	})
 }

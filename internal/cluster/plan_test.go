@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// newPlanCluster wires a client over fresh servers for g with a
+// caller-chosen shard count and neighbor cache — the plan tests sweep
+// both topology and strategy, so unlike newChurnTrainerCache nothing is
+// fixed here.
+func newPlanCluster(t *testing.T, g *graph.Graph, shards int, cache storage.NeighborCache) *Client {
+	t.Helper()
+	a, err := (partition.HashPartitioner{}).Partition(g, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := FromGraph(g, a)
+	return NewClient(a, NewLocalTransport(servers, 0, 0), cache)
+}
+
+func newPlanTrainer(t *testing.T, g *graph.Graph, seed int64, c *Client) *core.LinkTrainer {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	enc := churnEncoder(g.NumVertices(), []int{3, 2}, rng)
+	cfg := core.TrainerConfig{EdgeType: 0, HopNums: []int{3, 2}, Batch: 16, NegK: 2, LR: 0.05}
+	trn, err := core.NewLinkTrainerOver(NewEnv(c, 1), c, enc, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trn
+}
+
+// TestForcedPlanMatrixBitIdentical is the slot-purity acceptance test: a
+// fixed-seed depth-4 pipelined training run must produce bit-identical
+// losses under every forced strategy AND under a mid-run plan switch,
+// on both a 1-shard and a 2-shard cluster. A strategy may only change
+// where a draw executes, never its value. Run with -race: plan swaps
+// land concurrently with pipeline prefetch workers.
+func TestForcedPlanMatrixBitIdentical(t *testing.T) {
+	const steps = 24
+	g := churnTestGraph(200)
+
+	run := func(shards int, p *plan.Plan, mid *plan.Plan) []float64 {
+		t.Helper()
+		c := newPlanCluster(t, g, shards, storage.NewLRUNeighborCache(256))
+		c.SetPlan(p)
+		trn := newPlanTrainer(t, g, 42, c)
+		pl := core.NewPipeline(trn, core.PipelineConfig{Depth: 4, Workers: 3})
+		trn.SetSource(pl)
+		defer pl.Close()
+		losses := make([]float64, 0, steps)
+		for i := 0; i < steps; i++ {
+			if i == steps/2 && mid != nil {
+				c.SetPlan(mid)
+			}
+			mb, err := pl.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := trn.Step(mb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl.Recycle(mb)
+			losses = append(losses, l)
+		}
+		return losses
+	}
+
+	// Loss curves are compared within a topology only: TRAVERSE splits
+	// (and therefore negative pools) legitimately differ across shard
+	// counts.
+	for _, shards := range []int{1, 2} {
+		want := run(shards, nil, nil)
+		for _, s := range []plan.Strategy{plan.Hybrid, plan.ClientDraws, plan.ServerDraws} {
+			got := run(shards, plan.Uniform(s), nil)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("shards=%d plan=%v step %d: loss %g != baseline %g", shards, s, i, got[i], want[i])
+				}
+			}
+		}
+		// Mid-run switch across the two extreme strategies: the plan swap
+		// must be invisible in the loss stream.
+		got := run(shards, plan.Uniform(plan.ClientDraws), plan.Uniform(plan.ServerDraws))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d mid-run switch step %d: loss %g != baseline %g", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPlanAdmissionGate: a lane the plan marks non-admitting must leave a
+// replacing cache untouched, and flipping the plan back must let it fill
+// — admission control is live, per-lane, and reversible.
+func TestPlanAdmissionGate(t *testing.T) {
+	g := churnTestGraph(120)
+	lru := storage.NewLRUNeighborCache(128)
+	c := newPlanCluster(t, g, 2, lru)
+
+	vs := make([]graph.ID, 16)
+	for i := range vs {
+		vs[i] = graph.ID(i)
+	}
+	dst := make([]graph.ID, len(vs)*2)
+
+	c.SetPlan(plan.Uniform(plan.ServerDraws))
+	if err := c.SampleBatch(dst, vs, 0, 2, false, 7); err != nil {
+		t.Fatal(err)
+	}
+	if n := lru.CachedVertices(); n != 0 {
+		t.Fatalf("ServerDraws lane admitted %d entries into a replacing cache", n)
+	}
+
+	c.SetPlan(nil) // default hybrid: admission on
+	if err := c.SampleBatch(dst, vs, 0, 2, false, 7); err != nil {
+		t.Fatal(err)
+	}
+	if n := lru.CachedVertices(); n == 0 {
+		t.Fatal("hybrid lane admitted nothing after the gate was lifted")
+	}
+}
+
+// TestClientDrawsDegradesWithoutAdmission: forcing ClientDraws on a client
+// whose cache cannot retain anything must resolve to Hybrid — fetching
+// full lists nothing keeps would be strictly worse than server draws.
+func TestClientDrawsDegradesWithoutAdmission(t *testing.T) {
+	g := churnTestGraph(60)
+	c := newPlanCluster(t, g, 2, storage.NoCache{})
+	c.SetPlan(plan.Uniform(plan.ClientDraws))
+	if lp := c.lanePlan(0, 1); lp.Strategy != plan.Hybrid {
+		t.Fatalf("ClientDraws over NoCache resolved to %v, want hybrid", lp.Strategy)
+	}
+	lru := newPlanCluster(t, g, 2, storage.NewLRUNeighborCache(8))
+	lru.SetPlan(plan.Uniform(plan.ClientDraws))
+	if lp := lru.lanePlan(0, 1); lp.Strategy != plan.ClientDraws {
+		t.Fatalf("ClientDraws over an admitting cache resolved to %v", lp.Strategy)
+	}
+}
+
+// skewTestGraph builds the two-lane workload graph: type 0 ("hot") edges
+// among a small hub set that every round resamples, type 1 ("cold") edges
+// among a long tail each touched once.
+func skewTestGraph(nHot, nCold int) *graph.Graph {
+	s := graph.MustSchema([]string{"v"}, []string{"hot", "cold"})
+	b := graph.NewBuilder(s, true)
+	n := nHot + nCold
+	for i := 0; i < n; i++ {
+		b.AddVertex(0, []float64{float64(i), 1})
+	}
+	for v := 0; v < nHot; v++ {
+		for e := 1; e <= 4; e++ {
+			b.AddEdge(graph.ID(v), graph.ID((v+e)%nHot), 0, 1)
+		}
+	}
+	for v := nHot; v < n; v++ {
+		for e := 1; e <= 4; e++ {
+			b.AddEdge(graph.ID(v), graph.ID(nHot+(v-nHot+e)%nCold), 1, 1)
+		}
+	}
+	return b.Finalize()
+}
+
+// TestAdaptivePlanBeatsFixedUnderSkew is the perf acceptance test: on a
+// workload with one hub-heavy reused lane and one churn-only lane sharing
+// a too-small LRU, the adaptive planner must (a) settle ClientDraws for
+// the hot lane and ServerDraws for the cold one, and (b) finish with
+// strictly fewer RPCs than EVERY fixed uniform strategy — no single
+// static choice serves both lanes well, which is the planner's reason to
+// exist.
+func TestAdaptivePlanBeatsFixedUnderSkew(t *testing.T) {
+	const (
+		nHot     = 8
+		coldPer  = 12 // cold vertices touched per round; > cap-nHot so admissions churn the hot set
+		rounds   = 60
+		nCold    = coldPer * rounds // never repeats: the cold lane truly has no reuse
+		width    = 4 // >= hub degree, so hybrid replies carry admissible full lists
+		cacheCap = 16 // hot set fits alone; one cold round's admissions flush it
+	)
+	g := skewTestGraph(nHot, nCold)
+
+	hotVs := make([]graph.ID, nHot)
+	for i := range hotVs {
+		hotVs[i] = graph.ID(i)
+	}
+	hotDst := make([]graph.ID, nHot*width)
+	coldVs := make([]graph.ID, coldPer)
+	coldDst := make([]graph.ID, coldPer*width)
+
+	// runSkew drives the workload against a fresh cluster and reports its
+	// total transport calls. Cold before hot each round, so under a plan
+	// that stops cold admissions the hot set is resident at round end.
+	runSkew := func(setup func(*Client), perRound func(*Client)) int64 {
+		t.Helper()
+		c := newPlanCluster(t, g, 2, storage.NewLRUNeighborCache(cacheCap))
+		if setup != nil {
+			setup(c)
+		}
+		for r := 0; r < rounds; r++ {
+			for i := range coldVs {
+				coldVs[i] = graph.ID(nHot + r*coldPer + i)
+			}
+			if err := c.SampleBatch(coldDst, coldVs, 1, width, false, uint64(r)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.SampleBatch(hotDst, hotVs, 0, width, false, uint64(r)); err != nil {
+				t.Fatal(err)
+			}
+			if perRound != nil {
+				perRound(c)
+			}
+		}
+		local, remote := c.T.(*LocalTransport).Calls()
+		return local + remote
+	}
+
+	fixed := map[string]int64{}
+	for _, s := range []plan.Strategy{plan.Hybrid, plan.ClientDraws, plan.ServerDraws} {
+		fixed[s.String()] = runSkew(func(c *Client) { c.SetPlan(plan.Uniform(s)) }, nil)
+	}
+
+	var pln *plan.Planner
+	adaptive := runSkew(func(c *Client) {
+		pln = c.NewPlanner(plan.Config{MinSlots: 1, MinLookups: 1, Hysteresis: 2, ProbeEvery: 3})
+	}, func(c *Client) { pln.Step() })
+
+	// The published plan shows Hybrid during a lane's probe window; step a
+	// few quiet windows (too quiet to re-judge, so choices hold) until both
+	// settled strategies are visible at once.
+	var final *plan.Plan
+	converged := false
+	for i := 0; i < 6 && !converged; i++ {
+		final = pln.Step()
+		converged = final.For(0, 0).Strategy == plan.ClientDraws &&
+			final.For(1, 0).Strategy == plan.ServerDraws
+	}
+	if !converged {
+		t.Fatalf("planner did not settle client(hot)/server(cold): %s", final)
+	}
+	if lp := final.For(1, 0); lp.Admit {
+		t.Fatalf("cold lane still admitting: %+v", lp)
+	}
+	for name, n := range fixed {
+		if adaptive >= n {
+			t.Errorf("adaptive plan used %d calls, fixed %s used %d — no win", adaptive, name, n)
+		}
+	}
+	t.Logf("transport calls: adaptive=%d fixed=%v (%s)", adaptive, fixed, pln.Summary())
+}

@@ -18,8 +18,10 @@
 // pinned epoch's own counters (they ride the Lease reply), draws are
 // slot-pure so cache and shard layout never perturb fixed-seed training,
 // and servers bound their snapshot-overlay memory by folding old overlays
-// into a fresh base (Compact RPC or the SetCompactThreshold trigger)
-// without disturbing leased epochs or live readers.
+// into a fresh base (Compact RPC, or the SetCompactThreshold trigger on a
+// rate-limited background goroutine — ServeUpdate only signals, so the
+// fold's O(V+E) walk never sits on an update's reply path) without
+// disturbing leased epochs or live readers.
 //
 // # Failure model
 //
@@ -109,6 +111,24 @@
 // and a few atomic adds per operation, with no allocation, no lock, and no
 // random-stream interaction (fixed-seed runs stay bit-identical with
 // instrumentation on, which the chaos tests assert).
+//
+// # Adaptive sampling plans
+//
+// The per-lane counters are not just readable — they drive an optimizer.
+// internal/plan turns each lane's windowed cache-hit rate into a strategy
+// choice: hub-heavy reused lanes fetch full adjacency lists once and draw
+// locally (ClientDraws), churn-only lanes skip cache probes and admission
+// entirely (ServerDraws, so their one-shot lists stop evicting hubs from
+// replacing caches), everything else keeps the hybrid default. The client
+// consumes decisions lock-free (Client.SetPlan installs an immutable Plan;
+// Client.NewPlanner wires the feedback loop over Client.LaneStats), and
+// per-lane admission gating rides the same Plan. Because uniform draws are
+// slot-pure, a strategy only moves where a draw executes — fixed-seed
+// training is bit-identical under any plan, any mid-run plan switch, and
+// the adaptive planner's live re-decisions; only RPC volume changes.
+// Weighted draws always stay server-side (the server's alias-method
+// stream is the one deterministic executor). Decisions and their inputs
+// publish as plan.* gauges next to the lane counters they came from.
 package cluster
 
 import (
@@ -140,15 +160,26 @@ type Server struct {
 
 	store *version.Store
 
-	// compactThreshold, when positive, triggers an overlay compaction from
-	// ServeUpdate once the head overlay's cumulative entry count reaches
+	// compactThreshold, when positive, arms threshold-triggered overlay
+	// compaction once the head overlay's cumulative entry count reaches
 	// it — the steady-state memory bound under an unbounded update stream.
-	// Compaction is also reachable explicitly through the Compact RPC.
+	// The fold itself runs on a dedicated background goroutine (compactor);
+	// ServeUpdate only signals it, so the O(V+E) rebuild never sits on an
+	// update's critical path. Compaction is also reachable explicitly
+	// through the Compact RPC.
 	compactThreshold int64
-	// compacting serializes threshold-triggered compactions: concurrent
-	// update handlers that pass the gate together must not queue O(V+E)
-	// rebuilds back to back.
+	// compacting serializes threshold-triggered compactions: the Compact
+	// RPC and the background compactor must not queue O(V+E) rebuilds back
+	// to back when they pass the gate together.
 	compacting atomic.Bool
+	// compactKick (1-buffered) carries ServeUpdate's fold signals to the
+	// compactor; sends never block and coalesce while a fold runs, and the
+	// buffered token guarantees the state AFTER the last signaled update is
+	// re-examined. compactGap rate-limits successive background folds.
+	compactKick chan struct{}
+	compactQuit chan struct{}
+	compactWG   sync.WaitGroup
+	compactGap  time.Duration
 
 	mu sync.RWMutex
 	// boot, when set, answers the Bootstrap RPC: the global partition
@@ -248,13 +279,95 @@ func NewServerRetain(id, numEdgeTypes, retain int) *Server {
 func (s *Server) Store() *version.Store { return s.store }
 
 // SetCompactThreshold arms automatic overlay compaction: once the head
-// overlay's cumulative adjacency+attribute entry count reaches n, the next
-// applied update folds the retention floor into a fresh base. n <= 0
-// disables the trigger (the Compact RPC still works).
+// overlay's cumulative adjacency+attribute entry count reaches n, an
+// applied update signals the background compactor, which folds the
+// retention floor into a fresh base off the update path. n <= 0 disables
+// the trigger (the Compact RPC still works). The first arming call starts
+// the compactor goroutine; call Close to stop it.
 func (s *Server) SetCompactThreshold(n int) {
 	s.mu.Lock()
 	s.compactThreshold = int64(n)
+	if n > 0 && s.compactKick == nil {
+		s.compactKick = make(chan struct{}, 1)
+		s.compactQuit = make(chan struct{})
+		s.compactWG.Add(1)
+		go s.compactor(s.compactKick, s.compactQuit)
+	}
 	s.mu.Unlock()
+}
+
+// SetCompactInterval rate-limits the background compactor: at least d
+// between successive threshold-triggered folds (signals arriving earlier
+// coalesce and the fold runs once the gap has passed). Default 0: fold as
+// soon as signaled. The Compact RPC is never rate-limited.
+func (s *Server) SetCompactInterval(d time.Duration) {
+	s.mu.Lock()
+	s.compactGap = d
+	s.mu.Unlock()
+}
+
+// Close stops the background compactor (a no-op when compaction was never
+// armed). Idempotent; the server remains fully usable for RPCs afterwards,
+// only the threshold trigger goes dead.
+func (s *Server) Close() {
+	s.mu.Lock()
+	quit := s.compactQuit
+	s.compactQuit = nil
+	s.mu.Unlock()
+	if quit != nil {
+		close(quit)
+	}
+	s.compactWG.Wait()
+}
+
+// compactor is the background fold loop: it waits for ServeUpdate's
+// signals, enforces the configured minimum gap between folds, and runs the
+// same gate + fold an inline trigger would have — just never on an
+// update's critical path.
+func (s *Server) compactor(kick, quit chan struct{}) {
+	defer s.compactWG.Done()
+	var last time.Time
+	for {
+		select {
+		case <-quit:
+			return
+		case <-kick:
+		}
+		s.mu.RLock()
+		gap := s.compactGap
+		s.mu.RUnlock()
+		if gap > 0 && !last.IsZero() {
+			if wait := gap - time.Since(last); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-quit:
+					t.Stop()
+					return
+				case <-t.C:
+				}
+			}
+		}
+		if s.maybeCompact() {
+			last = time.Now()
+		}
+	}
+}
+
+// signalCompact hands an applied update's fold hint to the compactor
+// without ever blocking: the 1-buffered channel coalesces bursts, and a
+// pending token is consumed only after the triggering update's state is
+// visible, so the gate always re-examines the newest overlay.
+func (s *Server) signalCompact() {
+	s.mu.RLock()
+	kick, thr := s.compactKick, s.compactThreshold
+	s.mu.RUnlock()
+	if thr <= 0 || kick == nil {
+		return
+	}
+	select {
+	case kick <- struct{}{}:
+	default:
+	}
 }
 
 // AddVertex registers a local vertex with its attributes (loading phase,
@@ -637,19 +750,20 @@ func (s *Server) ServeCompact(_ CompactRequest, reply *CompactReply) error {
 	return nil
 }
 
-// maybeCompact runs a threshold-armed compaction after an applied update.
-// The fold is an O(V+E) base rebuild and only prunes entries behind the
-// retention floor, so beyond the entry threshold the trigger also requires
-// the floor to have advanced at least half a retention window past the
-// current base — a workload whose in-window touched set alone exceeds the
-// threshold then pays one amortized rebuild per retain/2 epochs instead of
-// one per update (which could never shrink the overlay anyway).
-func (s *Server) maybeCompact() {
+// maybeCompact runs one threshold-armed compaction attempt (the background
+// compactor's body), reporting whether a fold actually ran. The fold is an
+// O(V+E) base rebuild and only prunes entries behind the retention floor,
+// so beyond the entry threshold the gate also requires the floor to have
+// advanced at least half a retention window past the current base — a
+// workload whose in-window touched set alone exceeds the threshold then
+// pays one amortized rebuild per retain/2 epochs instead of one per signal
+// (which could never shrink the overlay anyway).
+func (s *Server) maybeCompact() bool {
 	s.mu.RLock()
 	thr := s.compactThreshold
 	s.mu.RUnlock()
 	if thr <= 0 {
-		return
+		return false
 	}
 	gate := func() bool {
 		ov := s.store.Overlay()
@@ -663,23 +777,24 @@ func (s *Server) maybeCompact() {
 		return s.store.Floor() >= ov.BaseEpoch+stride
 	}
 	if !gate() {
-		return
+		return false
 	}
-	// Single runner: concurrent update handlers that passed the gate
-	// together skip instead of queueing whole-shard rebuilds behind the
+	// Single runner: a Compact RPC that passed the gate together with the
+	// compactor skips instead of queueing whole-shard rebuilds behind the
 	// store's compaction mutex; the gate is re-checked after winning in
 	// case a just-finished fold already advanced the base.
 	if !s.compacting.CompareAndSwap(false, true) {
-		return
+		return false
 	}
 	defer s.compacting.Store(false)
 	if !gate() {
-		return
+		return false
 	}
 	// The only Compact error is "before Seal", impossible on a serving store.
 	foldStart := time.Now()
 	s.store.Compact()
 	s.met.compaction.Observe(int64(time.Since(foldStart)))
+	return true
 }
 
 // ServeSampleNeighbors handles a server-side fixed-width draw request: the

@@ -79,10 +79,12 @@ func (s *Server) ServeUpdate(req UpdateRequest, reply *UpdateReply) error {
 		s.dedupRecord(req.Token, *reply)
 	}
 	if err == nil && added+removed+set > 0 {
-		// Threshold-armed overlay compaction: fold the retention floor into
-		// a fresh base once the cumulative overlay maps grow past the bound,
-		// so an unbounded update stream runs in bounded memory.
-		s.maybeCompact()
+		// Threshold-armed overlay compaction: signal the background
+		// compactor, which folds the retention floor into a fresh base once
+		// the cumulative overlay maps grow past the bound — an unbounded
+		// update stream runs in bounded memory, and the O(V+E) fold never
+		// blocks this update's reply.
+		s.signalCompact()
 	}
 	return err
 }

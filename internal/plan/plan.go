@@ -1,0 +1,215 @@
+// Package plan is the adaptive sampling planner: it decides, per (edge
+// type, hop) lane, HOW the cluster client should execute neighbor
+// expansions — not what they return. The client already implements three
+// strategies implicitly; the planner makes the choice explicit and
+// per-lane:
+//
+//   - Hybrid (the built-in default): probe the neighbor cache, send misses
+//     to the server-side SampleNeighbors draw path, and admit the full
+//     short lists that ride back on the replies. A reasonable middle
+//     ground for every lane, optimal for none.
+//   - ClientDraws: probe the cache, fetch misses as full adjacency lists
+//     (one Neighbors RPC per owning shard), admit them, and draw locally
+//     with the slot-pure stream. Right for hub-heavy, heavily reused lanes:
+//     after warm-up nearly every expansion is answered without a network
+//     round trip.
+//   - ServerDraws: skip the cache probe and admission entirely and let the
+//     servers draw. Right for cold, sparse lanes whose vertices never
+//     recur: admitting their lists into a replacing (LRU) cache only
+//     evicts entries a hot lane needed (cache churn), and probing buys
+//     nothing.
+//
+// Every strategy produces bit-identical values for a fixed seed: draws are
+// pure functions of (seed, batch slot, adjacency list), so a strategy
+// changes where a value is computed, never what it is. That is what makes
+// the planner safe to run live — plans can switch mid-training without
+// perturbing a fixed-seed loss curve, which the cluster package's
+// forced-plan matrix test asserts.
+//
+// The planner itself (Planner) follows the greedy, statistics-free idiom:
+// no cost model, no calibration — it periodically snapshots the client's
+// per-lane observability counters (the per-(edge type, hop) lanes the obs
+// registry already exports), computes each lane's windowed cache-hit rate,
+// and applies two thresholds. High hit rate: the cache is carrying the
+// lane, go ClientDraws. Near-zero hit rate: the cache is dead weight, go
+// ServerDraws and stop admitting. In between: Hybrid. Hysteresis (a
+// candidate must win several consecutive windows) keeps noisy lanes from
+// flapping, and periodic probe windows re-measure ServerDraws lanes — the
+// only strategy that stops producing its own decision signal — so a lane
+// whose reuse pattern changes can escape.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Strategy is one lane's execution choice.
+type Strategy uint8
+
+const (
+	// Auto defers to the plan's default (resolved as Hybrid); it is the
+	// zero value so an unset LanePlan never forces anything.
+	Auto Strategy = iota
+	// Hybrid probes the cache and sends misses to the server-side draw
+	// path, admitting replies.
+	Hybrid
+	// ClientDraws probes the cache and fetches misses as full adjacency
+	// lists, drawing locally.
+	ClientDraws
+	// ServerDraws skips cache probe and admission; servers draw everything.
+	ServerDraws
+)
+
+// String names the strategy as CLIs accept and print it.
+func (s Strategy) String() string {
+	switch s {
+	case Hybrid:
+		return "hybrid"
+	case ClientDraws:
+		return "client"
+	case ServerDraws:
+		return "server"
+	default:
+		return "auto"
+	}
+}
+
+// ParseStrategy parses the CLI spelling of a strategy ("hybrid", "client",
+// "server").
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "hybrid":
+		return Hybrid, nil
+	case "client":
+		return ClientDraws, nil
+	case "server":
+		return ServerDraws, nil
+	default:
+		return Auto, fmt.Errorf("plan: unknown strategy %q (want hybrid, client or server)", s)
+	}
+}
+
+// Lane identifies one (edge type, hop) sampling lane. Hop 0 collects
+// direct, untagged calls; hops 1.. are the NEIGHBORHOOD sampler's tags.
+type Lane struct {
+	Type int
+	Hop  int
+}
+
+func (l Lane) String() string { return fmt.Sprintf("t%d.h%d", l.Type, l.Hop) }
+
+// LaneStats is one lane's cumulative observability counters, as fetched
+// from the client (cluster.Client.LaneStats). The planner works on window
+// deltas of these.
+type LaneStats struct {
+	Calls       int64 // batch expansions
+	Slots       int64 // batch slots across those calls
+	RPCs        int64 // per-shard sub-requests issued
+	Lookups     int64 // cache probes (one per unique vertex probed)
+	CacheHits   int64 // probes answered by the cache
+	EpochMisses int64 // probes that failed only on epoch validity
+	Degraded    int64 // draws served from stale state (shard down)
+	Nanos       int64 // wall clock across expansions
+}
+
+// sub returns the windowed delta s - prev (counters are monotone).
+func (s LaneStats) sub(prev LaneStats) LaneStats {
+	return LaneStats{
+		Calls:       s.Calls - prev.Calls,
+		Slots:       s.Slots - prev.Slots,
+		RPCs:        s.RPCs - prev.RPCs,
+		Lookups:     s.Lookups - prev.Lookups,
+		CacheHits:   s.CacheHits - prev.CacheHits,
+		EpochMisses: s.EpochMisses - prev.EpochMisses,
+		Degraded:    s.Degraded - prev.Degraded,
+		Nanos:       s.Nanos - prev.Nanos,
+	}
+}
+
+// LanePlan is the plan's choice for one lane: the execution strategy plus
+// whether fetched lists may be admitted into a replacing neighbor cache.
+// Admission gating is the per-lane cache-admission control: a lane marked
+// Admit=false stops churning the shared LRU (its entries never earned
+// their slots), while static importance caches ignore the bit — for them
+// Observe is revalidation of preloaded entries, not admission.
+type LanePlan struct {
+	Strategy Strategy
+	Admit    bool
+}
+
+// resolve maps Auto to the concrete default so call sites never branch on
+// the zero value.
+func (lp LanePlan) resolve() LanePlan {
+	if lp.Strategy == Auto {
+		return LanePlan{Strategy: Hybrid, Admit: true}
+	}
+	return lp
+}
+
+// lanePlanFor is the canonical admission pairing per strategy: admitting
+// strategies admit, ServerDraws does not.
+func lanePlanFor(s Strategy) LanePlan {
+	return LanePlan{Strategy: s, Admit: s != ServerDraws}
+}
+
+// Plan maps lanes to their execution choice. A Plan is immutable once
+// published: the client reads it lock-free behind an atomic pointer, so
+// never mutate a Plan that has been handed to SetPlan.
+type Plan struct {
+	Lanes map[Lane]LanePlan
+	// Default answers lanes not present in Lanes (Auto resolves to
+	// Hybrid+admit, the client's built-in behavior).
+	Default LanePlan
+}
+
+// For returns the (resolved) choice for lane (t, hop). Nil plans answer
+// the built-in default.
+func (p *Plan) For(t, hop int) LanePlan {
+	if p == nil {
+		return LanePlan{}.resolve()
+	}
+	if lp, ok := p.Lanes[Lane{Type: t, Hop: hop}]; ok {
+		return lp.resolve()
+	}
+	return p.Default.resolve()
+}
+
+// Uniform returns a plan forcing one strategy (with its canonical
+// admission choice) on every lane — the CLI's forced mode and the matrix
+// test's subject.
+func Uniform(s Strategy) *Plan {
+	return &Plan{Default: lanePlanFor(s)}
+}
+
+// String renders the plan compactly ("t0.h1=client+admit t1.h2=server"),
+// lanes sorted, for -stats output and logs.
+func (p *Plan) String() string {
+	if p == nil {
+		return "default=hybrid+admit"
+	}
+	lanes := make([]Lane, 0, len(p.Lanes))
+	for l := range p.Lanes {
+		lanes = append(lanes, l)
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i].Type != lanes[j].Type {
+			return lanes[i].Type < lanes[j].Type
+		}
+		return lanes[i].Hop < lanes[j].Hop
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "default=%s", formatLanePlan(p.Default.resolve()))
+	for _, l := range lanes {
+		fmt.Fprintf(&b, " %s=%s", l, formatLanePlan(p.Lanes[l].resolve()))
+	}
+	return b.String()
+}
+
+func formatLanePlan(lp LanePlan) string {
+	if lp.Admit {
+		return lp.Strategy.String() + "+admit"
+	}
+	return lp.Strategy.String()
+}

@@ -1,0 +1,195 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestPlanResolution(t *testing.T) {
+	var nilPlan *Plan
+	if lp := nilPlan.For(0, 1); lp.Strategy != Hybrid || !lp.Admit {
+		t.Fatalf("nil plan resolved to %+v, want hybrid+admit", lp)
+	}
+	p := &Plan{
+		Lanes:   map[Lane]LanePlan{{Type: 0, Hop: 1}: {Strategy: ClientDraws, Admit: true}},
+		Default: LanePlan{Strategy: ServerDraws},
+	}
+	if lp := p.For(0, 1); lp.Strategy != ClientDraws {
+		t.Fatalf("lane override resolved to %+v", lp)
+	}
+	if lp := p.For(1, 2); lp.Strategy != ServerDraws || lp.Admit {
+		t.Fatalf("default resolved to %+v, want server without admission", lp)
+	}
+	if lp := (&Plan{}).For(3, 3); lp.Strategy != Hybrid || !lp.Admit {
+		t.Fatalf("Auto default resolved to %+v, want hybrid+admit", lp)
+	}
+	u := Uniform(ServerDraws)
+	if lp := u.For(7, 4); lp.Strategy != ServerDraws || lp.Admit {
+		t.Fatalf("Uniform(server) resolved to %+v", lp)
+	}
+	for _, name := range []string{"hybrid", "client", "server"} {
+		s, err := ParseStrategy(name)
+		if err != nil || s.String() != name {
+			t.Fatalf("ParseStrategy(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Fatal("ParseStrategy accepted garbage")
+	}
+}
+
+// synthetic lane driver: each window adds the configured per-window deltas
+// to cumulative counters, with the hit rate controlled per window.
+type synthLane struct {
+	cum     LaneStats
+	lookups int64
+	hitRate func(window int) float64
+}
+
+func (s *synthLane) tick(window int) LaneStats {
+	s.cum.Calls += 10
+	s.cum.Slots += s.lookups
+	s.cum.Lookups += s.lookups
+	s.cum.CacheHits += int64(float64(s.lookups) * s.hitRate(window))
+	s.cum.RPCs += 10
+	return s.cum
+}
+
+// TestPlannerConvergesUnderSkew is the hysteresis/convergence test: a
+// hub-heavy reused lane and a cold sparse lane are fed through the
+// planner; the plan must settle on ClientDraws for the hot lane and
+// ServerDraws (admission off) for the cold one, and once settled it must
+// stop switching entirely — convergence, not flapping.
+func TestPlannerConvergesUnderSkew(t *testing.T) {
+	hot := &synthLane{lookups: 1000, hitRate: func(int) float64 { return 0.92 }}
+	cold := &synthLane{lookups: 1000, hitRate: func(int) float64 { return 0.02 }}
+	window := 0
+	pl := NewPlanner(Config{ProbeEvery: -1}, func() map[Lane]LaneStats {
+		window++
+		return map[Lane]LaneStats{
+			{Type: 0, Hop: 1}: hot.tick(window),
+			{Type: 1, Hop: 1}: cold.tick(window),
+		}
+	}, nil)
+
+	var settled *Plan
+	for i := 0; i < 10; i++ {
+		settled = pl.Step()
+	}
+	if lp := settled.For(0, 1); lp.Strategy != ClientDraws || !lp.Admit {
+		t.Fatalf("hot lane settled on %+v, want client+admit", lp)
+	}
+	if lp := settled.For(1, 1); lp.Strategy != ServerDraws || lp.Admit {
+		t.Fatalf("cold lane settled on %+v, want server without admission", lp)
+	}
+	switchesAt10 := pl.Switches()
+	for i := 0; i < 40; i++ {
+		pl.Step()
+	}
+	if got := pl.Switches(); got != switchesAt10 {
+		t.Fatalf("planner kept switching after convergence: %d -> %d", switchesAt10, got)
+	}
+	if pl.Windows() != 50 {
+		t.Fatalf("windows = %d, want 50", pl.Windows())
+	}
+}
+
+// TestPlannerHysteresisNoFlap: a lane whose hit rate oscillates across the
+// ClientDraws threshold every window must never switch — a verdict has to
+// repeat Hysteresis consecutive windows, and a strict alternation never
+// does.
+func TestPlannerHysteresisNoFlap(t *testing.T) {
+	noisy := &synthLane{lookups: 1000, hitRate: func(w int) float64 {
+		if w%2 == 0 {
+			return 0.95 // says ClientDraws
+		}
+		return 0.40 // says Hybrid
+	}}
+	window := 0
+	pl := NewPlanner(Config{Hysteresis: 2, ProbeEvery: -1}, func() map[Lane]LaneStats {
+		window++
+		return map[Lane]LaneStats{{Type: 0, Hop: 1}: noisy.tick(window)}
+	}, nil)
+	for i := 0; i < 30; i++ {
+		if lp := pl.Step().For(0, 1); lp.Strategy != Hybrid {
+			t.Fatalf("window %d: noisy lane switched to %v", i, lp.Strategy)
+		}
+	}
+	if pl.Switches() != 0 {
+		t.Fatalf("switches = %d, want 0 under strict alternation", pl.Switches())
+	}
+}
+
+// TestPlannerProbeEscape: a lane that went ServerDraws stops producing its
+// own hit-rate signal; the periodic probe window must re-measure it, and
+// when the workload turned reusable the lane must escape on the probe's
+// verdict.
+func TestPlannerProbeEscape(t *testing.T) {
+	cum := LaneStats{}
+	probed := false
+	pl := NewPlanner(Config{Hysteresis: 1, ProbeEvery: 3}, nil, nil)
+	lane := Lane{Type: 0, Hop: 1}
+	pl.fetch = func() map[Lane]LaneStats {
+		cum.Calls += 10
+		cum.Slots += 1000
+		cum.RPCs += 10
+		if cur := pl.Plan(); cur == nil || cur.For(lane.Type, lane.Hop).Strategy != ServerDraws {
+			// Probes (and the pre-ServerDraws windows) see live lookups;
+			// once probing starts, the workload has turned hot.
+			cum.Lookups += 1000
+			if probed {
+				cum.CacheHits += 900
+			}
+		}
+		return map[Lane]LaneStats{lane: cum}
+	}
+
+	// Drive until the lane settles on ServerDraws (cold phase).
+	settled := false
+	for i := 0; i < 6; i++ {
+		if pl.Step().For(lane.Type, lane.Hop).Strategy == ServerDraws {
+			settled = true
+			break
+		}
+	}
+	if !settled {
+		t.Fatal("lane never settled on ServerDraws")
+	}
+	probed = true // workload turns hot; only probe windows can see it
+	for i := 0; i < 12; i++ {
+		pl.Step()
+	}
+	if lp := pl.Plan().For(lane.Type, lane.Hop); lp.Strategy == ServerDraws {
+		t.Fatalf("lane stuck in ServerDraws after workload turned hot: %+v", lp)
+	}
+}
+
+// TestPlannerObsGauges: decisions and their inputs are visible through an
+// obs registry, with the strategy gauge non-zero for every planned lane.
+func TestPlannerObsGauges(t *testing.T) {
+	hot := &synthLane{lookups: 1000, hitRate: func(int) float64 { return 0.9 }}
+	window := 0
+	pl := NewPlanner(Config{ProbeEvery: -1}, func() map[Lane]LaneStats {
+		window++
+		return map[Lane]LaneStats{{Type: 0, Hop: 1}: hot.tick(window)}
+	}, nil)
+	r := obs.NewRegistry()
+	pl.RegisterObs(r)
+	for i := 0; i < 5; i++ {
+		pl.Step()
+	}
+	snap := r.Snapshot()
+	if snap.Gauges["plan.windows"] != 5 {
+		t.Fatalf("plan.windows = %d, want 5", snap.Gauges["plan.windows"])
+	}
+	if v := snap.Counters["plan.lane.t0.h1.strategy"]; v != int64(ClientDraws) {
+		t.Fatalf("strategy gauge = %d, want %d", v, ClientDraws)
+	}
+	if v := snap.Counters["plan.lane.t0.h1.hit_pct"]; v < 80 {
+		t.Fatalf("hit_pct gauge = %d, want the observed ~90", v)
+	}
+	if snap.Gauges["plan.switches"] == 0 {
+		t.Fatal("the hot lane's switch to client draws was not counted")
+	}
+}

@@ -1,0 +1,310 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config tunes the adaptive planner. The zero value is usable: defaults
+// are filled by NewPlanner.
+type Config struct {
+	// Interval is the decision-window length for Start (default 2s).
+	// Step() can instead be driven manually (tests, benchmarks).
+	Interval time.Duration
+
+	// MinSlots gates judging: a lane must have expanded at least this many
+	// batch slots in a window to produce a verdict (default 64). Quieter
+	// lanes keep their current choice — a handful of probes is noise.
+	MinSlots int64
+
+	// MinLookups gates the hit-rate signal itself: fewer cache probes than
+	// this in a window (a ServerDraws lane between probe windows) means
+	// "no evidence", not "zero hit rate" (default 16).
+	MinLookups int64
+
+	// HitHigh and HitLow are the greedy thresholds on the windowed
+	// cache-hit rate (hits / probes): at or above HitHigh the lane goes
+	// ClientDraws, at or below HitLow it goes ServerDraws, in between
+	// Hybrid. Defaults 0.75 and 0.10.
+	HitHigh float64
+	HitLow  float64
+
+	// Hysteresis is how many consecutive windows a changed verdict must
+	// repeat before the lane actually switches (default 2). This is the
+	// anti-flap control: one noisy window moves nothing.
+	Hysteresis int
+
+	// ProbeEvery re-measures ServerDraws lanes: every ProbeEvery windows
+	// such a lane runs one window as Hybrid (probes on, admission on) so
+	// its hit rate becomes observable again — ServerDraws is the only
+	// strategy that silences its own decision signal. A probe window's
+	// verdict applies immediately (the cadence itself bounds flapping to
+	// at most one switch per ProbeEvery windows). Default 8; negative
+	// disables probing (tests). 0 means the default.
+	ProbeEvery int
+}
+
+func (c *Config) defaults() {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.MinSlots <= 0 {
+		c.MinSlots = 64
+	}
+	if c.MinLookups <= 0 {
+		c.MinLookups = 16
+	}
+	if c.HitHigh == 0 {
+		c.HitHigh = 0.75
+	}
+	if c.HitLow == 0 {
+		c.HitLow = 0.10
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 2
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = 8
+	}
+}
+
+// laneState is the planner's per-lane memory between windows.
+type laneState struct {
+	settled LanePlan  // the lane's current committed choice
+	cand    Strategy  // pending verdict awaiting hysteresis
+	streak  int       // consecutive windows cand has won
+	probing bool      // the window now closing ran as a probe (Hybrid)
+	sinceProbe int    // windows since the last probe while in ServerDraws
+	last    LaneStats // cumulative counters at the previous window edge
+
+	// Published decision inputs, for gauges: the last windowed hit rate
+	// (percent) and probe count this lane was judged on.
+	hitPct  int64
+	lookups int64
+}
+
+// Planner periodically snapshots per-lane counters, applies the greedy
+// threshold rules with hysteresis, and publishes the resulting Plan.
+// Safe for concurrent use; Step, Start and Close may interleave.
+type Planner struct {
+	cfg     Config
+	fetch   func() map[Lane]LaneStats
+	publish func(*Plan)
+
+	mu       sync.Mutex
+	lanes    map[Lane]*laneState
+	cur      *Plan
+	windows  int64
+	switches int64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	quit      chan struct{}
+	done      chan struct{}
+}
+
+// NewPlanner builds a planner over a counter source and a plan sink —
+// typically cluster.Client.LaneStats and cluster.Client.SetPlan (see
+// Client.NewPlanner, which wires exactly that).
+func NewPlanner(cfg Config, fetch func() map[Lane]LaneStats, publish func(*Plan)) *Planner {
+	cfg.defaults()
+	return &Planner{
+		cfg:     cfg,
+		fetch:   fetch,
+		publish: publish,
+		lanes:   make(map[Lane]*laneState),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Step closes one decision window: snapshot counters, judge every lane on
+// its windowed delta, publish the (possibly unchanged) plan. Returns the
+// published plan. Deterministic given the counter deltas — tests and
+// benchmarks drive it directly instead of running Start's ticker.
+func (p *Planner) Step() *Plan {
+	stats := p.fetch()
+	p.mu.Lock()
+	for lane, cum := range stats {
+		st, ok := p.lanes[lane]
+		if !ok {
+			// A lane's first window judges its whole history — for a lane
+			// that just appeared that IS one window, and for a planner
+			// started mid-run it seeds the baseline with a real verdict.
+			st = &laneState{settled: LanePlan{}.resolve()}
+			p.lanes[lane] = st
+		}
+		d := cum.sub(st.last)
+		st.last = cum
+		p.judgeLocked(st, d)
+	}
+	next := &Plan{
+		Lanes:   make(map[Lane]LanePlan, len(p.lanes)),
+		Default: LanePlan{}.resolve(),
+	}
+	for lane, st := range p.lanes {
+		lp := st.settled
+		if st.probing {
+			// Probe window: run the lane as Hybrid so the next Step sees a
+			// live hit rate again.
+			lp = LanePlan{Strategy: Hybrid, Admit: true}
+		}
+		next.Lanes[lane] = lp
+	}
+	p.windows++
+	p.cur = next
+	p.mu.Unlock()
+	if p.publish != nil {
+		p.publish(next)
+	}
+	return next
+}
+
+// judgeLocked applies one window's evidence to one lane.
+func (p *Planner) judgeLocked(st *laneState, d LaneStats) {
+	wasProbe := st.probing
+	st.probing = false
+	defer func() {
+		// Schedule the next probe while the lane sits in ServerDraws; any
+		// other strategy keeps producing its own signal.
+		if st.settled.Strategy == ServerDraws && p.cfg.ProbeEvery > 0 {
+			st.sinceProbe++
+			if st.sinceProbe >= p.cfg.ProbeEvery {
+				st.probing = true
+				st.sinceProbe = 0
+			}
+		} else {
+			st.sinceProbe = 0
+		}
+	}()
+	if d.Slots < p.cfg.MinSlots {
+		// Too quiet to judge; hold the choice and any pending candidate.
+		return
+	}
+	desired := st.settled.Strategy
+	if d.Lookups >= p.cfg.MinLookups {
+		hit := float64(d.CacheHits) / float64(d.Lookups)
+		st.hitPct = int64(hit * 100)
+		st.lookups = d.Lookups
+		switch {
+		case hit >= p.cfg.HitHigh:
+			desired = ClientDraws
+		case hit <= p.cfg.HitLow:
+			desired = ServerDraws
+		default:
+			desired = Hybrid
+		}
+	}
+	switch {
+	case desired == st.settled.Strategy:
+		st.cand, st.streak = Auto, 0
+	case desired == st.cand || wasProbe:
+		st.streak++
+		need := p.cfg.Hysteresis
+		if wasProbe {
+			// A probe window's verdict acts at once: the lane already paid
+			// hysteresis to settle into ServerDraws, and probes are
+			// ProbeEvery windows apart, so this cannot flap per-window.
+			need = 1
+		}
+		if st.streak >= need {
+			st.settled = lanePlanFor(desired)
+			st.cand, st.streak = Auto, 0
+			p.switches++
+		}
+	default:
+		st.cand, st.streak = desired, 1
+	}
+}
+
+// Plan returns the most recently published plan (nil before the first
+// Step).
+func (p *Planner) Plan() *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cur
+}
+
+// Windows and Switches report how many decision windows have closed and
+// how many lane strategy switches they committed.
+func (p *Planner) Windows() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.windows
+}
+
+func (p *Planner) Switches() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.switches
+}
+
+// Summary is the -stats line: window/switch counts plus the current plan.
+func (p *Planner) Summary() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fmt.Sprintf("%d windows, %d switches, plan: %s", p.windows, p.switches, p.cur.String())
+}
+
+// Start runs Step every Interval on a background goroutine until Close.
+func (p *Planner) Start() {
+	p.startOnce.Do(func() {
+		go func() {
+			defer close(p.done)
+			t := time.NewTicker(p.cfg.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-p.quit:
+					return
+				case <-t.C:
+					p.Step()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the Start goroutine (no-op if Start never ran).
+func (p *Planner) Close() {
+	p.stopOnce.Do(func() {
+		close(p.quit)
+		p.startOnce.Do(func() { close(p.done) }) // never started: unblock done
+		<-p.done
+	})
+}
+
+// RegisterObs publishes the planner's decisions and their observed inputs
+// in r: plan.windows / plan.switches counters plus, per lane,
+// plan.lane.t<type>.h<hop>.{strategy,admit,hit_pct,lookups} gauges. The
+// strategy gauge is the Strategy enum value (hybrid=1, client=2,
+// server=3), never 0 once the lane has been planned — a dashboard
+// asserting non-zero proves the planner is live.
+func (p *Planner) RegisterObs(r *obs.Registry) {
+	r.Gauge("plan.windows", p.Windows)
+	r.Gauge("plan.switches", p.Switches)
+	r.Collect(func(emit func(name string, v int64)) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.cur == nil {
+			return
+		}
+		for lane, lp := range p.cur.Lanes {
+			st := p.lanes[lane]
+			pre := "plan.lane." + lane.String() + "."
+			emit(pre+"strategy", int64(lp.Strategy))
+			if lp.Admit {
+				emit(pre+"admit", 1)
+			} else {
+				emit(pre+"admit", 0)
+			}
+			if st != nil {
+				emit(pre+"hit_pct", st.hitPct)
+				emit(pre+"lookups", st.lookups)
+			}
+		}
+	})
+}

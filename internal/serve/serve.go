@@ -83,6 +83,11 @@ type Config struct {
 	// EdgeType is the relation embeddings are computed over (used for
 	// revalidation proofs).
 	EdgeType graph.EdgeType
+	// Importance, when set, scores a vertex's expected reuse (the paper's
+	// Imp^(k) hotness): embedding-cache evictions then spare
+	// high-importance entries and the refresher re-embeds hot vertices
+	// first. Nil ranks purely by observed hit counts.
+	Importance func(graph.ID) float64
 }
 
 func (c *Config) defaults() {
@@ -166,6 +171,9 @@ func New(emb Embedder, cl *cluster.Client, cfg Config) *Server {
 		parts:  parts,
 		kick:   make(chan struct{}, 1),
 		closed: make(chan struct{}),
+	}
+	if cfg.Importance != nil {
+		s.cache.SetImportance(cfg.Importance)
 	}
 	if cl != nil {
 		if heads, _, err := cl.ProbeHeads(); err == nil {

@@ -38,6 +38,13 @@ import (
 // Invalidated and lag-expired vertices accumulate in a hotness-ranked dirty
 // queue (TakeDirty) for a background refresher to re-embed ahead of demand.
 //
+// SetImportance installs the paper's Imp^(k) admission idea on top of the
+// LRU: evictions prefer dropping low-importance entries (a bounded scan of
+// the LRU tail), and the dirty queue ranks by importance-weighted hotness,
+// so the refresher re-embeds the vertices whose misses would cost the
+// most. With no scorer the cache is the pure hits-and-recency LRU it
+// always was.
+//
 // All methods are safe for concurrent use.
 type EmbeddingCache struct {
 	mu sync.Mutex
@@ -65,7 +72,12 @@ type EmbeddingCache struct {
 	ringHead  int
 	ringFloor []uint64
 
-	dirty map[graph.ID]int64 // vertex -> hotness (hits at drop time)
+	dirty map[graph.ID]float64 // vertex -> importance-weighted hotness at drop time
+
+	// scorer, when set, scores a vertex's expected reuse (Imp^(k) hotness):
+	// it weighs eviction-victim choice and dirty-queue ranking. Scored once
+	// per admission (entries keep their admission-time importance).
+	scorer func(graph.ID) float64
 
 	stats EmbeddingCacheStats
 }
@@ -77,6 +89,7 @@ type embEntry struct {
 	basis []uint64
 	elem  *list.Element
 	hits  int64
+	imp   float64 // admission-time importance score (0 without a scorer)
 }
 
 type invalRound struct {
@@ -115,8 +128,28 @@ func NewEmbeddingCache(parts, cap int) *EmbeddingCache {
 		heads:      make([]uint64, parts),
 		covered:    make([]uint64, parts),
 		ringFloor:  make([]uint64, parts),
-		dirty:      make(map[graph.ID]int64),
+		dirty:      make(map[graph.ID]float64),
 	}
+}
+
+// SetImportance installs (or, with nil, removes) the importance scorer.
+// It applies to subsequent admissions and dirty-queue rankings; already
+// resident entries keep the score they were admitted with.
+func (c *EmbeddingCache) SetImportance(f func(graph.ID) float64) {
+	c.mu.Lock()
+	c.scorer = f
+	c.mu.Unlock()
+}
+
+// hotLocked is the dirty-queue rank of v: demand (hits so far, plus one
+// for the event queueing it) scaled by importance when a scorer is set —
+// the re-embed order AliGraph's Imp^(k) admission implies.
+func (c *EmbeddingCache) hotLocked(v graph.ID, hits int64) float64 {
+	h := float64(hits + 1)
+	if c.scorer != nil {
+		h *= 1 + c.scorer(v)
+	}
+	return h
 }
 
 // InitCovered seeds the heads clock AND the invalidation frontier from a
@@ -179,8 +212,8 @@ func (c *EmbeddingCache) Get(v graph.ID, maxLag uint64) ([]float64, bool) {
 	}
 	if c.lagLocked(e) > maxLag {
 		c.stats.StaleRejects++
-		if e.hits+1 > c.dirty[v] {
-			c.dirty[v] = e.hits + 1
+		if h := c.hotLocked(v, e.hits); h > c.dirty[v] {
+			c.dirty[v] = h
 		}
 		return nil, false
 	}
@@ -226,14 +259,17 @@ func (c *EmbeddingCache) Admit(v graph.ID, vec []float64, deps []graph.ID, basis
 		c.removeLocked(old)
 	}
 	for c.len() >= c.cap {
-		lru := c.order.Back()
-		if lru == nil {
+		victim := c.evictionVictimLocked()
+		if victim == nil {
 			break
 		}
-		c.removeLocked(lru.Value.(*embEntry))
+		c.removeLocked(victim)
 		c.stats.Evicted++
 	}
 	e := &embEntry{v: v, vec: vec, deps: deps, basis: b}
+	if c.scorer != nil {
+		e.imp = c.scorer(v)
+	}
 	e.elem = c.order.PushFront(e)
 	c.entries[v] = e
 	for _, d := range deps {
@@ -250,6 +286,37 @@ func (c *EmbeddingCache) Admit(v graph.ID, vec []float64, deps []graph.ID, basis
 }
 
 func (c *EmbeddingCache) len() int { return len(c.entries) }
+
+// evictScanDepth bounds the importance-weighted eviction scan: only this
+// many LRU-tail entries compete for the victim slot, so eviction stays
+// O(1) whatever the capacity.
+const evictScanDepth = 8
+
+// evictionVictimLocked picks the entry to evict: the plain LRU tail
+// without a scorer; with one, the lowest-importance entry among the
+// evictScanDepth least recently used (strict < keeps the tail-most entry
+// on ties, so equal-importance workloads still evict in exact LRU order).
+// A high-importance hub that drifts to the tail is spared while any
+// colder entry is in scan range — the embedding analogue of the neighbor
+// caches' Imp^(k) admission.
+func (c *EmbeddingCache) evictionVictimLocked() *embEntry {
+	back := c.order.Back()
+	if back == nil {
+		return nil
+	}
+	victim := back.Value.(*embEntry)
+	if c.scorer == nil {
+		return victim
+	}
+	depth := 1
+	for el := back.Prev(); el != nil && depth < evictScanDepth; el = el.Prev() {
+		if e := el.Value.(*embEntry); e.imp < victim.imp {
+			victim = e
+		}
+		depth++
+	}
+	return victim
+}
 
 // removeLocked unlinks e from the entry map, the LRU order and the
 // dependency index.
@@ -287,7 +354,7 @@ func (c *EmbeddingCache) Invalidate(part int, epoch uint64, touched []graph.ID) 
 		}
 		for v := range set {
 			e := c.entries[v]
-			if h := e.hits + 1; h > c.dirty[v] {
+			if h := c.hotLocked(v, e.hits); h > c.dirty[v] {
 				c.dirty[v] = h
 			}
 			c.removeLocked(e)
@@ -325,7 +392,8 @@ func (c *EmbeddingCache) Invalidate(part int, epoch uint64, touched []graph.ID) 
 }
 
 // TakeDirty pops up to max invalidated or lag-expired vertices, hottest
-// first — the refresher's work queue for re-embedding ahead of demand.
+// first (importance-weighted when a scorer is set) — the refresher's work
+// queue for re-embedding ahead of demand.
 func (c *EmbeddingCache) TakeDirty(max int) []graph.ID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -334,7 +402,7 @@ func (c *EmbeddingCache) TakeDirty(max int) []graph.ID {
 	}
 	type hv struct {
 		v graph.ID
-		h int64
+		h float64
 	}
 	all := make([]hv, 0, len(c.dirty))
 	for v, h := range c.dirty {
@@ -440,5 +508,5 @@ func (c *EmbeddingCache) Flush() {
 	c.entries = make(map[graph.ID]*embEntry)
 	c.order.Init()
 	c.dependents = make(map[graph.ID]map[graph.ID]struct{})
-	c.dirty = make(map[graph.ID]int64)
+	c.dirty = make(map[graph.ID]float64)
 }

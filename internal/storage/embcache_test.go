@@ -139,3 +139,59 @@ func TestEmbCacheLRUDirtyBasis(t *testing.T) {
 		t.Fatal("SetBasis did not raise the proven epoch")
 	}
 }
+
+// TestEmbCacheImportanceEviction: with a scorer installed, eviction spares
+// high-importance entries within the tail scan — the LRU-most entry is
+// passed over when a colder-by-importance entry sits near the tail — and
+// without a scorer eviction is exact LRU.
+func TestEmbCacheImportanceEviction(t *testing.T) {
+	imp := map[graph.ID]float64{1: 10, 2: 0, 3: 0, 4: 0}
+	c := NewEmbeddingCache(1, 3)
+	c.SetImportance(func(v graph.ID) float64 { return imp[v] })
+	c.Admit(1, []float64{1}, ids(1), []uint64{0}) // hub, least recently used
+	c.Admit(2, []float64{2}, ids(2), []uint64{0})
+	c.Admit(3, []float64{3}, ids(3), []uint64{0})
+	// Cache full. Admitting 4 must evict a zero-importance entry (2, the
+	// least recent of them), not the LRU-tail hub 1.
+	c.Admit(4, []float64{4}, ids(4), []uint64{0})
+	if !c.Contains(1) {
+		t.Fatal("eviction dropped the high-importance hub")
+	}
+	if c.Contains(2) {
+		t.Fatal("eviction spared the coldest zero-importance entry")
+	}
+	if !c.Contains(3) || !c.Contains(4) {
+		t.Fatal("eviction dropped more than one entry")
+	}
+
+	// Ties (all importance 0) must preserve exact LRU order.
+	c2 := NewEmbeddingCache(1, 2)
+	c2.SetImportance(func(graph.ID) float64 { return 0 })
+	c2.Admit(1, []float64{1}, ids(1), []uint64{0})
+	c2.Admit(2, []float64{2}, ids(2), []uint64{0})
+	c2.Get(1, 0)
+	c2.Admit(3, []float64{3}, ids(3), []uint64{0})
+	if c2.Contains(2) || !c2.Contains(1) {
+		t.Fatal("tied importance broke LRU eviction order")
+	}
+}
+
+// TestEmbCacheImportanceDirtyRank: the dirty queue ranks by importance-
+// weighted hotness, so a moderately hit hub outranks a hammered cold
+// vertex when its importance justifies it.
+func TestEmbCacheImportanceDirtyRank(t *testing.T) {
+	imp := map[graph.ID]float64{1: 9, 2: 0}
+	c := NewEmbeddingCache(1, 8)
+	c.SetImportance(func(v graph.ID) float64 { return imp[v] })
+	c.Admit(1, []float64{1}, ids(1), []uint64{0})
+	c.Admit(2, []float64{2}, ids(2), []uint64{0})
+	c.Get(1, 0) // hub: 1 hit -> hotness (1+1)*(1+9) = 20
+	for i := 0; i < 5; i++ {
+		c.Get(2, 0) // cold: 5 hits -> hotness (5+1)*(1+0) = 6
+	}
+	c.Invalidate(0, 1, ids(1, 2))
+	dirty := c.TakeDirty(2)
+	if len(dirty) != 2 || dirty[0] != 1 || dirty[1] != 2 {
+		t.Fatalf("TakeDirty = %v, want importance-weighted order [1 2]", dirty)
+	}
+}
